@@ -1,0 +1,38 @@
+(** Helpers for the benchmark harness: wall-clock timing for the scaling
+    tables and fixed-width table printing. *)
+
+(** [time f] runs [f] repeatedly until at least ~50ms of CPU time has
+    accumulated and returns the per-run time in seconds. *)
+let time (f : unit -> 'a) : float =
+  let t0 = Sys.time () in
+  ignore (f ());
+  let once = Sys.time () -. t0 in
+  if once > 0.05 then once
+  else begin
+    let reps = max 1 (int_of_float (0.05 /. (once +. 1e-9))) in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  end
+
+(** [row widths cells] prints one table row with right-padded cells. *)
+let row (widths : int list) (cells : string list) : unit =
+  List.iter2
+    (fun w c -> Printf.printf "%-*s  " w c)
+    widths cells;
+  print_newline ()
+
+let header (title : string) : unit =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let subheader (s : string) : unit = Printf.printf "\n--- %s ---\n" s
+
+let ms (t : float) : string = Printf.sprintf "%.3f" (t *. 1000.)
+
+(** [us_per t n] pretty-prints time per unit of size. *)
+let us_per (t : float) (n : int) : string =
+  Printf.sprintf "%.3f" (t *. 1e6 /. float_of_int (max 1 n))

@@ -1,0 +1,312 @@
+(** The [ucqc] command-line tool.
+
+    Subcommands:
+    - [count]      count answers to a UCQ in a database
+    - [approx]     Karp-Luby approximate counting (Section 1.2)
+    - [meta]       decide linear-time countability (Theorem 5)
+    - [classify]   structural measures for the Theorems 1/2/3 criteria
+    - [wl-dim]     Weisfeiler–Leman dimension (Theorems 7/8/58)
+    - [enumerate]  constant-delay enumeration of an acyclic CQ's answers
+    - [euler]      reduced Euler characteristic of a facet-encoded complex
+    - [pipeline]   the Lemma 51 SAT-hardness pipeline on a DIMACS file
+    - [treewidth]  treewidth of the Gaifman graph of a database
+
+    Query files use the {!Parse} surface syntax, e.g.
+    [(x, y) :- E(x, z), E(z, y) ; E(x, y)]. *)
+
+open Cmdliner
+
+let read_file (path : string) : string =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let query_arg =
+  let doc = "Query file (surface syntax: '(x, y) :- E(x, z), E(z, y) ; ...')." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* count                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let method_enum =
+  Arg.enum
+    [ ("expansion", `Expansion); ("ie", `Ie); ("naive", `Naive) ]
+
+let count_cmd =
+  let db_arg =
+    let doc = "Database file (facts: 'E(1, 2). E(2, 3).')." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc)
+  in
+  let method_arg =
+    let doc =
+      "Counting method: 'expansion' (CQ expansion, Lemma 26), 'ie' \
+       (inclusion-exclusion), or 'naive' (enumeration; exponential)."
+    in
+    Arg.(value & opt method_enum `Expansion & info [ "method" ] ~doc)
+  in
+  let run qfile dbfile meth =
+    let psi, _ = Parse.ucq (read_file qfile) in
+    let db, _ = Parse.database (read_file dbfile) in
+    let count =
+      match meth with
+      | `Expansion -> Ucq.count_via_expansion psi db
+      | `Ie -> Ucq.count_inclusion_exclusion psi db
+      | `Naive -> Ucq.count_naive psi db
+    in
+    Printf.printf "%d\n" count
+  in
+  let doc = "Count answers to a union of conjunctive queries." in
+  Cmd.v (Cmd.info "count" ~doc)
+    Term.(const run $ query_arg $ db_arg $ method_arg)
+
+(* ------------------------------------------------------------------ *)
+(* approx                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let approx_cmd =
+  let db_arg =
+    let doc = "Database file." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc)
+  in
+  let samples_arg =
+    let doc = "Sample budget for the Karp-Luby estimator." in
+    Arg.(value & opt int 10_000 & info [ "samples" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let run qfile dbfile samples seed =
+    let psi, _ = Parse.ucq (read_file qfile) in
+    let db, _ = Parse.database (read_file dbfile) in
+    let est = Karp_luby.estimate ~seed ~samples psi db in
+    Printf.printf "estimate: %.2f (samples %d, space %d, hits %d)\n"
+      est.Karp_luby.value est.Karp_luby.samples est.Karp_luby.space
+      est.Karp_luby.hits
+  in
+  let doc =
+    "Approximate the answer count with the Karp-Luby estimator (Section \
+     1.2) — no exponential CQ expansion involved."
+  in
+  Cmd.v (Cmd.info "approx" ~doc)
+    Term.(const run $ query_arg $ db_arg $ samples_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* meta                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let meta_cmd =
+  let run qfile =
+    let psi, env = Parse.ucq (read_file qfile) in
+    let d = Meta.decide psi in
+    Printf.printf "linear-time countable: %b\n" d.Meta.linear_time;
+    Printf.printf "expansion support (%d #minimal classes):\n"
+      (List.length d.Meta.support);
+    List.iter
+      (fun (q, c) ->
+        Printf.printf "  %+d  x  %s   [%s]\n" c
+          (Pretty.cq ~env q)
+          (if Cq.is_acyclic q then "acyclic" else "CYCLIC"))
+      d.Meta.support
+  in
+  let doc =
+    "Decide whether counting answers is possible in linear time (META, \
+     Theorem 5; quantifier-free unions only)."
+  in
+  Cmd.v (Cmd.info "meta" ~doc) Term.(const run $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* classify                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let gamma_arg =
+    let doc = "Skip the exponential Gamma(C) measures." in
+    Arg.(value & flag & info [ "no-gamma" ] ~doc)
+  in
+  let run qfile no_gamma =
+    let psi, _ = Parse.ucq (read_file qfile) in
+    let r = Classify.analyze ~with_gamma:(not no_gamma) psi in
+    Printf.printf "disjuncts:               %d\n" r.Classify.num_disjuncts;
+    Printf.printf "quantifier-free:         %b\n" r.Classify.quantifier_free;
+    Printf.printf "union of self-join-free: %b\n" r.Classify.union_of_self_join_free;
+    Printf.printf "quantified variables:    %d\n" r.Classify.num_quantified;
+    Printf.printf "tw(/\\Psi):               %d\n" r.Classify.combined_tw;
+    Printf.printf "tw(contract(/\\Psi)):     %d\n" r.Classify.combined_contract_tw;
+    if not no_gamma then begin
+      Printf.printf "max tw over Gamma:       %d\n" r.Classify.gamma_max_tw;
+      Printf.printf "max ctw over Gamma:      %d\n" r.Classify.gamma_max_contract_tw
+    end
+  in
+  let doc = "Report the treewidth measures behind Theorems 1/2/3." in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ query_arg $ gamma_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wl-dim                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let wl_dim_cmd =
+  let approx_arg =
+    let doc = "Use the polynomial-per-term approximation (Theorem 7)." in
+    Arg.(value & flag & info [ "approx" ] ~doc)
+  in
+  let run qfile approx =
+    let psi, _ = Parse.ucq (read_file qfile) in
+    if approx then begin
+      let lo, hi = Wl_dimension.approximate psi in
+      Printf.printf "dim_WL in [%d, %d]\n" lo hi
+    end
+    else Printf.printf "dim_WL = %d\n" (Wl_dimension.exact psi)
+  in
+  let doc =
+    "Compute the Weisfeiler-Leman dimension of a quantifier-free UCQ on \
+     labelled graphs (Theorems 7/8/58)."
+  in
+  Cmd.v (Cmd.info "wl-dim" ~doc) Term.(const run $ query_arg $ approx_arg)
+
+(* ------------------------------------------------------------------ *)
+(* euler                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let euler_cmd =
+  let file_arg =
+    let doc = "Complex file: one facet per line, elements separated by spaces or commas." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"COMPLEX" ~doc)
+  in
+  let run path =
+    let facets =
+      read_file path |> String.split_on_char '\n'
+      |> List.filter_map (fun line ->
+             let line = String.trim line in
+             if line = "" || line.[0] = '#' then None
+             else
+               Some
+                 (String.split_on_char ' '
+                    (String.map (fun c -> if c = ',' then ' ' else c) line)
+                 |> List.filter (( <> ) "")
+                 |> List.map int_of_string))
+    in
+    let ground = List.sort_uniq compare (List.concat facets) in
+    let c = Scomplex.make ground facets in
+    Printf.printf "ground set: %d elements, %d facets\n"
+      (List.length (Scomplex.ground c))
+      (List.length (Scomplex.facets c));
+    Printf.printf "irreducible: %b\n" (Scomplex.is_irreducible c);
+    Printf.printf "reduced Euler characteristic: %d\n" (Scomplex.euler c)
+  in
+  let doc = "Reduced Euler characteristic of a facet-encoded complex." in
+  Cmd.v (Cmd.info "euler" ~doc) Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pipeline                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_cmd =
+  let file_arg =
+    let doc = "DIMACS CNF file (keep it tiny: the analysis is exponential)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF" ~doc)
+  in
+  let t_arg =
+    let doc = "Clique parameter t of the K_t^k construction." in
+    Arg.(value & opt int 3 & info [ "t" ] ~doc)
+  in
+  let run path t =
+    let f = Cnf.parse_dimacs (read_file path) in
+    match Pipeline.ucq_of_cnf ~t f with
+    | Pipeline.Resolved sat ->
+        Printf.printf "resolved during preprocessing: satisfiable = %b\n" sat
+    | Pipeline.Query { psi; ktk; complex } ->
+        Printf.printf "power complex: |U| = %d, |Omega| = %d\n"
+          (List.length complex.Power_complex.universe)
+          (List.length complex.Power_complex.ground);
+        Printf.printf "UCQ: %d CQs over K_%d^%d\n" (Ucq.length psi) ktk.Ktk.t_
+          ktk.Ktk.k;
+        Printf.printf "c_Psi(K_t^k) = %d\n"
+          (Ucq.coefficient psi (Ucq.combined_all psi));
+        let d = Meta.decide psi in
+        Printf.printf "META linear-time: %b  =>  formula %s\n" d.Meta.linear_time
+          (if d.Meta.linear_time then "UNSATISFIABLE" else "SATISFIABLE")
+  in
+  let doc = "Run the Lemma 51 SAT-hardness pipeline on a DIMACS file." in
+  Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ file_arg $ t_arg)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate_cmd =
+  let db_arg =
+    let doc = "Database file." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc)
+  in
+  let limit_arg =
+    let doc = "Print at most this many answers (0 = all)." in
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc)
+  in
+  let run qfile dbfile limit =
+    let q, env = Parse.cq (read_file qfile) in
+    let db, _ = Parse.database (read_file dbfile) in
+    let e = Enumerate.prepare q db in
+    let seq = Enumerate.answers e in
+    let seq = if limit > 0 then Seq.take limit seq else seq in
+    let names = List.map (Pretty.var_name env) (Cq.free q) in
+    Printf.printf "(%s)\n" (String.concat ", " names);
+    Seq.iter
+      (fun a ->
+        Printf.printf "(%s)\n" (String.concat ", " (List.map string_of_int a)))
+      seq
+  in
+  let doc =
+    "Enumerate the answers of an acyclic quantifier-free CQ with constant \
+     delay (Section 1.1)."
+  in
+  Cmd.v (Cmd.info "enumerate" ~doc)
+    Term.(const run $ query_arg $ db_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* treewidth                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let treewidth_cmd =
+  let file_arg =
+    let doc = "Database file (its Gaifman graph is decomposed)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DB" ~doc)
+  in
+  let exact_arg =
+    let doc = "Force the exact (exponential) algorithm regardless of size." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run path force_exact =
+    let d, _ = Parse.database (read_file path) in
+    let g, _ = Structure.gaifman d in
+    if force_exact || Graph.num_vertices g <= 20 then
+      Printf.printf "treewidth = %d (exact)\n" (Treewidth.treewidth g)
+    else begin
+      let ub, _ = Treewidth.heuristic g in
+      Printf.printf "treewidth in [%d, %d] (heuristic; use --exact to force)\n"
+        (Treewidth.lower_bound g) ub
+    end
+  in
+  let doc = "Treewidth of the Gaifman graph of a database." in
+  Cmd.v (Cmd.info "treewidth" ~doc) Term.(const run $ file_arg $ exact_arg)
+
+let () =
+  let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in
+  let info = Cmd.info "ucqc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            count_cmd;
+            approx_cmd;
+            meta_cmd;
+            classify_cmd;
+            wl_dim_cmd;
+            euler_cmd;
+            pipeline_cmd;
+            enumerate_cmd;
+            treewidth_cmd;
+          ]))

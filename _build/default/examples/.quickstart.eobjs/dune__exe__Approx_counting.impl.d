@@ -1,0 +1,1 @@
+examples/approx_counting.ml: Cq Format Generators Karp_luby List Signature Structure Ucq

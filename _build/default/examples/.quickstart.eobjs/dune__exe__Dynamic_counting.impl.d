@@ -1,0 +1,1 @@
+examples/dynamic_counting.ml: Cq Dynamic Format Generators List Paper_examples Random Signature Structure Sys

@@ -1,0 +1,1 @@
+examples/euler_characteristics.ml: Cnf Format List Power_complex Sat_complex Scomplex String

@@ -1,0 +1,1 @@
+examples/euler_characteristics.mli:

@@ -1,0 +1,1 @@
+examples/meta_pipeline.ml: Cnf Format Ktk List Meta Pipeline Power_complex Sys Ucq

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classify Cq Format List Signature Structure Ucq

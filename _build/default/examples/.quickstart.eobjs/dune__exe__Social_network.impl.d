@@ -1,0 +1,1 @@
+examples/social_network.ml: Counting Cq Format List Meta Random Signature Structure Ucq

@@ -1,0 +1,1 @@
+examples/wl_dimension_demo.ml: Cq Format List Paper_examples Signature Structure Ucq Wl Wl_dimension

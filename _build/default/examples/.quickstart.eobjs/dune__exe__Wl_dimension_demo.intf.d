@@ -1,0 +1,1 @@
+examples/wl_dimension_demo.mli:

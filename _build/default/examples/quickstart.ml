@@ -1,0 +1,57 @@
+(** Quickstart: define a union of conjunctive queries, count its answers
+    three ways, inspect its CQ expansion and decide linear-time
+    countability.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+let () =
+  (* A database over one binary relation E: a small directed graph. *)
+  let sg = Signature.make [ Signature.symbol "E" 2 ] in
+  let db =
+    Structure.make sg
+      (List.init 6 (fun i -> i))
+      [ ("E", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 5 ] ]) ]
+  in
+  Format.printf "Database: 6 elements, %d tuples, |D| = %d@."
+    (Structure.num_tuples db) (Structure.size db);
+
+  (* Ψ(x0, x1) = E(x0, x1) ∨ (∃y. E(x0, y) ∧ E(y, x1)):
+     pairs connected by an edge or by a 2-walk. *)
+  let edge =
+    Cq.make (Structure.make sg [ 0; 1 ] [ ("E", [ [ 0; 1 ] ]) ]) [ 0; 1 ]
+  in
+  let two_walk =
+    Cq.make
+      (Structure.make sg [ 0; 1; 2 ] [ ("E", [ [ 0; 2 ]; [ 2; 1 ] ]) ])
+      [ 0; 1 ]
+  in
+  let psi = Ucq.make [ edge; two_walk ] in
+  Format.printf "Query: %d disjuncts, %d quantified variable(s), |Psi| = %d@.@."
+    (Ucq.length psi) (Ucq.num_quantified psi) (Ucq.size psi);
+
+  (* Counting answers, three ways. *)
+  Format.printf "ans(Psi -> D) by naive enumeration      = %d@."
+    (Ucq.count_naive psi db);
+  Format.printf "ans(Psi -> D) by inclusion-exclusion    = %d@."
+    (Ucq.count_inclusion_exclusion psi db);
+  Format.printf "ans(Psi -> D) by the CQ expansion       = %d@.@."
+    (Ucq.count_via_expansion psi db);
+
+  (* The CQ expansion (Definition 25 / Lemma 26): #minimal representatives
+     with non-zero coefficients. *)
+  Format.printf "CQ expansion support of Psi:@.";
+  List.iter
+    (fun (t : Ucq.expansion_term) ->
+      Format.printf "  coefficient %+d  x  query with %d variables, %d atoms (%s)@."
+        t.coefficient
+        (Structure.universe_size (Cq.structure t.representative))
+        (Structure.num_tuples (Cq.structure t.representative))
+        (if Cq.is_acyclic t.representative then "acyclic" else "cyclic"))
+    (Ucq.support psi);
+
+  (* Structural measures used by the classifications of Theorems 1-3. *)
+  let report = Classify.analyze psi in
+  Format.printf "@.tw(/\\(Psi)) = %d,  tw(contract(/\\(Psi))) = %d@."
+    report.Classify.combined_tw report.Classify.combined_contract_tw;
+  Format.printf "max tw over Gamma = %d,  max contract tw over Gamma = %d@."
+    report.Classify.gamma_max_tw report.Classify.gamma_max_contract_tw

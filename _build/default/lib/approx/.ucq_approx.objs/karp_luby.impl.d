@@ -1,0 +1,1 @@
+lib/approx/karp_luby.ml: Array Cq Hashtbl List Listx Random Sampler Structure Ucq Varelim

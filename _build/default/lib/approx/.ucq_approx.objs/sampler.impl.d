@@ -1,0 +1,1 @@
+lib/approx/sampler.ml: Array Combinat Cq Hashtbl Hypergraph List Listx Option Queue Random Relation Signature Structure Varelim

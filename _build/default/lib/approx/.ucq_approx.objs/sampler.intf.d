@@ -1,0 +1,1 @@
+lib/approx/sampler.mli: Cq Random Structure

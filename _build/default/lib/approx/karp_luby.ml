@@ -1,0 +1,99 @@
+(** The Karp–Luby estimator for UCQ answer counts (Section 1.2 of the
+    paper: "for approximate counting, unions can generally be handled using
+    a standard trick of Karp and Luby").
+
+    Sample space: pairs [(i, a)] with [a ∈ Ans(Ψ_i → D)]; its size
+    [Σ_i ans(Ψ_i → D)] is computed exactly per disjunct (each disjunct is a
+    single CQ, so the union-specific hardness does not arise).  A sample is
+    a {e hit} when [i] is the smallest index whose disjunct contains [a];
+    the number of hits in the sample space is exactly [ans(Ψ → D)], so the
+    hit frequency times the space size is an unbiased estimator.  With
+    [O(ℓ ε⁻² log δ⁻¹)] samples the estimate is an (ε, δ)-approximation —
+    in contrast to exact counting, for which unions are genuinely harder
+    than CQs (Theorem 5). *)
+
+type estimate = {
+  value : float; (** the estimated [ans(Ψ → D)] *)
+  samples : int;
+  space : int; (** [Σ_i ans(Ψ_i → D)] *)
+  hits : int;
+}
+
+(** [membership_oracle q d] builds a fast test for [a ∈ Ans(q → D)]:
+    quantifier-free disjuncts check their atoms against hashed database
+    relations in O(#atoms) per query; quantified disjuncts hash the
+    materialised answer set once. *)
+let membership_oracle (q : Cq.t) (d : Structure.t) : (int * int) list -> bool =
+  if Cq.is_quantifier_free q then begin
+    let atoms =
+      List.concat_map
+        (fun (name, ts) ->
+          let set = Hashtbl.create 64 in
+          List.iter (fun t -> Hashtbl.replace set t ()) (Structure.relation d name);
+          List.map (fun qt -> (qt, set)) ts)
+        (Structure.relations (Cq.structure q))
+    in
+    fun answer ->
+      List.for_all
+        (fun (qt, set) ->
+          Hashtbl.mem set (List.map (fun v -> List.assoc v answer) qt))
+        atoms
+  end
+  else begin
+    let free = Cq.free q in
+    let set = Hashtbl.create 1024 in
+    List.iter (fun a -> Hashtbl.replace set a ()) (Varelim.answers q d);
+    fun answer -> Hashtbl.mem set (List.map (fun v -> List.assoc v answer) free)
+  end
+
+(** [estimate ?seed ~samples psi d] runs the estimator with a fixed sample
+    budget. *)
+let estimate ?(seed = 0xACE) ~(samples : int) (psi : Ucq.t) (d : Structure.t) :
+    estimate =
+  let st = Random.State.make [| seed |] in
+  let disjuncts = Ucq.disjuncts psi in
+  let samplers = List.map (fun q -> Sampler.make q d) disjuncts in
+  let counts = List.map Sampler.cardinality samplers in
+  let space = Listx.sum counts in
+  if space = 0 then { value = 0.; samples = 0; space = 0; hits = 0 }
+  else begin
+    let members =
+      Array.of_list (List.map (fun q -> membership_oracle q d) disjuncts)
+    in
+    let samplers = Array.of_list samplers in
+    let weighted =
+      List.mapi (fun i c -> (i, c)) counts |> List.filter (fun (_, c) -> c > 0)
+    in
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      let i = Sampler.weighted_choice st weighted in
+      match Sampler.draw st samplers.(i) with
+      | None -> ()
+      | Some answer ->
+          (* is i the first disjunct containing this answer? *)
+          let first = ref true in
+          for j = 0 to i - 1 do
+            if !first && members.(j) answer then first := false
+          done;
+          if !first then incr hits
+    done;
+    {
+      value = float_of_int space *. float_of_int !hits /. float_of_int samples;
+      samples;
+      space;
+      hits = !hits;
+    }
+  end
+
+(** [fpras ?seed ~epsilon ~delta psi d] chooses the sample budget from the
+    accuracy parameters: [⌈ 4 ℓ ln(2/δ) / ε² ⌉] samples give an (ε, δ)
+    guarantee (standard Karp–Luby analysis: the hit probability is at least
+    [1/ℓ]). *)
+let fpras ?(seed = 0xACE) ~(epsilon : float) ~(delta : float) (psi : Ucq.t)
+    (d : Structure.t) : estimate =
+  if epsilon <= 0. || delta <= 0. then invalid_arg "Karp_luby.fpras";
+  let l = float_of_int (Ucq.length psi) in
+  let samples =
+    int_of_float (ceil (4. *. l *. log (2. /. delta) /. (epsilon *. epsilon)))
+  in
+  estimate ~seed ~samples psi d

@@ -1,0 +1,20 @@
+(** The Karp–Luby estimator for UCQ answer counts (Section 1.2): exact
+    per-disjunct counting and sampling, with the union handled by sampling
+    — approximation side-steps the union-specific hardness of Theorem 5. *)
+
+type estimate = {
+  value : float;  (** the estimated [ans(Ψ → D)] *)
+  samples : int;
+  space : int;  (** [Σ_i ans(Ψ_i → D)] *)
+  hits : int;
+}
+
+(** [estimate ?seed ~samples psi d] runs the estimator with a fixed
+    budget; unbiased, with relative error [O(sqrt(ℓ / samples))]. *)
+val estimate : ?seed:int -> samples:int -> Ucq.t -> Structure.t -> estimate
+
+(** [fpras ?seed ~epsilon ~delta psi d] derives the budget
+    [⌈4 ℓ ln(2/δ) / ε²⌉] for an (ε, δ)-guarantee.
+    @raise Invalid_argument for non-positive parameters. *)
+val fpras :
+  ?seed:int -> epsilon:float -> delta:float -> Ucq.t -> Structure.t -> estimate

@@ -1,0 +1,19 @@
+(** Uniform sampling from the answer set of a conjunctive query: join-tree
+    based (two-pass Yannakakis) for acyclic quantifier-free queries,
+    materialisation otherwise.  The engine behind {!Karp_luby}. *)
+
+type t
+
+(** [make q d] builds a sampler for [Ans(q → D)]. *)
+val make : Cq.t -> Structure.t -> t
+
+(** [cardinality s] is the exact answer count. *)
+val cardinality : t -> int
+
+(** [weighted_choice st entries] draws from a non-empty positive-weight
+    list, proportionally to the weights. *)
+val weighted_choice : Random.State.t -> ('a * int) list -> 'a
+
+(** [draw st s] is a uniformly random answer (sorted free variable →
+    value), or [None] when the answer set is empty. *)
+val draw : Random.State.t -> t -> (int * int) list option

@@ -1,0 +1,1 @@
+lib/bigint/linalg.ml: Array Rational

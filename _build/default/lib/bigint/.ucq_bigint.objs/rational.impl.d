@@ -1,0 +1,1 @@
+lib/bigint/rational.ml: Bigint Format

@@ -1,0 +1,1 @@
+lib/bigint/rational.mli: Bigint Format

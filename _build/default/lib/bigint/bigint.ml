@@ -1,0 +1,296 @@
+(** Arbitrary-precision signed integers.
+
+    The complexity-monotonicity algorithm (Theorem 28 of the paper) solves an
+    exact linear system whose entries are answer counts on tensor products of
+    databases; these routinely exceed the native 63-bit range (e.g. counting
+    answers of a 12-variable quantifier-free query over a universe of a few
+    hundred elements).  Since [zarith] is not available in the sealed build
+    environment, this module provides a self-contained implementation.
+
+    Representation: sign / magnitude, where the magnitude is a little-endian
+    array of base-[2^30] limbs with no trailing zero limb.  Zero is
+    represented uniquely as [{ sign = 0; mag = [||] }]. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+type t = { sign : int; (* -1, 0 or 1 *) mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let is_zero (x : t) : bool = x.sign = 0
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned) helpers                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Drop trailing zero limbs so magnitudes are canonical. *)
+let normalize_mag (m : int array) : int array =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let mag_compare (a : int array) (b : int array) : int =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let mag_add (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb + 1 in
+  let r = Array.make l 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  normalize_mag r
+
+(** [mag_sub a b] assumes [a >= b]. *)
+let mag_sub (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize_mag r
+
+let mag_mul (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai, b.(j) < 2^30 so the product fits comfortably in 62 bits. *)
+        let v = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- v land limb_mask;
+        carry := v lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land limb_mask;
+        carry := v lsr base_bits;
+        incr k
+      done
+    done;
+    normalize_mag r
+  end
+
+(** [mag_divmod_small a d] divides a magnitude by a small positive int
+    [d < 2^30], returning quotient magnitude and remainder. *)
+let mag_divmod_small (a : int array) (d : int) : int array * int =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize_mag q, !rem)
+
+(** Shift a magnitude left by [k] whole limbs. *)
+let mag_shift_limbs (a : int array) (k : int) : int array =
+  if Array.length a = 0 then [||]
+  else begin
+    let r = Array.make (Array.length a + k) 0 in
+    Array.blit a 0 r k (Array.length a);
+    r
+  end
+
+(** Long division of magnitudes: returns (quotient, remainder).  Uses simple
+    schoolbook division limb by limb with binary search for each quotient
+    digit — O(n^2 log base), fine for the sizes we handle. *)
+let mag_divmod (a : int array) (b : int array) : int array * int array =
+  if Array.length b = 0 then raise Division_by_zero;
+  if mag_compare a b < 0 then ([||], a)
+  else if Array.length b = 1 then begin
+    let q, r = mag_divmod_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let q = Array.make (la - lb + 1) 0 in
+    let rem = ref [||] in
+    (* Process digits of [a] from most to least significant. *)
+    for i = la - 1 downto 0 do
+      (* rem := rem * base + a.(i) *)
+      rem := normalize_mag (mag_add (mag_shift_limbs !rem 1) [| a.(i) |]);
+      if mag_compare !rem b >= 0 then begin
+        (* binary search for digit d in [1, base-1] with d*b <= rem *)
+        let lo = ref 1 and hi = ref (base - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if mag_compare (mag_mul b [| mid |]) !rem <= 0 then lo := mid
+          else hi := mid - 1
+        done;
+        let d = !lo in
+        if i <= la - lb then q.(i) <- d;
+        rem := mag_sub !rem (mag_mul b [| d |])
+      end
+    done;
+    (normalize_mag q, !rem)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed interface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mk (sign : int) (mag : int array) : t =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+(** [of_int n] converts a native integer. *)
+let of_int (n : int) : t =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Careful with [min_int]: its absolute value overflows, so peel limbs
+       using arithmetic shifts on the negative value. *)
+    let rec limbs n acc =
+      if n = 0 then List.rev acc
+      else limbs (n lsr base_bits) ((n land limb_mask) :: acc)
+    in
+    (* [abs min_int] overflows; min_int = -2^62 on 63-bit native ints, whose
+       magnitude in base 2^30 is the limb vector [0; 0; 4]. *)
+    let v = if n = min_int then [ 0; 0; 4 ] else limbs (abs n) [] in
+    mk sign (Array.of_list v)
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let neg (x : t) : t = if x.sign = 0 then zero else { x with sign = -x.sign }
+
+let compare (x : t) (y : t) : int =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else if x.sign >= 0 then mag_compare x.mag y.mag
+  else mag_compare y.mag x.mag
+
+let equal (x : t) (y : t) : bool = compare x y = 0
+
+let add (x : t) (y : t) : t =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then mk x.sign (mag_add x.mag y.mag)
+  else begin
+    let c = mag_compare x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then mk x.sign (mag_sub x.mag y.mag)
+    else mk y.sign (mag_sub y.mag x.mag)
+  end
+
+let sub (x : t) (y : t) : t = add x (neg y)
+let mul (x : t) (y : t) : t =
+  if x.sign = 0 || y.sign = 0 then zero
+  else mk (x.sign * y.sign) (mag_mul x.mag y.mag)
+
+(** [divmod x y] is truncated division: [x = q*y + r] with [|r| < |y|] and
+    [r] carrying the sign of [x] (like OCaml's [/] and [mod]). *)
+let divmod (x : t) (y : t) : t * t =
+  if y.sign = 0 then raise Division_by_zero;
+  let qm, rm = mag_divmod x.mag y.mag in
+  let q = mk (x.sign * y.sign) qm in
+  let r = mk x.sign rm in
+  (q, r)
+
+let div (x : t) (y : t) : t = fst (divmod x y)
+let rem (x : t) (y : t) : t = snd (divmod x y)
+let abs (x : t) : t = if x.sign < 0 then neg x else x
+
+(** Greatest common divisor of absolute values (non-negative result). *)
+let rec gcd (x : t) (y : t) : t =
+  if is_zero y then abs x else gcd y (rem x y)
+
+let sign (x : t) : int = x.sign
+
+(** [to_int_opt x] converts back to a native integer if it fits. *)
+let to_int_opt (x : t) : int option =
+  match Array.length x.mag with
+  | 0 -> Some 0
+  | n when n <= 2 ->
+      let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) x.mag 0 in
+      Some (x.sign * v)
+  | 3 when x.mag.(2) < 4 ->
+      let v = (x.mag.(2) lsl (2 * base_bits)) lor (x.mag.(1) lsl base_bits) lor x.mag.(0) in
+      if v >= 0 then Some (x.sign * v) else None
+  | _ -> None
+
+let to_string (x : t) : string =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let m = ref x.mag in
+    while Array.length !m > 0 do
+      let q, r = mag_divmod_small !m 1_000_000_000 in
+      m := q;
+      if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+      else Buffer.add_string buf (Printf.sprintf "%09d" r)
+    done;
+    (* Blocks were appended least-significant first; every block is exactly 9
+       characters except the final (most significant) one.  Re-split the
+       buffer into those blocks and reverse their order. *)
+    let s = Buffer.contents buf in
+    let blocks = ref [] in
+    let i = ref 0 in
+    let len = String.length s in
+    while !i < len do
+      let take = min 9 (len - !i) in
+      blocks := String.sub s !i take :: !blocks;
+      i := !i + take
+    done;
+    let s = String.concat "" !blocks in
+    (if x.sign < 0 then "-" else "") ^ s
+  end
+
+let of_string (s : string) : t =
+  let s, sign = if String.length s > 0 && s.[0] = '-' then (String.sub s 1 (String.length s - 1), -1) else (s, 1) in
+  if s = "" then invalid_arg "Bigint.of_string";
+  let acc = ref zero in
+  let ten9 = of_int 1_000_000_000 in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    let take = min 9 (len - !i) in
+    let chunk = String.sub s !i take in
+    let v = int_of_string chunk in
+    let scale =
+      if take = 9 then ten9
+      else of_int (int_of_float (10. ** float_of_int take))
+    in
+    acc := add (mul !acc scale) (of_int v);
+    i := !i + take
+  done;
+  if sign < 0 then neg !acc else !acc
+
+let pp (fmt : Format.formatter) (x : t) : unit =
+  Format.pp_print_string fmt (to_string x)
+
+(** [pow b e] raises [b] to the non-negative native exponent [e]. *)
+let pow (b : t) (e : int) : t =
+  if e < 0 then invalid_arg "Bigint.pow";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e asr 1)
+    else go acc (mul b b) (e asr 1)
+  in
+  go one b e

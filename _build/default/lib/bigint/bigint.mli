@@ -1,0 +1,54 @@
+(** Arbitrary-precision signed integers (sign / base-2^30 magnitude).
+
+    Implemented in-tree because [zarith] is not available in the sealed
+    build environment; used wherever answer counts exceed the native 63-bit
+    range, most prominently by the complexity-monotonicity solver of
+    Theorem 28. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val is_zero : t -> bool
+
+(** [of_int n] embeds a native integer (including [min_int]). *)
+val of_int : int -> t
+
+(** [to_int_opt x] converts back when the value fits into a native int. *)
+val to_int_opt : t -> int option
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod x y] is truncated division: [x = q·y + r], [|r| < |y|], [r]
+    carrying the sign of [x] (matching OCaml's [/] and [mod]).
+    @raise Division_by_zero when [y] is zero. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [gcd x y] is the non-negative greatest common divisor. *)
+val gcd : t -> t -> t
+
+(** [pow b e] is [b^e] for a native exponent [e >= 0]. *)
+val pow : t -> int -> t
+
+(** [sign x] is [-1], [0] or [1]. *)
+val sign : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+(** [of_string s] parses an optionally ['-']-prefixed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+(** Exact linear algebra over {!Rational}.
+
+    The complexity-monotonicity algorithm (Theorem 28) sets up a square
+    linear system [M · x = b] where [M.(i).(j) = ans((A_j, X_j) → B_i)] and
+    recovers the unknowns [c_Ψ(A_j, X_j) · ans((A_j, X_j) → D)] by solving
+    it.  The matrices involved are small (dimension = number of #equivalence
+    classes in the CQ expansion) but their entries are huge, so we use exact
+    Gaussian elimination with partial (first-nonzero) pivoting. *)
+
+type matrix = Rational.t array array
+type vector = Rational.t array
+
+(** [solve m b] solves [m · x = b] for a non-singular square matrix [m].
+    Returns [None] when the matrix is singular.  [m] and [b] are not
+    mutated. *)
+let solve (m : matrix) (b : vector) : vector option =
+  let n = Array.length m in
+  if n = 0 then Some [||]
+  else begin
+    assert (Array.length b = n);
+    let a = Array.init n (fun i -> Array.append (Array.copy m.(i)) [| b.(i) |]) in
+    let singular = ref false in
+    (for col = 0 to n - 1 do
+       if not !singular then begin
+         (* find a pivot row *)
+         let pivot = ref (-1) in
+         for row = col to n - 1 do
+           if !pivot < 0 && not (Rational.is_zero a.(row).(col)) then pivot := row
+         done;
+         if !pivot < 0 then singular := true
+         else begin
+           let tmp = a.(col) in
+           a.(col) <- a.(!pivot);
+           a.(!pivot) <- tmp;
+           let inv_p = Rational.inv a.(col).(col) in
+           for j = col to n do
+             a.(col).(j) <- Rational.mul a.(col).(j) inv_p
+           done;
+           for row = 0 to n - 1 do
+             if row <> col && not (Rational.is_zero a.(row).(col)) then begin
+               let factor = a.(row).(col) in
+               for j = col to n do
+                 a.(row).(j) <-
+                   Rational.sub a.(row).(j) (Rational.mul factor a.(col).(j))
+               done
+             end
+           done
+         end
+       end
+     done);
+    if !singular then None else Some (Array.init n (fun i -> a.(i).(n)))
+  end
+
+(** [rank m] computes the rank of a (possibly rectangular) matrix by
+    fraction-free forward elimination on a copy. *)
+let rank (m : matrix) : int =
+  let rows = Array.length m in
+  if rows = 0 then 0
+  else begin
+    let cols = Array.length m.(0) in
+    let a = Array.map Array.copy m in
+    let r = ref 0 in
+    for col = 0 to cols - 1 do
+      if !r < rows then begin
+        let pivot = ref (-1) in
+        for row = !r to rows - 1 do
+          if !pivot < 0 && not (Rational.is_zero a.(row).(col)) then pivot := row
+        done;
+        if !pivot >= 0 then begin
+          let tmp = a.(!r) in
+          a.(!r) <- a.(!pivot);
+          a.(!pivot) <- tmp;
+          for row = !r + 1 to rows - 1 do
+            if not (Rational.is_zero a.(row).(col)) then begin
+              let factor = Rational.div a.(row).(col) a.(!r).(col) in
+              for j = col to cols - 1 do
+                a.(row).(j) <-
+                  Rational.sub a.(row).(j) (Rational.mul factor a.(!r).(j))
+              done
+            end
+          done;
+          incr r
+        end
+      end
+    done;
+    !r
+  end
+
+(** [is_nonsingular m] decides invertibility of a square matrix. *)
+let is_nonsingular (m : matrix) : bool =
+  let n = Array.length m in
+  n = 0 || rank m = n
+
+(** [mat_vec m v] multiplies a matrix by a vector. *)
+let mat_vec (m : matrix) (v : vector) : vector =
+  Array.map
+    (fun row ->
+      let acc = ref Rational.zero in
+      Array.iteri (fun j coeff -> acc := Rational.add !acc (Rational.mul coeff v.(j))) row;
+      !acc)
+    m

@@ -1,0 +1,19 @@
+(** Exact linear algebra over {!Rational}: the solver behind the Theorem 28
+    complexity-monotonicity system. *)
+
+type matrix = Rational.t array array
+type vector = Rational.t array
+
+(** [solve m b] solves [m · x = b] by Gaussian elimination with
+    first-nonzero pivoting; [None] for singular [m].  Inputs are not
+    mutated. *)
+val solve : matrix -> vector -> vector option
+
+(** [rank m] is the rank of a possibly rectangular matrix. *)
+val rank : matrix -> int
+
+(** [is_nonsingular m] decides invertibility of a square matrix. *)
+val is_nonsingular : matrix -> bool
+
+(** [mat_vec m v] is the matrix-vector product. *)
+val mat_vec : matrix -> vector -> vector

@@ -1,0 +1,70 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Used by the complexity-monotonicity solver (Theorem 28): the linear
+    system relating UCQ answer counts on tensor products to individual CQ
+    answer counts must be solved exactly — floating point would corrupt the
+    coefficients [c_Ψ(A, X)], which are small alternating sums surrounded by
+    astronomically large answer counts.
+
+    Invariant: denominator is strictly positive and [gcd(num, den) = 1];
+    zero is represented as [0/1]. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let normalize (num : Bigint.t) (den : Bigint.t) : t =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let make num den = normalize num den
+let of_bigint (n : Bigint.t) : t = { num = n; den = Bigint.one }
+let of_int (n : int) : t = of_bigint (Bigint.of_int n)
+let zero = of_int 0
+let one = of_int 1
+let is_zero (x : t) : bool = Bigint.is_zero x.num
+let num (x : t) : Bigint.t = x.num
+let den (x : t) : Bigint.t = x.den
+
+let add (x : t) (y : t) : t =
+  normalize
+    (Bigint.add (Bigint.mul x.num y.den) (Bigint.mul y.num x.den))
+    (Bigint.mul x.den y.den)
+
+let neg (x : t) : t = { x with num = Bigint.neg x.num }
+let sub (x : t) (y : t) : t = add x (neg y)
+
+let mul (x : t) (y : t) : t =
+  normalize (Bigint.mul x.num y.num) (Bigint.mul x.den y.den)
+
+let div (x : t) (y : t) : t =
+  if is_zero y then raise Division_by_zero;
+  normalize (Bigint.mul x.num y.den) (Bigint.mul x.den y.num)
+
+let inv (x : t) : t = div one x
+
+let compare (x : t) (y : t) : int =
+  Bigint.compare (Bigint.mul x.num y.den) (Bigint.mul y.num x.den)
+
+let equal (x : t) (y : t) : bool = compare x y = 0
+
+(** [to_bigint_exn x] returns the numerator when [x] is an integer.
+    @raise Invalid_argument otherwise. *)
+let to_bigint_exn (x : t) : Bigint.t =
+  if Bigint.equal x.den Bigint.one then x.num
+  else invalid_arg "Rational.to_bigint_exn: not an integer"
+
+let is_integer (x : t) : bool = Bigint.equal x.den Bigint.one
+
+let to_string (x : t) : string =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let pp (fmt : Format.formatter) (x : t) : unit =
+  Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,43 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Invariant: strictly positive denominator, numerator and denominator
+    coprime; zero is [0/1]. *)
+
+type t
+
+val zero : t
+val one : t
+
+(** [make num den] normalises a fraction.
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val is_zero : t -> bool
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when dividing by zero. *)
+val div : t -> t -> t
+
+(** @raise Division_by_zero on zero. *)
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_integer : t -> bool
+
+(** [to_bigint_exn x] is the numerator of an integral rational.
+    @raise Invalid_argument otherwise. *)
+val to_bigint_exn : t -> Bigint.t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/paper_examples.ml: Cq Ktk Lemma48 Scomplex Signature Structure Ucq

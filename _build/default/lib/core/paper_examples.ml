@@ -1,0 +1,36 @@
+(** The paper's worked examples, constructed by the library itself.
+
+    - Figure 1: the complexes Δ₁ (χ̂ = -2) and Δ₂ (χ̂ = 0);
+    - Figure 2: the structure 𝒦₃⁴ and its slice substructures [S_A];
+    - the UCQs Ψ₁ = Â₃(Δ₁) and Ψ₂ = Â₃(Δ₂) of Section 4.2.2, which share
+      the combined query [∧(Ψ₁) = ∧(Ψ₂) = 𝒦₃⁴] yet differ in linear-time
+      countability (Corollary 49): [c_{Ψ₁}(𝒦₃⁴) = -χ̂(Δ₁) = 2 ≠ 0], while
+      [c_{Ψ₂}(𝒦₃⁴) = 0]. *)
+
+(** Figure 1, left: facets {2,3,4}, {1,2}, {1,3}, {1,4}. *)
+let delta1 : Scomplex.t = Scomplex.figure1_delta1
+
+(** Figure 1, right: facets {1,2}, {2,3}, {1,3}, {4}. *)
+let delta2 : Scomplex.t = Scomplex.figure1_delta2
+
+(** [psi1 ()] is Ψ₁ = Â₃(Δ₁) together with the underlying 𝒦₃⁴. *)
+let psi1 () : Ucq.t * Ktk.t = Lemma48.ucq_of_complex 3 delta1
+
+(** [psi2 ()] is Ψ₂ = Â₃(Δ₂) together with the underlying 𝒦₃⁴. *)
+let psi2 () : Ucq.t * Ktk.t = Lemma48.ucq_of_complex 3 delta2
+
+(** [ktk34 ()] is the structure 𝒦₃⁴ of Figure 2. *)
+let ktk34 () : Ktk.t = Ktk.make 3 4
+
+(** [s_a is] is the substructure [S_A] of Figure 2 for [A = is ⊆ [4]]:
+    the union of the edge slices [E_i], [i ∈ A]. *)
+let s_a (is : int list) : Structure.t = Ktk.slices (ktk34 ()) is
+
+(** The q-hierarchicality example of Section 1.2:
+    [φ(\{a,b,c,d\}) = E(a,b) ∧ E(b,c) ∧ E(c,d)] — acyclic but not
+    q-hierarchical. *)
+let q_hierarchical_example () : Cq.t =
+  let sg = Signature.make [ Signature.symbol "E" 2 ] in
+  Cq.of_structure
+    (Structure.make sg [ 0; 1; 2; 3 ]
+       [ ("E", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ]) ])

@@ -1,0 +1,27 @@
+(** The paper's worked examples, constructed by the library itself:
+    Figure 1 (Δ₁, Δ₂), Figure 2 (𝒦₃⁴ and its slices), the UCQs Ψ₁/Ψ₂ of
+    Section 4.2.2 (Corollary 49), and the q-hierarchicality example of
+    Section 1.2. *)
+
+(** Figure 1, left (χ̂ = -2). *)
+val delta1 : Scomplex.t
+
+(** Figure 1, right (χ̂ = 0). *)
+val delta2 : Scomplex.t
+
+(** [psi1 ()] is Ψ₁ = Â₃(Δ₁) with the underlying 𝒦₃⁴;
+    [c_(Ψ₁)(𝒦₃⁴) = 2 ≠ 0], so counting Ψ₁ is not linear-time possible. *)
+val psi1 : unit -> Ucq.t * Ktk.t
+
+(** [psi2 ()] is Ψ₂ = Â₃(Δ₂); [c_(Ψ₂)(𝒦₃⁴) = 0], so Ψ₂ is linear-time
+    countable although [∧(Ψ₂) = ∧(Ψ₁)]. *)
+val psi2 : unit -> Ucq.t * Ktk.t
+
+(** [ktk34 ()] is the structure 𝒦₃⁴ of Figure 2. *)
+val ktk34 : unit -> Ktk.t
+
+(** [s_a is] is the substructure [S_A] of Figure 2, [A = is ⊆ [4]]. *)
+val s_a : int list -> Structure.t
+
+(** The acyclic, non-q-hierarchical path query of Section 1.2. *)
+val q_hierarchical_example : unit -> Cq.t

@@ -1,0 +1,1 @@
+lib/db/counting.ml: Bigint Combinat Cq Hom Jointree_count List Structure Treedec_count Varelim Wvarelim

@@ -1,0 +1,1 @@
+lib/db/counting.mli: Bigint Cq Structure

@@ -1,0 +1,1 @@
+lib/db/enumerate.ml: Array Cq Hashtbl Hypergraph List Listx Option Queue Relation Seq Signature Structure

@@ -1,0 +1,1 @@
+lib/db/enumerate.mli: Cq Seq Structure

@@ -1,0 +1,1 @@
+lib/db/generators.ml: List Printf Random Signature Structure

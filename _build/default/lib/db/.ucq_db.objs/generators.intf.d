@@ -1,0 +1,1 @@
+lib/db/generators.mli: Signature Structure

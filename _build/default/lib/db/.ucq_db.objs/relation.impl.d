@@ -1,0 +1,1 @@
+lib/db/relation.ml: Array Format Hashtbl List Listx Option String

@@ -1,0 +1,1 @@
+lib/db/varelim.ml: Bigint Combinat Cq Hom List Listx Relation Signature Structure

@@ -1,0 +1,1 @@
+lib/db/varelim.mli: Bigint Cq Relation Structure

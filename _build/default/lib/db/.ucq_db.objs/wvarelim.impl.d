@@ -1,0 +1,1 @@
+lib/db/wvarelim.ml: Array Combinat Hashtbl List Listx Option Relation Signature Structure

@@ -1,0 +1,66 @@
+(** Counting answers to a single conjunctive query: strategy dispatch.
+
+    - [Naive] iterates all assignments of the free variables and tests
+      extendability with the backtracking engine — the reference oracle.
+    - [Yannakakis] is the linear-time join-tree counter for acyclic
+      quantifier-free queries (Theorems 4/37).
+    - [Treedec] is the [n^{tw+1}] dynamic program for quantifier-free
+      queries of bounded treewidth (tractable side of Theorem 21).
+    - [Weighted] is sum-product variable elimination over weighted
+      relations — the sparsity-aware counter for cyclic quantifier-free
+      queries (used by [Auto] in that regime).
+    - [Varelim] handles existential quantification by materialising the
+      projected answer set.
+    - [Auto] picks the cheapest sound strategy for the query shape. *)
+
+type strategy = Auto | Naive | Yannakakis | Treedec | Weighted | Varelim
+
+exception Unsupported of string
+
+(** [count ?strategy q d] is [ans((A, X) → D)].
+    @raise Unsupported when a forced strategy does not apply to [q]. *)
+let count ?(strategy = Auto) (q : Cq.t) (d : Structure.t) : int =
+  let quantifier_free = Cq.is_quantifier_free q in
+  match strategy with
+  | Naive ->
+      let x = Cq.free q in
+      let dom = Structure.universe d in
+      let assignments = Combinat.tuples (List.length x) dom in
+      List.length
+        (List.filter
+           (fun tup ->
+             Hom.exists ~fixed:(List.combine x tup) (Cq.structure q) d)
+           assignments)
+  | Yannakakis -> begin
+      if not quantifier_free then
+        raise (Unsupported "Yannakakis counting requires a quantifier-free query");
+      match Jointree_count.count (Cq.structure q) d with
+      | Some c -> c
+      | None -> raise (Unsupported "Yannakakis counting requires an acyclic query")
+    end
+  | Treedec ->
+      if not quantifier_free then
+        raise (Unsupported "Treedec counting requires a quantifier-free query");
+      Treedec_count.count (Cq.structure q) d
+  | Weighted ->
+      if not quantifier_free then
+        raise (Unsupported "Weighted counting requires a quantifier-free query");
+      Wvarelim.count_homs (Cq.structure q) d
+  | Varelim -> Varelim.count q d
+  | Auto ->
+      if quantifier_free then begin
+        match Jointree_count.count (Cq.structure q) d with
+        | Some c -> c
+        | None -> Wvarelim.count_homs (Cq.structure q) d
+      end
+      else Varelim.count q d
+
+(** [count_big q d] is [ans((A, X) → D)] with exact arbitrary-precision
+    arithmetic (same automatic dispatch as [count ~strategy:Auto]). *)
+let count_big (q : Cq.t) (d : Structure.t) : Bigint.t =
+  if Cq.is_quantifier_free q then begin
+    match Jointree_count.count_big (Cq.structure q) d with
+    | Some c -> c
+    | None -> Treedec_count.count_big (Cq.structure q) d
+  end
+  else Varelim.count_big q d

@@ -1,0 +1,22 @@
+(** Counting answers to a single conjunctive query: strategy dispatch over
+    the engines of this library. *)
+
+type strategy =
+  | Auto
+      (** quantifier-free: join tree if acyclic, else weighted sum-product;
+          quantified: variable elimination *)
+  | Naive  (** enumerate assignments of the free variables (oracle) *)
+  | Yannakakis  (** linear-time; acyclic quantifier-free only *)
+  | Treedec  (** dense [n^(tw+1)] dynamic program; quantifier-free only *)
+  | Weighted  (** sum-product elimination; quantifier-free only *)
+  | Varelim  (** projection-based; any query *)
+
+exception Unsupported of string
+
+(** [count ?strategy q d] is [ans((A, X) → D)].
+    @raise Unsupported when a forced strategy does not apply to [q]. *)
+val count : ?strategy:strategy -> Cq.t -> Structure.t -> int
+
+(** [count_big q d] is the exact arbitrary-precision variant with [Auto]
+    dispatch. *)
+val count_big : Cq.t -> Structure.t -> Bigint.t

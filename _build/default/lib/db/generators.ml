@@ -1,0 +1,94 @@
+(** Synthetic database generators for tests, examples and benchmarks.
+
+    The paper has no experimental testbed; the running-time "shape"
+    experiments (EXPERIMENTS.md, E3/E4/E6) are driven by databases produced
+    here.  All generators take an explicit [seed] so every experiment is
+    reproducible. *)
+
+let graph_signature : Signature.t = Signature.make [ Signature.symbol "E" 2 ]
+
+(** [random_digraph ~seed n m] is a database over signature {E/2} with [n]
+    elements and [m] random directed edges (no self-loops, duplicates
+    dropped by set semantics). *)
+let random_digraph ~(seed : int) (n : int) (m : int) : Structure.t =
+  let st = Random.State.make [| seed |] in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = Random.State.int st n in
+    let v = Random.State.int st n in
+    if u <> v then edges := [ u; v ] :: !edges
+  done;
+  Structure.make graph_signature (List.init n (fun i -> i)) [ ("E", !edges) ]
+
+(** [random_graph ~seed n m] is as {!random_digraph} but symmetric: both
+    orientations of each edge are present. *)
+let random_graph ~(seed : int) (n : int) (m : int) : Structure.t =
+  let st = Random.State.make [| seed |] in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = Random.State.int st n in
+    let v = Random.State.int st n in
+    if u <> v then edges := [ u; v ] :: [ v; u ] :: !edges
+  done;
+  Structure.make graph_signature (List.init n (fun i -> i)) [ ("E", !edges) ]
+
+(** [path_db n] is the directed path 0 → 1 → ... → n-1. *)
+let path_db (n : int) : Structure.t =
+  Structure.make graph_signature
+    (List.init n (fun i -> i))
+    [ ("E", List.init (max 0 (n - 1)) (fun i -> [ i; i + 1 ])) ]
+
+(** [cycle_db n] is the directed cycle on [n ≥ 1] elements. *)
+let cycle_db (n : int) : Structure.t =
+  Structure.make graph_signature
+    (List.init n (fun i -> i))
+    [ ("E", List.init n (fun i -> [ i; (i + 1) mod n ])) ]
+
+(** [clique_db n] is the complete symmetric digraph without self-loops
+    (worst case for triangle-style queries). *)
+let clique_db (n : int) : Structure.t =
+  let edges =
+    List.concat
+      (List.init n (fun u ->
+           List.concat
+             (List.init n (fun v -> if u <> v then [ [ u; v ] ] else []))))
+  in
+  Structure.make graph_signature (List.init n (fun i -> i)) [ ("E", edges) ]
+
+(** [random_structure ~seed sg n tuples_per_symbol] draws, for each symbol,
+    [tuples_per_symbol] uniform tuples over a universe of size [n]. *)
+let random_structure ~(seed : int) (sg : Signature.t) (n : int)
+    (tuples_per_symbol : int) : Structure.t =
+  let st = Random.State.make [| seed |] in
+  let rels =
+    List.map
+      (fun (s : Signature.symbol) ->
+        ( s.name,
+          List.init tuples_per_symbol (fun _ ->
+              List.init s.arity (fun _ -> Random.State.int st (max 1 n))) ))
+      sg
+  in
+  Structure.make sg (List.init n (fun i -> i)) rels
+
+(** [random_labelled_graph ~seed ~labels n m] is a database with [labels]
+    binary relations [E0, ..., E(labels-1)] and [m] random edges per
+    relation — a "labelled graph" in the sense of Section 5 (arity ≤ 2, no
+    self-loops). *)
+let random_labelled_graph ~(seed : int) ~(labels : int) (n : int) (m : int) :
+    Structure.t =
+  let sg =
+    Signature.make
+      (List.init labels (fun i -> Signature.symbol (Printf.sprintf "E%d" i) 2))
+  in
+  let st = Random.State.make [| seed |] in
+  let rels =
+    List.init labels (fun i ->
+        let edges = ref [] in
+        for _ = 1 to m do
+          let u = Random.State.int st n in
+          let v = Random.State.int st n in
+          if u <> v then edges := [ u; v ] :: !edges
+        done;
+        (Printf.sprintf "E%d" i, !edges))
+  in
+  Structure.make sg (List.init n (fun i -> i)) rels

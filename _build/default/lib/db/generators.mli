@@ -1,0 +1,28 @@
+(** Seeded synthetic database generators for tests, examples and the
+    benchmark harness (the paper has no testbed; see DESIGN.md §3). *)
+
+(** The signature [{E/2}]. *)
+val graph_signature : Signature.t
+
+(** [random_digraph ~seed n m] draws [m] directed edges (no self-loops). *)
+val random_digraph : seed:int -> int -> int -> Structure.t
+
+(** [random_graph ~seed n m] is the symmetric variant. *)
+val random_graph : seed:int -> int -> int -> Structure.t
+
+(** [path_db n] is the directed path [0 → 1 → ... → n-1]. *)
+val path_db : int -> Structure.t
+
+(** [cycle_db n] is the directed cycle. *)
+val cycle_db : int -> Structure.t
+
+(** [clique_db n] is the complete loopless symmetric digraph. *)
+val clique_db : int -> Structure.t
+
+(** [random_structure ~seed sg n k] draws [k] uniform tuples per symbol. *)
+val random_structure : seed:int -> Signature.t -> int -> int -> Structure.t
+
+(** [random_labelled_graph ~seed ~labels n m] has binary relations
+    [E0 ... E(labels-1)] with [m] random loop-free edges each (a labelled
+    graph in the sense of Section 5). *)
+val random_labelled_graph : seed:int -> labels:int -> int -> int -> Structure.t

@@ -1,0 +1,112 @@
+(** Materialised relations over named integer variables, with the natural
+    join / semijoin / projection operators of relational algebra.
+
+    The variable-elimination evaluator ({!Varelim}) and the Yannakakis-style
+    counting use these as their workhorse.  A relation carries a list of
+    distinct variables (column names) and a set of tuples aligned with that
+    list.  A nullary relation is either [{ vars = []; tuples = [[]] }]
+    (true) or [{ vars = []; tuples = [] }] (false). *)
+
+type t = { vars : int list; tuples : int list list }
+
+(** [make vars tuples] validates arity and deduplicates. *)
+let make (vars : int list) (tuples : int list list) : t =
+  if List.length (List.sort_uniq compare vars) <> List.length vars then
+    invalid_arg "Relation.make: duplicate variables";
+  let arity = List.length vars in
+  List.iter
+    (fun t ->
+      if List.length t <> arity then invalid_arg "Relation.make: arity mismatch")
+    tuples;
+  { vars; tuples = List.sort_uniq compare tuples }
+
+let truth : t = { vars = []; tuples = [ [] ] }
+let falsity : t = { vars = []; tuples = [] }
+let cardinality (r : t) : int = List.length r.tuples
+let is_empty (r : t) : bool = r.tuples = []
+
+(** [columns_of r vs] is the projection function extracting the values of
+    [vs] (in that order) from a tuple of [r].
+    @raise Not_found if some variable is absent. *)
+let columns_of (r : t) (vs : int list) : int list -> int list =
+  let pos = List.map (fun v -> Listx.index_of v r.vars) vs in
+  fun tup ->
+    let arr = Array.of_list tup in
+    List.map (fun p -> arr.(p)) pos
+
+(** [project r vs] projects onto the variables [vs] (deduplicating). *)
+let project (r : t) (vs : int list) : t =
+  let vs = List.filter (fun v -> List.mem v r.vars) vs in
+  let extract = columns_of r vs in
+  make vs (List.map extract r.tuples)
+
+(** [join r1 r2] is the natural join: tuples agreeing on the shared
+    variables, with output variables [r1.vars @ (r2.vars \ r1.vars)]. *)
+let join (r1 : t) (r2 : t) : t =
+  let shared = List.filter (fun v -> List.mem v r1.vars) r2.vars in
+  let extra = List.filter (fun v -> not (List.mem v r1.vars)) r2.vars in
+  let key1 = columns_of r1 shared and key2 = columns_of r2 shared in
+  let extra2 = columns_of r2 extra in
+  (* hash the smaller side *)
+  let index = Hashtbl.create (List.length r2.tuples) in
+  List.iter
+    (fun t2 ->
+      let k = key2 t2 in
+      Hashtbl.replace index k (extra2 t2 :: Option.value ~default:[] (Hashtbl.find_opt index k)))
+    r2.tuples;
+  let out =
+    List.concat_map
+      (fun t1 ->
+        match Hashtbl.find_opt index (key1 t1) with
+        | None -> []
+        | Some exts -> List.map (fun e -> t1 @ e) exts)
+      r1.tuples
+  in
+  make (r1.vars @ extra) out
+
+(** [join_all rs] folds {!join}; the empty list joins to [truth]. *)
+let join_all (rs : t list) : t = List.fold_left join truth rs
+
+(** [semijoin r1 r2] keeps the tuples of [r1] that join with some tuple of
+    [r2]. *)
+let semijoin (r1 : t) (r2 : t) : t =
+  let shared = List.filter (fun v -> List.mem v r1.vars) r2.vars in
+  let key1 = columns_of r1 shared and key2 = columns_of r2 shared in
+  let index = Hashtbl.create (List.length r2.tuples) in
+  List.iter (fun t2 -> Hashtbl.replace index (key2 t2) ()) r2.tuples;
+  { r1 with tuples = List.filter (fun t1 -> Hashtbl.mem index (key1 t1)) r1.tuples }
+
+(** [eliminate r v] projects the variable [v] out of [r] (an existential
+    quantification step). *)
+let eliminate (r : t) (v : int) : t =
+  project r (List.filter (fun w -> w <> v) r.vars)
+
+(** [of_atom query_tuple db_tuples] converts an atom [R(t)] with database
+    relation [db_tuples] into a relation over the distinct variables of
+    [t], honouring repeated variables (e.g. [R(x, y, x)] keeps only
+    database tuples with equal first and third components). *)
+let of_atom (query_tuple : int list) (db_tuples : int list list) : t =
+  let vars = List.sort_uniq compare query_tuple in
+  let out =
+    List.filter_map
+      (fun dt ->
+        let binding = Hashtbl.create 4 in
+        let ok =
+          List.for_all2
+            (fun qv dv ->
+              match Hashtbl.find_opt binding qv with
+              | None ->
+                  Hashtbl.add binding qv dv;
+                  true
+              | Some dv' -> dv = dv')
+            query_tuple dt
+        in
+        if ok then Some (List.map (Hashtbl.find binding) vars) else None)
+      db_tuples
+  in
+  make vars out
+
+let pp (fmt : Format.formatter) (r : t) : unit =
+  Format.fprintf fmt "rel(vars=[%s]; %d tuples)"
+    (String.concat ";" (List.map string_of_int r.vars))
+    (List.length r.tuples)

@@ -1,0 +1,44 @@
+(** Materialised relations over named integer variables with the natural
+    join / semijoin / projection operators. *)
+
+type t = { vars : int list; tuples : int list list }
+
+(** [make vars tuples] validates (distinct variables, matching arities) and
+    deduplicates. *)
+val make : int list -> int list list -> t
+
+(** The nullary true relation [{ vars = []; tuples = [[]] }]. *)
+val truth : t
+
+(** The nullary false relation. *)
+val falsity : t
+
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** [columns_of r vs] extracts the values of [vs] (in order) from a tuple.
+    @raise Not_found if some variable is absent from [r.vars]. *)
+val columns_of : t -> int list -> int list -> int list
+
+(** [project r vs] projects onto the listed variables (deduplicating;
+    variables absent from [r] are dropped from the projection list). *)
+val project : t -> int list -> t
+
+(** [join r1 r2] is the natural join; output variables are
+    [r1.vars @ (r2.vars \ r1.vars)]. *)
+val join : t -> t -> t
+
+(** [join_all rs] folds {!join} starting from {!truth}. *)
+val join_all : t list -> t
+
+(** [semijoin r1 r2] keeps the tuples of [r1] joining with [r2]. *)
+val semijoin : t -> t -> t
+
+(** [eliminate r v] projects the variable out (an ∃ step). *)
+val eliminate : t -> int -> t
+
+(** [of_atom query_tuple db_tuples] lifts an atom to a relation over its
+    distinct variables, honouring repeated variables. *)
+val of_atom : int list -> int list list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** Evaluation of conjunctive queries with existential quantification by
+    variable elimination: counting answers means counting distinct
+    projections of the homomorphism set onto the free variables. *)
+
+(** [answer_relation q d] is the answer set as a relation over the covered
+    free variables, with the number of free variables covered by no atom
+    (each ranging freely over the universe). *)
+val answer_relation : Cq.t -> Structure.t -> Relation.t * int
+
+(** [count q d] is [ans((A, X) → D)]. *)
+val count : Cq.t -> Structure.t -> int
+
+(** [count_big q d] is the exact arbitrary-precision variant. *)
+val count_big : Cq.t -> Structure.t -> Bigint.t
+
+(** [answers q d] materialises the full answer set over the sorted free
+    variables (tests and small examples). *)
+val answers : Cq.t -> Structure.t -> int list list

@@ -1,0 +1,27 @@
+(** Weighted (sum-product) variable elimination: a sparsity-aware counter
+    for homomorphisms of quantifier-free queries.  Intermediate sizes are
+    bounded by join sizes rather than the dense [|U(D)|^(tw+1)] assignment
+    space; on the Lemma 45 databases it exhibits exactly the
+    triangle-counting-like superlinear behaviour of the cyclic term
+    (Corollary 49 experiments).  Not valid under existential
+    quantification (multiplicities must not be summed there). *)
+
+(** A weighted relation: distinct tuples with positive multiplicities. *)
+type wrel = { vars : int list; rows : (int list * int) list }
+
+val scalar : int -> wrel
+
+(** [normalise vars rows] merges duplicate tuples, summing weights. *)
+val normalise : int list -> (int list * int) list -> wrel
+
+(** [join r1 r2] is the weighted natural join (weights multiply). *)
+val join : wrel -> wrel -> wrel
+
+(** [eliminate r v] projects [v] out, summing multiplicities. *)
+val eliminate : wrel -> int -> wrel
+
+(** [of_atom query_tuple db_tuples] lifts an atom to a weight-1 relation. *)
+val of_atom : int list -> int list list -> wrel
+
+(** [count_homs a d] is [hom(A → D)]. *)
+val count_homs : Structure.t -> Structure.t -> int

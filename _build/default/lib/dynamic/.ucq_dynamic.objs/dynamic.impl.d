@@ -1,0 +1,1 @@
+lib/dynamic/dynamic.ml: Array Combinat Cq Hashtbl List Listx Option Signature Structure

@@ -1,0 +1,1 @@
+lib/dynamic/dynamic.mli: Cq Structure

@@ -1,0 +1,1 @@
+lib/dynamic/dynamic_ucq.ml: Combinat Dynamic List Structure Ucq

@@ -1,0 +1,1 @@
+lib/dynamic/dynamic_ucq.mli: Structure Ucq

@@ -1,0 +1,25 @@
+(** Dynamic counting of answers to q-hierarchical conjunctive queries
+    under single-tuple updates (the Berkholz–Keppeler–Schweikardt setting
+    of Section 1.2): linear-time preprocessing, then each insert/delete
+    costs O(|φ|) hash operations — constant data complexity — and the
+    count is read off in constant time. *)
+
+type t
+
+exception Not_q_hierarchical
+
+(** [create q d] preprocesses [q] over the initial database [d]; the
+    universe of [d] is fixed for the session (updates change tuples only).
+    @raise Not_q_hierarchical when [q] fails the criterion.
+    @raise Invalid_argument when [d]'s signature does not cover [q]'s. *)
+val create : Cq.t -> Structure.t -> t
+
+(** [insert st name tuple] adds a tuple (idempotent; tuples of relations
+    the query does not use are ignored). *)
+val insert : t -> string -> int list -> unit
+
+(** [delete st name tuple] removes a tuple (idempotent). *)
+val delete : t -> string -> int list -> unit
+
+(** [count st] is the current [ans(q → D)]. *)
+val count : t -> int

@@ -1,0 +1,19 @@
+(** Dynamic counting for exhaustively q-hierarchical UCQs
+    ([12, Theorem 4.5], Section 1.2): one {!Dynamic} instance per combined
+    query, summed by inclusion–exclusion.  Updates cost [2^ℓ - 1] constant
+    instance updates — constant data complexity. *)
+
+type t
+
+exception Not_exhaustively_q_hierarchical
+
+(** [create psi d] preprocesses all combined queries.
+    @raise Not_exhaustively_q_hierarchical when some [∧(Ψ|J)] fails the
+    criterion. *)
+val create : Ucq.t -> Structure.t -> t
+
+val insert : t -> string -> int list -> unit
+val delete : t -> string -> int list -> unit
+
+(** [count st] is the current [ans(Ψ → D)]. *)
+val count : t -> int

@@ -1,0 +1,1 @@
+lib/frontend/parse.ml: Cq Hashtbl List Printf Signature String Structure Ucq

@@ -1,0 +1,1 @@
+lib/frontend/parse.mli: Cq Signature Structure Ucq

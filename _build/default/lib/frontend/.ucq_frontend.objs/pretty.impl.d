@@ -1,0 +1,1 @@
+lib/frontend/pretty.ml: Buffer Cq List Parse Printf String Structure Ucq

@@ -1,0 +1,312 @@
+(** A textual front-end for conjunctive queries, unions, and databases.
+
+    Query syntax (Datalog-flavoured):
+
+    {v
+      (x, y) :- E(x, z), E(z, y) ; E(x, y)
+    v}
+
+    — the head tuple lists the free variables; disjuncts are separated by
+    [;]; each disjunct is a comma-separated list of atoms.  Variables not
+    appearing in the head are existentially quantified (per disjunct).
+    A nullary head is written [()].  Comments start with [#] and run to the
+    end of the line.
+
+    Database syntax: a sequence of facts, optionally preceded by a
+    [universe] declaration listing extra (isolated) elements:
+
+    {v
+      universe { a, b, 7 }
+      E(1, 2). E(2, 3). Likes(alice, post1).
+    v}
+
+    Constants may be integers (used as themselves) or identifiers
+    (interned to fresh integers above every literal); the returned
+    environment maps names to ids. *)
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Tokeniser                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Turnstile (* ":-" *)
+  | Dot
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
+    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
+    else if c = '{' then (tokens := Lbrace :: !tokens; incr i)
+    else if c = '}' then (tokens := Rbrace :: !tokens; incr i)
+    else if c = ',' then (tokens := Comma :: !tokens; incr i)
+    else if c = ';' then (tokens := Semicolon :: !tokens; incr i)
+    else if c = '.' then (tokens := Dot :: !tokens; incr i)
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      tokens := Turnstile :: !tokens;
+      i := !i + 2
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      tokens := Int (int_of_string (String.sub s start (!i - start))) :: !tokens
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      tokens := Ident (String.sub s start (!i - start)) :: !tokens
+    end
+    else raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Query parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type atom = { rel : string; args : string list }
+
+(** Abstract syntax of a parsed UCQ before variable interning. *)
+type ast = { head : string list; disjuncts : atom list list }
+
+let parse_term = function
+  | Ident v :: rest -> (v, rest)
+  | Int k :: rest -> (string_of_int k, rest)
+  | _ -> raise (Parse_error "expected a variable or constant")
+
+let rec parse_term_list acc tokens =
+  let t, rest = parse_term tokens in
+  match rest with
+  | Comma :: rest -> parse_term_list (t :: acc) rest
+  | Rparen :: rest -> (List.rev (t :: acc), rest)
+  | _ -> raise (Parse_error "expected ',' or ')' in argument list")
+
+let parse_args = function
+  | Lparen :: Rparen :: rest -> ([], rest)
+  | Lparen :: rest -> parse_term_list [] rest
+  | _ -> raise (Parse_error "expected '('")
+
+let parse_atom = function
+  | Ident rel :: rest ->
+      let args, rest = parse_args rest in
+      ({ rel; args }, rest)
+  | _ -> raise (Parse_error "expected a relation name")
+
+let rec parse_conjunction acc tokens =
+  let atom, rest = parse_atom tokens in
+  match rest with
+  | Comma :: rest -> parse_conjunction (atom :: acc) rest
+  | _ -> (List.rev (atom :: acc), rest)
+
+let rec parse_union acc tokens =
+  let conj, rest = parse_conjunction [] tokens in
+  match rest with
+  | Semicolon :: rest -> parse_union (conj :: acc) rest
+  | [] | [ Dot ] -> List.rev (conj :: acc)
+  | _ -> raise (Parse_error "expected ';' or end of query")
+
+(** [parse_ast text] parses the surface syntax into an AST. *)
+let parse_ast (text : string) : ast =
+  match tokenize text with
+  | Lparen :: rest ->
+      let head, rest =
+        match rest with
+        | Rparen :: rest -> ([], rest)
+        | _ -> parse_term_list [] rest
+      in
+      (match rest with
+      | Turnstile :: body -> { head; disjuncts = parse_union [] body }
+      | _ -> raise (Parse_error "expected ':-' after the head"))
+  | _ -> raise (Parse_error "a query starts with its head tuple '(x, ...)'")
+
+(* ------------------------------------------------------------------ *)
+(* Interning: AST -> Ucq.t                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Variable environment of a parsed query: free variables in head order
+    (shared across disjuncts) and, per disjunct, the quantified names. *)
+type query_env = {
+  free_names : (string * int) list;
+  signature : Signature.t;
+}
+
+let infer_signature (disjuncts : atom list list) : Signature.t =
+  let arities = Hashtbl.create 8 in
+  List.iter
+    (List.iter (fun a ->
+         match Hashtbl.find_opt arities a.rel with
+         | None -> Hashtbl.add arities a.rel (List.length a.args)
+         | Some k ->
+             if k <> List.length a.args then
+               raise
+                 (Parse_error
+                    (Printf.sprintf "relation %s used with arities %d and %d"
+                       a.rel k (List.length a.args)))))
+    disjuncts;
+  Signature.make
+    (Hashtbl.fold (fun name arity acc -> Signature.symbol name arity :: acc) arities [])
+
+(** [ucq_of_ast ast] interns variables and builds the {!Ucq.t}: head
+    variables get ids [0, 1, ...] in head order; quantified variables get
+    fresh ids per disjunct. *)
+let ucq_of_ast (ast : ast) : Ucq.t * query_env =
+  if ast.disjuncts = [] then raise (Parse_error "empty union");
+  (* the CQ model of the paper has no constants: reject numeric terms *)
+  List.iter
+    (fun v ->
+      if int_of_string_opt v <> None then
+        raise (Parse_error "constants are not supported in queries"))
+    (ast.head
+    @ List.concat_map (fun conj -> List.concat_map (fun a -> a.args) conj)
+        ast.disjuncts);
+  let dup =
+    List.exists
+      (fun v -> List.length (List.filter (( = ) v) ast.head) > 1)
+      ast.head
+  in
+  if dup then raise (Parse_error "duplicate variable in the head");
+  let signature = infer_signature ast.disjuncts in
+  let free_names = List.mapi (fun i v -> (v, i)) ast.head in
+  let next = ref (List.length ast.head) in
+  let cqs =
+    List.map
+      (fun conj ->
+        let local = Hashtbl.create 8 in
+        List.iter (fun (v, i) -> Hashtbl.replace local v i) free_names;
+        let intern v =
+          match Hashtbl.find_opt local v with
+          | Some i -> i
+          | None ->
+              let i = !next in
+              incr next;
+              Hashtbl.replace local v i;
+              i
+        in
+        let rels =
+          List.map (fun a -> (a.rel, [ List.map intern a.args ])) conj
+        in
+        let universe =
+          List.map snd free_names
+          @ Hashtbl.fold (fun _ i acc -> i :: acc) local []
+        in
+        Cq.make (Structure.make signature universe rels) (List.map snd free_names))
+      ast.disjuncts
+  in
+  (Ucq.make cqs, { free_names; signature })
+
+(** [ucq text] parses a UCQ from its surface syntax. *)
+let ucq (text : string) : Ucq.t * query_env =
+  ucq_of_ast (parse_ast text)
+
+(** [cq text] parses a single conjunctive query (no [;] allowed). *)
+let cq (text : string) : Cq.t * query_env =
+  let psi, env = ucq text in
+  if Ucq.length psi <> 1 then raise (Parse_error "expected a single CQ");
+  (Ucq.disjunct psi 0, env)
+
+(* ------------------------------------------------------------------ *)
+(* Database parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type db_env = { constants : (string * int) list }
+
+(** [database text] parses a fact list into a structure.  Integer literals
+    denote themselves; identifier constants are interned to fresh integers
+    above every literal. *)
+let database (text : string) : Structure.t * db_env =
+  let tokens = tokenize text in
+  (* optional universe declaration *)
+  let extra, tokens =
+    match tokens with
+    | Ident "universe" :: Lbrace :: rest ->
+        let rec grab acc = function
+          | Int k :: Comma :: rest -> grab (`I k :: acc) rest
+          | Int k :: Rbrace :: rest -> (List.rev (`I k :: acc), rest)
+          | Ident v :: Comma :: rest -> grab (`S v :: acc) rest
+          | Ident v :: Rbrace :: rest -> (List.rev (`S v :: acc), rest)
+          | Rbrace :: rest -> (List.rev acc, rest)
+          | _ -> raise (Parse_error "malformed universe declaration")
+        in
+        grab [] rest
+    | _ -> ([], tokens)
+  in
+  (* parse facts *)
+  let rec parse_facts acc tokens =
+    match tokens with
+    | [] -> List.rev acc
+    | Dot :: rest -> parse_facts acc rest
+    | _ ->
+        let atom, rest = parse_atom tokens in
+        parse_facts (atom :: acc) rest
+  in
+  let facts = parse_facts [] tokens in
+  (* interning *)
+  let max_literal =
+    List.fold_left
+      (fun acc a ->
+        List.fold_left
+          (fun acc arg ->
+            match int_of_string_opt arg with Some k -> max acc k | None -> acc)
+          acc a.args)
+      (List.fold_left
+         (fun acc -> function `I k -> max acc k | `S _ -> acc)
+         (-1) extra)
+      facts
+  in
+  let interned = Hashtbl.create 16 in
+  let next = ref (max_literal + 1) in
+  let elem_of arg =
+    match int_of_string_opt arg with
+    | Some k ->
+        if k < 0 then raise (Parse_error "negative constants are not allowed");
+        k
+    | None -> (
+        match Hashtbl.find_opt interned arg with
+        | Some i -> i
+        | None ->
+            let i = !next in
+            incr next;
+            Hashtbl.replace interned arg i;
+            i)
+  in
+  let extra_elems =
+    List.map (function `I k -> k | `S v -> elem_of v) extra
+  in
+  let signature = infer_signature [ facts ] in
+  let rels = List.map (fun a -> (a.rel, [ List.map elem_of a.args ])) facts in
+  let universe =
+    extra_elems @ List.concat_map (fun (_, ts) -> List.concat ts) rels
+  in
+  let s = Structure.make signature universe rels in
+  (s, { constants = Hashtbl.fold (fun k v acc -> (k, v) :: acc) interned [] })

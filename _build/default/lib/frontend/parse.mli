@@ -1,0 +1,40 @@
+(** A textual front-end for conjunctive queries, unions, and databases.
+
+    Query syntax (Datalog-flavoured): the head tuple lists the free
+    variables, disjuncts are separated by [;], atoms by [,]; variables not
+    in the head are existentially quantified per disjunct; [#] starts a
+    line comment:
+
+    {v  (x, y) :- E(x, z), E(z, y) ; E(x, y)  v}
+
+    Database syntax: facts terminated by [.], with an optional [universe]
+    declaration adding isolated elements; integer constants denote
+    themselves, identifier constants are interned:
+
+    {v  universe { 7, spare }
+        E(1, 2). Likes(alice, post1).  v} *)
+
+exception Parse_error of string
+
+(** Variable environment of a parsed query. *)
+type query_env = {
+  free_names : (string * int) list;  (** head variables, in head order *)
+  signature : Signature.t;  (** inferred from the atoms *)
+}
+
+(** [ucq text] parses a union of conjunctive queries.
+    @raise Parse_error on malformed input (including constants in queries
+    and arity clashes). *)
+val ucq : string -> Ucq.t * query_env
+
+(** [cq text] parses a single conjunctive query (no [;]).
+    @raise Parse_error as {!ucq}, or when the union has several
+    disjuncts. *)
+val cq : string -> Cq.t * query_env
+
+(** Constant-interning environment of a parsed database. *)
+type db_env = { constants : (string * int) list }
+
+(** [database text] parses a fact list into a structure.
+    @raise Parse_error on malformed input. *)
+val database : string -> Structure.t * db_env

@@ -1,0 +1,76 @@
+(** Rendering queries and databases back to the surface syntax of
+    {!Parse}. *)
+
+(** [var_name env i] is the original name of variable [i] if it was a head
+    variable, or a generated name [_yi] for quantified variables. *)
+let var_name (env : Parse.query_env) (i : int) : string =
+  match List.find_opt (fun (_, j) -> j = i) env.Parse.free_names with
+  | Some (name, _) -> name
+  | None -> Printf.sprintf "_y%d" i
+
+(** [cq ?env q] renders a conjunctive query. *)
+let cq ?(env : Parse.query_env option) (q : Cq.t) : string =
+  let name i =
+    match env with
+    | Some e -> var_name e i
+    | None -> Printf.sprintf "x%d" i
+  in
+  let head = String.concat ", " (List.map name (Cq.free q)) in
+  let atoms =
+    List.concat_map
+      (fun (rel, ts) ->
+        List.map
+          (fun t ->
+            Printf.sprintf "%s(%s)" rel (String.concat ", " (List.map name t)))
+          ts)
+      (Structure.relations (Cq.structure q))
+  in
+  let body = if atoms = [] then "true()" else String.concat ", " atoms in
+  Printf.sprintf "(%s) :- %s" head body
+
+(** [ucq ?env psi] renders a union of conjunctive queries. *)
+let ucq ?(env : Parse.query_env option) (psi : Ucq.t) : string =
+  let name i =
+    match env with
+    | Some e -> var_name e i
+    | None -> Printf.sprintf "x%d" i
+  in
+  let head = String.concat ", " (List.map name (Ucq.free psi)) in
+  let disjunct a =
+    let atoms =
+      List.concat_map
+        (fun (rel, ts) ->
+          List.map
+            (fun t ->
+              Printf.sprintf "%s(%s)" rel (String.concat ", " (List.map name t)))
+            ts)
+        (Structure.relations a)
+    in
+    if atoms = [] then "true()" else String.concat ", " atoms
+  in
+  Printf.sprintf "(%s) :- %s" head
+    (String.concat " ; " (List.map disjunct (Ucq.disjunct_structures psi)))
+
+(** [database d] renders a structure as a fact list (integer constants). *)
+let database (d : Structure.t) : string =
+  let buf = Buffer.create 256 in
+  let covered =
+    List.concat_map (fun (_, ts) -> List.concat ts) (Structure.relations d)
+  in
+  let isolated =
+    List.filter (fun v -> not (List.mem v covered)) (Structure.universe d)
+  in
+  if isolated <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "universe { %s }\n"
+         (String.concat ", " (List.map string_of_int isolated)));
+  List.iter
+    (fun (rel, ts) ->
+      List.iter
+        (fun t ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s(%s).\n" rel
+               (String.concat ", " (List.map string_of_int t))))
+        ts)
+    (Structure.relations d);
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Rendering queries and databases back into the {!Parse} surface
+    syntax. *)
+
+(** [var_name env i] is the head name of variable [i], or a generated
+    [_y<i>] for quantified variables. *)
+val var_name : Parse.query_env -> int -> string
+
+(** [cq ?env q] renders a conjunctive query (an atom-free body prints as
+    [true()]). *)
+val cq : ?env:Parse.query_env -> Cq.t -> string
+
+(** [ucq ?env psi] renders a union. *)
+val ucq : ?env:Parse.query_env -> Ucq.t -> string
+
+(** [database d] renders a structure as a fact list (with a [universe]
+    declaration for isolated elements); parses back to an equal
+    structure. *)
+val database : Structure.t -> string

@@ -1,0 +1,1 @@
+lib/graph/graph_iso.ml: Array Graph Hashtbl Intset List Option

@@ -1,0 +1,1 @@
+lib/graph/nice_treedec.ml: Array Graph Intset List Treedec

@@ -1,0 +1,1 @@
+lib/graph/nice_treedec.mli: Graph Intset Treedec

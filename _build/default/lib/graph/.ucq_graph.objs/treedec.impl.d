@@ -1,0 +1,1 @@
+lib/graph/treedec.ml: Array Graph Hashtbl Intset List Queue

@@ -1,0 +1,1 @@
+lib/graph/treedec.mli: Graph Intset

@@ -1,0 +1,1 @@
+lib/graph/treewidth.ml: Array Graph Intset List Treedec

@@ -1,0 +1,215 @@
+(** Finite simple undirected graphs on vertex set [{0, ..., n-1}].
+
+    Gaifman graphs of relational structures (Section 2.2 of the paper),
+    contracts of conjunctive queries (Definition 20) and the inputs to the
+    treewidth machinery are all represented with this module.  Edges are
+    irreflexive and symmetric. *)
+
+module Intset = Intset
+
+type t = { n : int; adj : Intset.t array }
+
+(** [make n] is the edgeless graph on [n] vertices. *)
+let make (n : int) : t =
+  if n < 0 then invalid_arg "Graph.make";
+  { n; adj = Array.make n Intset.empty }
+
+let num_vertices (g : t) : int = g.n
+
+(** [copy g] is an independent mutable copy. *)
+let copy (g : t) : t = { n = g.n; adj = Array.copy g.adj }
+
+(** [add_edge g u v] inserts the undirected edge [{u, v}]; self-loops are
+    silently ignored (Gaifman graphs are irreflexive). *)
+let add_edge (g : t) (u : int) (v : int) : unit =
+  if u < 0 || v < 0 || u >= g.n || v >= g.n then invalid_arg "Graph.add_edge";
+  if u <> v then begin
+    g.adj.(u) <- Intset.add v g.adj.(u);
+    g.adj.(v) <- Intset.add u g.adj.(v)
+  end
+
+let remove_edge (g : t) (u : int) (v : int) : unit =
+  g.adj.(u) <- Intset.remove v g.adj.(u);
+  g.adj.(v) <- Intset.remove u g.adj.(v)
+
+(** [of_edges n edges] builds a graph from an edge list. *)
+let of_edges (n : int) (edges : (int * int) list) : t =
+  let g = make n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let has_edge (g : t) (u : int) (v : int) : bool = Intset.mem v g.adj.(u)
+let neighbours (g : t) (v : int) : Intset.t = g.adj.(v)
+let degree (g : t) (v : int) : int = Intset.cardinal g.adj.(v)
+
+(** [edges g] lists each edge once, as [(u, v)] with [u < v]. *)
+let edges (g : t) : (int * int) list =
+  let acc = ref [] in
+  for u = 0 to g.n - 1 do
+    Intset.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.rev !acc
+
+let num_edges (g : t) : int = List.length (edges g)
+
+(** [vertices g] is [[0; ...; n-1]]. *)
+let vertices (g : t) : int list = List.init g.n (fun i -> i)
+
+(** [induced g vs] is the subgraph induced by the vertex list [vs], together
+    with the mapping from new indices to old vertices. *)
+let induced (g : t) (vs : int list) : t * int array =
+  let vs = List.sort_uniq compare vs in
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Hashtbl.create (List.length vs) in
+  Array.iteri (fun i v -> Hashtbl.add new_of_old v i) old_of_new;
+  let h = make (Array.length old_of_new) in
+  Array.iteri
+    (fun i v ->
+      Intset.iter
+        (fun w ->
+          match Hashtbl.find_opt new_of_old w with
+          | Some j when i < j -> add_edge h i j
+          | _ -> ())
+        g.adj.(v))
+    old_of_new;
+  (h, old_of_new)
+
+(** [components g] partitions the vertex set into connected components. *)
+let components (g : t) : int list list =
+  let seen = Array.make g.n false in
+  let comps = ref [] in
+  for s = 0 to g.n - 1 do
+    if not seen.(s) then begin
+      let comp = ref [] in
+      let stack = ref [ s ] in
+      seen.(s) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            stack := rest;
+            comp := v :: !comp;
+            Intset.iter
+              (fun w ->
+                if not seen.(w) then begin
+                  seen.(w) <- true;
+                  stack := w :: !stack
+                end)
+              g.adj.(v)
+      done;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected (g : t) : bool = g.n <= 1 || List.length (components g) = 1
+
+(** [is_clique g vs] checks that the vertices of [vs] are pairwise
+    adjacent. *)
+let is_clique (g : t) (vs : int list) : bool =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> has_edge g v w) rest && go rest
+  in
+  go vs
+
+(** [is_acyclic g] decides whether the graph is a forest. *)
+let is_acyclic (g : t) : bool =
+  (* A forest satisfies |E| = |V| - #components. *)
+  num_edges g = g.n - List.length (components g)
+
+(** [union g1 g2] is the graph on [max n1 n2] vertices with the union of the
+    edge sets. *)
+let union (g1 : t) (g2 : t) : t =
+  let g = make (max g1.n g2.n) in
+  List.iter (fun (u, v) -> add_edge g u v) (edges g1);
+  List.iter (fun (u, v) -> add_edge g u v) (edges g2);
+  g
+
+(** [equal g1 g2] is structural equality (same vertex count and edge sets).*)
+let equal (g1 : t) (g2 : t) : bool =
+  g1.n = g2.n && Array.for_all2 Intset.equal g1.adj g2.adj
+
+(* ------------------------------------------------------------------ *)
+(* Standard constructions                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [clique k] is the complete graph [K_k]. *)
+let clique (k : int) : t =
+  let g = make k in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+(** [path k] is the path with [k] vertices. *)
+let path (k : int) : t =
+  let g = make k in
+  for v = 0 to k - 2 do
+    add_edge g v (v + 1)
+  done;
+  g
+
+(** [cycle k] is the cycle with [k >= 3] vertices. *)
+let cycle (k : int) : t =
+  if k < 3 then invalid_arg "Graph.cycle";
+  let g = path k in
+  add_edge g (k - 1) 0;
+  g
+
+(** [star k] is the star with one centre (vertex 0) and [k] leaves. *)
+let star (k : int) : t =
+  let g = make (k + 1) in
+  for v = 1 to k do
+    add_edge g 0 v
+  done;
+  g
+
+(** [grid w h] is the [w × h] grid graph (treewidth [min w h]). *)
+let grid (w : int) (h : int) : t =
+  let g = make (w * h) in
+  for x = 0 to w - 1 do
+    for y = 0 to h - 1 do
+      let v = (y * w) + x in
+      if x + 1 < w then add_edge g v (v + 1);
+      if y + 1 < h then add_edge g v (v + w)
+    done
+  done;
+  g
+
+(** [stretched_clique t k] is the graph [K_t^k] of Section 4.2.2: the
+    [t]-clique with every edge subdivided into a path of [k] edges.  Clique
+    vertices are [0, ..., t-1]; subdivision vertices follow.  Returns the
+    graph together with, for each clique edge index [i] (edges of [K_t] in
+    lexicographic order), the list of the [k] edges of its stretch, in path
+    order. *)
+let stretched_clique (t : int) (k : int) : t * (int * int) list array =
+  if t < 1 || k < 1 then invalid_arg "Graph.stretched_clique";
+  let clique_edges =
+    List.concat
+      (List.init t (fun u -> List.init (t - u - 1) (fun d -> (u, u + d + 1))))
+  in
+  let m = List.length clique_edges in
+  let n = t + (m * (k - 1)) in
+  let g = make n in
+  let stretches = Array.make m [] in
+  List.iteri
+    (fun i (u, v) ->
+      let inner = List.init (k - 1) (fun j -> t + (i * (k - 1)) + j) in
+      let chain = (u :: inner) @ [ v ] in
+      let rec path_edges = function
+        | a :: (b :: _ as rest) ->
+            add_edge g a b;
+            (a, b) :: path_edges rest
+        | _ -> []
+      in
+      stretches.(i) <- path_edges chain)
+    clique_edges;
+  (g, stretches)
+
+let pp (fmt : Format.formatter) (g : t) : unit =
+  Format.fprintf fmt "graph(n=%d; edges=%s)" g.n
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (edges g)))

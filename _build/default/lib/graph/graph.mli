@@ -1,0 +1,76 @@
+(** Finite simple undirected graphs on vertex set [{0, ..., n-1}]:
+    Gaifman graphs, contracts (Definition 20), and treewidth inputs. *)
+
+type t
+
+(** [make n] is the edgeless graph on [n] vertices.
+    @raise Invalid_argument for negative [n]. *)
+val make : int -> t
+
+val num_vertices : t -> int
+val num_edges : t -> int
+
+(** [copy g] is an independent mutable copy. *)
+val copy : t -> t
+
+(** [add_edge g u v] inserts the undirected edge; self-loops are silently
+    ignored (Gaifman graphs are irreflexive).
+    @raise Invalid_argument for out-of-range vertices. *)
+val add_edge : t -> int -> int -> unit
+
+val remove_edge : t -> int -> int -> unit
+
+(** [of_edges n edges] builds a graph from an edge list. *)
+val of_edges : int -> (int * int) list -> t
+
+val has_edge : t -> int -> int -> bool
+val neighbours : t -> int -> Intset.t
+val degree : t -> int -> int
+
+(** [edges g] lists each edge once as [(u, v)] with [u < v]. *)
+val edges : t -> (int * int) list
+
+(** [vertices g] is [[0; ...; n-1]]. *)
+val vertices : t -> int list
+
+(** [induced g vs] is the induced subgraph on the (deduplicated) vertex
+    list, with the dense-index → original-vertex mapping. *)
+val induced : t -> int list -> t * int array
+
+(** [components g] partitions the vertices into connected components
+    (each sorted). *)
+val components : t -> int list list
+
+val is_connected : t -> bool
+
+(** [is_clique g vs] checks pairwise adjacency of [vs]. *)
+val is_clique : t -> int list -> bool
+
+(** [is_acyclic g] decides whether [g] is a forest. *)
+val is_acyclic : t -> bool
+
+(** [union g1 g2] has [max n1 n2] vertices and the union of edge sets. *)
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** {2 Standard constructions} *)
+
+val clique : int -> t
+val path : int -> t
+
+(** @raise Invalid_argument for fewer than 3 vertices. *)
+val cycle : int -> t
+
+(** [star k]: centre 0 with [k] leaves. *)
+val star : int -> t
+
+(** [grid w h]: the [w × h] grid (treewidth [min w h]). *)
+val grid : int -> int -> t
+
+(** [stretched_clique t k] is [K_t^k] (Section 4.2.2): the [t]-clique with
+    every edge subdivided into a [k]-edge path.  Returns the graph and, per
+    clique-edge index, its stretch edges in path order. *)
+val stretched_clique : int -> int -> t * (int * int) list array
+
+val pp : Format.formatter -> t -> unit

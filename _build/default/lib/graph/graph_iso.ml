@@ -1,0 +1,108 @@
+(** Graph isomorphism by backtracking with invariant pruning.
+
+    Used in tests (e.g. to check Lemma 33: #equivalent queries have
+    isomorphic free-variable-induced Gaifman graphs) and as a fallback for
+    structure isomorphism on Gaifman graphs.  The refinement invariant is
+    the multiset of neighbour degrees, iterated to a fixpoint — effectively
+    one-dimensional Weisfeiler–Leman, which is also reused by the [wl]
+    library for labelled graphs. *)
+
+module Intset = Intset
+
+(** [refine_colours g init] iterates colour refinement starting from the
+    colouring [init] until stable, returning the final colouring (colours
+    are arbitrary dense integers). *)
+let refine_colours (g : Graph.t) (init : int array) : int array =
+  let n = Graph.num_vertices g in
+  let colours = Array.copy init in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signature v =
+      let nbr_colours =
+        List.sort compare
+          (Intset.fold (fun w acc -> colours.(w) :: acc) (Graph.neighbours g v) [])
+      in
+      (colours.(v), nbr_colours)
+    in
+    let sigs = Array.init n signature in
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    let fresh s =
+      match Hashtbl.find_opt tbl s with
+      | Some c -> c
+      | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.add tbl s c;
+          c
+    in
+    let new_colours = Array.map fresh sigs in
+    if new_colours <> colours then begin
+      Array.blit new_colours 0 colours 0 n;
+      changed := true
+    end
+  done;
+  colours
+
+(** [find_isomorphism g1 g2] returns a bijection (as an array mapping
+    vertices of [g1] to vertices of [g2]) witnessing isomorphism, if one
+    exists. *)
+let find_isomorphism (g1 : Graph.t) (g2 : Graph.t) : int array option =
+  let n = Graph.num_vertices g1 in
+  if n <> Graph.num_vertices g2 || Graph.num_edges g1 <> Graph.num_edges g2
+  then None
+  else begin
+    (* Refine the disjoint union of the two graphs so that colour
+       identifiers are directly comparable between them. *)
+    let union = Graph.make (2 * n) in
+    List.iter (fun (u, v) -> Graph.add_edge union u v) (Graph.edges g1);
+    List.iter (fun (u, v) -> Graph.add_edge union (n + u) (n + v)) (Graph.edges g2);
+    let c = refine_colours union (Array.make (2 * n) 0) in
+    let c1 = Array.sub c 0 n in
+    let c2 = Array.sub c n n in
+    (* Colour class sizes must agree between the two sides. *)
+    let hist arr =
+      let t = Hashtbl.create 16 in
+      Array.iter
+        (fun x ->
+          Hashtbl.replace t x (1 + Option.value ~default:0 (Hashtbl.find_opt t x)))
+        arr;
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+    in
+    if hist c1 <> hist c2 then None
+    else begin
+      let mapping = Array.make n (-1) in
+      let used = Array.make n false in
+      let ok = ref None in
+      let rec assign v =
+        if !ok <> None then ()
+        else if v = n then ok := Some (Array.copy mapping)
+        else
+          for w = 0 to n - 1 do
+            if !ok = None && (not used.(w)) && c1.(v) = c2.(w) then begin
+              (* check consistency with already-mapped neighbours *)
+              let consistent = ref true in
+              for u = 0 to v - 1 do
+                if !consistent then
+                  if Graph.has_edge g1 u v <> Graph.has_edge g2 mapping.(u) w
+                  then consistent := false
+              done;
+              if !consistent then begin
+                mapping.(v) <- w;
+                used.(w) <- true;
+                assign (v + 1);
+                used.(w) <- false;
+                mapping.(v) <- -1
+              end
+            end
+          done
+      in
+      assign 0;
+      !ok
+    end
+  end
+
+(** [isomorphic g1 g2] decides graph isomorphism. *)
+let isomorphic (g1 : Graph.t) (g2 : Graph.t) : bool =
+  Option.is_some (find_isomorphism g1 g2)

@@ -1,0 +1,10 @@
+(** Graph isomorphism by backtracking with colour-refinement pruning. *)
+
+(** [refine_colours g init] iterates 1-WL-style colour refinement from the
+    initial colouring to a fixpoint. *)
+val refine_colours : Graph.t -> int array -> int array
+
+(** [find_isomorphism g1 g2] is a witnessing vertex bijection, if any. *)
+val find_isomorphism : Graph.t -> Graph.t -> int array option
+
+val isomorphic : Graph.t -> Graph.t -> bool

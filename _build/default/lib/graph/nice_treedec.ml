@@ -1,0 +1,157 @@
+(** Nice tree decompositions.
+
+    A nice decomposition normalises a tree decomposition into four node
+    kinds — [Leaf] (empty bag), [Introduce v], [Forget v] (bag differs from
+    the single child's by exactly one vertex), and [Join] (two children
+    with identical bags) — the standard form in which treewidth dynamic
+    programs are written and taught.  {!of_treedec} converts any valid
+    decomposition without increasing the width; {!validate} checks the
+    shape invariants and that the underlying decomposition is valid. *)
+
+module Intset = Intset
+
+type t =
+  | Leaf
+  | Introduce of int * Intset.t * t (* introduced vertex, bag after introduction *)
+  | Forget of int * Intset.t * t (* forgotten vertex, bag after forgetting *)
+  | Join of Intset.t * t * t
+
+let bag (n : t) : Intset.t =
+  match n with
+  | Leaf -> Intset.empty
+  | Introduce (_, b, _) | Forget (_, b, _) -> b
+  | Join (b, _, _) -> b
+
+let rec width (n : t) : int =
+  match n with
+  | Leaf -> -1
+  | Introduce (_, b, c) | Forget (_, b, c) ->
+      max (Intset.cardinal b - 1) (width c)
+  | Join (b, c1, c2) ->
+      max (Intset.cardinal b - 1) (max (width c1) (width c2))
+
+let rec num_nodes (n : t) : int =
+  match n with
+  | Leaf -> 1
+  | Introduce (_, _, c) | Forget (_, _, c) -> 1 + num_nodes c
+  | Join (_, c1, c2) -> 1 + num_nodes c1 + num_nodes c2
+
+(* ------------------------------------------------------------------ *)
+(* Conversion                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [chain_from_to from_bag to_bag below] builds the introduce/forget chain
+    transforming a node whose bag is [from_bag] (the subtree [below]) into
+    a node whose bag is [to_bag]: forget the vertices of
+    [from_bag \ to_bag], then introduce those of [to_bag \ from_bag]. *)
+let chain_from_to (from_bag : Intset.t) (to_bag : Intset.t) (below : t) : t =
+  let after_forgets =
+    Intset.fold
+      (fun v acc ->
+        let b = Intset.remove v (bag acc) in
+        Forget (v, b, acc))
+      (Intset.diff from_bag to_bag)
+      below
+  in
+  Intset.fold
+    (fun v acc ->
+      let b = Intset.add v (bag acc) in
+      Introduce (v, b, acc))
+    (Intset.diff to_bag from_bag)
+    after_forgets
+
+(** [of_treedec dec] converts a valid tree decomposition into a nice one
+    rooted at bag 0 with an empty root bag (all vertices forgotten at the
+    top) — the form expected by the counting DP. *)
+let of_treedec (dec : Treedec.t) : t =
+  let b = Treedec.num_bags dec in
+  if b = 0 then Leaf
+  else begin
+    let adj = Array.make b [] in
+    List.iter
+      (fun (x, y) ->
+        adj.(x) <- y :: adj.(x);
+        adj.(y) <- x :: adj.(y))
+      dec.Treedec.tree;
+    let rec build (i : int) (parent : int) : t =
+      let my_bag = dec.Treedec.bags.(i) in
+      let children = List.filter (fun j -> j <> parent) adj.(i) in
+      let child_subtrees =
+        List.map
+          (fun j ->
+            let sub = build j i in
+            (* lift the child's bag to mine with a forget/introduce chain *)
+            chain_from_to (bag sub) my_bag sub)
+          children
+      in
+      let base =
+        match child_subtrees with
+        | [] ->
+            (* build the bag from scratch: introduce everything over a leaf *)
+            chain_from_to Intset.empty my_bag Leaf
+        | [ single ] -> single
+        | first :: rest ->
+            List.fold_left (fun acc sub -> Join (my_bag, acc, sub)) first rest
+      in
+      base
+    in
+    let root = build 0 (-1) in
+    (* forget the root bag so the DP ends in a scalar *)
+    chain_from_to (bag root) Intset.empty root
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [shape_ok n] checks the local invariants of each node kind. *)
+let rec shape_ok (n : t) : bool =
+  match n with
+  | Leaf -> true
+  | Introduce (v, b, c) ->
+      Intset.mem v b
+      && Intset.equal (Intset.remove v b) (bag c)
+      && shape_ok c
+  | Forget (v, b, c) ->
+      (not (Intset.mem v b))
+      && Intset.mem v (bag c)
+      && Intset.equal b (Intset.remove v (bag c))
+      && shape_ok c
+  | Join (b, c1, c2) ->
+      Intset.equal b (bag c1) && Intset.equal b (bag c2) && shape_ok c1
+      && shape_ok c2
+
+(** [to_treedec n] flattens a nice decomposition back into bag/tree form so
+    the Definition 14 conditions can be checked with {!Treedec.validate}. *)
+let to_treedec (n : t) : Treedec.t =
+  let bags = ref [] in
+  let edges = ref [] in
+  let next = ref 0 in
+  let rec go (n : t) : int =
+    let my_id = !next in
+    incr next;
+    bags := (my_id, bag n) :: !bags;
+    (match n with
+    | Leaf -> ()
+    | Introduce (_, _, c) | Forget (_, _, c) ->
+        let cid = go c in
+        edges := (my_id, cid) :: !edges
+    | Join (_, c1, c2) ->
+        let c1id = go c1 in
+        let c2id = go c2 in
+        edges := (my_id, c1id) :: (my_id, c2id) :: !edges);
+    my_id
+  in
+  ignore (go n);
+  let arr = Array.make !next Intset.empty in
+  List.iter (fun (i, b) -> arr.(i) <- b) !bags;
+  { Treedec.bags = arr; tree = !edges }
+
+(** [validate g n] checks both the nice-shape invariants and that the
+    flattened decomposition is a valid tree decomposition of [g] (with the
+    convention that the root bag is empty, vertices of [g] must all be
+    introduced somewhere). *)
+let validate (g : Graph.t) (n : t) : bool =
+  shape_ok n
+  && Intset.is_empty (bag n)
+  && Treedec.validate g (to_treedec n)

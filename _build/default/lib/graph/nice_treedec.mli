@@ -1,0 +1,28 @@
+(** Nice tree decompositions: the [Leaf / Introduce / Forget / Join]
+    normal form used by textbook treewidth dynamic programs. *)
+
+type t =
+  | Leaf
+  | Introduce of int * Intset.t * t
+      (** introduced vertex, bag after introduction, child *)
+  | Forget of int * Intset.t * t
+      (** forgotten vertex, bag after forgetting, child *)
+  | Join of Intset.t * t * t  (** both children carry the same bag *)
+
+val bag : t -> Intset.t
+val width : t -> int
+val num_nodes : t -> int
+
+(** [of_treedec dec] converts a valid decomposition into a nice one with an
+    empty root bag, without increasing the width. *)
+val of_treedec : Treedec.t -> t
+
+(** [shape_ok n] checks the per-node-kind invariants. *)
+val shape_ok : t -> bool
+
+(** [to_treedec n] flattens back to bag/tree form. *)
+val to_treedec : t -> Treedec.t
+
+(** [validate g n] checks shape invariants, empty root bag, and validity of
+    the flattened decomposition for [g]. *)
+val validate : Graph.t -> t -> bool

@@ -1,0 +1,131 @@
+(** Tree decompositions (Definition 14 of the paper) with validation.
+
+    A decomposition is a tree on bag indices [{0, ..., b-1}] where bag [i]
+    is a set of vertices of the decomposed graph.  The three conditions of
+    Definition 14 — vertex coverage (C1), edge coverage (C2) and
+    connectedness of the occurrence subtrees (C3) — are checked by
+    {!validate}, which every treewidth algorithm in this library is tested
+    against. *)
+
+module Intset = Intset
+
+type t = { bags : Intset.t array; tree : (int * int) list }
+
+let width (d : t) : int =
+  Array.fold_left (fun acc bag -> max acc (Intset.cardinal bag - 1)) (-1) d.bags
+
+let num_bags (d : t) : int = Array.length d.bags
+
+(** [trivial g] is the one-bag decomposition containing every vertex. *)
+let trivial (g : Graph.t) : t =
+  { bags = [| Intset.of_list (Graph.vertices g) |]; tree = [] }
+
+(** [validate g d] checks conditions (C1)–(C3) of Definition 14, and
+    additionally that the bag-connecting edge set really forms a tree
+    (connected and acyclic over the bag indices). *)
+let validate (g : Graph.t) (d : t) : bool =
+  let b = Array.length d.bags in
+  if b = 0 then Graph.num_vertices g = 0
+  else begin
+    (* The tree must be connected and acyclic on bag indices. *)
+    let tree_ok =
+      let tg = Graph.of_edges b d.tree in
+      Graph.is_connected tg && Graph.num_edges tg = b - 1
+    in
+    (* (C1): every vertex occurs in some bag. *)
+    let c1 =
+      List.for_all
+        (fun v -> Array.exists (fun bag -> Intset.mem v bag) d.bags)
+        (Graph.vertices g)
+    in
+    (* (C2): every edge is contained in some bag. *)
+    let c2 =
+      List.for_all
+        (fun (u, v) ->
+          Array.exists (fun bag -> Intset.mem u bag && Intset.mem v bag) d.bags)
+        (Graph.edges g)
+    in
+    (* (C3): for every vertex, the set of bags containing it induces a
+       connected subtree. *)
+    let c3 =
+      List.for_all
+        (fun v ->
+          let holder = ref [] in
+          Array.iteri (fun i bag -> if Intset.mem v bag then holder := i :: !holder) d.bags;
+          match !holder with
+          | [] -> true (* covered by C1 failing instead *)
+          | first :: _ ->
+              let holders = Intset.of_list !holder in
+              (* BFS restricted to holder bags *)
+              let seen = Hashtbl.create 8 in
+              Hashtbl.add seen first ();
+              let queue = Queue.create () in
+              Queue.add first queue;
+              let adj = Array.make b [] in
+              List.iter
+                (fun (x, y) ->
+                  adj.(x) <- y :: adj.(x);
+                  adj.(y) <- x :: adj.(y))
+                d.tree;
+              while not (Queue.is_empty queue) do
+                let x = Queue.pop queue in
+                List.iter
+                  (fun y ->
+                    if Intset.mem y holders && not (Hashtbl.mem seen y) then begin
+                      Hashtbl.add seen y ();
+                      Queue.add y queue
+                    end)
+                  adj.(x)
+              done;
+              Hashtbl.length seen = Intset.cardinal holders)
+        (Graph.vertices g)
+    in
+    tree_ok && c1 && c2 && c3
+  end
+
+(** [of_elimination_order g order] builds a tree decomposition from a vertex
+    elimination order by simulating fill-in: eliminating vertex [v] creates
+    the bag [{v} ∪ N(v)] in the current (filled) graph and turns [N(v)] into
+    a clique.  Bag [i] corresponds to the [i]-th eliminated vertex; bag [i]
+    is attached to the bag of the earliest-later-eliminated neighbour.  The
+    resulting decomposition is always valid; its width is the width of the
+    order. *)
+let of_elimination_order (g : Graph.t) (order : int list) : t =
+  let n = Graph.num_vertices g in
+  if List.length order <> n || List.sort_uniq compare order <> Graph.vertices g
+  then invalid_arg "Treedec.of_elimination_order";
+  if n = 0 then { bags = [||]; tree = [] }
+  else begin
+    let h = Graph.copy g in
+    let position = Array.make n 0 in
+    List.iteri (fun i v -> position.(v) <- i) order;
+    let order_arr = Array.of_list order in
+    let bags = Array.make n Intset.empty in
+    let tree = ref [] in
+    let eliminated = Array.make n false in
+    Array.iteri
+      (fun i v ->
+        let nbrs =
+          Intset.filter (fun w -> not eliminated.(w)) (Graph.neighbours h v)
+        in
+        bags.(i) <- Intset.add v nbrs;
+        (* fill-in: make the remaining neighbourhood a clique *)
+        let nl = Intset.to_list nbrs in
+        List.iter
+          (fun a -> List.iter (fun b -> if a < b then Graph.add_edge h a b) nl)
+          nl;
+        (* connect to the bag of the first neighbour eliminated later *)
+        (match nl with
+        | [] ->
+            (* isolated at elimination time: attach to the next bag to keep
+               the decomposition a tree *)
+            if i + 1 < n then tree := (i, i + 1) :: !tree
+        | _ ->
+            let next =
+              List.fold_left (fun acc w -> min acc position.(w)) max_int nl
+            in
+            tree := (i, next) :: !tree);
+        eliminated.(v) <- true)
+      order_arr;
+    { bags; tree = !tree }
+  end

@@ -1,0 +1,22 @@
+(** Tree decompositions (Definition 14) with validation. *)
+
+type t = { bags : Intset.t array; tree : (int * int) list }
+
+(** [width d] is [max |bag| - 1] ([-1] for the empty decomposition). *)
+val width : t -> int
+
+val num_bags : t -> int
+
+(** [trivial g] is the one-bag decomposition. *)
+val trivial : Graph.t -> t
+
+(** [validate g d] checks conditions (C1)–(C3) of Definition 14 and that
+    the bag graph is a tree. *)
+val validate : Graph.t -> t -> bool
+
+(** [of_elimination_order g order] builds the (always valid) decomposition
+    induced by a vertex elimination order via fill-in simulation; its width
+    is the width of the order.
+    @raise Invalid_argument if [order] is not a permutation of the
+    vertices. *)
+val of_elimination_order : Graph.t -> int list -> t

@@ -1,0 +1,262 @@
+(** Treewidth computation: heuristics, lower bounds, and an exact
+    branch-and-bound solver.
+
+    Every tractability criterion in the paper is a statement about treewidth:
+    Theorem 2 (treewidth of the combined queries), Theorem 3 (plus the
+    treewidth of their contracts), Definition 57 (hereditary treewidth) and
+    Theorems 7/8 (WL-dimension = hereditary treewidth).  Query graphs are
+    small, so an exact exponential algorithm is appropriate — we implement a
+    QuickBB-style branch and bound over elimination orderings with a
+    minor-min-width lower bound, the simplicial-vertex rule, and a min-fill
+    initial upper bound.  The [O(sqrt(log k))]-approximation of Theorem 7 is
+    modelled by the polynomial-time {!heuristic} upper bound paired with the
+    {!lower_bound}. *)
+
+module Intset = Intset
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic elimination orders                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of fill-in edges created by eliminating [v] from [g] (restricted
+    to the vertex set [alive]). *)
+let fill_in_cost (adj : Intset.t array) (alive : bool array) (v : int) : int =
+  let nbrs = Intset.filter (fun w -> alive.(w)) adj.(v) in
+  let nl = Intset.to_list nbrs in
+  let missing = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> if not (Intset.mem b adj.(a)) then incr missing) rest;
+        go rest
+  in
+  go nl;
+  !missing
+
+type heuristic_kind = Min_fill | Min_degree
+
+(** [heuristic_order kind g] computes an elimination order greedily: at each
+    step eliminate the vertex with minimum fill-in ([Min_fill]) or minimum
+    degree ([Min_degree]) in the current filled graph. *)
+let heuristic_order (kind : heuristic_kind) (g : Graph.t) : int list =
+  let n = Graph.num_vertices g in
+  let adj = Array.init n (fun v -> Graph.neighbours g v) in
+  let alive = Array.make n true in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    let best_cost = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let cost =
+          match kind with
+          | Min_fill -> fill_in_cost adj alive v
+          | Min_degree ->
+              Intset.cardinal (Intset.filter (fun w -> alive.(w)) adj.(v))
+        in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := v
+        end
+      end
+    done;
+    let v = !best in
+    (* eliminate: clique-ify the live neighbourhood *)
+    let nbrs = Intset.to_list (Intset.filter (fun w -> alive.(w)) adj.(v)) in
+    let rec cliqueify = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              adj.(a) <- Intset.add b adj.(a);
+              adj.(b) <- Intset.add a adj.(b))
+            rest;
+          cliqueify rest
+    in
+    cliqueify nbrs;
+    alive.(v) <- false;
+    order := v :: !order
+  done;
+  List.rev !order
+
+(** Width of an elimination order (max live degree at elimination time). *)
+let order_width (g : Graph.t) (order : int list) : int =
+  let d = Treedec.of_elimination_order g order in
+  Treedec.width d
+
+(** [heuristic g] returns the better of the min-fill and min-degree upper
+    bounds, together with a witnessing (valid) tree decomposition. *)
+let heuristic (g : Graph.t) : int * Treedec.t =
+  if Graph.num_vertices g = 0 then (-1, { Treedec.bags = [||]; tree = [] })
+  else begin
+    let o1 = heuristic_order Min_fill g in
+    let o2 = heuristic_order Min_degree g in
+    let d1 = Treedec.of_elimination_order g o1 in
+    let d2 = Treedec.of_elimination_order g o2 in
+    if Treedec.width d1 <= Treedec.width d2 then (Treedec.width d1, d1)
+    else (Treedec.width d2, d2)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lower bound: minor-min-width (MMD+)                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [lower_bound g] computes the minor-min-width lower bound: repeatedly
+    contract a minimum-degree vertex into its lowest-degree neighbour,
+    tracking the maximum over steps of the minimum degree.  Treewidth is
+    minor-monotone and at least the minimum degree, so this is a valid lower
+    bound. *)
+let lower_bound (g : Graph.t) : int =
+  let n = Graph.num_vertices g in
+  if n = 0 then -1
+  else begin
+    let adj = Array.init n (fun v -> Graph.neighbours g v) in
+    let alive = Array.make n true in
+    let alive_count = ref n in
+    let best = ref 0 in
+    while !alive_count > 1 do
+      (* find min-degree live vertex *)
+      let v = ref (-1) in
+      let dv = ref max_int in
+      for u = 0 to n - 1 do
+        if alive.(u) then begin
+          let d = Intset.cardinal adj.(u) in
+          if d < !dv then begin
+            dv := d;
+            v := u
+          end
+        end
+      done;
+      best := max !best !dv;
+      if !dv = 0 then begin
+        alive.(!v) <- false;
+        decr alive_count
+      end
+      else begin
+        (* contract v into its min-degree neighbour *)
+        let w =
+          Intset.fold
+            (fun u acc ->
+              match acc with
+              | None -> Some u
+              | Some b ->
+                  if Intset.cardinal adj.(u) < Intset.cardinal adj.(b) then Some u
+                  else acc)
+            adj.(!v) None
+        in
+        match w with
+        | None -> assert false
+        | Some w ->
+            (* merge neighbourhoods into w *)
+            Intset.iter
+              (fun u ->
+                if u <> w then begin
+                  adj.(w) <- Intset.add u adj.(w);
+                  adj.(u) <- Intset.add w adj.(u)
+                end;
+                adj.(u) <- Intset.remove !v adj.(u))
+              adj.(!v);
+            adj.(w) <- Intset.remove !v adj.(w);
+            alive.(!v) <- false;
+            decr alive_count
+      end
+    done;
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exact treewidth: branch and bound over elimination orders          *)
+(* ------------------------------------------------------------------ *)
+
+(** State for the branch-and-bound search: a mutable filled graph plus the
+    set of remaining vertices. *)
+let exact_order (g : Graph.t) : int list =
+  let n = Graph.num_vertices g in
+  if n = 0 then []
+  else begin
+    let ub, _ = heuristic g in
+    let best_width = ref ub in
+    let best_order = ref (heuristic_order Min_fill g) in
+    (* Depth-first search over elimination prefixes. *)
+    let rec search (adj : Intset.t array) (alive : Intset.t) (width_so_far : int)
+        (prefix : int list) : unit =
+      if Intset.is_empty alive then begin
+        if width_so_far < !best_width then begin
+          best_width := width_so_far;
+          best_order := List.rev prefix
+        end
+      end
+      else begin
+        (* Lower bound on the completion: minor-min-width of the remainder. *)
+        let remaining = Intset.to_list alive in
+        let sub, map = Graph.induced (Graph.of_edges n
+          (let acc = ref [] in
+           List.iter (fun u ->
+             Intset.iter (fun v -> if u < v && Intset.mem v alive then acc := (u, v) :: !acc)
+               adj.(u)) remaining;
+           !acc)) remaining in
+        ignore map;
+        let lb = max width_so_far (lower_bound sub) in
+        if lb < !best_width then begin
+          (* Simplicial-vertex rule: a vertex whose live neighbourhood is a
+             clique can always be eliminated first, without loss. *)
+          let live_nbrs v = Intset.inter adj.(v) alive in
+          let is_clique s =
+            let l = Intset.to_list s in
+            let rec go = function
+              | [] -> true
+              | a :: rest -> List.for_all (fun b -> Intset.mem b adj.(a)) rest && go rest
+            in
+            go l
+          in
+          let simplicial =
+            List.find_opt (fun v -> is_clique (live_nbrs v)) remaining
+          in
+          let candidates =
+            match simplicial with Some v -> [ v ] | None -> remaining
+          in
+          List.iter
+            (fun v ->
+              let nbrs = live_nbrs v in
+              let deg = Intset.cardinal nbrs in
+              let new_width = max width_so_far deg in
+              if new_width < !best_width then begin
+                (* eliminate v on a copied adjacency *)
+                let adj' = Array.copy adj in
+                let nl = Intset.to_list nbrs in
+                let rec cliqueify = function
+                  | [] -> ()
+                  | a :: rest ->
+                      List.iter
+                        (fun b ->
+                          adj'.(a) <- Intset.add b adj'.(a);
+                          adj'.(b) <- Intset.add a adj'.(b))
+                        rest;
+                      cliqueify rest
+                in
+                cliqueify nl;
+                search adj' (Intset.remove v alive) new_width (v :: prefix)
+              end)
+            candidates
+        end
+      end
+    in
+    let adj0 = Array.init n (fun v -> Graph.neighbours g v) in
+    search adj0 (Intset.of_list (Graph.vertices g)) 0 [];
+    !best_order
+  end
+
+(** [exact g] computes the exact treewidth of [g] together with a witnessing
+    valid tree decomposition.  Exponential in the worst case; intended for
+    query-sized graphs (up to roughly 25 vertices). *)
+let exact (g : Graph.t) : int * Treedec.t =
+  if Graph.num_vertices g = 0 then (-1, { Treedec.bags = [||]; tree = [] })
+  else begin
+    let order = exact_order g in
+    let d = Treedec.of_elimination_order g order in
+    (Treedec.width d, d)
+  end
+
+(** [treewidth g] is the exact treewidth as an integer (convention: the
+    empty graph has treewidth [-1], matching [max bag - 1]). *)
+let treewidth (g : Graph.t) : int = fst (exact g)

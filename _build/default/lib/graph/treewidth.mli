@@ -1,0 +1,29 @@
+(** Treewidth: greedy upper bounds, a minor-based lower bound, and an exact
+    branch-and-bound solver — the engine behind every tractability
+    criterion in the paper (Theorems 1/2/3, Definition 57, Theorems 7/8). *)
+
+type heuristic_kind = Min_fill | Min_degree
+
+(** [heuristic_order kind g] is a greedy elimination order. *)
+val heuristic_order : heuristic_kind -> Graph.t -> int list
+
+(** [order_width g order] is the width of an elimination order. *)
+val order_width : Graph.t -> int list -> int
+
+(** [heuristic g] is the better of the min-fill and min-degree upper
+    bounds, with a witnessing valid decomposition. *)
+val heuristic : Graph.t -> int * Treedec.t
+
+(** [lower_bound g] is the minor-min-width lower bound. *)
+val lower_bound : Graph.t -> int
+
+(** [exact_order g] is an optimal elimination order, found by QuickBB-style
+    branch and bound (simplicial-vertex rule, minor-min-width pruning).
+    Exponential; intended for query-sized graphs. *)
+val exact_order : Graph.t -> int list
+
+(** [exact g] is the exact treewidth with a witnessing decomposition. *)
+val exact : Graph.t -> int * Treedec.t
+
+(** [treewidth g] is the exact treewidth ([-1] for the empty graph). *)
+val treewidth : Graph.t -> int

@@ -1,0 +1,1 @@
+lib/hom/hom.ml: Array Hashtbl Intset List Signature Structure

@@ -1,0 +1,1 @@
+lib/hom/hom.mli: Structure

@@ -1,0 +1,1 @@
+lib/hom/jointree_count.ml: Array Bigint Hashtbl Hypergraph Intset List Listx Option Queue Semiring Signature Structure

@@ -1,0 +1,1 @@
+lib/hom/jointree_count.mli: Bigint Hypergraph Semiring Structure

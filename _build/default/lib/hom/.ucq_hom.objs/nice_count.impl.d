@@ -1,0 +1,1 @@
+lib/hom/nice_count.ml: Array Graph Hashtbl Intset List Listx Nice_treedec Option Signature Structure Treedec Treewidth

@@ -1,0 +1,1 @@
+lib/hom/nice_count.mli: Nice_treedec Structure

@@ -1,0 +1,1 @@
+lib/hom/semiring.ml: Bigint

@@ -1,0 +1,1 @@
+lib/hom/treedec_count.ml: Array Bigint Graph Hashtbl Intset List Listx Option Queue Semiring Signature Structure Treedec Treewidth

@@ -1,0 +1,1 @@
+lib/hom/treedec_count.mli: Bigint Semiring Structure

@@ -1,0 +1,34 @@
+(** Homomorphisms between relational structures (Section 2.2): the
+    semantics of conjunctive-query answers, found by backtracking with
+    unary-consistency pruning. *)
+
+(** [iter_homs ?fixed a b f] invokes [f] on every homomorphism [A → B]
+    extending the partial assignment [fixed]; [f] returns [false] to stop
+    the enumeration. *)
+val iter_homs :
+  ?fixed:(int * int) list ->
+  Structure.t ->
+  Structure.t ->
+  ((int * int) list -> bool) ->
+  unit
+
+(** [exists ?fixed a b] decides existence. *)
+val exists : ?fixed:(int * int) list -> Structure.t -> Structure.t -> bool
+
+(** [count ?fixed a b] counts by exhaustive backtracking — the reference
+    oracle (exponential in [|U(A)|]). *)
+val count : ?fixed:(int * int) list -> Structure.t -> Structure.t -> int
+
+(** [find ?fixed a b] returns some homomorphism, if any. *)
+val find :
+  ?fixed:(int * int) list ->
+  Structure.t ->
+  Structure.t ->
+  (int * int) list option
+
+(** [find_non_surjective_endo a ~fixed_pointwise] searches for a
+    non-surjective endomorphism of [a] fixing the listed elements
+    pointwise — the Observation 17 test: [(A, X)] is #minimal iff none
+    exists. *)
+val find_non_surjective_endo :
+  Structure.t -> fixed_pointwise:int list -> (int * int) list option

@@ -1,0 +1,22 @@
+(** Linear-time counting of homomorphisms of acyclic quantifier-free
+    conjunctive queries — the counting variant of Yannakakis' join-tree
+    algorithm (upper bound of Theorems 4/37). *)
+
+(** [atom_hypergraph a] is the hypergraph of atom scopes. *)
+val atom_hypergraph : Structure.t -> Hypergraph.t
+
+(** [is_acyclic_structure a] is alpha-acyclicity of the atom hypergraph —
+    the paper's notion of acyclicity for queries. *)
+val is_acyclic_structure : Structure.t -> bool
+
+(** [Make (R)] instantiates the counter over a semiring. *)
+module Make (R : Semiring.S) : sig
+  val count : Structure.t -> Structure.t -> R.t option
+end
+
+(** [count a d] is [hom(A → D)] with native integers, or [None] when [a] is
+    cyclic (fall back to {!Treedec_count}). *)
+val count : Structure.t -> Structure.t -> int option
+
+(** [count_big a d] is the exact arbitrary-precision variant. *)
+val count_big : Structure.t -> Structure.t -> Bigint.t option

@@ -1,0 +1,158 @@
+(** Counting homomorphisms by dynamic programming over a {e nice} tree
+    decomposition — the textbook [Leaf / Introduce / Forget / Join]
+    formulation of the algorithm behind {!Treedec_count}.
+
+    Tables map assignments of the current bag (encoded as sorted
+    (vertex, value) association lists) to partial counts:
+
+    - [Leaf]: the empty assignment with count 1;
+    - [Introduce v]: extend every assignment with every domain value of
+      [v], keeping only extensions satisfying the atoms that become fully
+      assigned (every atom spans a Gaifman clique, hence fits in a bag, and
+      is checked at the node introducing the last of its elements);
+    - [Forget v]: project [v] away, summing counts;
+    - [Join]: multiply counts of equal assignments.
+
+    The empty root bag leaves a single scalar: [hom(A → D)].  This module
+    exists alongside {!Treedec_count} as an independently-implemented
+    cross-check (the two are tested against each other and against the
+    backtracking oracle). *)
+
+module Intset = Intset
+
+(** [count ?nice a d] is [hom(A → D)].  A nice decomposition of the
+    Gaifman graph is computed from the exact/heuristic treewidth algorithm
+    unless one is supplied. *)
+let count ?(nice : Nice_treedec.t option) (a : Structure.t) (d : Structure.t) :
+    int =
+  if not (Signature.subset (Structure.signature a) (Structure.signature d))
+  then 0
+  else begin
+    let g, old_of_new = Structure.gaifman a in
+    let new_of_old = Hashtbl.create (Array.length old_of_new) in
+    Array.iteri (fun i v -> Hashtbl.add new_of_old v i) old_of_new;
+    let nice =
+      match nice with
+      | Some n -> n
+      | None ->
+          let _, dec =
+            if Graph.num_vertices g <= 20 then Treewidth.exact g
+            else Treewidth.heuristic g
+          in
+          let dec =
+            if Treedec.num_bags dec = 0 then
+              { Treedec.bags = [| Intset.empty |]; tree = [] }
+            else dec
+          in
+          Nice_treedec.of_treedec dec
+    in
+    let domain = Array.of_list (Structure.universe d) in
+    let nd = Array.length domain in
+    if Structure.universe_size a = 0 then 1
+    else if nd = 0 then 0
+    else begin
+      (* atoms as (dense element list, membership test) *)
+      let atoms =
+        List.concat_map
+          (fun (name, ts) ->
+            let td = Structure.relation d name in
+            let set = Hashtbl.create (List.length td) in
+            List.iter (fun t -> Hashtbl.replace set t ()) td;
+            List.map
+              (fun qt ->
+                let dense = List.map (Hashtbl.find new_of_old) qt in
+                (Listx.sort_uniq_ints dense, dense, set))
+              ts)
+          (Structure.relations a)
+      in
+      (* nullary atoms involve no vertex and are never reached by the
+         introduce rule: check them upfront *)
+      let nullary_ok =
+        List.for_all
+          (fun (vars, dense, set) ->
+            vars <> [] || dense <> [] || Hashtbl.mem set [])
+          atoms
+      in
+      if not nullary_ok then 0
+      else begin
+      (* table: sorted (vertex, value) assoc list -> count *)
+      let rec run (n : Nice_treedec.t) : (int * int) list list * int list =
+        (* returns the table as a list of (assignment, count implicit via
+           pairing below) — we carry counts in a parallel list to keep the
+           key type simple *)
+        match n with
+        | Nice_treedec.Leaf -> ([ [] ], [ 1 ])
+        | Nice_treedec.Forget (v, _, c) ->
+            let keys, counts = run c in
+            let tbl = Hashtbl.create (List.length keys) in
+            List.iter2
+              (fun key cnt ->
+                let key' = List.filter (fun (x, _) -> x <> v) key in
+                Hashtbl.replace tbl key'
+                  (cnt + Option.value ~default:0 (Hashtbl.find_opt tbl key')))
+              keys counts;
+            Hashtbl.fold (fun k c (ks, cs) -> (k :: ks, c :: cs)) tbl ([], [])
+        | Nice_treedec.Introduce (v, b, c) ->
+            let keys, counts = run c in
+            let bag_elems = Intset.to_list b in
+            (* atoms fully inside the bag that mention v *)
+            let relevant =
+              List.filter
+                (fun (vars, _, _) ->
+                  List.mem v vars && Listx.is_subset_sorted vars bag_elems)
+                atoms
+            in
+            let out_keys = ref [] and out_counts = ref [] in
+            List.iter2
+              (fun key cnt ->
+                Array.iter
+                  (fun value ->
+                    let key' =
+                      List.merge
+                        (fun (x, _) (y, _) -> compare x y)
+                        [ (v, value) ] key
+                    in
+                    let ok =
+                      List.for_all
+                        (fun (_, dense, set) ->
+                          let tup =
+                            List.map (fun x -> List.assoc x key') dense
+                          in
+                          Hashtbl.mem set tup)
+                        relevant
+                    in
+                    if ok then begin
+                      out_keys := key' :: !out_keys;
+                      out_counts := cnt :: !out_counts
+                    end)
+                  domain)
+              keys counts;
+            (!out_keys, !out_counts)
+        | Nice_treedec.Join (_, c1, c2) ->
+            let keys1, counts1 = run c1 in
+            let keys2, counts2 = run c2 in
+            let tbl = Hashtbl.create (List.length keys2) in
+            List.iter2
+              (fun k c ->
+                Hashtbl.replace tbl k
+                  (c + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+              keys2 counts2;
+            let out_keys = ref [] and out_counts = ref [] in
+            List.iter2
+              (fun k c ->
+                match Hashtbl.find_opt tbl k with
+                | None -> ()
+                | Some c2 ->
+                    out_keys := k :: !out_keys;
+                    out_counts := (c * c2) :: !out_counts)
+              keys1 counts1;
+            (!out_keys, !out_counts)
+      in
+      let keys, counts = run nice in
+      (* root bag is empty: at most one entry *)
+      List.fold_left2
+        (fun acc key cnt -> if key = [] then acc + cnt else acc)
+        0 keys counts
+      end
+    end
+  end

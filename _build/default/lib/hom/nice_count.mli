@@ -1,0 +1,7 @@
+(** Counting homomorphisms over a nice tree decomposition — the textbook
+    [Leaf / Introduce / Forget / Join] dynamic program, kept as an
+    independently-implemented cross-check of {!Treedec_count}. *)
+
+(** [count ?nice a d] is [hom(A → D)]; a nice decomposition of the Gaifman
+    graph is computed unless supplied. *)
+val count : ?nice:Nice_treedec.t -> Structure.t -> Structure.t -> int

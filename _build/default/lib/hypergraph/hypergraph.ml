@@ -1,0 +1,190 @@
+(** Finite hypergraphs and (alpha-)acyclicity.
+
+    A conjunctive query is acyclic iff its atom hypergraph has a join tree
+    (Section 2.2 of the paper, following Gottlob–Greco–Scarcello).  The
+    criterion for linear-time CQ counting (Theorems 4/37) and three of the
+    five guarantees of Lemma 48 are acyclicity statements, so this module is
+    load-bearing for the META algorithm.
+
+    Vertices are integers; a hyperedge is a sorted duplicate-free integer
+    list.  Empty hyperedges are permitted (a nullary atom) and are trivially
+    contained in every other edge. *)
+
+module Listx = Listx
+
+type t = { vertices : int list; (* sorted, duplicate-free *) edges : int list list }
+
+(** [make vertices edges] normalises and validates a hypergraph: every edge
+    must draw its vertices from [vertices]. *)
+let make (vertices : int list) (edges : int list list) : t =
+  let vertices = Listx.sort_uniq_ints vertices in
+  let edges = List.map Listx.sort_uniq_ints edges in
+  List.iter
+    (fun e ->
+      if not (Listx.is_subset_sorted e vertices) then
+        invalid_arg "Hypergraph.make: edge not over vertex set")
+    edges;
+  { vertices; edges }
+
+let num_vertices (h : t) : int = List.length h.vertices
+let num_edges (h : t) : int = List.length h.edges
+
+(** [primal_graph h] is the primal (Gaifman) graph: vertices of [h], with an
+    edge between two vertices whenever they share a hyperedge.  Vertices are
+    re-indexed densely; the second component maps dense indices back. *)
+let primal_graph (h : t) : Graph.t * int array =
+  let old_of_new = Array.of_list h.vertices in
+  let new_of_old = Hashtbl.create (Array.length old_of_new) in
+  Array.iteri (fun i v -> Hashtbl.add new_of_old v i) old_of_new;
+  let g = Graph.make (Array.length old_of_new) in
+  List.iter
+    (fun e ->
+      let idx = List.map (Hashtbl.find new_of_old) e in
+      List.iter
+        (fun (a, b) -> Graph.add_edge g a b)
+        (Combinat.pairs idx))
+    h.edges;
+  (g, old_of_new)
+
+(* ------------------------------------------------------------------ *)
+(* GYO reduction and join trees                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A join tree over the hyperedges of the input: nodes are indices into the
+    original edge list; the connectedness ("running intersection") property
+    holds for every vertex. *)
+type join_tree = { nodes : int list array; tree : (int * int) list }
+
+(** [gyo_acyclic h] decides alpha-acyclicity by ear removal: repeatedly find
+    an edge [e] whose vertices-shared-with-other-edges are all contained in
+    one single other edge [f] (then [e] is an "ear" and may be removed).
+    The hypergraph is acyclic iff this process eliminates all but at most
+    one edge. *)
+let gyo_acyclic (h : t) : bool =
+  let edges = Array.of_list h.edges in
+  let alive = Array.make (Array.length edges) true in
+  let alive_count = ref (Array.length edges) in
+  let progress = ref true in
+  while !alive_count > 1 && !progress do
+    progress := false;
+    (try
+       for i = 0 to Array.length edges - 1 do
+         if alive.(i) then begin
+           (* vertices of edge i that occur in some other live edge *)
+           let shared =
+             List.filter
+               (fun v ->
+                 Array.exists
+                   (fun j -> j)
+                   (Array.mapi
+                      (fun j e -> j <> i && alive.(j) && List.mem v e)
+                      edges))
+               edges.(i)
+           in
+           let witness =
+             Array.exists
+               (fun j -> j)
+               (Array.mapi
+                  (fun j e ->
+                    j <> i && alive.(j) && Listx.is_subset_sorted shared e)
+                  edges)
+           in
+           if shared = [] || witness then begin
+             alive.(i) <- false;
+             decr alive_count;
+             progress := true;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ())
+  done;
+  !alive_count <= 1
+
+(** [join_tree h] constructs a join tree by the same ear-removal process,
+    recording for each removed ear the containing witness edge.  Returns
+    [None] when the hypergraph is cyclic. *)
+let join_tree (h : t) : join_tree option =
+  let edges = Array.of_list h.edges in
+  let m = Array.length edges in
+  if m = 0 then Some { nodes = [||]; tree = [] }
+  else begin
+    let alive = Array.make m true in
+    let alive_count = ref m in
+    let tree = ref [] in
+    let progress = ref true in
+    while !alive_count > 1 && !progress do
+      progress := false;
+      (try
+         for i = 0 to m - 1 do
+           if alive.(i) then begin
+             let shared =
+               List.filter
+                 (fun v ->
+                   let occurs = ref false in
+                   Array.iteri
+                     (fun j e ->
+                       if j <> i && alive.(j) && List.mem v e then occurs := true)
+                     edges;
+                   !occurs)
+                 edges.(i)
+             in
+             let witness = ref (-1) in
+             Array.iteri
+               (fun j e ->
+                 if !witness < 0 && j <> i && alive.(j)
+                    && Listx.is_subset_sorted shared e
+                 then witness := j)
+               edges;
+             if !witness >= 0 then begin
+               tree := (i, !witness) :: !tree;
+               alive.(i) <- false;
+               decr alive_count;
+               progress := true;
+               raise Exit
+             end
+             else if shared = [] && !alive_count > 1 then begin
+               (* disconnected component: attach to any other live edge *)
+               let other = ref (-1) in
+               Array.iteri
+                 (fun j _ -> if !other < 0 && j <> i && alive.(j) then other := j)
+                 edges;
+               tree := (i, !other) :: !tree;
+               alive.(i) <- false;
+               decr alive_count;
+               progress := true;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ())
+    done;
+    if !alive_count > 1 then None
+    else Some { nodes = edges; tree = !tree }
+  end
+
+(** [is_acyclic h] is [gyo_acyclic h]; exposed under the paper's name. *)
+let is_acyclic (h : t) : bool = gyo_acyclic h
+
+(** [join_tree_valid h jt] checks the running-intersection property: for
+    every vertex, the tree nodes whose edge contains it form a subtree. *)
+let join_tree_valid (h : t) (jt : join_tree) : bool =
+  let m = Array.length jt.nodes in
+  if m = 0 then h.edges = []
+  else begin
+    let tg = Graph.of_edges m jt.tree in
+    (Graph.is_connected tg && Graph.num_edges tg = m - 1)
+    && List.for_all
+         (fun v ->
+           let holders =
+             List.filter
+               (fun i -> List.mem v jt.nodes.(i))
+               (List.init m (fun i -> i))
+           in
+           match holders with
+           | [] -> true
+           | _ ->
+               let sub, _ = Graph.induced tg holders in
+               Graph.is_connected sub)
+         h.vertices
+  end

@@ -1,0 +1,31 @@
+(** Hypergraphs and alpha-acyclicity: the GYO reduction and join trees
+    behind the linear-time counting criterion (Theorems 4/37). *)
+
+type t = { vertices : int list; edges : int list list }
+
+(** [make vertices edges] normalises (sorting, deduplicating within edges)
+    and validates that edges draw from the vertex set. *)
+val make : int list -> int list list -> t
+
+val num_vertices : t -> int
+val num_edges : t -> int
+
+(** [primal_graph h] is the primal (Gaifman) graph over densely re-indexed
+    vertices, plus the dense-index → vertex mapping. *)
+val primal_graph : t -> Graph.t * int array
+
+(** A join tree over the input hyperedges (nodes are indexed by position in
+    the original edge list). *)
+type join_tree = { nodes : int list array; tree : (int * int) list }
+
+(** [gyo_acyclic h] decides alpha-acyclicity by ear removal. *)
+val gyo_acyclic : t -> bool
+
+(** [is_acyclic h] is {!gyo_acyclic}. *)
+val is_acyclic : t -> bool
+
+(** [join_tree h] constructs a join tree, or [None] when cyclic. *)
+val join_tree : t -> join_tree option
+
+(** [join_tree_valid h jt] checks the running-intersection property. *)
+val join_tree_valid : t -> join_tree -> bool

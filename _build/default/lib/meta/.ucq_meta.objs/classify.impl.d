@@ -1,0 +1,1 @@
+lib/meta/classify.ml: Cq List Ucq

@@ -1,0 +1,1 @@
+lib/meta/classify.mli: Cq Ucq

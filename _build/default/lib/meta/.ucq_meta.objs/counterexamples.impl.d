@@ -1,0 +1,1 @@
+lib/meta/counterexamples.ml: Cq Ktk Lemma48 List Printf Scomplex Signature Structure Ucq

@@ -1,0 +1,1 @@
+lib/meta/counterexamples.mli: Ktk Ucq

@@ -1,0 +1,1 @@
+lib/meta/meta.ml: Cq List Structure Treewidth Ucq

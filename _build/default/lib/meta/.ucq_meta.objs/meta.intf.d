@@ -1,0 +1,1 @@
+lib/meta/meta.mli: Cq Ucq

@@ -1,0 +1,1 @@
+lib/meta/monotonicity.ml: Array Bigint Combinat Counting Cq Linalg List Listx Rational Structure Ucq

@@ -1,0 +1,1 @@
+lib/meta/monotonicity.mli: Bigint Cq Rational Structure Ucq

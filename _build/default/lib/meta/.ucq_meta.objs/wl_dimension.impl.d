@@ -1,0 +1,1 @@
+lib/meta/wl_dimension.ml: Generators List Meta Printf Signature Structure Ucq Wl

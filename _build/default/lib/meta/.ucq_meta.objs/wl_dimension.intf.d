@@ -1,0 +1,1 @@
+lib/meta/wl_dimension.mli: Signature Structure Ucq

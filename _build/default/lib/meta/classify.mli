@@ -1,0 +1,43 @@
+(** Structural analysis for the classifications of Theorems 1/2/3 (classes
+    of UCQs) and Theorem 21 (single CQs). *)
+
+type report = {
+  combined_tw : int;  (** treewidth of [∧(Ψ)] — Theorems 2/3 *)
+  combined_contract_tw : int;  (** treewidth of [contract(∧(Ψ))] *)
+  gamma_max_tw : int;  (** max treewidth over the support ([Γ]) — Theorem 1 *)
+  gamma_max_contract_tw : int;
+  quantifier_free : bool;
+  union_of_self_join_free : bool;  (** condition (III) *)
+  num_quantified : int;  (** condition (II) data *)
+  num_disjuncts : int;
+}
+
+(** [analyze ?with_gamma psi] computes the report; [with_gamma:false] skips
+    the exponential Γ measures (reported as [-1]). *)
+val analyze : ?with_gamma:bool -> Ucq.t -> report
+
+type verdict = Fpt | W1_hard | Inconclusive
+
+type family_report = { samples : (int * report) list; verdict : verdict }
+
+(** [analyze_family ?with_gamma family params] samples a parameterised
+    family (assumed deletion-closed by construction) and derives the
+    Theorem 2/3 verdict from the growth of the combined measures and the
+    side conditions. *)
+val analyze_family :
+  ?with_gamma:bool -> (int -> Ucq.t) -> int list -> family_report
+
+(** {2 Single conjunctive queries (Theorem 21)} *)
+
+type cq_report = {
+  core_tw : int;  (** treewidth of the #core *)
+  core_contract_tw : int;
+  core_acyclic : bool;
+  core_quantifier_free : bool;
+  was_minimal : bool;  (** the input was already #minimal *)
+}
+
+(** [analyze_cq q] profiles a single CQ on its #core — the data of the
+    Chen–Mengel classification (Theorem 21) and of the linear-time
+    criterion (Theorems 4/37). *)
+val analyze_cq : Cq.t -> cq_report

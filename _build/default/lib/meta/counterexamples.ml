@@ -1,0 +1,71 @@
+(** The Appendix A counterexample families: each side condition of
+    Theorem 3 is necessary.
+
+    - Lemma 59 (drop (I), deletion-closedness): [Ψ_t = Â_t(Δ₂)] for the
+      Figure 1 complex Δ₂ with [χ̂(Δ₂) = 0]; the combined query is [K_t^k]
+      of unbounded treewidth, yet every support term of the expansion is
+      acyclic, so #UCQ of the family is FPT.
+    - Lemma 60 (drop (II), bounded quantified variables): the queries
+      [φ_k^{i,j}] whose union [Ψ_k] has a combined query containing a
+      subdivided k-clique, while every #minimal expansion term stays of
+      treewidth ≤ 2.
+    - Lemma 61 (drop (III), self-join-freeness): the single CQs [ψ_k] whose
+      contract is a k-clique but whose #core is a star. *)
+
+(** [lemma59 t] is [Ψ_t]: algorithm [Â_t] applied to Δ₂ (Figure 1, right).
+    Quantifier-free, self-join-free, binary; [∧(Ψ_t) ≅ K_t^4] has treewidth
+    [t - 1], but [c_{Ψ_t}(∧(Ψ_t)) = -χ̂(Δ₂) = 0]. *)
+let lemma59 (t : int) : Ucq.t * Ktk.t =
+  Lemma48.ucq_of_complex t Scomplex.figure1_delta2
+
+(** Variable encoding for [lemma60 k]: free variables [x_1 .. x_k] are
+    [1 .. k], [x_⊥] is [0], and the quantified witness of the pair
+    [(i, j)] is a fresh variable above [k]. *)
+let lemma60 (k : int) : Ucq.t =
+  if k < 3 then invalid_arg "Counterexamples.lemma60: k >= 3 required";
+  let sg =
+    Signature.make
+      (List.init k (fun i -> Signature.symbol (Printf.sprintf "E%d" (i + 1)) 2))
+  in
+  let free = 0 :: List.init k (fun i -> i + 1) in
+  let pairs =
+    List.concat
+      (List.init k (fun i ->
+           List.init k (fun j -> (i + 1, j + 1))
+           |> List.filter (fun (a, b) -> a < b)))
+  in
+  let cq_of_pair (i, j) =
+    let y = k + 1 in
+    let rels =
+      (Printf.sprintf "E%d" i, [ [ i; y ] ])
+      :: (Printf.sprintf "E%d" j, [ [ j; y ] ])
+      :: List.filter_map
+           (fun l ->
+             if l = i || l = j then None
+             else Some (Printf.sprintf "E%d" l, [ [ l; 0 ] ]))
+           (List.init k (fun l -> l + 1))
+    in
+    Cq.make (Structure.make sg (y :: free) rels) free
+  in
+  Ucq.make (List.map cq_of_pair pairs)
+
+(** [lemma61 k] is the single quantifier-free-ish CQ
+    [ψ_k(x_1, ..., x_k, x_⊥) = ∃y. ⋀_i E(x_i, x_⊥) ∧ E(x_i, y)]
+    viewed as a one-disjunct UCQ.  Its contract is a (k+1)-clique-ish graph
+    of treewidth k, but it is #equivalent to [⋀_i E(x_i, x_⊥)] whose
+    contract has treewidth 1. *)
+let lemma61 (k : int) : Ucq.t =
+  if k < 1 then invalid_arg "Counterexamples.lemma61";
+  let sg = Signature.make [ Signature.symbol "E" 2 ] in
+  let free = 0 :: List.init k (fun i -> i + 1) in
+  let y = k + 1 in
+  let rels =
+    [
+      ( "E",
+        List.concat
+          (List.init k (fun i0 ->
+               let i = i0 + 1 in
+               [ [ i; 0 ]; [ i; y ] ])) );
+    ]
+  in
+  Ucq.make [ Cq.make (Structure.make sg (y :: free) rels) free ]

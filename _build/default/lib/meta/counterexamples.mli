@@ -1,0 +1,17 @@
+(** The Appendix A counterexample families: each Theorem 3 side condition
+    is necessary. *)
+
+(** [lemma59 t] is [Ψ_t = Â_t(Δ₂)] (drop (I), deletion-closure):
+    [tw(∧Ψ_t) = t - 1] grows, yet the expansion support stays acyclic. *)
+val lemma59 : int -> Ucq.t * Ktk.t
+
+(** [lemma60 k] (drop (II), bounded quantified variables): [tw(∧Ψ_k)]
+    grows with [k] while every #minimal support term and its contract stay
+    of treewidth ≤ 2.
+    @raise Invalid_argument for [k < 3]. *)
+val lemma60 : int -> Ucq.t
+
+(** [lemma61 k] (drop (III), self-join-freeness): the single CQ [ψ_k] whose
+    contract has treewidth [k] but whose #core's contract is a star.
+    @raise Invalid_argument for [k < 1]. *)
+val lemma61 : int -> Ucq.t

@@ -1,0 +1,34 @@
+(** The META decision procedure (Lemma 38 / Theorem 5), hereditary
+    treewidth (Definition 57), and the gap problem META[c,d]
+    (Definition 54). *)
+
+type decision = {
+  linear_time : bool;
+      (** counting answers is linear-time possible, conditionally on SETH /
+          the Triangle Conjecture *)
+  support : (Cq.t * int) list;
+      (** the non-vanishing #minimal classes of the CQ expansion *)
+  offending : Cq.t list;
+      (** the cyclic support terms (empty iff [linear_time]) *)
+}
+
+(** [decide psi] runs META in [2^ℓ · poly(|Ψ|)] time.
+    @raise Invalid_argument on inputs with quantified variables (META is
+    defined for quantifier-free unions; with quantifiers the meta problem
+    is NP-hard already for single CQs). *)
+val decide : Ucq.t -> decision
+
+(** [hereditary_treewidth psi] is [hdtw(Ψ)] (Definition 57): the maximum
+    treewidth over the support of [c_Ψ]. *)
+val hereditary_treewidth : Ucq.t -> int
+
+(** [hereditary_treewidth_bounds psi] is the polynomial-per-term
+    approximation pair [(lo, hi)] with [lo ≤ hdtw(Ψ) ≤ hi] (the Theorem 7
+    regime). *)
+val hereditary_treewidth_bounds : Ucq.t -> int * int
+
+type gap_outcome = Within_c | Beyond_d | Between
+
+(** [gap ~c ~d psi] classifies for META[c, d] (Definition 54), [1 ≤ c ≤ d],
+    through acyclicity (c = 1) and hereditary treewidth. *)
+val gap : c:int -> d:int -> Ucq.t -> gap_outcome

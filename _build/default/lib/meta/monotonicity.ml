@@ -1,0 +1,108 @@
+(** Complexity monotonicity (Theorem 28): recover every individual CQ
+    answer count in the support of a UCQ's expansion from an oracle for the
+    UCQ's own answer count.
+
+    The algorithm queries the oracle on tensor products [D ⊗ B_i] for test
+    structures [B_1, ..., B_r]; by Lemma 26 and the multiplicativity of
+    answer counts over [⊗],
+
+    [ans(Ψ → D ⊗ B_i) = Σ_j c_Ψ(A_j, X_j) · ans((A_j, X_j) → D) · ans((A_j, X_j) → B_i)],
+
+    a linear system in the unknowns [c_j · ans((A_j, X_j) → D)].  The paper
+    cites [20, 28] for the existence of test structures making the system
+    non-singular; we search for them constructively: the candidate pool
+    starts from the combined-query structures of [Ψ] themselves and is
+    closed under tensor products until the matrix
+    [M_{i,j} = ans((A_j, X_j) → B_i)] reaches full rank (by the
+    Lovász-style linear independence of answer-count vectors of pairwise
+    non-#equivalent #minimal queries, the pool always suffices in our
+    instances; we fail loudly otherwise).  All arithmetic is exact
+    ({!Rational} over {!Bigint}) because the tensor-product counts overflow
+    native integers. *)
+
+type recovered = {
+  term : Cq.t; (** #minimal representative [(A_j, X_j)] *)
+  coefficient : int; (** [c_Ψ(A_j, X_j)] *)
+  count : Bigint.t; (** the recovered [ans((A_j, X_j) → D)] *)
+}
+
+exception No_basis
+
+(** [select_basis terms pool] greedily picks structures from [pool] until
+    the matrix [ans(term_j → B_i)] has full row rank [r = |terms|].
+    Returns the chosen structures and the square matrix. *)
+let select_basis (terms : Cq.t list) (pool : Structure.t list) :
+    Structure.t list * Rational.t array array =
+  let r = List.length terms in
+  let row b =
+    Array.of_list
+      (List.map (fun q -> Rational.of_bigint (Counting.count_big q b)) terms)
+  in
+  let rec grow chosen rows = function
+    | [] -> raise No_basis
+    | b :: rest ->
+        let candidate_rows = rows @ [ row b ] in
+        let m = Array.of_list candidate_rows in
+        if Linalg.rank m > List.length rows then begin
+          let chosen = chosen @ [ b ] in
+          if List.length chosen = r then (chosen, m)
+          else grow chosen candidate_rows rest
+        end
+        else grow chosen rows rest
+  in
+  if r = 0 then ([], [||]) else grow [] [] pool
+
+(** [candidate_pool psi] builds the pool of test structures: all combined
+    queries [∧(Ψ|_J)] of [Ψ] (as databases), closed once under pairwise
+    tensor products. *)
+let candidate_pool (psi : Ucq.t) : Structure.t list =
+  let base =
+    List.map
+      (fun j -> Cq.structure (Ucq.combined psi j))
+      (Combinat.nonempty_subsets (Ucq.length psi))
+  in
+  let squares = List.map (fun b -> fst (Structure.tensor b b)) base in
+  let products =
+    List.concat_map
+      (fun b1 -> List.map (fun b2 -> fst (Structure.tensor b1 b2)) base)
+      (Listx.take 4 base)
+  in
+  base @ squares @ products
+
+(** [recover_with_oracle ~oracle psi d] runs the Theorem 28 algorithm: the
+    oracle computes [B ↦ ans(Ψ → B)] (exactly); returns the recovered list
+    of per-term counts on [d].
+    @raise No_basis if the candidate pool cannot be completed to a
+    non-singular system (does not happen for the supported inputs). *)
+let recover_with_oracle ~(oracle : Structure.t -> Bigint.t) (psi : Ucq.t)
+    (d : Structure.t) : recovered list =
+  let support = Ucq.support psi in
+  let terms = List.map (fun (t : Ucq.expansion_term) -> t.representative) support in
+  let coeffs = List.map (fun (t : Ucq.expansion_term) -> t.coefficient) support in
+  let basis, m = select_basis terms (candidate_pool psi) in
+  let rhs =
+    Array.of_list
+      (List.map
+         (fun b ->
+           let product, _ = Structure.tensor d b in
+           Rational.of_bigint (oracle product))
+         basis)
+  in
+  match Linalg.solve m rhs with
+  | None -> raise No_basis
+  | Some v ->
+      List.mapi
+        (fun j q ->
+          let c = List.nth coeffs j in
+          let count =
+            Rational.to_bigint_exn
+              (Rational.div v.(j) (Rational.of_int c))
+          in
+          { term = q; coefficient = c; count })
+        terms
+
+(** [recover psi d] instantiates the oracle with the library's own exact
+    UCQ counter — demonstrating the reduction end to end (the oracle is
+    treated as a black box: only [B ↦ ans(Ψ → B)] is used). *)
+let recover (psi : Ucq.t) (d : Structure.t) : recovered list =
+  recover_with_oracle ~oracle:(fun b -> Ucq.count_inclusion_exclusion_big psi b) psi d

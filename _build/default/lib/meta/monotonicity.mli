@@ -1,0 +1,31 @@
+(** Complexity monotonicity (Theorem 28): recover the individual CQ answer
+    counts in the support of a UCQ's expansion from an oracle for the
+    union's own counts, via tensor products and an exact linear system. *)
+
+type recovered = {
+  term : Cq.t;  (** #minimal representative [(A_j, X_j)] *)
+  coefficient : int;  (** [c_Ψ(A_j, X_j)] *)
+  count : Bigint.t;  (** the recovered [ans((A_j, X_j) → D)] *)
+}
+
+exception No_basis
+
+(** [select_basis terms pool] greedily extends test structures from [pool]
+    until the matrix [ans(term_j → B_i)] is non-singular.
+    @raise No_basis when the pool is exhausted first. *)
+val select_basis :
+  Cq.t list -> Structure.t list -> Structure.t list * Rational.t array array
+
+(** [candidate_pool psi] is the default pool: the combined-query structures
+    of [Ψ] closed once under tensor products. *)
+val candidate_pool : Ucq.t -> Structure.t list
+
+(** [recover_with_oracle ~oracle psi d] runs the Theorem 28 algorithm; the
+    oracle computes [B ↦ ans(Ψ → B)] exactly and is queried on the tensor
+    products [D ⊗ B_i] only. *)
+val recover_with_oracle :
+  oracle:(Structure.t -> Bigint.t) -> Ucq.t -> Structure.t -> recovered list
+
+(** [recover psi d] instantiates the oracle with the library's own exact
+    counter (treated as a black box). *)
+val recover : Ucq.t -> Structure.t -> recovered list

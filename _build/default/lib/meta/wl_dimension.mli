@@ -1,0 +1,27 @@
+(** The Weisfeiler–Leman dimension of quantifier-free UCQs on labelled
+    graphs: [dim_WL(Ψ) = hdtw(Ψ)] (Theorems 7/8/58). *)
+
+(** [check_labelled psi]: arity ≤ 2 and no [R(v, v)] atoms. *)
+val check_labelled : Ucq.t -> bool
+
+(** [exact psi] is [dim_WL(Ψ)] (Theorem 8 regime: exact per-term
+    treewidth).
+    @raise Invalid_argument for non-quantifier-free or non-labelled-graph
+    inputs. *)
+val exact : Ucq.t -> int
+
+(** [approximate psi] is the Theorem 7 regime: polynomial-per-term bounds
+    [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi]. *)
+val approximate : Ucq.t -> int * int
+
+(** [at_most k psi] decides [dim_WL(Ψ) ≤ k]. *)
+val at_most : int -> Ucq.t -> bool
+
+(** [c6_and_2c3 sg] is the classical 1-WL-equivalent non-isomorphic pair
+    (6-cycle vs two triangles) over the binary symbols of [sg]. *)
+val c6_and_2c3 : Signature.t -> Structure.t * Structure.t
+
+(** [invariance_check ~k psi] validates Definition 6 empirically on k-WL
+    equivalent pairs; returns the number of pairs checked.
+    @raise Failure on a counterexample. *)
+val invariance_check : k:int -> Ucq.t -> int

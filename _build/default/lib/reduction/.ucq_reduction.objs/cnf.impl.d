@@ -1,0 +1,1 @@
+lib/reduction/cnf.ml: Array Buffer List Printf Random String

@@ -1,0 +1,1 @@
+lib/reduction/cnf.mli:

@@ -1,0 +1,1 @@
+lib/reduction/ktk.ml: Array Graph List Printf Signature Structure

@@ -1,0 +1,1 @@
+lib/reduction/ktk.mli: Graph Signature Structure

@@ -1,0 +1,1 @@
+lib/reduction/lemma48.ml: Hashtbl Ktk List Listx Power_complex Scomplex Ucq

@@ -1,0 +1,1 @@
+lib/reduction/lemma48.mli: Ktk Power_complex Scomplex Ucq

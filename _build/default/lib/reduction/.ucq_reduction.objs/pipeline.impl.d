@@ -1,0 +1,1 @@
+lib/reduction/pipeline.ml: Cnf Ktk Lemma48 List Power_complex Sat_complex Ucq

@@ -1,0 +1,1 @@
+lib/reduction/pipeline.mli: Cnf Ktk Power_complex Ucq

@@ -1,0 +1,1 @@
+lib/reduction/sat_complex.ml: Cnf List Power_complex

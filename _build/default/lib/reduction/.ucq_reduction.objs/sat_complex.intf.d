@@ -1,0 +1,1 @@
+lib/reduction/sat_complex.mli: Cnf Power_complex

@@ -1,0 +1,126 @@
+(** CNF formulas, DIMACS parsing, and brute-force model counting.
+
+    3-SAT is the source problem of every lower bound in Section 4 (via the
+    reduction to the reduced Euler characteristic); the brute-force counter
+    here is the ground truth the reduction pipeline is tested against. *)
+
+(** A literal is a non-zero integer: [v] for the positive literal of
+    variable [v ≥ 1], [-v] for its negation (DIMACS convention). *)
+type literal = int
+
+type clause = literal list
+
+type t = { num_vars : int; clauses : clause list }
+
+(** [make num_vars clauses] validates variable indices. *)
+let make (num_vars : int) (clauses : clause list) : t =
+  if num_vars < 0 then invalid_arg "Cnf.make";
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l ->
+          if l = 0 || abs l > num_vars then
+            invalid_arg "Cnf.make: literal out of range")
+        c)
+    clauses;
+  { num_vars; clauses = List.map (List.sort_uniq compare) clauses }
+
+let num_vars (f : t) : int = f.num_vars
+let clauses (f : t) : clause list = f.clauses
+let num_clauses (f : t) : int = List.length f.clauses
+
+(** [satisfies f assignment] evaluates [f] under [assignment], where
+    [assignment.(v - 1)] is the value of variable [v]. *)
+let satisfies (f : t) (assignment : bool array) : bool =
+  List.for_all
+    (List.exists (fun l ->
+         if l > 0 then assignment.(l - 1) else not assignment.(-l - 1)))
+    f.clauses
+
+(** [count_sat f] counts satisfying assignments by enumeration ([2^n]);
+    the reference oracle for the reduction pipeline. *)
+let count_sat (f : t) : int =
+  if f.num_vars > 25 then invalid_arg "Cnf.count_sat: too many variables";
+  let n = f.num_vars in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let assignment = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+    if satisfies f assignment then incr count
+  done;
+  !count
+
+let is_satisfiable (f : t) : bool =
+  if f.num_vars <= 25 then count_sat f > 0
+  else invalid_arg "Cnf.is_satisfiable: too many variables"
+
+(** [parse_dimacs text] parses a DIMACS CNF document: comment lines start
+    with [c], the problem line is [p cnf <vars> <clauses>], and each clause
+    is a 0-terminated sequence of literals (possibly spanning lines). *)
+let parse_dimacs (text : string) : t =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref (-1) in
+  let tokens = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; _ ] -> num_vars := int_of_string v
+        | _ -> invalid_arg "Cnf.parse_dimacs: malformed problem line"
+      end
+      else begin
+        Buffer.add_string tokens line;
+        Buffer.add_char tokens ' '
+      end)
+    lines;
+  if !num_vars < 0 then invalid_arg "Cnf.parse_dimacs: missing problem line";
+  let words =
+    String.split_on_char ' ' (Buffer.contents tokens)
+    |> List.filter (( <> ) "")
+    |> List.map int_of_string
+  in
+  let clauses = ref [] in
+  let current = ref [] in
+  List.iter
+    (fun l ->
+      if l = 0 then begin
+        clauses := List.rev !current :: !clauses;
+        current := []
+      end
+      else current := l :: !current)
+    words;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  make !num_vars (List.rev !clauses)
+
+(** [to_dimacs f] renders a DIMACS document. *)
+let to_dimacs (f : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" f.num_vars (List.length f.clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    f.clauses;
+  Buffer.contents buf
+
+(** [random_3cnf ~seed n m] draws [m] clauses of three distinct variables
+    with random polarities — the standard random 3-SAT model, used for
+    property tests of the reduction. *)
+let random_3cnf ~(seed : int) (n : int) (m : int) : t =
+  if n < 3 then invalid_arg "Cnf.random_3cnf: need at least 3 variables";
+  let st = Random.State.make [| seed |] in
+  let clause () =
+    let rec distinct3 () =
+      let a = 1 + Random.State.int st n in
+      let b = 1 + Random.State.int st n in
+      let c = 1 + Random.State.int st n in
+      if a <> b && b <> c && a <> c then (a, b, c) else distinct3 ()
+    in
+    let a, b, c = distinct3 () in
+    List.map
+      (fun v -> if Random.State.bool st then v else -v)
+      [ a; b; c ]
+  in
+  make n (List.init m (fun _ -> clause ()))

@@ -1,0 +1,36 @@
+(** CNF formulas, DIMACS parsing, and brute-force model counting — the
+    source problem of the Section 4 lower bounds. *)
+
+(** DIMACS convention: [v] for the positive literal of variable [v ≥ 1],
+    [-v] for its negation. *)
+type literal = int
+
+type clause = literal list
+
+type t
+
+(** [make num_vars clauses] validates literal ranges; clauses are sorted
+    and deduplicated internally. *)
+val make : int -> clause list -> t
+
+val num_vars : t -> int
+val clauses : t -> clause list
+val num_clauses : t -> int
+
+(** [satisfies f assignment] with [assignment.(v - 1)] the value of [v]. *)
+val satisfies : t -> bool array -> bool
+
+(** [count_sat f] enumerates all [2^n] assignments.
+    @raise Invalid_argument beyond 25 variables. *)
+val count_sat : t -> int
+
+val is_satisfiable : t -> bool
+
+(** [parse_dimacs text] parses a DIMACS CNF document. *)
+val parse_dimacs : string -> t
+
+val to_dimacs : t -> string
+
+(** [random_3cnf ~seed n m] draws [m] clauses over three distinct variables
+    with random polarities. *)
+val random_3cnf : seed:int -> int -> int -> t

@@ -1,0 +1,109 @@
+(** The structures [K_t^k] of Section 4.2.2 and their edge slices.
+
+    [K_t^k] is the [t]-clique with every edge stretched into a path of [k]
+    edges; each edge [e] of the stretched graph carries its own binary
+    singleton relation [R_e] (Observation 44: self-join-free, arity 2).
+    The substructure [E_i] keeps, for every clique edge, only the [i]-th
+    edge of its stretch — a feedback edge set, which is what makes every
+    proper sub-union in Lemma 48 acyclic. *)
+
+(** [rel_name i j] is the relation symbol of the [j]-th stretch edge
+    ([j ∈ [1..k]]) of the [i]-th clique edge ([i ∈ [1..m]]). *)
+let rel_name (i : int) (j : int) : string = Printf.sprintf "R_e%d_%d" i j
+
+type t = {
+  t_ : int; (* clique size *)
+  k : int; (* stretch length *)
+  structure : Structure.t; (* the full K_t^k *)
+  signature : Signature.t;
+  (* stretches.(i) is the list of the k stretched edges of clique edge i+1,
+     in path order, as vertex pairs *)
+  stretches : (int * int) list array;
+}
+
+(** [make t k] builds [K_t^k]. *)
+let make (t_ : int) (k : int) : t =
+  let g, stretches = Graph.stretched_clique t_ k in
+  let m = Array.length stretches in
+  let signature =
+    Signature.make
+      (List.concat
+         (List.init m (fun i0 ->
+              List.init k (fun j0 -> Signature.symbol (rel_name (i0 + 1) (j0 + 1)) 2))))
+  in
+  let universe = Graph.vertices g in
+  let rels =
+    List.concat
+      (List.init m (fun i0 ->
+           List.mapi
+             (fun j0 (u, v) -> (rel_name (i0 + 1) (j0 + 1), [ [ u; v ] ]))
+             stretches.(i0)))
+  in
+  { t_; k; structure = Structure.make signature universe rels; signature; stretches }
+
+let num_clique_edges (x : t) : int = Array.length x.stretches
+let universe (x : t) : int list = Structure.universe x.structure
+
+(** [slice x i] is the substructure [E_i] ([i ∈ [1..k]]): full universe,
+    and for each clique edge only the [i]-th stretch edge's relation. *)
+let slice (x : t) (i : int) : Structure.t =
+  if i < 1 || i > x.k then invalid_arg "Ktk.slice";
+  let m = num_clique_edges x in
+  let rels =
+    List.init m (fun e0 ->
+        let u, v = List.nth x.stretches.(e0) (i - 1) in
+        (rel_name (e0 + 1) i, [ [ u; v ] ]))
+  in
+  Structure.make x.signature (universe x) rels
+
+(** [slices x is] is [∪_{i ∈ is} E_i] — the structure [B_j] of Lemma 48 for
+    a ground-set member [A_j = is]. *)
+let slices (x : t) (is : int list) : Structure.t =
+  match is with
+  | [] ->
+      (* the empty slice set: the universe with all relations empty *)
+      Structure.make x.signature (universe x) []
+  | i :: rest -> List.fold_left (fun acc j -> Structure.union acc (slice x j)) (slice x i) rest
+
+(** [database_of_graph x g] is the Lemma 45 reduction applied to a host
+    graph [g]: each (undirected) edge of [g] is replaced, for every clique
+    edge [i] of [K_t], by a fresh path of [k] edges coloured
+    [R_{e_i^1}, ..., R_{e_i^k}] — in both directions, so that undirected
+    host edges behave symmetrically.  The resulting database has
+    colour-preserving homomorphisms from [K_t^k] exactly when [g] contains
+    a [t]-clique, which is what makes counting answers to the UCQs built by
+    Lemma 48 as hard as clique detection. *)
+let database_of_graph (x : t) (g : Graph.t) : Structure.t =
+  let m = num_clique_edges x in
+  let next = ref (Graph.num_vertices g) in
+  let rels = ref [] in
+  let add_path (u : int) (v : int) (i : int) =
+    (* internal vertices *)
+    let inner = List.init (x.k - 1) (fun _ -> let id = !next in incr next; id) in
+    let chain = (u :: inner) @ [ v ] in
+    let rec go j = function
+      | a :: (b :: _ as rest) ->
+          rels := (rel_name i j, [ a; b ]) :: !rels;
+          go (j + 1) rest
+      | _ -> ()
+    in
+    go 1 chain
+  in
+  List.iter
+    (fun (u, v) ->
+      for i = 1 to m do
+        add_path u v i;
+        add_path v u i
+      done)
+    (Graph.edges g);
+  let universe = List.init !next (fun i -> i) in
+  let grouped =
+    List.map
+      (fun (s : Signature.symbol) ->
+        ( s.name,
+          List.filter_map
+            (fun (name, tup) -> if name = s.name then Some tup else None)
+            !rels ))
+      x.signature
+  in
+  Structure.make x.signature universe grouped

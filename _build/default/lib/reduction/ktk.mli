@@ -1,0 +1,36 @@
+(** The structures [K_t^k] of Section 4.2.2: stretched cliques with one
+    singleton binary relation per edge (Observation 44), their edge slices
+    [E_i], and the Lemma 45 database construction. *)
+
+(** [rel_name i j] is the symbol of the [j]-th stretch edge of clique edge
+    [i] (both 1-based). *)
+val rel_name : int -> int -> string
+
+type t = {
+  t_ : int;  (** clique size *)
+  k : int;  (** stretch length *)
+  structure : Structure.t;  (** the full [K_t^k] *)
+  signature : Signature.t;
+  stretches : (int * int) list array;
+      (** per clique edge, its stretch edges in path order *)
+}
+
+(** [make t k] builds [K_t^k].
+    @raise Invalid_argument for non-positive parameters. *)
+val make : int -> int -> t
+
+val num_clique_edges : t -> int
+val universe : t -> int list
+
+(** [slice x i] is the substructure [E_i] ([i ∈ [1..k]]): for each clique
+    edge, only the [i]-th stretch edge — a feedback edge set. *)
+val slice : t -> int -> Structure.t
+
+(** [slices x is] is [∪_(i ∈ is) E_i] (the [B_j] of Lemma 48). *)
+val slices : t -> int list -> Structure.t
+
+(** [database_of_graph x g] is the Lemma 45 reduction: every host edge
+    becomes, per clique edge, a coloured [k]-edge path (both directions);
+    colour-preserving homomorphisms from [K_t^k] correspond to [t]-cliques
+    of [g]. *)
+val database_of_graph : t -> Graph.t -> Structure.t

@@ -1,0 +1,69 @@
+(** The algorithms [Â_t] (Lemma 48) and [A_t] (Lemma 50): from simplicial
+    complexes to unions of conjunctive queries whose CQ expansion hides the
+    reduced Euler characteristic.
+
+    Given a power complex [Δ_{Ω,U}] with [∪Ω = U] (equivalently: the ground
+    set of the source complex is not a facet), set [k = |U|] and build, for
+    each member [A_j ∈ Ω], the quantifier-free CQ
+    [B_j = ∪_{i ∈ A_j} E_i] over the slices of [K_t^k].  The resulting UCQ
+    [Ψ = (B_1, ..., B_ℓ)] satisfies (Lemma 48):
+
+    1. [∧(Ψ) ≅ K_t^k];
+    2. [c_Ψ(∧(Ψ)) = -χ̂(Δ)];
+    3. every other structure in the support of [c_Ψ] is acyclic;
+    4. [ℓ ≤ |Ω|];
+    5. every [B_j] is acyclic, self-join-free and binary. *)
+
+(** [ucq_of_power_complex t pc] is the core of algorithm [Â_t], operating
+    directly on a power complex (this is also the entry point of the SAT
+    pipeline, which produces power complexes natively).
+    Requires [∪Ω = U].  Returns the UCQ together with the [K_t^k]
+    structure. *)
+let ucq_of_power_complex (t_ : int) (pc : Power_complex.t) : Ucq.t * Ktk.t =
+  let u = pc.Power_complex.universe in
+  let members = pc.Power_complex.ground in
+  let union_all =
+    List.fold_left Listx.union_sorted [] members
+  in
+  if union_all <> u then
+    invalid_arg "Lemma48.ucq_of_power_complex: ground set does not cover U";
+  let k = List.length u in
+  (* normalise U to [1..k] *)
+  let index_of = Hashtbl.create k in
+  List.iteri (fun i x -> Hashtbl.add index_of x (i + 1)) u;
+  let ktk = Ktk.make t_ k in
+  let structures =
+    List.map
+      (fun a -> Ktk.slices ktk (List.map (Hashtbl.find index_of) a))
+      members
+  in
+  (Ucq.of_structures structures (Ktk.universe ktk), ktk)
+
+(** [ucq_of_complex t c] is algorithm [Â_t] of Lemma 48: requires a
+    non-trivial irreducible complex whose ground set is not a facet;
+    converts to a power complex via Lemma 47 and applies
+    {!ucq_of_power_complex}. *)
+let ucq_of_complex (t_ : int) (c : Scomplex.t) : Ucq.t * Ktk.t =
+  let pc, _ = Power_complex.of_complex c in
+  ucq_of_power_complex t_ pc
+
+(** Result of algorithm [A_t] (Lemma 50): either the reduced Euler
+    characteristic was resolved during preprocessing, or a UCQ with the
+    Lemma 48 guarantees. *)
+type lemma50_result =
+  | Euler of int
+  | Ucq_out of Ucq.t * Ktk.t
+
+(** [algorithm_a t c] is algorithm [A_t] of Lemma 50: reduce by domination
+    (Lemma 42 preserves χ̂); output [χ̂ = 0] for the trivial complex or when
+    the ground set is a facet; otherwise run [Â_t] on the now-irreducible
+    complex. *)
+let algorithm_a (t_ : int) (c : Scomplex.t) : lemma50_result =
+  let c = Scomplex.reduce c in
+  if Scomplex.is_trivial c then Euler 0
+  else if List.exists (fun f -> f = Scomplex.ground c) (Scomplex.facets c) then
+    Euler 0
+  else begin
+    let psi, ktk = ucq_of_complex t_ c in
+    Ucq_out (psi, ktk)
+  end

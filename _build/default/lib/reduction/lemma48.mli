@@ -1,0 +1,24 @@
+(** The algorithms [Â_t] (Lemma 48) and [A_t] (Lemma 50): from complexes to
+    UCQs whose CQ expansion hides the reduced Euler characteristic. *)
+
+(** [ucq_of_power_complex t pc] builds the UCQ of Lemma 48 directly from a
+    power complex with [∪Ω = U]; returns it with the underlying [K_t^k].
+    Guarantees (Lemma 48): [∧(Ψ) ≅ K_t^k]; [c_Ψ(∧Ψ) = -χ̂]; all other
+    support terms acyclic; [ℓ ≤ |Ω|]; disjuncts acyclic, self-join-free,
+    binary.
+    @raise Invalid_argument when [∪Ω ≠ U]. *)
+val ucq_of_power_complex : int -> Power_complex.t -> Ucq.t * Ktk.t
+
+(** [ucq_of_complex t c] is [Â_t]: Lemma 47 conversion followed by
+    {!ucq_of_power_complex}.
+    @raise Invalid_argument unless [c] is non-trivial, irreducible, and its
+    ground set is not a facet. *)
+val ucq_of_complex : int -> Scomplex.t -> Ucq.t * Ktk.t
+
+type lemma50_result =
+  | Euler of int  (** χ̂ resolved during preprocessing *)
+  | Ucq_out of Ucq.t * Ktk.t
+
+(** [algorithm_a t c] is [A_t] (Lemma 50): domination-reduce; trivial or
+    complete complexes resolve to [Euler 0]; otherwise run [Â_t]. *)
+val algorithm_a : int -> Scomplex.t -> lemma50_result

@@ -1,0 +1,43 @@
+(** The end-to-end META-hardness pipeline of Lemma 51:
+    3-CNF [F] → power complex [Δ_F] (with [χ̂(Δ_F) = #sat(F)], DESIGN.md §3)
+    → UCQ [Ψ_F] (Lemma 48 with parameter [t]).
+
+    The resulting union of self-join-free, acyclic, binary, quantifier-free
+    conjunctive queries satisfies: counting answers to [Ψ_F] is possible in
+    linear time iff [c_{Ψ_F}(K_t^k) = -χ̂(Δ_F) = -#sat(F)] vanishes, i.e.
+    iff [F] is unsatisfiable.  Hence any polynomial-time decision procedure
+    for META decides SAT. *)
+
+type result =
+  | Resolved of bool
+      (** satisfiability resolved during preprocessing (degenerate inputs:
+          an empty clause, or a formula without variables) *)
+  | Query of { psi : Ucq.t; ktk : Ktk.t; complex : Power_complex.t }
+
+(** [ucq_of_cnf ?t f] runs the reduction with clique parameter [t]
+    (default 3, as in the Triangle-Conjecture-based Lemma 51; Lemma 53
+    raises [t] to rule out [O(n^d)] algorithms). *)
+let ucq_of_cnf ?(t = 3) (f : Cnf.t) : result =
+  if List.exists (fun c -> c = []) (Cnf.clauses f) then Resolved false
+  else if Cnf.num_vars f = 0 then Resolved true (* no clauses, no vars *)
+  else begin
+    let pc = Sat_complex.power_complex_of_cnf f in
+    let psi, ktk = Lemma48.ucq_of_power_complex t pc in
+    Query { psi; ktk; complex = pc }
+  end
+
+(** [expected_coefficient f] is the value [c_{Ψ_F}(∧(Ψ_F))] predicted by
+    Lemma 48 item 2 for small formulas: [-χ̂(Δ_F) = -#sat(F)]. *)
+let expected_coefficient (f : Cnf.t) : int = -Cnf.count_sat f
+
+(** [meta_fast f] decides META for the pipeline query [Ψ_F] without
+    computing the CQ expansion: by Lemma 48 every expansion term other than
+    the combined query is acyclic, so Ψ_F is linear-time countable iff
+    [c_{Ψ_F}(K_t^k) = -χ̂(Δ_F)] vanishes — which our parsimonious reduction
+    makes equal to [-#sat(F)].  The generic META algorithm takes
+    [2^(3n+m)] steps on these inputs; this specialised route takes [2^n]
+    (it is still exponential, as Theorem 5 says it must be). *)
+let meta_fast (f : Cnf.t) : bool =
+  if List.exists (fun c -> c = []) (Cnf.clauses f) then true
+  else if Cnf.num_vars f = 0 then false
+  else Cnf.count_sat f = 0

@@ -1,0 +1,22 @@
+(** The end-to-end META-hardness pipeline of Lemma 51:
+    3-CNF → power complex (χ̂ = #sat) → UCQ (Lemma 48), such that META
+    answers "linear" iff the formula is unsatisfiable. *)
+
+type result =
+  | Resolved of bool
+      (** satisfiability resolved during preprocessing (degenerate
+          inputs) *)
+  | Query of { psi : Ucq.t; ktk : Ktk.t; complex : Power_complex.t }
+
+(** [ucq_of_cnf ?t f] runs the reduction ([t = 3] matches Lemma 51;
+    Lemma 53 raises it). *)
+val ucq_of_cnf : ?t:int -> Cnf.t -> result
+
+(** [expected_coefficient f] is [-#sat(F)], the Lemma 48 prediction for
+    [c_(Ψ_F)(∧Ψ_F)] (small formulas). *)
+val expected_coefficient : Cnf.t -> int
+
+(** [meta_fast f] decides META for [Ψ_F] through the structure of the
+    construction ([2^n] instead of [2^(3n+m)]): linear-time countable iff
+    [#sat(F) = 0]. *)
+val meta_fast : Cnf.t -> bool

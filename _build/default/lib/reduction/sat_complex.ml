@@ -1,0 +1,79 @@
+(** From CNF formulas to power complexes with
+    [χ̂(Δ_F) = #sat(F)] — our substitute for the Roune–Sáenz-de-Cabezón
+    reduction [57] that the paper invokes as a black box (see DESIGN.md §3).
+
+    Construction.  For a CNF [F] over variables [1..n] with clause list
+    [c_1, ..., c_m], introduce three universe elements per variable [i]:
+    [a_i] (i true), [b_i] (i false) and a slack element [s_i].  The ground
+    set [Ω] of the power complex consists of the following subsets of the
+    universe [V] (the "forbidden patterns" of the associated hypergraph):
+
+    - the three pairs [{a_i, b_i}], [{a_i, s_i}], [{b_i, s_i}] per variable
+      (at most one element per gadget), and
+    - per clause [c], its falsifying pattern [{g(¬l) : l ∈ c}], where
+      [g(i) = a_i] and [g(-i) = b_i].
+
+    Correctness.  A power complex satisfies (Möbius inversion)
+    [χ̂(Δ_{Ω,V}) = (-1)^|V| · Σ_{W ⊆ V independent} (-1)^|W|], where [W] is
+    independent when it contains no member of [Ω].  Pair the independent
+    sets in which some variable [i] is unset (neither [a_i] nor [b_i]
+    present) with their toggle [W Δ {s_i}] (smallest such [i]): a
+    sign-reversing involution, because no clause pattern mentions slack
+    elements and the pair patterns only exclude [s_i] when the gadget is
+    set.  What survives are the independent sets choosing exactly one of
+    [a_i, b_i] for every variable and no slack — precisely the assignments
+    falsifying no clause — each of size [n] and sign [(-1)^n].  Hence
+    [χ̂ = (-1)^{3n} · (-1)^n · #sat(F) = #sat(F)], a parsimonious reduction.
+
+    Sizes: [|V| = 3n], [|Ω| ≤ 3n + m] — matching the [O(n + m)] ground-set
+    bound the paper takes from [57]. *)
+
+(** Universe encoding: [a_i = 3(i-1) + 1], [b_i = 3(i-1) + 2],
+    [s_i = 3(i-1) + 3] for variable [i ∈ [1..n]]. *)
+let elem_true (i : int) : int = (3 * (i - 1)) + 1
+
+let elem_false (i : int) : int = (3 * (i - 1)) + 2
+let elem_slack (i : int) : int = (3 * (i - 1)) + 3
+
+(** [of_literal l] is the universe element asserting the literal [l]. *)
+let of_literal (l : int) : int =
+  if l > 0 then elem_true l else elem_false (-l)
+
+(** [falsifying_pattern clause] is the forbidden set of a clause: the
+    elements asserting the negation of each of its literals.  A
+    tautological clause (containing both [v] and [-v]) yields a pattern
+    containing a gadget pair, hence never occurs inside an independent set
+    — the clause is correctly treated as always satisfied. *)
+let falsifying_pattern (clause : Cnf.clause) : int list =
+  List.sort_uniq compare (List.map (fun l -> of_literal (-l)) clause)
+
+(** [power_complex_of_cnf f] builds the power complex [Δ_F].
+    @raise Invalid_argument if [f] has no variables or an empty clause
+    (handle both upfront: no variables means [#sat ∈ {0, 1}] by direct
+    evaluation; an empty clause means unsatisfiable). *)
+let power_complex_of_cnf (f : Cnf.t) : Power_complex.t =
+  let n = Cnf.num_vars f in
+  if n = 0 then
+    invalid_arg "Sat_complex.power_complex_of_cnf: formula without variables";
+  if List.exists (fun c -> c = []) (Cnf.clauses f) then
+    invalid_arg "Sat_complex.power_complex_of_cnf: empty clause";
+  let universe = List.init (3 * n) (fun i -> i + 1) in
+  let gadget_pairs =
+    List.concat
+      (List.init n (fun i0 ->
+           let i = i0 + 1 in
+           [
+             [ elem_true i; elem_false i ];
+             [ elem_true i; elem_slack i ];
+             [ elem_false i; elem_slack i ];
+           ]))
+  in
+  let clause_patterns = List.map falsifying_pattern (Cnf.clauses f) in
+  Power_complex.make universe (gadget_pairs @ clause_patterns)
+
+(** [euler_equals_count_sat f] checks the headline identity
+    [χ̂(Δ_F) = #sat(F)] by brute force on both sides — only for tiny
+    formulas; used by the test suite. *)
+let euler_equals_count_sat (f : Cnf.t) : bool =
+  let pc = power_complex_of_cnf f in
+  Power_complex.euler_independent_sets pc = Cnf.count_sat f

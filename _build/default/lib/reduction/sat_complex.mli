@@ -1,0 +1,27 @@
+(** The CNF → power-complex reduction with [χ̂(Δ_F) = #sat(F)] — this
+    library's substitute for the Roune–Sáenz-de-Cabezón reduction [57] the
+    paper cites (construction and correctness proof in DESIGN.md §3 and the
+    module implementation). *)
+
+(** Universe encoding of the per-variable gadget [{a_i, b_i, s_i}]. *)
+val elem_true : int -> int
+
+val elem_false : int -> int
+val elem_slack : int -> int
+
+(** [of_literal l] is the element asserting [l]. *)
+val of_literal : int -> int
+
+(** [falsifying_pattern c] is the forbidden set of a clause: the elements
+    asserting the negation of each literal. *)
+val falsifying_pattern : Cnf.clause -> int list
+
+(** [power_complex_of_cnf f] builds [Δ_F] with [|U| = 3n], [|Ω| ≤ 3n + m]
+    and [χ̂(Δ_F) = #sat(F)] (parsimonious).
+    @raise Invalid_argument for variable-free formulas or empty clauses
+    (resolve those upfront). *)
+val power_complex_of_cnf : Cnf.t -> Power_complex.t
+
+(** [euler_equals_count_sat f] verifies the headline identity by brute
+    force (tiny formulas; used by the test suite). *)
+val euler_equals_count_sat : Cnf.t -> bool

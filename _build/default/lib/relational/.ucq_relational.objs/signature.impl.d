@@ -1,0 +1,1 @@
+lib/relational/signature.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/relational/signature.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/struct_iso.ml: Array Hashtbl Intset List Option Signature Structure

@@ -1,0 +1,1 @@
+lib/relational/struct_iso.mli: Structure

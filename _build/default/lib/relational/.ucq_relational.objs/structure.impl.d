@@ -1,0 +1,1 @@
+lib/relational/structure.ml: Array Combinat Format Graph Hashtbl Intset List Listx Printf Signature String Treewidth

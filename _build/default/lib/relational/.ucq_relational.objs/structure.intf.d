@@ -1,0 +1,1 @@
+lib/relational/structure.mli: Format Graph Intset Signature

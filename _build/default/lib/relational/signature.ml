@@ -1,0 +1,89 @@
+(** Relational signatures: finite lists of relation symbols with arities
+    (Section 2.2 of the paper). *)
+
+type symbol = { name : string; arity : int }
+
+type t = symbol list
+
+(** [make symbols] validates and normalises a signature: names must be
+    distinct and arities non-negative; symbols are sorted by name. *)
+let make (symbols : symbol list) : t =
+  let sorted = List.sort (fun a b -> compare a.name b.name) symbols in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a.name = b.name then
+          invalid_arg ("Signature.make: duplicate symbol " ^ a.name);
+        check rest
+    | _ -> ()
+  in
+  List.iter
+    (fun s -> if s.arity < 0 then invalid_arg "Signature.make: negative arity")
+    sorted;
+  check sorted;
+  sorted
+
+let symbol (name : string) (arity : int) : symbol =
+  if arity < 0 then invalid_arg "Signature.symbol";
+  { name; arity }
+
+(** [arity sg] is the arity of the signature: the maximum symbol arity
+    (0 for the empty signature). *)
+let arity (sg : t) : int = List.fold_left (fun acc s -> max acc s.arity) 0 sg
+
+let find_opt (sg : t) (name : string) : symbol option =
+  List.find_opt (fun s -> s.name = name) sg
+
+let mem (sg : t) (name : string) : bool = Option.is_some (find_opt sg name)
+
+let arity_of (sg : t) (name : string) : int =
+  match find_opt sg name with
+  | Some s -> s.arity
+  | None -> invalid_arg ("Signature.arity_of: unknown symbol " ^ name)
+
+(** [union sg1 sg2] merges two signatures; a symbol present in both must
+    have the same arity. *)
+let union (sg1 : t) (sg2 : t) : t =
+  let merged =
+    List.fold_left
+      (fun acc s ->
+        match find_opt acc s.name with
+        | None -> s :: acc
+        | Some s' ->
+            if s'.arity <> s.arity then
+              invalid_arg ("Signature.union: arity clash on " ^ s.name)
+            else acc)
+      sg1 sg2
+  in
+  make merged
+
+(** [subset sg1 sg2] checks that every symbol of [sg1] occurs in [sg2] with
+    the same arity. *)
+let subset (sg1 : t) (sg2 : t) : bool =
+  List.for_all
+    (fun s ->
+      match find_opt sg2 s.name with
+      | Some s' -> s'.arity = s.arity
+      | None -> false)
+    sg1
+
+(** [inter sg1 sg2] is the common part of two signatures (symbols present in
+    both with equal arity), as used by the tensor product of Theorem 28. *)
+let inter (sg1 : t) (sg2 : t) : t =
+  make
+    (List.filter
+       (fun s ->
+         match find_opt sg2 s.name with
+         | Some s' -> s'.arity = s.arity
+         | None -> false)
+       sg1)
+
+(** [size sg] is the number of symbols, the signature's contribution to the
+    encoding size |A| of a structure. *)
+let size (sg : t) : int = List.length sg
+
+let equal (sg1 : t) (sg2 : t) : bool = sg1 = sg2
+
+let pp (fmt : Format.formatter) (sg : t) : unit =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; "
+       (List.map (fun s -> Printf.sprintf "%s/%d" s.name s.arity) sg))

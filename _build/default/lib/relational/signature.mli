@@ -1,0 +1,37 @@
+(** Relational signatures (Section 2.2): relation symbols with arities. *)
+
+type symbol = { name : string; arity : int }
+
+type t = symbol list
+
+(** [make symbols] sorts by name and validates (distinct names,
+    non-negative arities). *)
+val make : symbol list -> t
+
+val symbol : string -> int -> symbol
+
+(** [arity sg] is the maximum symbol arity (0 for the empty signature). *)
+val arity : t -> int
+
+val find_opt : t -> string -> symbol option
+val mem : t -> string -> bool
+
+(** @raise Invalid_argument for unknown symbols. *)
+val arity_of : t -> string -> int
+
+(** [union sg1 sg2] merges; shared symbols must agree on arity. *)
+val union : t -> t -> t
+
+(** [subset sg1 sg2]: every symbol of [sg1] occurs in [sg2] with equal
+    arity. *)
+val subset : t -> t -> bool
+
+(** [inter sg1 sg2] is the common part (used by tensor products). *)
+val inter : t -> t -> t
+
+(** [size sg] is the number of symbols (the signature's contribution to the
+    encoding size |A|). *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+(** Isomorphism of relational structures (Definition 15 of the paper).
+
+    Collecting the #equivalent terms of a CQ expansion (Definition 25,
+    Lemma 26) requires deciding isomorphism of query structures, optionally
+    constrained to map the free-variable set [X] onto [X'] (an isomorphism
+    [b] of conjunctive queries must satisfy [b(X) = X']).  Query structures
+    are small, so a profile-pruned backtracking search suffices.
+
+    [protected_] is a list of paired element sets [(S_A, S_B)]; a witness
+    must map each [S_A] onto the corresponding [S_B] setwise. *)
+
+module Intset = Intset
+
+(** Occurrence profile of an element: for every (relation, position), how
+    many tuples contain the element at that position.  Isomorphisms preserve
+    profiles, so they prune the search cheaply. *)
+let profile (a : Structure.t) (v : int) : (string * int * int) list =
+  List.concat_map
+    (fun (name, ts) ->
+      let arity = match ts with [] -> 0 | t :: _ -> List.length t in
+      List.concat
+        (List.init arity (fun pos ->
+             let c =
+               List.length (List.filter (fun t -> List.nth t pos = v) ts)
+             in
+             if c = 0 then [] else [ (name, pos, c) ])))
+    (Structure.relations a)
+
+let find_isomorphism ?(protected_ : (int list * int list) list = [])
+    (a : Structure.t) (b : Structure.t) : (int * int) list option =
+  let ua = Structure.universe a and ub = Structure.universe b in
+  let same_shape =
+    Signature.equal (Structure.signature a) (Structure.signature b)
+    && List.length ua = List.length ub
+    && List.for_all2
+         (fun (na, ta) (nb, tb) -> na = nb && List.length ta = List.length tb)
+         (Structure.relations a) (Structure.relations b)
+    && List.for_all
+         (fun (sa, sb) -> List.length sa = List.length sb)
+         protected_
+  in
+  if not same_shape then None
+  else begin
+    let ua_arr = Array.of_list ua in
+    let n = Array.length ua_arr in
+    let profiles_a = List.map (fun v -> (v, profile a v)) ua in
+    let profiles_b = List.map (fun v -> (v, profile b v)) ub in
+    let prof_a v = List.assoc v profiles_a in
+    let prof_b v = List.assoc v profiles_b in
+    (* protected-set membership signature of an element *)
+    let pa v = List.map (fun (sa, _) -> List.mem v sa) protected_ in
+    let pb v = List.map (fun (_, sb) -> List.mem v sb) protected_ in
+    let mapping = Hashtbl.create n in
+    let used = Hashtbl.create n in
+    let rels_a = Structure.relations a in
+    (* Tuples of A indexed by the elements they mention; when an element is
+       assigned we re-check all its fully-assigned tuples. *)
+    let check_tuples_of v =
+      List.for_all
+        (fun (name, ts) ->
+          let tb = Structure.relation b name in
+          List.for_all
+            (fun t ->
+              if List.mem v t && List.for_all (Hashtbl.mem mapping) t then
+                List.mem (List.map (Hashtbl.find mapping) t) tb
+              else true)
+            ts)
+        rels_a
+    in
+    let result = ref None in
+    let rec assign i =
+      if !result <> None then ()
+      else if i = n then result := Some (Hashtbl.fold (fun k v acc -> (k, v) :: acc) mapping [])
+      else begin
+        let v = ua_arr.(i) in
+        let pv = prof_a v and sv = pa v in
+        List.iter
+          (fun w ->
+            if !result = None && (not (Hashtbl.mem used w))
+               && prof_b w = pv && pb w = sv
+            then begin
+              Hashtbl.add mapping v w;
+              Hashtbl.add used w ();
+              if check_tuples_of v then assign (i + 1);
+              Hashtbl.remove mapping v;
+              Hashtbl.remove used w
+            end)
+          ub
+      end
+    in
+    assign 0;
+    !result
+  end
+
+(** [isomorphic ?protected_ a b] decides isomorphism (optionally respecting
+    protected set pairs).  Since witnesses are injective on universes of
+    equal size and relation cardinalities agree, mapping every tuple of [A]
+    into [B] forces the tuple images to be exactly [R^B], so the
+    backtracking check is sound and complete. *)
+let isomorphic ?(protected_ : (int list * int list) list = []) (a : Structure.t)
+    (b : Structure.t) : bool =
+  Option.is_some (find_isomorphism ~protected_ a b)

@@ -1,0 +1,19 @@
+(** Isomorphism of relational structures (Definition 15), with optional
+    protected element-set pairs — an isomorphism of conjunctive queries
+    must map the free set [X] onto [X'] setwise. *)
+
+(** [profile a v] is the occurrence profile of an element (per relation and
+    position) — an isomorphism invariant used for pruning. *)
+val profile : Structure.t -> int -> (string * int * int) list
+
+(** [find_isomorphism ?protected_ a b] is a witnessing element bijection
+    (as an association list), mapping each protected set of [a] onto its
+    partner in [b]. *)
+val find_isomorphism :
+  ?protected_:(int list * int list) list ->
+  Structure.t ->
+  Structure.t ->
+  (int * int) list option
+
+val isomorphic :
+  ?protected_:(int list * int list) list -> Structure.t -> Structure.t -> bool

@@ -1,0 +1,1 @@
+lib/scomplex/power_complex.ml: Array Combinat List Listx Scomplex

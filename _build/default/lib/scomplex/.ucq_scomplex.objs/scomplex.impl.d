@@ -1,0 +1,1 @@
+lib/scomplex/scomplex.ml: Array Combinat Format Intset List Listx Option String

@@ -1,0 +1,1 @@
+lib/scomplex/scomplex.mli: Format

@@ -1,0 +1,116 @@
+(** Power complexes (Definition 46) and the Lemma 47 conversion.
+
+    A power complex [Δ_{Ω,U}] is given by a universe [U] and a ground set
+    [Ω ⊆ 2^U] with [U ∉ Ω]; its faces are the subfamilies [S ⊆ Ω] whose
+    union does not cover [U].  Power complexes are the bridge between
+    simplicial complexes and the UCQ construction of Lemma 48: the [j]-th
+    CQ of the constructed union takes exactly the edge slices indexed by the
+    [j]-th ground-set member. *)
+
+module Listx = Listx
+
+type t = {
+  universe : int list; (* sorted, duplicate-free, non-empty *)
+  ground : int list list; (* sorted members of 2^U, duplicate-free *)
+}
+
+(** [make universe ground] validates: each member is a proper subset of the
+    universe (in particular [U ∉ Ω]). *)
+let make (universe : int list) (ground : int list list) : t =
+  let universe = Listx.sort_uniq_ints universe in
+  if universe = [] then invalid_arg "Power_complex.make: empty universe";
+  let ground = List.sort_uniq compare (List.map Listx.sort_uniq_ints ground) in
+  if ground = [] then invalid_arg "Power_complex.make: empty ground set";
+  List.iter
+    (fun a ->
+      if not (Listx.is_subset_sorted a universe) then
+        invalid_arg "Power_complex.make: member not over universe";
+      if a = universe then
+        invalid_arg "Power_complex.make: universe must not be a member")
+    ground;
+  { universe; ground }
+
+(** [covers_universe pc s] decides whether the subfamily indexed by [s]
+    (indices into [ground]) unions to the whole universe. *)
+let covers_universe (pc : t) (s : int list) : bool =
+  let members = Array.of_list pc.ground in
+  let u =
+    List.fold_left (fun acc i -> Listx.union_sorted acc members.(i)) [] s
+  in
+  u = pc.universe
+
+(** [is_face pc s] decides facehood per Definition 46. *)
+let is_face (pc : t) (s : int list) : bool = not (covers_universe pc s)
+
+(** [euler_signed_cover pc] computes the reduced Euler characteristic
+    directly from the definition:
+    [χ̂(Δ_{Ω,U}) = Σ_{S ⊆ Ω, ∪S = U} (-1)^|S|]
+    (since the alternating sum over all of [2^Ω] vanishes).  Exponential in
+    [|Ω|]. *)
+let euler_signed_cover (pc : t) : int =
+  let l = List.length pc.ground in
+  if l > 25 then invalid_arg "Power_complex.euler_signed_cover: too large";
+  Combinat.subsets_fold
+    (fun acc s ->
+      if covers_universe pc s then
+        acc + (if List.length s mod 2 = 0 then 1 else -1)
+      else acc)
+    0 l
+
+(** [euler_independent_sets pc] computes χ̂ by Möbius inversion:
+    [χ̂(Δ_{Ω,U}) = (-1)^|U| · Σ_{W ⊆ U, no A ∈ Ω with A ⊆ W} (-1)^|W|]
+    — the signed count of the "independent sets" of the hypergraph [Ω].
+    Exponential in [|U|]; an independent cross-check and the identity
+    underlying our SAT reduction (DESIGN.md §3). *)
+let euler_independent_sets (pc : t) : int =
+  let u = Array.of_list pc.universe in
+  let k = Array.length u in
+  if k > 25 then invalid_arg "Power_complex.euler_independent_sets: too large";
+  let sum =
+    Combinat.subsets_fold
+      (fun acc widx ->
+        let w = List.map (fun i -> u.(i)) widx in
+        let independent =
+          not (List.exists (fun a -> Listx.is_subset_sorted a w) pc.ground)
+        in
+        if independent then
+          acc + (if List.length widx mod 2 = 0 then 1 else -1)
+        else acc)
+      0 k
+  in
+  if k mod 2 = 0 then sum else -sum
+
+(** [to_complex pc] materialises the power complex as a facet-encoded
+    {!Scomplex.t} over ground-set indices [0 .. |Ω|-1].  Facets are the
+    maximal non-covering subfamilies; enumeration is exponential in [|Ω|]
+    and intended for tests. *)
+let to_complex (pc : t) : Scomplex.t =
+  let l = List.length pc.ground in
+  if l > 20 then invalid_arg "Power_complex.to_complex: too large";
+  let face_sets =
+    List.filter (fun s -> is_face pc s) (Combinat.subsets l)
+  in
+  Scomplex.make (Combinat.range l) face_sets
+
+(** [of_complex c] is the Lemma 47 construction: for a non-trivial
+    irreducible complex [Δ] with facets [F_1, ..., F_k] and [Ω ∉ I], map
+    each element [x] to [b(x) = {i : x ∉ F_i}]; then [Δ ≅ Δ_{b(Ω), [k]}].
+    Returns the power complex together with the assignment [b] (element →
+    member), in ground-set order.
+    @raise Invalid_argument when the preconditions fail. *)
+let of_complex (c : Scomplex.t) : t * (int * int list) list =
+  if Scomplex.is_trivial c then
+    invalid_arg "Power_complex.of_complex: trivial complex";
+  if not (Scomplex.is_irreducible c) then
+    invalid_arg "Power_complex.of_complex: reducible complex";
+  let facets = Array.of_list (Scomplex.facets c) in
+  let k = Array.length facets in
+  if Array.exists (fun f -> f = Scomplex.ground c) facets then
+    invalid_arg "Power_complex.of_complex: ground set is a facet";
+  let b x =
+    List.concat
+      (List.init k (fun i -> if List.mem x facets.(i) then [] else [ i + 1 ]))
+  in
+  let assignment = List.map (fun x -> (x, b x)) (Scomplex.ground c) in
+  let ground = List.map snd assignment in
+  (make (List.init k (fun i -> i + 1)) ground, assignment)

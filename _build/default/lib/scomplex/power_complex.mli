@@ -1,0 +1,39 @@
+(** Power complexes (Definition 46) and the Lemma 47 conversion: the bridge
+    between simplicial complexes and the Lemma 48 UCQ construction. *)
+
+type t = {
+  universe : int list;  (** the covered set [U] *)
+  ground : int list list;  (** [Ω ⊆ 2^U] with [U ∉ Ω] *)
+}
+
+(** [make universe ground] validates (members are proper subsets of the
+    universe). *)
+val make : int list -> int list list -> t
+
+(** [covers_universe pc s] decides whether the subfamily indexed by [s]
+    unions to [U]. *)
+val covers_universe : t -> int list -> bool
+
+(** [is_face pc s] per Definition 46. *)
+val is_face : t -> int list -> bool
+
+(** [euler_signed_cover pc] is
+    [χ̂ = Σ_(S ⊆ Ω, ∪S = U) (-1)^|S|] (exponential in [|Ω|]).
+    @raise Invalid_argument beyond 25 members. *)
+val euler_signed_cover : t -> int
+
+(** [euler_independent_sets pc] is the Möbius-dual form
+    [χ̂ = (-1)^|U| · Σ_(W independent) (-1)^|W|] (exponential in [|U|]) —
+    the identity underlying the SAT reduction (DESIGN.md §3).
+    @raise Invalid_argument beyond 25 universe elements. *)
+val euler_independent_sets : t -> int
+
+(** [to_complex pc] materialises as a facet-encoded complex over ground-set
+    indices (exponential; tests only). *)
+val to_complex : t -> Scomplex.t
+
+(** [of_complex c] is Lemma 47: for a non-trivial irreducible complex whose
+    ground set is not a facet, [b(x) = {i : x ∉ F_i}] yields an isomorphic
+    power complex.  Returns it with the assignment [b].
+    @raise Invalid_argument when the preconditions fail. *)
+val of_complex : Scomplex.t -> t * (int * int list) list

@@ -1,0 +1,209 @@
+(** Abstract simplicial complexes (Section 4.2.1 of the paper).
+
+    A complex is a non-empty finite ground set together with a downward
+    closed family of faces containing all singletons (Definition 39).
+    Complexes are encoded by their ground set and their facets (the
+    inclusion-maximal faces), exactly as the paper assumes.
+
+    The reduced Euler characteristic (Definition 40) drives the entire
+    meta-complexity machinery of Section 4: the coefficient of the
+    high-treewidth term in the Lemma 48 construction equals [-χ̂(Δ)]. *)
+
+module Listx = Listx
+module Intset = Intset
+
+type t = { ground : int list; (* sorted, duplicate-free, non-empty *) facets : int list list }
+
+(** [make ground facets] normalises a complex: facets are sorted and reduced
+    to the inclusion-maximal ones; elements of the ground set contained in
+    no facet gain their singleton facet (Definition 39 forces every
+    singleton to be a face). *)
+let make (ground : int list) (facets : int list list) : t =
+  let ground = Listx.sort_uniq_ints ground in
+  if ground = [] then invalid_arg "Scomplex.make: empty ground set";
+  let facets = List.map Listx.sort_uniq_ints facets in
+  List.iter
+    (fun f ->
+      if not (Listx.is_subset_sorted f ground) then
+        invalid_arg "Scomplex.make: facet not over ground set")
+    facets;
+  (* add singleton facets for uncovered elements *)
+  let covered = List.concat facets in
+  let facets =
+    facets
+    @ List.filter_map
+        (fun x -> if List.mem x covered then None else Some [ x ])
+        ground
+  in
+  (* keep only inclusion-maximal, distinct facets *)
+  let facets = List.sort_uniq compare facets in
+  let maximal =
+    List.filter
+      (fun f ->
+        not
+          (List.exists
+             (fun g -> g <> f && Listx.is_subset_sorted f g)
+             facets))
+      facets
+  in
+  { ground; facets = List.sort compare maximal }
+
+let ground (c : t) : int list = c.ground
+let facets (c : t) : int list list = c.facets
+
+(** [size c] is the encoding length: ground-set size plus total facet
+    size. *)
+let size (c : t) : int =
+  List.length c.ground + Listx.sum (List.map List.length c.facets)
+
+(** [is_face c s] decides membership of [s] in the face family. *)
+let is_face (c : t) (s : int list) : bool =
+  let s = Listx.sort_uniq_ints s in
+  List.exists (fun f -> Listx.is_subset_sorted s f) c.facets
+
+(** [faces c] enumerates all faces (including the empty face).  Exponential;
+    for small complexes and tests. *)
+let faces (c : t) : int list list =
+  List.filter (is_face c) (Combinat.subsets_of_list c.ground)
+  |> List.map (List.sort compare)
+  |> List.sort_uniq compare
+
+(** [is_trivial c] checks whether [c] is isomorphic to
+    [({x}, {∅, {x}})]. *)
+let is_trivial (c : t) : bool = List.length c.ground = 1
+
+(* ------------------------------------------------------------------ *)
+(* Reduced Euler characteristic (Definition 40)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [euler_brute c] computes [χ̂(Δ) = -Σ_{S ∈ I} (-1)^|S|] by enumerating
+    all faces.  Exponential in the ground-set size; the reference oracle. *)
+let euler_brute (c : t) : int =
+  -Listx.sum
+     (List.map (fun s -> if List.length s mod 2 = 0 then 1 else -1) (faces c))
+
+(** [euler_facet_ie c] computes χ̂ by inclusion–exclusion over facets:
+    since [Σ_{S ⊆ W} (-1)^|S| = [W = ∅]], only facet subfamilies with empty
+    intersection contribute, giving
+    [χ̂(Δ) = Σ_{∅ ≠ T ⊆ facets, ∩T = ∅} (-1)^|T|].
+    Exponential in the number of facets — an independent cross-check. *)
+let euler_facet_ie (c : t) : int =
+  let facets = Array.of_list c.facets in
+  let k = Array.length facets in
+  if k > 25 then invalid_arg "Scomplex.euler_facet_ie: too many facets";
+  Combinat.subsets_fold
+    (fun acc tset ->
+      match tset with
+      | [] -> acc
+      | first :: rest ->
+          let inter =
+            List.fold_left
+              (fun acc i -> Listx.inter_sorted acc facets.(i))
+              facets.(first) rest
+          in
+          if inter = [] then
+            acc + (if List.length tset mod 2 = 0 then 1 else -1)
+          else acc)
+    0 k
+
+(* ------------------------------------------------------------------ *)
+(* Domination (Lemmas 41/42) and irreducibility                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [dominates c x y] decides whether [x] dominates [y]: by Lemma 41, iff
+    every facet containing [y] also contains [x]. *)
+let dominates (c : t) (x : int) (y : int) : bool =
+  x <> y
+  && List.for_all
+       (fun f -> (not (List.mem y f)) || List.mem x f)
+       c.facets
+
+(** [find_dominated c] returns a pair [(x, y)] with [x] dominating [y], if
+    any. *)
+let find_dominated (c : t) : (int * int) option =
+  let rec scan = function
+    | [] -> None
+    | y :: rest -> (
+        match List.find_opt (fun x -> dominates c x y) c.ground with
+        | Some x -> Some (x, y)
+        | None -> scan rest)
+  in
+  scan c.ground
+
+let is_irreducible (c : t) : bool = Option.is_none (find_dominated c)
+
+(** [delete c y] is [Δ \ y]: delete every face containing [y] and remove
+    [y] from the ground set.  The new facets are the maximal sets among
+    [F \ {y}]. *)
+let delete (c : t) (y : int) : t =
+  let ground = List.filter (fun x -> x <> y) c.ground in
+  if ground = [] then invalid_arg "Scomplex.delete: deleting last element";
+  make ground (List.map (List.filter (fun x -> x <> y)) c.facets)
+
+(** [reduce c] applies Lemma 42 exhaustively: repeatedly delete a dominated
+    element (χ̂ is invariant under each step).  The result is irreducible or
+    trivial. *)
+let rec reduce (c : t) : t =
+  if is_trivial c then c
+  else
+    match find_dominated c with
+    | None -> c
+    | Some (_, y) -> reduce (delete c y)
+
+(** [euler c] computes χ̂ with the Lemma 50 preprocessing: reduce by
+    domination; a trivial result or a complete complex (ground set is a
+    facet) has [χ̂ = 0]; otherwise fall back to facet inclusion–exclusion
+    (or brute force when the facet count is large but the ground set is
+    small). *)
+let euler (c : t) : int =
+  let c = reduce c in
+  if is_trivial c then 0
+  else if List.exists (fun f -> f = c.ground) c.facets then 0
+  else if List.length c.facets <= 20 then euler_facet_ie c
+  else if List.length c.ground <= 20 then euler_brute c
+  else invalid_arg "Scomplex.euler: complex too large for exact computation"
+
+(* ------------------------------------------------------------------ *)
+(* Isomorphism (Definition 43) — for tests on small complexes          *)
+(* ------------------------------------------------------------------ *)
+
+(** [isomorphic c1 c2] decides complex isomorphism by brute-force search
+    over ground-set bijections (facet multisets must correspond).  Intended
+    for small complexes in tests. *)
+let isomorphic (c1 : t) (c2 : t) : bool =
+  List.length c1.ground = List.length c2.ground
+  && List.length c1.facets = List.length c2.facets
+  && List.exists
+       (fun perm ->
+         let mapping = List.combine c1.ground perm in
+         let image =
+           List.sort compare
+             (List.map
+                (fun f ->
+                  List.sort compare (List.map (fun x -> List.assoc x mapping) f))
+                c1.facets)
+         in
+         image = c2.facets)
+       (Combinat.permutations c2.ground)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 of the paper                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [figure1_delta1] is the left complex of Figure 1: facets
+    {2,3,4}, {1,2}, {1,3}, {1,4}; its reduced Euler characteristic is -2. *)
+let figure1_delta1 : t =
+  make [ 1; 2; 3; 4 ] [ [ 2; 3; 4 ]; [ 1; 2 ]; [ 1; 3 ]; [ 1; 4 ] ]
+
+(** [figure1_delta2] is the right complex of Figure 1: facets
+    {1,2}, {2,3}, {1,3}, {4}; its reduced Euler characteristic is 0. *)
+let figure1_delta2 : t =
+  make [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ]; [ 4 ] ]
+
+let pp (fmt : Format.formatter) (c : t) : unit =
+  Format.fprintf fmt "complex(ground={%s}; facets=%s)"
+    (String.concat "," (List.map string_of_int c.ground))
+    (String.concat " "
+       (List.map
+          (fun f -> "{" ^ String.concat "," (List.map string_of_int f) ^ "}")
+          c.facets))

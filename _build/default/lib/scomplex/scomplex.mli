@@ -1,0 +1,69 @@
+(** Abstract simplicial complexes (Definition 39), encoded by ground set
+    and facets, with the reduced Euler characteristic (Definition 40) and
+    the domination machinery of Lemmas 41/42. *)
+
+type t
+
+(** [make ground facets] normalises: facets reduced to inclusion-maximal
+    sets; uncovered elements gain singleton facets (Definition 39 requires
+    all singletons to be faces).
+    @raise Invalid_argument on an empty ground set. *)
+val make : int list -> int list list -> t
+
+val ground : t -> int list
+val facets : t -> int list list
+
+(** [size c] is the encoding length. *)
+val size : t -> int
+
+val is_face : t -> int list -> bool
+
+(** [faces c] enumerates all faces, including the empty one (exponential;
+    for small complexes). *)
+val faces : t -> int list list
+
+(** [is_trivial c]: isomorphic to [({x}, {∅, {x}})]. *)
+val is_trivial : t -> bool
+
+(** [euler_brute c] is [χ̂(Δ) = -Σ_(S ∈ I) (-1)^|S|] by face
+    enumeration. *)
+val euler_brute : t -> int
+
+(** [euler_facet_ie c] computes χ̂ by inclusion–exclusion over facets
+    (only facet subfamilies with empty intersection contribute).
+    @raise Invalid_argument beyond 25 facets. *)
+val euler_facet_ie : t -> int
+
+(** [dominates c x y] is Lemma 41: every facet containing [y] contains
+    [x]. *)
+val dominates : t -> int -> int -> bool
+
+val find_dominated : t -> (int * int) option
+val is_irreducible : t -> bool
+
+(** [delete c y] is [Δ \ y].
+    @raise Invalid_argument when deleting the last element. *)
+val delete : t -> int -> t
+
+(** [reduce c] deletes dominated elements exhaustively (χ̂-preserving by
+    Lemma 42). *)
+val reduce : t -> t
+
+(** [euler c] is χ̂ with the Lemma 50 preprocessing: reduce, resolve
+    trivial/complete cases to 0, else facet inclusion–exclusion (or brute
+    force).
+    @raise Invalid_argument when the complex is too large for exact
+    computation. *)
+val euler : t -> int
+
+(** [isomorphic c1 c2] is Definition 43 isomorphism, by brute force over
+    ground-set bijections (small complexes only). *)
+val isomorphic : t -> t -> bool
+
+(** Figure 1, left: facets {2,3,4}, {1,2}, {1,3}, {1,4}; χ̂ = -2. *)
+val figure1_delta1 : t
+
+(** Figure 1, right: facets {1,2}, {2,3}, {1,3}, {4}; χ̂ = 0. *)
+val figure1_delta2 : t
+
+val pp : Format.formatter -> t -> unit

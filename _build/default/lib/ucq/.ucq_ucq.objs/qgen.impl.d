@@ -1,0 +1,1 @@
+lib/ucq/qgen.ml: Array Cq List Random Signature Structure Ucq

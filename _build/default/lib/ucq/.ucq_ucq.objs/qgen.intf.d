@@ -1,0 +1,1 @@
+lib/ucq/qgen.mli: Cq Signature Ucq

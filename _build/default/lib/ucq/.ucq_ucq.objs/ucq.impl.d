@@ -1,0 +1,1 @@
+lib/ucq/ucq.ml: Bigint Combinat Counting Cq Format Hashtbl Hom Intset List Listx Signature String Structure

@@ -1,0 +1,1 @@
+lib/ucq/ucq.mli: Bigint Counting Cq Format Structure

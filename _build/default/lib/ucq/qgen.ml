@@ -1,0 +1,70 @@
+(** Seeded random query generators for fuzzing and property tests.
+
+    The test suite cross-checks every counting engine against the naive
+    oracle on queries drawn from these distributions; they are exported as
+    library API so downstream users can property-test their own extensions
+    the same way. *)
+
+(** [random_cq ~seed ~max_vars ~max_atoms sg] draws a conjunctive query
+    over the binary/unary/ternary symbols of [sg]: a uniform variable count
+    in [1 .. max_vars], uniform atoms over uniform variable tuples, and a
+    uniform subset of free variables. *)
+let random_cq ~(seed : int) ~(max_vars : int) ~(max_atoms : int)
+    (sg : Signature.t) : Cq.t =
+  if max_vars < 1 || max_atoms < 0 then invalid_arg "Qgen.random_cq";
+  let st = Random.State.make [| seed |] in
+  let n = 1 + Random.State.int st max_vars in
+  let num_atoms = Random.State.int st (max_atoms + 1) in
+  let symbols = Array.of_list sg in
+  let rels =
+    List.init num_atoms (fun _ ->
+        let s = symbols.(Random.State.int st (Array.length symbols)) in
+        ( s.Signature.name,
+          [ List.init s.Signature.arity (fun _ -> Random.State.int st n) ] ))
+  in
+  let free =
+    List.filter (fun _ -> Random.State.bool st) (List.init n (fun i -> i))
+  in
+  Cq.make (Structure.make sg (List.init n (fun i -> i)) rels) free
+
+(** [random_acyclic_cq ~seed ~max_vars sg2] draws an acyclic
+    quantifier-free query over a binary symbol of [sg2] by sampling a
+    random forest (each atom connects a vertex to an earlier one). *)
+let random_acyclic_cq ~(seed : int) ~(max_vars : int) (sg2 : Signature.t) :
+    Cq.t =
+  let name =
+    match List.find_opt (fun (s : Signature.symbol) -> s.arity = 2) sg2 with
+    | Some s -> s.Signature.name
+    | None -> invalid_arg "Qgen.random_acyclic_cq: no binary symbol"
+  in
+  let st = Random.State.make [| seed |] in
+  let n = 2 + Random.State.int st (max 1 (max_vars - 1)) in
+  let edges =
+    List.init (n - 1) (fun i ->
+        let target = Random.State.int st (i + 1) in
+        if Random.State.bool st then [ i + 1; target ] else [ target; i + 1 ])
+  in
+  Cq.of_structure
+    (Structure.make sg2 (List.init n (fun i -> i)) [ (name, edges) ])
+
+(** [random_ucq ~seed ~max_disjuncts ~max_vars ~max_atoms sg] draws a union
+    whose disjuncts share the free variables [{0, 1}]. *)
+let random_ucq ~(seed : int) ~(max_disjuncts : int) ~(max_vars : int)
+    ~(max_atoms : int) (sg : Signature.t) : Ucq.t =
+  if max_disjuncts < 1 then invalid_arg "Qgen.random_ucq";
+  let st = Random.State.make [| seed |] in
+  let l = 1 + Random.State.int st max_disjuncts in
+  let symbols = Array.of_list sg in
+  let disjunct i =
+    let n = 2 + Random.State.int st (max 1 (max_vars - 1)) in
+    let num_atoms = 1 + Random.State.int st (max 1 max_atoms) in
+    let rels =
+      List.init num_atoms (fun _ ->
+          let s = symbols.(Random.State.int st (Array.length symbols)) in
+          ( s.Signature.name,
+            [ List.init s.Signature.arity (fun _ -> Random.State.int st n) ] ))
+    in
+    ignore i;
+    Cq.make (Structure.make sg (List.init n (fun v -> v)) rels) [ 0; 1 ]
+  in
+  Ucq.make (List.init l disjunct)

@@ -1,0 +1,20 @@
+(** Seeded random query generators for fuzzing and property tests. *)
+
+(** [random_cq ~seed ~max_vars ~max_atoms sg] draws a CQ over [sg] with a
+    uniform free-variable subset. *)
+val random_cq : seed:int -> max_vars:int -> max_atoms:int -> Signature.t -> Cq.t
+
+(** [random_acyclic_cq ~seed ~max_vars sg] draws an acyclic quantifier-free
+    CQ (a random forest over a binary symbol of [sg]).
+    @raise Invalid_argument when [sg] has no binary symbol. *)
+val random_acyclic_cq : seed:int -> max_vars:int -> Signature.t -> Cq.t
+
+(** [random_ucq ~seed ~max_disjuncts ~max_vars ~max_atoms sg] draws a union
+    over the shared free variables [{0, 1}]. *)
+val random_ucq :
+  seed:int ->
+  max_disjuncts:int ->
+  max_vars:int ->
+  max_atoms:int ->
+  Signature.t ->
+  Ucq.t

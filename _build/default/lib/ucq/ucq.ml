@@ -1,0 +1,291 @@
+(** Unions of conjunctive queries (Section 2.3 of the paper).
+
+    A UCQ is a tuple of structures over the same signature together with a
+    shared set [X] of free variables present in every universe.  As in the
+    paper we maintain the convention that distinct disjuncts share only
+    their free variables ([U(A_i) ∩ U(A_j) = X] for [i ≠ j]); {!make}
+    renames quantified variables apart to enforce it. *)
+
+module Intset = Intset
+
+type t = { cqs : Structure.t list; free : int list (* sorted *) }
+
+let length (psi : t) : int = List.length psi.cqs
+let free (psi : t) : int list = psi.free
+let disjunct_structures (psi : t) : Structure.t list = psi.cqs
+
+(** [disjunct psi i] is the [i]-th CQ of the union ([Ψ_i]). *)
+let disjunct (psi : t) (i : int) : Cq.t =
+  Cq.make (List.nth psi.cqs i) psi.free
+
+let disjuncts (psi : t) : Cq.t list =
+  List.map (fun a -> Cq.make a psi.free) psi.cqs
+
+(** [make cqs] builds a UCQ from conjunctive queries that must all have the
+    same free-variable set and signature; quantified variables are renamed
+    apart. *)
+let make (cqs : Cq.t list) : t =
+  match cqs with
+  | [] -> invalid_arg "Ucq.make: empty union"
+  | first :: rest ->
+      let x = Cq.free first in
+      List.iter
+        (fun q ->
+          if Cq.free q <> x then
+            invalid_arg "Ucq.make: free variable sets differ";
+          if
+            not
+              (Signature.equal
+                 (Structure.signature (Cq.structure q))
+                 (Structure.signature (Cq.structure first)))
+          then invalid_arg "Ucq.make: signatures differ")
+        rest;
+      (* Rename quantified variables apart. *)
+      let fresh =
+        ref
+          (1
+          + List.fold_left
+              (fun acc q ->
+                List.fold_left max acc (Structure.universe (Cq.structure q)))
+              0 cqs)
+      in
+      let xset = Intset.of_list x in
+      let structures =
+        List.map
+          (fun q ->
+            let a = Cq.structure q in
+            let mapping = Hashtbl.create 8 in
+            List.iter
+              (fun v ->
+                if Intset.mem v xset then Hashtbl.add mapping v v
+                else begin
+                  Hashtbl.add mapping v !fresh;
+                  incr fresh
+                end)
+              (Structure.universe a);
+            Structure.rename a (Hashtbl.find mapping))
+          cqs
+      in
+      { cqs = structures; free = x }
+
+(** [of_structures structures free] builds a UCQ directly (used by the
+    reduction pipeline, whose structures are already renamed apart: their
+    quantified parts are empty). *)
+let of_structures (structures : Structure.t list) (free : int list) : t =
+  make (List.map (fun a -> Cq.make a free) structures)
+
+(** [size psi] is [|Ψ| = Σ_i |Ψ_i|]. *)
+let size (psi : t) : int =
+  List.fold_left (fun acc a -> acc + Structure.size a + List.length psi.free) 0 psi.cqs
+
+(** [arity psi] is the maximum relation arity. *)
+let arity (psi : t) : int =
+  List.fold_left
+    (fun acc a -> max acc (Signature.arity (Structure.signature a)))
+    0 psi.cqs
+
+let is_quantifier_free (psi : t) : bool =
+  List.for_all (fun a -> Structure.universe a = psi.free) psi.cqs
+
+(** [num_quantified psi] is the total number of existentially quantified
+    variables, [Σ_i |U(A_i) \ X|]. *)
+let num_quantified (psi : t) : int =
+  List.fold_left
+    (fun acc a -> acc + (Structure.universe_size a - List.length psi.free))
+    0 psi.cqs
+
+(** [restrict psi j] is the sub-union [Ψ|_J] for a list [j] of disjunct
+    indices. *)
+let restrict (psi : t) (j : int list) : t =
+  let j = Listx.sort_uniq_ints j in
+  if j = [] then invalid_arg "Ucq.restrict: empty index set";
+  { cqs = List.map (List.nth psi.cqs) j; free = psi.free }
+
+(** [combined psi j] is the combined conjunctive query [∧(Ψ|_J)]
+    (Definition 23): the union of the structures of the selected disjuncts
+    with the same free variables. *)
+let combined (psi : t) (j : int list) : Cq.t =
+  let j = Listx.sort_uniq_ints j in
+  if j = [] then invalid_arg "Ucq.combined: empty index set";
+  let structures = List.map (List.nth psi.cqs) j in
+  Cq.make (Structure.union_all structures) psi.free
+
+(** [combined_all psi] is [∧(Ψ)]. *)
+let combined_all (psi : t) : Cq.t =
+  combined psi (List.init (length psi) (fun i -> i))
+
+(** [deletion_closure psi] lists all sub-unions [Ψ|_J] for nonempty
+    [J ⊆ [ℓ]] — the closure under deletions of Section 3. *)
+let deletion_closure (psi : t) : t list =
+  List.map (restrict psi) (Combinat.nonempty_subsets (length psi))
+
+(** [is_union_of_acyclic psi] checks that every disjunct is acyclic. *)
+let is_union_of_acyclic (psi : t) : bool =
+  List.for_all Cq.is_acyclic (disjuncts psi)
+
+(** [is_union_of_self_join_free psi] checks condition (III) of Theorem 3. *)
+let is_union_of_self_join_free (psi : t) : bool =
+  List.for_all Cq.is_self_join_free (disjuncts psi)
+
+(* ------------------------------------------------------------------ *)
+(* Counting answers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [count_naive psi d] iterates all assignments [X → U(D)] and keeps those
+    that are an answer of some disjunct — the reference oracle. *)
+let count_naive (psi : t) (d : Structure.t) : int =
+  let x = psi.free in
+  let dom = Structure.universe d in
+  let assignments = Combinat.tuples (List.length x) dom in
+  List.length
+    (List.filter
+       (fun tup ->
+         let fixed = List.combine x tup in
+         List.exists (fun a -> Hom.exists ~fixed a d) psi.cqs)
+       assignments)
+
+(** [count_inclusion_exclusion ?strategy psi d] computes
+    [ans(Ψ → D) = Σ_{∅≠J} (-1)^(|J|+1) · ans(∧(Ψ|_J) → D)]
+    (the proof of Lemma 26), counting each combined query with the given
+    per-CQ strategy. *)
+let count_inclusion_exclusion ?(strategy = Counting.Auto) (psi : t)
+    (d : Structure.t) : int =
+  Combinat.subsets_fold
+    (fun acc j ->
+      match j with
+      | [] -> acc
+      | _ ->
+          let sign = if List.length j mod 2 = 1 then 1 else -1 in
+          acc + (sign * Counting.count ~strategy (combined psi j) d))
+    0 (length psi)
+
+(* ------------------------------------------------------------------ *)
+(* CQ expansion (Definition 25, Lemma 26)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** One #equivalence class of the CQ expansion: a #minimal representative
+    (the #core of the combined queries in the class) and its coefficient
+    [c_Ψ]. *)
+type expansion_term = { representative : Cq.t; coefficient : int }
+
+(** [expansion psi] computes the CQ expansion of [Ψ]: group the combined
+    queries [∧(Ψ|_J)] over all nonempty [J] by #equivalence and sum the
+    signs [(-1)^(|J|+1)].  Representatives are #minimal (they are #cores),
+    so by Lemma 18 grouping by isomorphism of #cores is exactly grouping by
+    #equivalence.  Terms with coefficient [0] are retained; use {!support}
+    for the non-vanishing part.  Runs in time [2^ℓ · poly(|Ψ|)]. *)
+let expansion (psi : t) : expansion_term list =
+  let classes : (Cq.t * int ref) list ref = ref [] in
+  Combinat.subsets_fold
+    (fun () j ->
+      match j with
+      | [] -> ()
+      | _ ->
+          let core = Cq.sharp_core (combined psi j) in
+          let sign = if List.length j mod 2 = 1 then 1 else -1 in
+          let rec insert = function
+            | [] -> classes := !classes @ [ (core, ref sign) ]
+            | (rep, coeff) :: rest ->
+                (* syntactic equality is a cheap certificate of isomorphism
+                   and the common case in quantifier-free expansions *)
+                if Cq.equal rep core || Cq.isomorphic rep core then
+                  coeff := !coeff + sign
+                else insert rest
+          in
+          insert !classes)
+    () (length psi);
+  List.map
+    (fun (rep, coeff) -> { representative = rep; coefficient = !coeff })
+    !classes
+
+(** [support psi] is the expansion restricted to non-zero coefficients: the
+    #minimal queries [(A, X)] with [c_Ψ(A, X) ≠ 0]. *)
+let support (psi : t) : expansion_term list =
+  List.filter (fun t -> t.coefficient <> 0) (expansion psi)
+
+(** [coefficient psi q] is [c_Ψ(A, X)] for a conjunctive query [q]
+    (Definition 25): the signed number of index sets whose combined query is
+    #equivalent to [q]. *)
+let coefficient (psi : t) (q : Cq.t) : int =
+  let core = Cq.sharp_core q in
+  List.fold_left
+    (fun acc (term : expansion_term) ->
+      if Cq.isomorphic term.representative core then acc + term.coefficient
+      else acc)
+    0 (expansion psi)
+
+(** [count_via_expansion ?strategy psi d] evaluates the linear combination
+    of Lemma 26 term by term: [Σ c_Ψ(A,X) · ans((A,X) → D)]. *)
+let count_via_expansion ?(strategy = Counting.Auto) (psi : t) (d : Structure.t)
+    : int =
+  List.fold_left
+    (fun acc (term : expansion_term) ->
+      if term.coefficient = 0 then acc
+      else acc + (term.coefficient * Counting.count ~strategy term.representative d))
+    0 (expansion psi)
+
+(** [is_exhaustively_q_hierarchical psi] checks the Berkholz–Keppeler–
+    Schweikardt criterion for constant-delay dynamic counting of UCQs
+    ([12, Theorem 4.5], discussed in Section 1.2): every combined query
+    [∧(Ψ|_J)] must be q-hierarchical.  The straightforward algorithm used
+    here is exponential in [ℓ]; whether this can be improved is open. *)
+let is_exhaustively_q_hierarchical (psi : t) : bool =
+  List.for_all
+    (fun j -> Cq.is_q_hierarchical (combined psi j))
+    (Combinat.nonempty_subsets (length psi))
+
+let pp (fmt : Format.formatter) (psi : t) : unit =
+  Format.fprintf fmt "@[<v>UCQ with %d disjuncts, free = {%s}@]" (length psi)
+    (String.concat "," (List.map string_of_int psi.free))
+
+(** [count_via_expansion_big psi d] is the exact arbitrary-precision variant
+    of {!count_via_expansion}; it is the oracle used by the
+    complexity-monotonicity solver (Theorem 28), whose tensor-product
+    databases push answer counts beyond native range. *)
+let count_via_expansion_big (psi : t) (d : Structure.t) : Bigint.t =
+  List.fold_left
+    (fun acc (term : expansion_term) ->
+      if term.coefficient = 0 then acc
+      else
+        Bigint.add acc
+          (Bigint.mul
+             (Bigint.of_int term.coefficient)
+             (Counting.count_big term.representative d)))
+    Bigint.zero (expansion psi)
+
+(** [count_inclusion_exclusion_big psi d] is the exact arbitrary-precision
+    variant of {!count_inclusion_exclusion}. *)
+let count_inclusion_exclusion_big (psi : t) (d : Structure.t) : Bigint.t =
+  Combinat.subsets_fold
+    (fun acc j ->
+      match j with
+      | [] -> acc
+      | _ ->
+          let term = Counting.count_big (combined psi j) d in
+          if List.length j mod 2 = 1 then Bigint.add acc term
+          else Bigint.sub acc term)
+    Bigint.zero (length psi)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled expansions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** A UCQ compiled for repeated counting: the [2^ℓ] expansion work (cores,
+    isomorphism grouping) is paid once; each database is then counted by
+    evaluating the stored support terms. *)
+type compiled = { query : t; terms : expansion_term list }
+
+(** [compile psi] precomputes the expansion support. *)
+let compile (psi : t) : compiled = { query = psi; terms = support psi }
+
+(** [compiled_support c] exposes the precomputed support. *)
+let compiled_support (c : compiled) : expansion_term list = c.terms
+
+(** [count_compiled ?strategy c d] evaluates the stored linear combination
+    on [d]. *)
+let count_compiled ?(strategy = Counting.Auto) (c : compiled) (d : Structure.t)
+    : int =
+  List.fold_left
+    (fun acc (t : expansion_term) ->
+      acc + (t.coefficient * Counting.count ~strategy t.representative d))
+    0 c.terms

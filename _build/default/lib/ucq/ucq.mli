@@ -1,0 +1,105 @@
+(** Unions of conjunctive queries (Section 2.3): shared free variables,
+    combined queries [∧(Ψ|J)] (Definition 23), the CQ expansion and
+    coefficient function [c_Ψ] (Definition 25, Lemma 26), and the counting
+    algorithms built on them. *)
+
+type t
+
+(** [make cqs] builds a union from CQs with identical free-variable sets
+    and signatures; quantified variables are renamed apart so that
+    [U(A_i) ∩ U(A_j) = X].
+    @raise Invalid_argument on the empty list or mismatched disjuncts. *)
+val make : Cq.t list -> t
+
+(** [of_structures structures free] wraps structures sharing the free
+    set. *)
+val of_structures : Structure.t list -> int list -> t
+
+val length : t -> int
+val free : t -> int list
+val disjunct_structures : t -> Structure.t list
+
+(** [disjunct psi i] is [Ψ_i]. *)
+val disjunct : t -> int -> Cq.t
+
+val disjuncts : t -> Cq.t list
+
+(** [size psi] is [|Ψ| = Σ_i |Ψ_i|]. *)
+val size : t -> int
+
+val arity : t -> int
+val is_quantifier_free : t -> bool
+
+(** [num_quantified psi] is [Σ_i |U(A_i) \ X|]. *)
+val num_quantified : t -> int
+
+(** [restrict psi j] is [Ψ|_J].
+    @raise Invalid_argument on the empty index set. *)
+val restrict : t -> int list -> t
+
+(** [combined psi j] is [∧(Ψ|_J)] (Definition 23). *)
+val combined : t -> int list -> Cq.t
+
+(** [combined_all psi] is [∧(Ψ)]. *)
+val combined_all : t -> Cq.t
+
+(** [deletion_closure psi] lists every [Ψ|_J], [∅ ≠ J ⊆ [ℓ]]. *)
+val deletion_closure : t -> t list
+
+val is_union_of_acyclic : t -> bool
+
+(** Condition (III) of Theorem 3. *)
+val is_union_of_self_join_free : t -> bool
+
+(** {2 Counting answers} *)
+
+(** [count_naive psi d] enumerates assignments — the reference oracle. *)
+val count_naive : t -> Structure.t -> int
+
+(** [count_inclusion_exclusion ?strategy psi d] evaluates
+    [Σ_(∅≠J) (-1)^(|J|+1) ans(∧(Ψ|J) → D)] (proof of Lemma 26). *)
+val count_inclusion_exclusion : ?strategy:Counting.strategy -> t -> Structure.t -> int
+
+(** {2 The CQ expansion (Definition 25, Lemma 26)} *)
+
+(** One #equivalence class: a #minimal representative (the class #core)
+    with its coefficient [c_Ψ]. *)
+type expansion_term = { representative : Cq.t; coefficient : int }
+
+(** [expansion psi] groups the combined queries of all nonempty [J] by
+    #equivalence and sums the signs; zero-coefficient classes are retained.
+    Runs in [2^ℓ · poly(|Ψ|)] time. *)
+val expansion : t -> expansion_term list
+
+(** [support psi] is the expansion restricted to non-zero coefficients. *)
+val support : t -> expansion_term list
+
+(** [coefficient psi q] is [c_Ψ(A, X)] for the class of [q]. *)
+val coefficient : t -> Cq.t -> int
+
+(** [count_via_expansion ?strategy psi d] evaluates the Lemma 26 linear
+    combination term by term. *)
+val count_via_expansion : ?strategy:Counting.strategy -> t -> Structure.t -> int
+
+(** Exact arbitrary-precision variants (oracles for Theorem 28). *)
+val count_via_expansion_big : t -> Structure.t -> Bigint.t
+
+val count_inclusion_exclusion_big : t -> Structure.t -> Bigint.t
+
+(** [is_exhaustively_q_hierarchical psi] checks the dynamic-counting
+    criterion of [12] (Section 1.2): every [∧(Ψ|J)] q-hierarchical.
+    Exponential in [ℓ]. *)
+val is_exhaustively_q_hierarchical : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Compiled expansions} *)
+
+(** A UCQ compiled for repeated counting: the [2^ℓ] expansion work is paid
+    once at {!compile}; each database is then counted by evaluating the
+    stored support terms. *)
+type compiled
+
+val compile : t -> compiled
+val compiled_support : compiled -> expansion_term list
+val count_compiled : ?strategy:Counting.strategy -> compiled -> Structure.t -> int

@@ -1,0 +1,111 @@
+(** Combinatorial enumeration helpers used throughout the library.
+
+    Most of the paper's algorithms (the CQ expansion of Lemma 26, the META
+    algorithm of Lemma 38, the upper bounds of Theorems 7 and 8) iterate over
+    all subsets [J] of the index set [{0, ..., l-1}] of a union of
+    conjunctive queries.  This module provides the corresponding subset
+    iterators together with a few other small enumeration utilities. *)
+
+(** [subsets_fold f acc n] folds [f] over all [2^n] subsets of
+    [{0, ..., n-1}], each presented as a sorted list.  Subsets are visited in
+    increasing order of their bitmask encoding.  [n] must be at most 62. *)
+let subsets_fold (f : 'a -> int list -> 'a) (acc : 'a) (n : int) : 'a =
+  if n < 0 || n > 62 then invalid_arg "Combinat.subsets_fold";
+  let acc = ref acc in
+  for mask = 0 to (1 lsl n) - 1 do
+    let members = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then members := i :: !members
+    done;
+    acc := f !acc !members
+  done;
+  !acc
+
+(** [subsets n] is the list of all subsets of [{0, ..., n-1}] as sorted
+    lists, in bitmask order.  Intended for small [n] only. *)
+let subsets (n : int) : int list list =
+  List.rev (subsets_fold (fun acc s -> s :: acc) [] n)
+
+(** [nonempty_subsets n] is [subsets n] without the empty set. *)
+let nonempty_subsets (n : int) : int list list =
+  List.filter (fun s -> s <> []) (subsets n)
+
+(** [subsets_of_list xs] enumerates all subsets of the list [xs] (preserving
+    the relative order of elements within each subset). *)
+let subsets_of_list (xs : 'a list) : 'a list list =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> s @ [ x ]) acc)
+    [ [] ] xs
+
+(** [ksubsets k xs] enumerates all size-[k] subsets of [xs], preserving
+    relative order. *)
+let rec ksubsets (k : int) (xs : 'a list) : 'a list list =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun s -> x :: s) (ksubsets (k - 1) rest) @ ksubsets k rest
+
+(** [pairs xs] is the list of all unordered pairs of distinct elements of
+    [xs] (as ordered tuples following the list order). *)
+let pairs (xs : 'a list) : ('a * 'a) list =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+(** [permutations xs] enumerates all permutations of [xs].  Intended for
+    small lists (isomorphism brute-force fallbacks in tests). *)
+let rec permutations (xs : 'a list) : 'a list list =
+  let rec remove_one x = function
+    | [] -> []
+    | y :: ys -> if y = x then ys else y :: remove_one x ys
+  in
+  match xs with
+  | [] -> [ [] ]
+  | _ ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (permutations (remove_one x xs)))
+        xs
+
+(** [cartesian xss] is the cartesian product of the lists in [xss]; the
+    result enumerates one choice from each input list, in input order. *)
+let rec cartesian (xss : 'a list list) : 'a list list =
+  match xss with
+  | [] -> [ [] ]
+  | xs :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun x -> List.map (fun t -> x :: t) tails) xs
+
+(** [tuples n xs] enumerates all length-[n] tuples over the alphabet
+    [xs] (i.e. [xs^n]). *)
+let tuples (n : int) (xs : 'a list) : 'a list list =
+  cartesian (List.init n (fun _ -> xs))
+
+(** [binomial n k] is the binomial coefficient [n choose k], computed with
+    native integers (callers keep [n] small enough to avoid overflow). *)
+let binomial (n : int) (k : int) : int =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let num = ref 1 in
+    for i = 0 to k - 1 do
+      num := !num * (n - i) / (i + 1)
+    done;
+    !num
+  end
+
+(** [range n] is [[0; 1; ...; n-1]]. *)
+let range (n : int) : int list = List.init n (fun i -> i)
+
+(** [power_int b e] is [b^e] over native integers ([e >= 0]). *)
+let power_int (b : int) (e : int) : int =
+  if e < 0 then invalid_arg "Combinat.power_int";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e

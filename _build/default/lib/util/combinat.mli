@@ -1,0 +1,40 @@
+(** Combinatorial enumeration: the subset iterators behind the CQ expansion
+    (Lemma 26), the META algorithm (Lemma 38), and the Theorem 7/8 upper
+    bounds. *)
+
+(** [subsets_fold f acc n] folds over all [2^n] subsets of [{0..n-1}] (as
+    sorted lists, in bitmask order).
+    @raise Invalid_argument for [n] outside [0..62]. *)
+val subsets_fold : ('a -> int list -> 'a) -> 'a -> int -> 'a
+
+(** [subsets n] lists all subsets (small [n] only). *)
+val subsets : int -> int list list
+
+val nonempty_subsets : int -> int list list
+
+(** [subsets_of_list xs] enumerates subsets preserving element order. *)
+val subsets_of_list : 'a list -> 'a list list
+
+(** [ksubsets k xs] enumerates size-[k] subsets. *)
+val ksubsets : int -> 'a list -> 'a list list
+
+(** [pairs xs] lists unordered pairs of distinct positions. *)
+val pairs : 'a list -> ('a * 'a) list
+
+(** [permutations xs] enumerates permutations (small lists). *)
+val permutations : 'a list -> 'a list list
+
+(** [cartesian xss] is the cartesian product. *)
+val cartesian : 'a list list -> 'a list list
+
+(** [tuples n xs] is [xs^n]. *)
+val tuples : int -> 'a list -> 'a list list
+
+(** [binomial n k] is [n choose k] over native ints. *)
+val binomial : int -> int -> int
+
+(** [range n] is [[0; ...; n-1]]. *)
+val range : int -> int list
+
+(** [power_int b e] is [b^e] over native ints, [e >= 0]. *)
+val power_int : int -> int -> int

@@ -1,0 +1,38 @@
+(** Integer sets and maps, specialised from the standard library functors.
+
+    Universes of relational structures, vertices of graphs, and ground-set
+    elements of simplicial complexes are all represented as integers; these
+    aliases keep signatures readable. *)
+
+module S = Set.Make (Int)
+module M = Map.Make (Int)
+
+type t = S.t
+
+let of_list = S.of_list
+let to_list = S.elements
+let mem = S.mem
+let empty = S.empty
+let add = S.add
+let remove = S.remove
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let cardinal = S.cardinal
+let subset = S.subset
+let equal = S.equal
+let is_empty = S.is_empty
+let fold = S.fold
+let iter = S.iter
+let elements = S.elements
+let singleton = S.singleton
+let min_elt = S.min_elt
+let choose = S.choose
+let exists = S.exists
+let for_all = S.for_all
+let filter = S.filter
+let compare = S.compare
+
+let pp (fmt : Format.formatter) (s : t) : unit =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (to_list s)))

@@ -1,0 +1,32 @@
+(** Integer sets ([Set.Make (Int)] specialisation) with a map sibling —
+    universes, vertex sets and decomposition bags throughout the library. *)
+
+module S : Set.S with type elt = int
+module M : Map.S with type key = int
+
+type t = S.t
+
+val empty : t
+val of_list : int list -> t
+val to_list : t -> int list
+val elements : t -> int list
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val singleton : int -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+val min_elt : t -> int
+val choose : t -> int
+val exists : (int -> bool) -> t -> bool
+val for_all : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+(** Small list/array utilities shared across the library. *)
+
+(** [sort_uniq_ints xs] sorts [xs] and removes duplicates. *)
+let sort_uniq_ints (xs : int list) : int list = List.sort_uniq compare xs
+
+(** [sort_uniq cmp xs] sorts with [cmp] and removes duplicates. *)
+let sort_uniq cmp xs = List.sort_uniq cmp xs
+
+(** [is_subset_sorted xs ys] decides [xs ⊆ ys] for sorted duplicate-free
+    integer lists, in linear time. *)
+let rec is_subset_sorted (xs : int list) (ys : int list) : bool =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+      if x = y then is_subset_sorted xs' ys'
+      else if x > y then is_subset_sorted xs ys'
+      else false
+
+(** [inter_sorted xs ys] intersects two sorted duplicate-free lists. *)
+let rec inter_sorted (xs : int list) (ys : int list) : int list =
+  match (xs, ys) with
+  | [], _ | _, [] -> []
+  | x :: xs', y :: ys' ->
+      if x = y then x :: inter_sorted xs' ys'
+      else if x < y then inter_sorted xs' ys
+      else inter_sorted xs ys'
+
+(** [union_sorted xs ys] merges two sorted duplicate-free lists. *)
+let rec union_sorted (xs : int list) (ys : int list) : int list =
+  match (xs, ys) with
+  | [], zs | zs, [] -> zs
+  | x :: xs', y :: ys' ->
+      if x = y then x :: union_sorted xs' ys'
+      else if x < y then x :: union_sorted xs' ys
+      else y :: union_sorted xs ys'
+
+(** [diff_sorted xs ys] is [xs \ ys] for sorted duplicate-free lists. *)
+let rec diff_sorted (xs : int list) (ys : int list) : int list =
+  match (xs, ys) with
+  | [], _ -> []
+  | zs, [] -> zs
+  | x :: xs', y :: ys' ->
+      if x = y then diff_sorted xs' ys'
+      else if x < y then x :: diff_sorted xs' ys
+      else diff_sorted xs ys'
+
+(** [index_of x xs] is the index of the first occurrence of [x] in [xs].
+    @raise Not_found if absent. *)
+let index_of (x : 'a) (xs : 'a list) : int =
+  let rec go i = function
+    | [] -> raise Not_found
+    | y :: ys -> if y = x then i else go (i + 1) ys
+  in
+  go 0 xs
+
+(** [max_by f xs] returns an element maximising [f].
+    @raise Invalid_argument on the empty list. *)
+let max_by (f : 'a -> int) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Listx.max_by"
+  | x :: rest ->
+      List.fold_left (fun best y -> if f y > f best then y else best) x rest
+
+(** [min_by f xs] returns an element minimising [f].
+    @raise Invalid_argument on the empty list. *)
+let min_by (f : 'a -> int) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Listx.min_by"
+  | x :: rest ->
+      List.fold_left (fun best y -> if f y < f best then y else best) x rest
+
+(** [sum xs] sums an integer list. *)
+let sum (xs : int list) : int = List.fold_left ( + ) 0 xs
+
+(** [maximum xs] is the maximum of a non-empty integer list, and [default]
+    for the empty list. *)
+let maximum ?(default = min_int) (xs : int list) : int =
+  List.fold_left max default xs
+
+(** [group_by key xs] groups the elements of [xs] by [key], returning an
+    association list from keys (in order of first appearance) to the list of
+    elements with that key (in input order). *)
+let group_by (key : 'a -> 'k) (xs : 'a list) : ('k * 'a list) list =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+          Hashtbl.add tbl k (ref [ x ]);
+          order := k :: !order
+      | Some r -> r := x :: !r)
+    xs;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+(** [take n xs] is the first [n] elements of [xs] (or all of [xs] if
+    shorter). *)
+let rec take n xs =
+  if n <= 0 then [] else match xs with [] -> [] | x :: r -> x :: take (n - 1) r

@@ -1,0 +1,31 @@
+(** List utilities: sorted duplicate-free integer lists double as light
+    sets throughout the library. *)
+
+val sort_uniq_ints : int list -> int list
+val sort_uniq : ('a -> 'a -> int) -> 'a list -> 'a list
+
+(** Linear-time set operations on sorted duplicate-free lists. *)
+val is_subset_sorted : int list -> int list -> bool
+
+val inter_sorted : int list -> int list -> int list
+val union_sorted : int list -> int list -> int list
+
+(** [diff_sorted xs ys] is [xs \ ys]. *)
+val diff_sorted : int list -> int list -> int list
+
+(** @raise Not_found when absent. *)
+val index_of : 'a -> 'a list -> int
+
+(** @raise Invalid_argument on the empty list. *)
+val max_by : ('a -> int) -> 'a list -> 'a
+
+(** @raise Invalid_argument on the empty list. *)
+val min_by : ('a -> int) -> 'a list -> 'a
+
+val sum : int list -> int
+val maximum : ?default:int -> int list -> int
+
+(** [group_by key xs] groups by key, keys in order of first appearance. *)
+val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
+
+val take : int -> 'a list -> 'a list

@@ -1,0 +1,217 @@
+(** The Weisfeiler–Leman algorithm on labelled graphs (Section 5).
+
+    A database is a labelled graph when its signature has arity at most 2
+    and it contains no self-loop tuples [(v, v)].  The [k]-dimensional WL
+    algorithm colours [k]-tuples of vertices, starting from their atomic
+    types and refining each round with the multiset of colour vectors
+    obtained by substituting every vertex at every position.  Two labelled
+    graphs are [k]-WL equivalent when the algorithm cannot distinguish them
+    (Definition 6 rests on this notion).
+
+    To make colours comparable across two separate runs, colour identifiers
+    are assigned from the *canonical history term* of the colour (atomic
+    type, then [Update (own, substitution multisets)]) in a table shared by
+    both runs; identical defining terms always receive identical
+    identifiers.  The equivalence test runs both graphs in lockstep and
+    compares colour histograms each round. *)
+
+(** [is_labelled_graph d] checks the Section 5 conditions: arity ≤ 2 and no
+    tuple of the form [(v, v)]. *)
+let is_labelled_graph (d : Structure.t) : bool =
+  Signature.arity (Structure.signature d) <= 2
+  && List.for_all
+       (fun (_, ts) ->
+         List.for_all
+           (fun t -> match t with [ u; v ] -> u <> v | _ -> true)
+           ts)
+       (Structure.relations d)
+
+(* A colour history term.  [Atom] terms are intrinsic descriptions of a
+   tuple; [Update] terms record one refinement round of the k >= 2
+   substitution scheme; [Update_nbr] records one round of classic colour
+   refinement (the k = 1 algorithm), whose signature is the multiset of
+   (relation, direction, neighbour colour) triples. *)
+type term =
+  | Atom of (int * int) list * (string * bool list) list
+    (* equality pattern on position pairs; relation memberships over
+       position vectors *)
+  | Update of int * int list list
+  | Update_nbr of int * (string * bool * int) list
+
+(* ------------------------------------------------------------------ *)
+
+type run_state = {
+  universe : int array;
+  tuples : int array array; (* all k-tuples over the universe *)
+  mutable colours : int array; (* tuple index -> colour id *)
+  index_of_tuple : (int list, int) Hashtbl.t;
+}
+
+let all_tuples (universe : int array) (k : int) : int array array =
+  let n = Array.length universe in
+  let total = int_of_float (float_of_int n ** float_of_int k) in
+  Array.init total (fun code ->
+      let t = Array.make k 0 in
+      let c = ref code in
+      for j = 0 to k - 1 do
+        t.(j) <- universe.(!c mod n);
+        c := !c / n
+      done;
+      t)
+
+(** Atomic type of a tuple: equality pattern plus, for every relation
+    symbol, the membership vector over all (ordered) position pairs /
+    single positions. *)
+let atomic_type (d : Structure.t) (t : int array) : term =
+  let k = Array.length t in
+  let equalities =
+    List.concat
+      (List.init k (fun p ->
+           List.concat
+             (List.init k (fun q ->
+                  if p < q && t.(p) = t.(q) then [ (p, q) ] else []))))
+  in
+  let memberships =
+    List.map
+      (fun (name, ts) ->
+        let arity = Signature.arity_of (Structure.signature d) name in
+        let bits =
+          if arity = 1 then
+            List.concat (List.init k (fun p -> [ List.mem [ t.(p) ] ts ]))
+          else if arity = 2 then
+            List.concat
+              (List.init k (fun p ->
+                   List.init k (fun q -> List.mem [ t.(p); t.(q) ] ts)))
+          else []
+        in
+        (name, bits))
+      (Structure.relations d)
+  in
+  Atom (equalities, memberships)
+
+let init_run (d : Structure.t) (k : int) : run_state =
+  let universe = Array.of_list (Structure.universe d) in
+  let tuples = all_tuples universe k in
+  let index_of_tuple = Hashtbl.create (Array.length tuples) in
+  Array.iteri
+    (fun i t -> Hashtbl.replace index_of_tuple (Array.to_list t) i)
+    tuples;
+  { universe; tuples; colours = Array.make (Array.length tuples) 0; index_of_tuple }
+
+(** One refinement round.
+
+    For [k >= 2], the substitution scheme: the new colour term of tuple [w]
+    is [Update (c(w), multiset over u of (c(w[1:=u]), ..., c(w[k:=u])))].
+
+    For [k = 1], the substitution scheme degenerates (every vertex would
+    see the same multiset), so we use classic colour refinement instead:
+    the signature is the sorted multiset of (relation, direction,
+    neighbour colour) triples over the binary relations [d]. *)
+let round_term (d : Structure.t) (s : run_state) (k : int) (i : int) : term =
+  if k = 1 then begin
+    let v = s.tuples.(i).(0) in
+    let colour_of u = s.colours.(Hashtbl.find s.index_of_tuple [ u ]) in
+    let nbrs =
+      List.concat_map
+        (fun (name, ts) ->
+          List.concat_map
+            (fun t ->
+              match t with
+              | [ a; b ] ->
+                  (if a = v then [ (name, false, colour_of b) ] else [])
+                  @ if b = v then [ (name, true, colour_of a) ] else []
+              | _ -> [])
+            ts)
+        (Structure.relations d)
+    in
+    Update_nbr (s.colours.(i), List.sort compare nbrs)
+  end
+  else begin
+    let w = s.tuples.(i) in
+    let vectors =
+      Array.to_list
+        (Array.map
+           (fun u ->
+             List.init k (fun j ->
+                 let w' = Array.copy w in
+                 w'.(j) <- u;
+                 s.colours.(Hashtbl.find s.index_of_tuple (Array.to_list w'))))
+           s.universe)
+    in
+    Update (s.colours.(i), List.sort compare vectors)
+  end
+
+(** Colour histogram (multiset of colours) of a run. *)
+let histogram (s : run_state) : (int * int) list =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    s.colours;
+  List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl [])
+
+(** Number of distinct colours in a run. *)
+let num_colours (s : run_state) : int =
+  List.length (List.sort_uniq compare (Array.to_list s.colours))
+
+(** [refine_lockstep k states assign_term] performs rounds on all runs with
+    a shared term → identifier table until every run is stable; returns the
+    list of per-round histogram lists (index 0 = initial colouring). *)
+let run_lockstep (k : int) (ds : Structure.t list) : run_state list * (int * int) list list list =
+  let term_ids : (term, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let id_of term =
+    match Hashtbl.find_opt term_ids term with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace term_ids term i;
+        i
+  in
+  let states = List.map (fun d -> init_run d k) ds in
+  (* initial colouring from atomic types *)
+  List.iter2
+    (fun d s ->
+      s.colours <- Array.mapi (fun _ t -> id_of (atomic_type d t)) s.tuples)
+    ds states;
+  let history = ref [ List.map histogram states ] in
+  let stable = ref false in
+  while not !stable do
+    let before = List.map num_colours states in
+    (* assign new colours; fresh shared table each round keeps identifiers
+       comparable because terms embed the previous identifiers *)
+    let new_colour_arrays =
+      List.map2
+        (fun d s ->
+          Array.init (Array.length s.tuples) (fun i -> round_term d s k i))
+        ds states
+    in
+    List.iter2
+      (fun s terms -> s.colours <- Array.map id_of terms)
+      states new_colour_arrays;
+    let after = List.map num_colours states in
+    history := List.map histogram states :: !history;
+    if before = after then stable := true
+  done;
+  (states, List.rev !history)
+
+(** [equivalent ~k d1 d2] decides [k]-WL equivalence ([D_1 ≅_k D_2]): run
+    in lockstep with shared colour identifiers and require equal colour
+    histograms at every round. *)
+let equivalent ~(k : int) (d1 : Structure.t) (d2 : Structure.t) : bool =
+  if k < 1 then invalid_arg "Wl.equivalent";
+  if Structure.universe_size d1 <> Structure.universe_size d2 then false
+  else begin
+    let _, history = run_lockstep k [ d1; d2 ] in
+    List.for_all
+      (fun hists ->
+        match hists with [ h1; h2 ] -> h1 = h2 | _ -> assert false)
+      history
+  end
+
+(** [colour_classes ~k d] is the number of stable colour classes of the
+    [k]-WL colouring of [d]. *)
+let colour_classes ~(k : int) (d : Structure.t) : int =
+  let states, _ = run_lockstep k [ d ] in
+  match states with [ s ] -> num_colours s | _ -> assert false

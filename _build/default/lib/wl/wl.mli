@@ -1,0 +1,16 @@
+(** The k-dimensional Weisfeiler–Leman algorithm on labelled graphs
+    (Section 5).  For [k = 1] the classic colour-refinement algorithm is
+    used; for [k ≥ 2] the substitution scheme on [k]-tuples.  Colour
+    identifiers are derived from canonical history terms shared between
+    runs, so two graphs can be compared round by round. *)
+
+(** [is_labelled_graph d]: arity ≤ 2 and no self-loop tuples. *)
+val is_labelled_graph : Structure.t -> bool
+
+(** [equivalent ~k d1 d2] decides [D_1 ≅_k D_2]: equal colour histograms at
+    every refinement round of a lockstep run.
+    @raise Invalid_argument for [k < 1]. *)
+val equivalent : k:int -> Structure.t -> Structure.t -> bool
+
+(** [colour_classes ~k d] is the number of stable colour classes. *)
+val colour_classes : k:int -> Structure.t -> int

@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Counting Cq Generators Hashtbl Hom Karp_luby List Option Printf QCheck QCheck_alcotest Random Sampler Signature Structure Test Ucq

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Array Bigint Linalg List Printf QCheck QCheck_alcotest Rational Stdlib String Test

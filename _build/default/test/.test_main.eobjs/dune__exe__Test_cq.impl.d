@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Array Counterexamples Counting Cq Gen Generators Graph Graph_iso List Paper_examples Printf QCheck QCheck_alcotest Signature String Structure Test Ucq

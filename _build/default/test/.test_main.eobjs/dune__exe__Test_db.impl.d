@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Counting Cq Enumerate Gen Generators Hom List Nice_count Printf QCheck QCheck_alcotest Qgen Relation Seq Signature String Structure Test Ucq Varelim

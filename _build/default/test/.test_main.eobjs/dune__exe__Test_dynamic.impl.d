@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Counting Cq Dynamic Dynamic_ucq Generators Hashtbl List Paper_examples Printf QCheck QCheck_alcotest Random Signature Structure Test Ucq

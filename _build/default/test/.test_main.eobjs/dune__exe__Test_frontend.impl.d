@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Cq List Parse Pretty Signature Structure Ucq

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Gen Graph Graph_iso Intset List Nice_treedec Printf QCheck QCheck_alcotest Random String Test Treedec Treewidth

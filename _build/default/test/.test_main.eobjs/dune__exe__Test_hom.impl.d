@@ -1,0 +1,1 @@
+test/test_hom.ml: Alcotest Bigint Gen Generators Hom Jointree_count List Nice_count Printf QCheck QCheck_alcotest Signature Structure Test Treedec_count

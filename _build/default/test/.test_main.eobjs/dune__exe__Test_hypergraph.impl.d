@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Gen Graph Hypergraph List QCheck QCheck_alcotest String Test

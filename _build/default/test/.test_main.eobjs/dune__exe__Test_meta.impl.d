@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Bigint Classify Cnf Combinat Counterexamples Counting Cq Generators List Meta Monotonicity Paper_examples Pipeline Printf Signature Structure Ucq Wl_dimension

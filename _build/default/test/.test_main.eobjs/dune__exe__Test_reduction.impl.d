@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Cnf Cq Graph Ktk Lemma48 List Pipeline Power_complex Printf QCheck QCheck_alcotest Sat_complex Scomplex Signature String Structure Test Treedec_count Ucq

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Gen Graph Hom List Printf QCheck QCheck_alcotest Signature Struct_iso Structure Test

@@ -1,0 +1,1 @@
+test/test_scomplex.ml: Alcotest Gen List Power_complex QCheck QCheck_alcotest Scomplex String Test

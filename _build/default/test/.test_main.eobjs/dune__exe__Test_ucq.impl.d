@@ -1,0 +1,1 @@
+test/test_ucq.ml: Alcotest Bigint Counting Cq Gen Generators Ktk List Listx Paper_examples Printf QCheck QCheck_alcotest Signature String Struct_iso Structure Test Ucq

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Combinat List Listx QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_wl.ml: Alcotest Cq Generators Hom List QCheck QCheck_alcotest Qgen Signature Structure Test Wl

@@ -1,0 +1,148 @@
+(** Tests for uniform answer sampling and the Karp–Luby estimator. *)
+
+let sg_e = Signature.make [ Signature.symbol "E" 2 ]
+
+let mkcq n edges free =
+  Cq.make (Structure.make sg_e (List.init n (fun i -> i)) [ ("E", edges) ]) free
+
+let test_sampler_cardinality () =
+  let db = Generators.random_digraph ~seed:41 8 20 in
+  List.iter
+    (fun (name, q) ->
+      let s = Sampler.make q db in
+      Alcotest.(check int) name
+        (Counting.count ~strategy:Counting.Naive q db)
+        (Sampler.cardinality s))
+    [
+      ("edge", mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ]);
+      ("path3", mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ]);
+      ("two components", mkcq 4 [ [ 0; 1 ]; [ 2; 3 ] ] [ 0; 1; 2; 3 ]);
+      ("isolated var", mkcq 3 [ [ 0; 1 ] ] [ 0; 1; 2 ]);
+      ("cyclic (fallback)", mkcq 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] [ 0; 1; 2 ]);
+      ("quantified (fallback)", mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 2 ]);
+    ]
+
+let test_sampler_draws_valid_answers () =
+  let db = Generators.random_digraph ~seed:43 7 16 in
+  let q = mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ] in
+  let s = Sampler.make q db in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 100 do
+    match Sampler.draw st s with
+    | None -> Alcotest.fail "sampler empty but count > 0"
+    | Some answer ->
+        Alcotest.(check bool) "drawn assignment is an answer" true
+          (Hom.exists ~fixed:answer (Cq.structure q) db)
+  done
+
+let test_sampler_uniformity () =
+  (* chi-squared-flavoured sanity check: on the directed 4-cycle, the path
+     query P3 has exactly 4 answers; each must appear about 1/4 of the
+     time *)
+  let db = Generators.cycle_db 4 in
+  let q = mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ] in
+  let s = Sampler.make q db in
+  Alcotest.(check int) "four answers" 4 (Sampler.cardinality s);
+  let st = Random.State.make [| 7 |] in
+  let tally = Hashtbl.create 4 in
+  let trials = 4000 in
+  for _ = 1 to trials do
+    match Sampler.draw st s with
+    | None -> Alcotest.fail "unexpected empty"
+    | Some a ->
+        Hashtbl.replace tally a (1 + Option.value ~default:0 (Hashtbl.find_opt tally a))
+  done;
+  Alcotest.(check int) "all four answers seen" 4 (Hashtbl.length tally);
+  Hashtbl.iter
+    (fun _ c ->
+      Alcotest.(check bool) "frequency within 20% of uniform" true
+        (abs (c - (trials / 4)) < trials / 5))
+    tally
+
+let test_sampler_empty () =
+  let db = Generators.path_db 3 in
+  (* no triangle in a path *)
+  let q = mkcq 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] [ 0; 1; 2 ] in
+  let s = Sampler.make q db in
+  Alcotest.(check int) "empty count" 0 (Sampler.cardinality s);
+  let st = Random.State.make [| 1 |] in
+  Alcotest.(check bool) "no draw" true (Sampler.draw st s = None)
+
+let test_karp_luby_exact_space () =
+  let db = Generators.random_digraph ~seed:47 8 20 in
+  let psi = Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ]; mkcq 2 [ [ 1; 0 ] ] [ 0; 1 ] ] in
+  let est = Karp_luby.estimate ~samples:4000 psi db in
+  let exact = Ucq.count_naive psi db in
+  Alcotest.(check int) "space = sum of disjunct counts" est.Karp_luby.space
+    (List.fold_left
+       (fun acc q -> acc + Counting.count q db)
+       0 (Ucq.disjuncts psi));
+  (* generous tolerance: 4000 samples, hit rate >= 1/2 *)
+  let err = abs_float (est.Karp_luby.value -. float_of_int exact) in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.1f within 15%% of %d" est.Karp_luby.value exact)
+    true
+    (err <= 0.15 *. float_of_int exact)
+
+let test_karp_luby_with_quantifiers () =
+  let db = Generators.random_digraph ~seed:53 7 15 in
+  (* (∃y E(x,y)) ∨ (∃y E(y,x)) *)
+  let psi = Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0 ]; mkcq 2 [ [ 1; 0 ] ] [ 0 ] ] in
+  let est = Karp_luby.estimate ~samples:4000 psi db in
+  let exact = Ucq.count_naive psi db in
+  let err = abs_float (est.Karp_luby.value -. float_of_int exact) in
+  Alcotest.(check bool) "quantified estimate close" true
+    (err <= 0.2 *. float_of_int (max exact 1))
+
+let test_karp_luby_empty () =
+  let db = Structure.make sg_e [ 0; 1 ] [] in
+  let psi = Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ] ] in
+  let est = Karp_luby.estimate ~samples:100 psi db in
+  Alcotest.(check bool) "zero estimate" true (est.Karp_luby.value = 0.)
+
+let test_fpras_budget () =
+  let db = Generators.random_digraph ~seed:59 6 12 in
+  let psi = Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ]; mkcq 2 [ [ 1; 0 ] ] [ 0; 1 ] ] in
+  let est = Karp_luby.fpras ~epsilon:0.2 ~delta:0.1 psi db in
+  (* 4 * 2 * ln(20) / 0.04 = 599.1 -> 600 samples *)
+  Alcotest.(check int) "derived sample budget" 600 est.Karp_luby.samples
+
+let qcheck_approx =
+  let open QCheck in
+  [
+    Test.make ~name:"sampler cardinality equals naive count" ~count:60
+      (pair (int_range 0 1000) (int_range 0 15))
+      (fun (seed, mask) ->
+        let free = List.filter (fun i -> mask land (1 lsl i) <> 0) [ 0; 1; 2 ] in
+        let q = mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] free in
+        let db = Generators.random_digraph ~seed 5 10 in
+        Sampler.cardinality (Sampler.make q db)
+        = Counting.count ~strategy:Counting.Naive q db);
+    Test.make ~name:"drawn samples are answers" ~count:40 (int_range 0 1000)
+      (fun seed ->
+        let q = mkcq 4 [ [ 0; 1 ]; [ 1; 2 ]; [ 1; 3 ] ] [ 0; 1; 2; 3 ] in
+        let db = Generators.random_digraph ~seed 5 12 in
+        let s = Sampler.make q db in
+        let st = Random.State.make [| seed |] in
+        match Sampler.draw st s with
+        | None -> Sampler.cardinality s = 0
+        | Some a -> Hom.exists ~fixed:a (Cq.structure q) db);
+  ]
+
+let suite =
+  [
+    ( "approx",
+      [
+        Alcotest.test_case "sampler cardinality" `Quick test_sampler_cardinality;
+        Alcotest.test_case "draws are valid answers" `Quick
+          test_sampler_draws_valid_answers;
+        Alcotest.test_case "uniformity" `Quick test_sampler_uniformity;
+        Alcotest.test_case "empty answer set" `Quick test_sampler_empty;
+        Alcotest.test_case "karp-luby on a union" `Quick test_karp_luby_exact_space;
+        Alcotest.test_case "karp-luby with quantifiers" `Quick
+          test_karp_luby_with_quantifiers;
+        Alcotest.test_case "karp-luby empty" `Quick test_karp_luby_empty;
+        Alcotest.test_case "fpras sample budget" `Quick test_fpras_budget;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_approx );
+  ]

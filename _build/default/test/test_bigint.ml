@@ -1,0 +1,151 @@
+(** Tests for arbitrary-precision integers, rationals, and exact linear
+    algebra. *)
+
+let bi = Alcotest.testable (fun fmt x -> Bigint.pp fmt x) Bigint.equal
+
+let test_roundtrip () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" n)
+        (Some n)
+        (Bigint.to_int_opt (Bigint.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 45; max_int; min_int + 1 ]
+
+let test_string () =
+  Alcotest.(check string) "zero" "0" (Bigint.to_string Bigint.zero);
+  Alcotest.(check string) "negative" "-12345" (Bigint.to_string (Bigint.of_int (-12345)));
+  Alcotest.(check string)
+    "big product"
+    (let a = Bigint.of_string "123456789012345678901234567890" in
+     Bigint.to_string a)
+    "123456789012345678901234567890";
+  Alcotest.(check bi)
+    "of_string inverse" (Bigint.of_int 987654321)
+    (Bigint.of_string (Bigint.to_string (Bigint.of_int 987654321)))
+
+let test_arithmetic_large () =
+  (* (10^20)^2 = 10^40 *)
+  let e20 = Bigint.pow (Bigint.of_int 10) 20 in
+  let e40 = Bigint.mul e20 e20 in
+  Alcotest.(check string)
+    "10^40"
+    ("1" ^ String.make 40 '0')
+    (Bigint.to_string e40);
+  (* division round-trip *)
+  let q, r = Bigint.divmod e40 (Bigint.of_int 7) in
+  Alcotest.(check bi) "divmod identity" e40
+    (Bigint.add (Bigint.mul q (Bigint.of_int 7)) r)
+
+let test_factorial () =
+  let rec fact n = if n = 0 then Bigint.one else Bigint.mul (Bigint.of_int n) (fact (n - 1)) in
+  Alcotest.(check string)
+    "30!" "265252859812191058636308480000000"
+    (Bigint.to_string (fact 30))
+
+let test_gcd () =
+  Alcotest.(check bi) "gcd" (Bigint.of_int 6)
+    (Bigint.gcd (Bigint.of_int 54) (Bigint.of_int (-24)));
+  Alcotest.(check bi) "gcd with zero" (Bigint.of_int 7)
+    (Bigint.gcd (Bigint.of_int 7) Bigint.zero)
+
+let test_negative_division () =
+  (* truncated semantics matching OCaml *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+      Alcotest.(check (option int)) (Printf.sprintf "%d / %d" a b) (Some (a / b))
+        (Bigint.to_int_opt q);
+      Alcotest.(check (option int)) (Printf.sprintf "%d mod %d" a b) (Some (a mod b))
+        (Bigint.to_int_opt r))
+    [ (-7, 2); (7, -2); (-7, -2); (-100, 7); (100, -7) ]
+
+let test_pow_edge_cases () =
+  Alcotest.(check string) "0^0" "1" (Bigint.to_string (Bigint.pow Bigint.zero 0));
+  Alcotest.(check string) "(-2)^63"
+    "-9223372036854775808"
+    (Bigint.to_string (Bigint.pow (Bigint.of_int (-2)) 63));
+  Alcotest.(check string) "negative of_string" "-42"
+    (Bigint.to_string (Bigint.of_string "-42"))
+
+let test_rational () =
+  let half = Rational.make (Bigint.of_int 1) (Bigint.of_int 2) in
+  let third = Rational.make (Bigint.of_int 1) (Bigint.of_int 3) in
+  let sum = Rational.add half third in
+  Alcotest.(check string) "1/2 + 1/3" "5/6" (Rational.to_string sum);
+  Alcotest.(check string) "normalisation" "2/3"
+    (Rational.to_string (Rational.make (Bigint.of_int (-4)) (Bigint.of_int (-6))));
+  Alcotest.(check bool) "comparison" true (Rational.compare third half < 0);
+  Alcotest.(check string) "division" "3/2"
+    (Rational.to_string (Rational.div half third))
+
+let test_linalg_solve () =
+  (* 2x + y = 5, x - y = 1  =>  x = 2, y = 1 *)
+  let q = Rational.of_int in
+  let m = [| [| q 2; q 1 |]; [| q 1; q (-1) |] |] in
+  let b = [| q 5; q 1 |] in
+  match Linalg.solve m b with
+  | None -> Alcotest.fail "unexpected singular"
+  | Some x ->
+      Alcotest.(check string) "x" "2" (Rational.to_string x.(0));
+      Alcotest.(check string) "y" "1" (Rational.to_string x.(1))
+
+let test_linalg_singular () =
+  let q = Rational.of_int in
+  let m = [| [| q 1; q 2 |]; [| q 2; q 4 |] |] in
+  Alcotest.(check bool) "singular detected" true (Linalg.solve m [| q 1; q 2 |] = None);
+  Alcotest.(check int) "rank 1" 1 (Linalg.rank m)
+
+let qcheck_bigint =
+  let open QCheck in
+  let num = int_range (-1_000_000_000) 1_000_000_000 in
+  [
+    Test.make ~name:"add agrees with int" ~count:500 (pair num num) (fun (a, b) ->
+        Bigint.to_int_opt (Bigint.add (Bigint.of_int a) (Bigint.of_int b)) = Some (a + b));
+    Test.make ~name:"sub agrees with int" ~count:500 (pair num num) (fun (a, b) ->
+        Bigint.to_int_opt (Bigint.sub (Bigint.of_int a) (Bigint.of_int b)) = Some (a - b));
+    Test.make ~name:"mul agrees with int" ~count:500
+      (pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+      (fun (a, b) ->
+        Bigint.to_int_opt (Bigint.mul (Bigint.of_int a) (Bigint.of_int b)) = Some (a * b));
+    Test.make ~name:"divmod agrees with int" ~count:500
+      (pair num (int_range 1 100_000))
+      (fun (a, b) ->
+        let q, r = Bigint.divmod (Bigint.of_int a) (Bigint.of_int b) in
+        Bigint.to_int_opt q = Some (a / b) && Bigint.to_int_opt r = Some (a mod b));
+    Test.make ~name:"compare agrees with int" ~count:500 (pair num num)
+      (fun (a, b) ->
+        Stdlib.compare a b = Bigint.compare (Bigint.of_int a) (Bigint.of_int b));
+    Test.make ~name:"to_string agrees with int" ~count:500 num (fun a ->
+        string_of_int a = Bigint.to_string (Bigint.of_int a));
+    Test.make ~name:"string roundtrip (large)" ~count:200 (pair num num)
+      (fun (a, b) ->
+        let x = Bigint.mul (Bigint.of_int a) (Bigint.of_int b) in
+        Bigint.equal x (Bigint.of_string (Bigint.to_string x)));
+    Test.make ~name:"rational field laws sample" ~count:200
+      (triple (int_range (-1000) 1000) (int_range 1 1000) (int_range 1 1000))
+      (fun (a, b, c) ->
+        let x = Rational.make (Bigint.of_int a) (Bigint.of_int b) in
+        let y = Rational.make (Bigint.of_int c) (Bigint.of_int b) in
+        Rational.equal
+          (Rational.mul (Rational.add x y) (Rational.of_int b))
+          (Rational.of_int (a + c)));
+  ]
+
+let suite =
+  [
+    ( "bigint",
+      [
+        Alcotest.test_case "int roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "string conversion" `Quick test_string;
+        Alcotest.test_case "large arithmetic" `Quick test_arithmetic_large;
+        Alcotest.test_case "factorial 30" `Quick test_factorial;
+        Alcotest.test_case "gcd" `Quick test_gcd;
+        Alcotest.test_case "negative division" `Quick test_negative_division;
+        Alcotest.test_case "pow edge cases" `Quick test_pow_edge_cases;
+        Alcotest.test_case "rationals" `Quick test_rational;
+        Alcotest.test_case "linear solve" `Quick test_linalg_solve;
+        Alcotest.test_case "singular matrix" `Quick test_linalg_singular;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_bigint );
+  ]

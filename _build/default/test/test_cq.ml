@@ -1,0 +1,285 @@
+(** Tests for conjunctive queries: acyclicity, contracts (Definition 20),
+    #minimality and #cores (Definitions 16/19, Observation 17, Lemmas
+    33/34), and q-hierarchicality. *)
+
+let sg_e = Signature.make [ Signature.symbol "E" 2 ]
+
+let mkq n edges free =
+  Cq.make (Structure.make sg_e (List.init n (fun i -> i)) [ ("E", edges) ]) free
+
+let test_basics () =
+  let q = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 2 ] in
+  Alcotest.(check (list int)) "free" [ 0; 2 ] (Cq.free q);
+  Alcotest.(check (list int)) "quantified" [ 1 ] (Cq.quantified q);
+  Alcotest.(check bool) "not qf" false (Cq.is_quantifier_free q);
+  Alcotest.(check bool) "qf" true (Cq.is_quantifier_free (mkq 2 [ [ 0; 1 ] ] [ 0; 1 ]));
+  Alcotest.(check int) "arity" 2 (Cq.arity q)
+
+let test_acyclicity () =
+  Alcotest.(check bool) "path acyclic" true
+    (Cq.is_acyclic (mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ]));
+  Alcotest.(check bool) "triangle cyclic" false
+    (Cq.is_acyclic (mkq 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] [ 0; 1; 2 ]))
+
+let test_self_join_free () =
+  Alcotest.(check bool) "two E atoms not sjf" false
+    (Cq.is_self_join_free (mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ]));
+  Alcotest.(check bool) "one atom sjf" true
+    (Cq.is_self_join_free (mkq 2 [ [ 0; 1 ] ] [ 0; 1 ]))
+
+let test_contract_simple () =
+  (* ∃y. E(x0, y) ∧ E(x1, y): the quantified component {y} is adjacent to
+     both free variables, so the contract is the single edge x0–x1. *)
+  let q = mkq 3 [ [ 0; 2 ]; [ 1; 2 ] ] [ 0; 1 ] in
+  let c, mapping = Cq.contract q in
+  Alcotest.(check int) "contract vertices" 2 (Graph.num_vertices c);
+  Alcotest.(check int) "contract edges" 1 (Graph.num_edges c);
+  Alcotest.(check (array int)) "contract mapping" [| 0; 1 |] mapping;
+  (* quantifier-free query: contract = Gaifman graph on X *)
+  let qf = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ] in
+  let cf, _ = Cq.contract qf in
+  Alcotest.(check int) "qf contract edges" 2 (Graph.num_edges cf)
+
+let test_contract_components () =
+  (* two separate quantified components, each adjacent to one free var:
+     no contract edges added *)
+  let q = mkq 4 [ [ 0; 2 ]; [ 1; 3 ] ] [ 0; 1 ] in
+  let c, _ = Cq.contract q in
+  Alcotest.(check int) "no added edges" 0 (Graph.num_edges c);
+  (* a single quantified path connecting both free vars adds the edge *)
+  let q2 = mkq 4 [ [ 0; 2 ]; [ 2; 3 ]; [ 3; 1 ] ] [ 0; 1 ] in
+  let c2, _ = Cq.contract q2 in
+  Alcotest.(check int) "path component adds edge" 1 (Graph.num_edges c2)
+
+let test_sharp_minimal_qf () =
+  (* every quantifier-free CQ is #minimal (Section 2.2) *)
+  Alcotest.(check bool) "qf minimal" true
+    (Cq.is_sharp_minimal (mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ]))
+
+let lemma61_query k =
+  (* ψ_k(x_1..x_k, x_⊥) = ∃y. ⋀ E(x_i, x_⊥) ∧ E(x_i, y); encoding:
+     x_⊥ = 0, x_i = i, y = k+1 *)
+  let edges =
+    List.concat (List.init k (fun i0 -> [ [ i0 + 1; 0 ]; [ i0 + 1; k + 1 ] ]))
+  in
+  mkq (k + 2) edges (List.init (k + 1) (fun i -> i))
+
+let test_sharp_core_lemma61 () =
+  let k = 3 in
+  let q = lemma61_query k in
+  Alcotest.(check bool) "psi_k not minimal" false (Cq.is_sharp_minimal q);
+  let core = Cq.sharp_core q in
+  Alcotest.(check bool) "core minimal" true (Cq.is_sharp_minimal core);
+  (* the #core is ψ'_k = ⋀ E(x_i, x_⊥): y collapses onto x_⊥ *)
+  Alcotest.(check int) "core universe" (k + 1)
+    (Structure.universe_size (Cq.structure core));
+  Alcotest.(check bool) "core quantifier-free" true (Cq.is_quantifier_free core);
+  (* #equivalence of the query and its core *)
+  Alcotest.(check bool) "equivalent to core" true (Cq.sharp_equivalent q core);
+  (* Lemma 61: contract of ψ_k has high treewidth, contract of the core is
+     a star *)
+  Alcotest.(check int) "contract tw of core" 1 (Cq.contract_treewidth core);
+  Alcotest.(check bool) "contract tw of psi_k large" true
+    (Cq.contract_treewidth q >= k)
+
+let test_sharp_equivalence_answers () =
+  (* #equivalent queries have the same number of answers in every database;
+     spot-check on random databases *)
+  let q = lemma61_query 2 in
+  let core = Cq.sharp_core q in
+  List.iter
+    (fun seed ->
+      let db = Generators.random_digraph ~seed 5 12 in
+      Alcotest.(check int)
+        (Printf.sprintf "same counts on seed %d" seed)
+        (Counting.count ~strategy:Counting.Naive q db)
+        (Counting.count ~strategy:Counting.Naive core db))
+    [ 1; 2; 3 ]
+
+let test_lemma33_free_gaifman () =
+  (* Lemma 33: #equivalent queries have isomorphic G[X] *)
+  let q = lemma61_query 3 in
+  let core = Cq.sharp_core q in
+  let gx q' =
+    let g, old_of_new = Structure.gaifman (Cq.structure q') in
+    let dense =
+      List.filter_map
+        (fun x ->
+          let found = ref None in
+          Array.iteri (fun i v -> if v = x then found := Some i) old_of_new;
+          !found)
+        (Cq.free q')
+    in
+    fst (Graph.induced g dense)
+  in
+  Alcotest.(check bool) "G[X] isomorphic" true (Graph_iso.isomorphic (gx q) (gx core))
+
+let test_lemma34_sjf_core () =
+  (* a self-join-free CQ without isolated quantified variables is its own
+     #core *)
+  let sg =
+    Signature.make [ Signature.symbol "R" 2; Signature.symbol "S" 2 ]
+  in
+  let q =
+    Cq.make
+      (Structure.make sg [ 0; 1; 2 ] [ ("R", [ [ 0; 2 ] ]); ("S", [ [ 1; 2 ] ]) ])
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "sjf" true (Cq.is_self_join_free q);
+  Alcotest.(check bool) "sjf is minimal" true (Cq.is_sharp_minimal q);
+  (* adding an isolated quantified variable breaks minimality; dropping it
+     restores the core *)
+  let q_iso =
+    Cq.make
+      (Structure.make sg [ 0; 1; 2; 9 ] [ ("R", [ [ 0; 2 ] ]); ("S", [ [ 1; 2 ] ]) ])
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "isolated breaks minimality" false (Cq.is_sharp_minimal q_iso);
+  Alcotest.(check bool) "core drops isolated var" true
+    (Cq.isomorphic (Cq.sharp_core q_iso) q)
+
+let test_lemma60_contract_shape () =
+  (* the paper's explicit claim in the proof of Lemma 60: the contract of
+     φ_k^{i,j} is G[X] plus the single edge {x_i, x_j} — acyclic *)
+  let psi = Counterexamples.lemma60 3 in
+  List.iter
+    (fun q ->
+      let c, _ = Cq.contract q in
+      Alcotest.(check bool) "contract acyclic" true (Graph.is_acyclic c))
+    (Ucq.disjuncts psi)
+
+let test_sharp_equivalent_negative () =
+  let p2 = mkq 2 [ [ 0; 1 ] ] [ 0; 1 ] in
+  let p3 = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ] in
+  Alcotest.(check bool) "edge != path" false (Cq.sharp_equivalent p2 p3);
+  (* same structure, different free sets: not #equivalent *)
+  let q_src = mkq 2 [ [ 0; 1 ] ] [ 0 ] in
+  let q_tgt = mkq 2 [ [ 0; 1 ] ] [ 1 ] in
+  Alcotest.(check bool) "source vs target" false (Cq.sharp_equivalent q_src q_tgt)
+
+let test_degree_of_freedom () =
+  let q = mkq 3 [ [ 0; 2 ]; [ 1; 2 ] ] [ 0; 1 ] in
+  Alcotest.(check int) "dof of y" 2 (Cq.degree_of_freedom q 2)
+
+let test_free_connex () =
+  (* footnote 2: quantifier-free acyclic queries are free-connex *)
+  let qf_path = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ] in
+  Alcotest.(check bool) "qf acyclic is free-connex" true (Cq.is_free_connex qf_path);
+  (* the classic non-free-connex query: (x, z) :- ∃y E(x,y), E(y,z) —
+     acyclic, but adding the hyperedge {x, z} creates a cycle *)
+  let two_walk = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 2 ] in
+  Alcotest.(check bool) "acyclic" true (Cq.is_acyclic two_walk);
+  Alcotest.(check bool) "not free-connex" false (Cq.is_free_connex two_walk);
+  (* a star with quantified leaves is free-connex *)
+  let star = mkq 3 [ [ 0; 1 ]; [ 0; 2 ] ] [ 0 ] in
+  Alcotest.(check bool) "star free-connex" true (Cq.is_free_connex star)
+
+let test_semantic_acyclicity () =
+  (* a cyclic query whose #core is acyclic: boolean triangle-with-pendant?
+     use ∃-closed triangle plus a boolean edge query... simplest: the
+     Lemma 61 query's core is acyclic while the query itself is cyclic *)
+  let q = lemma61_query 3 in
+  Alcotest.(check bool) "psi_k cyclic" false (Cq.is_acyclic q);
+  Alcotest.(check bool) "but semantically acyclic" true
+    (Cq.is_semantically_acyclic q);
+  (* a quantifier-free triangle is its own core: not semantically acyclic *)
+  let tri = mkq 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] [ 0; 1; 2 ] in
+  Alcotest.(check bool) "triangle stays cyclic" false (Cq.is_semantically_acyclic tri)
+
+let test_q_hierarchical () =
+  (* the paper's Section 1.2 example: acyclic but not q-hierarchical *)
+  let phi = Paper_examples.q_hierarchical_example () in
+  Alcotest.(check bool) "acyclic" true (Cq.is_acyclic phi);
+  Alcotest.(check bool) "not hierarchical" false (Cq.is_hierarchical phi);
+  Alcotest.(check bool) "not q-hierarchical" false (Cq.is_q_hierarchical phi);
+  (* a star with quantified leaves is q-hierarchical *)
+  let star = mkq 3 [ [ 0; 1 ]; [ 0; 2 ] ] [ 0 ] in
+  Alcotest.(check bool) "star hierarchical" true (Cq.is_hierarchical star);
+  Alcotest.(check bool) "star q-hierarchical" true (Cq.is_q_hierarchical star);
+  (* free variable whose atoms are strictly inside a quantified variable's:
+     E(x, y) with only x free and a second atom E(y, y') — atoms(x) ⊊
+     atoms(y) makes it hierarchical but not q-hierarchical *)
+  let bad = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0 ] in
+  Alcotest.(check bool) "hierarchical" true (Cq.is_hierarchical bad);
+  Alcotest.(check bool) "but not q-hierarchical" false (Cq.is_q_hierarchical bad)
+
+let test_isomorphic_queries () =
+  let q1 = mkq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0 ] in
+  let q2 =
+    Cq.make
+      (Structure.make sg_e [ 5; 6; 7 ] [ ("E", [ [ 7; 5 ]; [ 5; 6 ] ]) ])
+      [ 7 ]
+  in
+  Alcotest.(check bool) "isomorphic with free-set match" true (Cq.isomorphic q1 q2);
+  let q3 =
+    Cq.make
+      (Structure.make sg_e [ 5; 6; 7 ] [ ("E", [ [ 7; 5 ]; [ 5; 6 ] ]) ])
+      [ 6 ]
+  in
+  Alcotest.(check bool) "free set must correspond" false (Cq.isomorphic q1 q3)
+
+let qcheck_core =
+  let open QCheck in
+  let gen_query =
+    make
+      ~print:(fun (n, edges, free) ->
+        Printf.sprintf "n=%d |E|=%d X={%s}" n (List.length edges)
+          (String.concat "," (List.map string_of_int free)))
+      (Gen.(>>=) (Gen.int_range 1 4) (fun n ->
+           Gen.(>>=)
+             (Gen.list_size (Gen.int_range 0 4)
+                (Gen.pair (Gen.int_range 0 3) (Gen.int_range 0 3)))
+             (fun pairs ->
+               Gen.map
+                 (fun mask ->
+                   ( n,
+                     List.map (fun (u, v) -> [ u mod n; v mod n ]) pairs,
+                     List.filter (fun i -> mask land (1 lsl i) <> 0)
+                       (List.init n (fun i -> i)) ))
+                 (Gen.int_range 0 15))))
+  in
+  [
+    Test.make ~name:"#core is #minimal and #equivalent" ~count:60
+      (pair gen_query (int_range 0 1000))
+      (fun ((n, edges, free), seed) ->
+        let q = mkq n edges free in
+        let core = Cq.sharp_core q in
+        Cq.is_sharp_minimal core
+        &&
+        let db = Generators.random_digraph ~seed 4 8 in
+        Counting.count ~strategy:Counting.Naive q db
+        = Counting.count ~strategy:Counting.Naive core db);
+    Test.make ~name:"#core is idempotent" ~count:60 gen_query
+      (fun (n, edges, free) ->
+        let q = mkq n edges free in
+        let core = Cq.sharp_core q in
+        Cq.isomorphic core (Cq.sharp_core core));
+  ]
+
+let suite =
+  [
+    ( "cq",
+      [
+        Alcotest.test_case "basics" `Quick test_basics;
+        Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+        Alcotest.test_case "self-join-freeness" `Quick test_self_join_free;
+        Alcotest.test_case "contract simple" `Quick test_contract_simple;
+        Alcotest.test_case "contract components" `Quick test_contract_components;
+        Alcotest.test_case "qf queries are #minimal" `Quick test_sharp_minimal_qf;
+        Alcotest.test_case "Lemma 61 #core" `Quick test_sharp_core_lemma61;
+        Alcotest.test_case "#equivalence preserves counts" `Quick
+          test_sharp_equivalence_answers;
+        Alcotest.test_case "Lemma 33 (free Gaifman graphs)" `Quick
+          test_lemma33_free_gaifman;
+        Alcotest.test_case "Lemma 34 (sjf cores)" `Quick test_lemma34_sjf_core;
+        Alcotest.test_case "Lemma 60 contract shape" `Quick test_lemma60_contract_shape;
+        Alcotest.test_case "#equivalence negatives" `Quick test_sharp_equivalent_negative;
+        Alcotest.test_case "degree of freedom" `Quick test_degree_of_freedom;
+        Alcotest.test_case "free-connexity (footnote 2)" `Quick test_free_connex;
+        Alcotest.test_case "semantic acyclicity (footnote 3)" `Quick
+          test_semantic_acyclicity;
+        Alcotest.test_case "q-hierarchicality" `Quick test_q_hierarchical;
+        Alcotest.test_case "query isomorphism" `Quick test_isomorphic_queries;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_core );
+  ]

@@ -1,0 +1,129 @@
+(** Tests for the surface-syntax parser and pretty-printer. *)
+
+let test_parse_ucq () =
+  let psi, env = Parse.ucq "(x, y) :- E(x, z), E(z, y) ; E(x, y)" in
+  Alcotest.(check int) "two disjuncts" 2 (Ucq.length psi);
+  Alcotest.(check int) "two free vars" 2 (List.length (Ucq.free psi));
+  Alcotest.(check int) "one quantified" 1 (Ucq.num_quantified psi);
+  Alcotest.(check (list string)) "head names" [ "x"; "y" ]
+    (List.map fst env.Parse.free_names)
+
+let test_parse_cq () =
+  let q, _ = Parse.cq "(a, b, c) :- E(a, b), E(b, c), E(c, a)" in
+  Alcotest.(check bool) "qf" true (Cq.is_quantifier_free q);
+  Alcotest.(check bool) "cyclic" false (Cq.is_acyclic q);
+  Alcotest.(check int) "three atoms" 3 (Structure.num_tuples (Cq.structure q))
+
+let test_parse_boolean () =
+  let q, _ = Parse.cq "() :- E(x, y)" in
+  Alcotest.(check (list int)) "no free vars" [] (Cq.free q);
+  Alcotest.(check int) "two quantified" 2 (List.length (Cq.quantified q))
+
+let test_parse_mixed_arity () =
+  let psi, _ = Parse.ucq "(x) :- P(x), E(x, y) ; P(x)" in
+  Alcotest.(check int) "signature has two symbols" 2
+    (Signature.size (Structure.signature (List.hd (Ucq.disjunct_structures psi))))
+
+let test_nullary_atoms () =
+  (* arity-0 relations parse in queries and databases *)
+  let psi, _ = Parse.ucq "(x) :- Flag(), P(x) ; P(x)" in
+  Alcotest.(check int) "two symbols" 2
+    (Signature.size (Structure.signature (List.hd (Ucq.disjunct_structures psi))));
+  let db, _ = Parse.database "Flag(). P(0). P(1)." in
+  Alcotest.(check int) "flag present" 1 (List.length (Structure.relation db "Flag"));
+  Alcotest.(check int) "with flag" 2 (Ucq.count_via_expansion psi db);
+  let db2, _ = Parse.database "universe { 0, 1 }\nP(0). P(1). Q(0, 1)." in
+  (* query signature must be covered: rebuild without Flag *)
+  let psi2, _ = Parse.ucq "(x) :- P(x)" in
+  Alcotest.(check int) "without flag" 2 (Ucq.count_via_expansion psi2 db2)
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (Parse.ucq s);
+      false
+    with Parse.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "arity clash" true (fails "(x) :- E(x), E(x, x)");
+  Alcotest.(check bool) "missing turnstile" true (fails "(x) E(x, y)");
+  Alcotest.(check bool) "duplicate head var" true (fails "(x, x) :- E(x, x)");
+  Alcotest.(check bool) "constant in query" true (fails "(x) :- E(x, 3)");
+  Alcotest.(check bool) "garbage" true (fails "(x) :- E(x, y) @")
+
+let test_comments_whitespace () =
+  let psi, _ =
+    Parse.ucq "# a comment\n( x ,\n y ) :- \n  E(x, y) # trailing\n ; E(y, x)"
+  in
+  Alcotest.(check int) "parsed through comments" 2 (Ucq.length psi)
+
+let test_parse_database () =
+  let db, _ = Parse.database "E(0, 1). E(1, 2).\nP(2)." in
+  Alcotest.(check int) "universe" 3 (Structure.universe_size db);
+  Alcotest.(check int) "tuples" 3 (Structure.num_tuples db);
+  Alcotest.(check int) "binary + unary" 2 (Signature.size (Structure.signature db))
+
+let test_database_identifiers () =
+  let db, env = Parse.database "Likes(alice, post1). Likes(bob, post1)." in
+  Alcotest.(check int) "interned constants" 3 (List.length env.Parse.constants);
+  Alcotest.(check int) "universe" 3 (Structure.universe_size db);
+  (* identifiers intern above literals: no clash when mixed *)
+  let db2, _ = Parse.database "E(7, x). E(x, 7)." in
+  Alcotest.(check int) "mixed constants" 2 (Structure.universe_size db2)
+
+let test_database_universe_decl () =
+  let db, _ = Parse.database "universe { 5, 9 }\nE(0, 1)." in
+  Alcotest.(check int) "declared isolated elements" 4 (Structure.universe_size db);
+  Alcotest.(check (list int)) "isolated" [ 5; 9 ] (Structure.isolated_elements db)
+
+let test_end_to_end () =
+  let psi, _ = Parse.ucq "(x, y) :- E(x, y) ; E(y, x)" in
+  let db, _ = Parse.database "E(0, 1). E(1, 2). E(2, 0)." in
+  Alcotest.(check int) "count through the front-end" 6
+    (Ucq.count_via_expansion psi db)
+
+let test_pretty_roundtrip () =
+  let texts =
+    [
+      "(x, y) :- E(x, z), E(z, y) ; E(x, y)";
+      "(a) :- P(a) ; Q(a, b)";
+      "() :- E(u, v)";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let psi, env = Parse.ucq text in
+      let printed = Pretty.ucq ~env psi in
+      let psi2, _ = Parse.ucq printed in
+      (* roundtrip preserves counting behaviour *)
+      let db, _ = Parse.database "E(0,1). E(1,2). E(2,0). P(0). Q(1,2)." in
+      Alcotest.(check int)
+        ("roundtrip: " ^ text)
+        (Ucq.count_via_expansion psi db)
+        (Ucq.count_via_expansion psi2 db))
+    texts
+
+let test_pretty_database_roundtrip () =
+  let db, _ = Parse.database "universe { 9 }\nE(0, 1). E(1, 2)." in
+  let db2, _ = Parse.database (Pretty.database db) in
+  Alcotest.(check bool) "database roundtrip" true (Structure.equal db db2)
+
+let suite =
+  [
+    ( "frontend",
+      [
+        Alcotest.test_case "parse ucq" `Quick test_parse_ucq;
+        Alcotest.test_case "parse cq" `Quick test_parse_cq;
+        Alcotest.test_case "boolean query" `Quick test_parse_boolean;
+        Alcotest.test_case "mixed arity" `Quick test_parse_mixed_arity;
+        Alcotest.test_case "nullary atoms" `Quick test_nullary_atoms;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "comments and whitespace" `Quick test_comments_whitespace;
+        Alcotest.test_case "parse database" `Quick test_parse_database;
+        Alcotest.test_case "identifier constants" `Quick test_database_identifiers;
+        Alcotest.test_case "universe declaration" `Quick test_database_universe_decl;
+        Alcotest.test_case "end to end counting" `Quick test_end_to_end;
+        Alcotest.test_case "query pretty roundtrip" `Quick test_pretty_roundtrip;
+        Alcotest.test_case "database pretty roundtrip" `Quick
+          test_pretty_database_roundtrip;
+      ] );
+  ]

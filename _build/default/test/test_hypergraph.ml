@@ -1,0 +1,148 @@
+(** Tests for hypergraphs, GYO acyclicity, and join trees. *)
+
+let h vertices edges = Hypergraph.make vertices edges
+
+let test_acyclic_cases () =
+  (* a path of binary edges *)
+  Alcotest.(check bool) "path acyclic" true
+    (Hypergraph.is_acyclic (h [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]));
+  (* triangle from three binary edges: cyclic *)
+  Alcotest.(check bool) "binary triangle cyclic" false
+    (Hypergraph.is_acyclic (h [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ]));
+  (* triangle plus a covering ternary edge: alpha-acyclic *)
+  Alcotest.(check bool) "covered triangle acyclic" true
+    (Hypergraph.is_acyclic
+       (h [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ]; [ 1; 2; 3 ] ]));
+  (* C4 cyclic *)
+  Alcotest.(check bool) "C4 cyclic" false
+    (Hypergraph.is_acyclic
+       (h [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 1 ] ]));
+  (* star *)
+  Alcotest.(check bool) "star acyclic" true
+    (Hypergraph.is_acyclic (h [ 0; 1; 2; 3 ] [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ]));
+  (* empty and singleton *)
+  Alcotest.(check bool) "no edges acyclic" true (Hypergraph.is_acyclic (h [ 1; 2 ] []));
+  Alcotest.(check bool) "one edge acyclic" true
+    (Hypergraph.is_acyclic (h [ 1; 2; 3 ] [ [ 1; 2; 3 ] ]))
+
+let test_duplicate_and_contained_edges () =
+  Alcotest.(check bool) "duplicate edges acyclic" true
+    (Hypergraph.is_acyclic (h [ 1; 2 ] [ [ 1; 2 ]; [ 1; 2 ] ]));
+  Alcotest.(check bool) "contained edge acyclic" true
+    (Hypergraph.is_acyclic (h [ 1; 2; 3 ] [ [ 1; 2; 3 ]; [ 1; 2 ] ]))
+
+let test_join_tree () =
+  let acyclic = h [ 1; 2; 3; 4; 5 ] [ [ 1; 2 ]; [ 2; 3; 4 ]; [ 4; 5 ] ] in
+  (match Hypergraph.join_tree acyclic with
+  | None -> Alcotest.fail "expected a join tree"
+  | Some jt ->
+      Alcotest.(check bool) "running intersection holds" true
+        (Hypergraph.join_tree_valid acyclic jt));
+  Alcotest.(check bool) "cyclic has no join tree" true
+    (Hypergraph.join_tree (h [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ]) = None)
+
+let test_join_tree_disconnected () =
+  let hg = h [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+  match Hypergraph.join_tree hg with
+  | None -> Alcotest.fail "disconnected acyclic hypergraph must have a join tree"
+  | Some jt ->
+      Alcotest.(check bool) "valid" true (Hypergraph.join_tree_valid hg jt)
+
+let test_primal_graph () =
+  let g, mapping = Hypergraph.primal_graph (h [ 1; 2; 3 ] [ [ 1; 2; 3 ] ]) in
+  Alcotest.(check int) "primal of ternary edge is K3" 3 (Graph.num_edges g);
+  Alcotest.(check (array int)) "mapping" [| 1; 2; 3 |] mapping
+
+(* Brute-force alpha-acyclicity via join-tree existence over all spanning
+   trees of the edge set would be costly; instead cross-check GYO against a
+   direct implementation of "has a join tree" for small edge counts by
+   trying all trees on edge indices. *)
+let brute_has_join_tree (vertices : int list) (edges : int list list) : bool =
+  let m = List.length edges in
+  if m <= 1 then true
+  else begin
+    let arr = Array.of_list edges in
+    (* enumerate labelled trees on m nodes via Prüfer sequences *)
+    let rec sequences k =
+      if k = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun s -> List.init m (fun i -> i :: s))
+          (sequences (k - 1))
+    in
+    let trees =
+      if m = 2 then [ [ (0, 1) ] ]
+      else
+        List.map
+          (fun prufer ->
+            (* decode the Prüfer sequence with the standard algorithm *)
+            let degree = Array.make m 1 in
+            List.iter (fun i -> degree.(i) <- degree.(i) + 1) prufer;
+            let result = ref [] in
+            List.iter
+              (fun i ->
+                let j = ref 0 in
+                while degree.(!j) <> 1 do
+                  incr j
+                done;
+                result := (!j, i) :: !result;
+                degree.(!j) <- degree.(!j) - 1;
+                degree.(i) <- degree.(i) - 1)
+              prufer;
+            let last = ref [] in
+            Array.iteri (fun i d -> if d = 1 then last := i :: !last) degree;
+            (match !last with
+            | [ a; b ] -> result := (a, b) :: !result
+            | _ -> ());
+            !result)
+          (sequences (m - 2))
+    in
+    List.exists
+      (fun tree ->
+        Hypergraph.join_tree_valid
+          (Hypergraph.make vertices edges)
+          { Hypergraph.nodes = arr; tree })
+      trees
+  end
+
+let qcheck_gyo =
+  let open QCheck in
+  let random_hg =
+    make
+      ~print:(fun edges ->
+        String.concat " "
+          (List.map
+             (fun e -> "{" ^ String.concat "," (List.map string_of_int e) ^ "}")
+             edges))
+      (Gen.list_size (Gen.int_range 0 4)
+         (Gen.map
+            (fun vs -> List.sort_uniq compare vs)
+            (Gen.list_size (Gen.int_range 1 3) (Gen.int_range 0 4))))
+  in
+  [
+    Test.make ~name:"GYO agrees with brute-force join-tree search" ~count:120
+      random_hg (fun edges ->
+        let vertices = List.init 5 (fun i -> i) in
+        Hypergraph.is_acyclic (Hypergraph.make vertices edges)
+        = brute_has_join_tree vertices (List.map (List.sort_uniq compare) edges));
+    Test.make ~name:"constructed join trees are valid" ~count:120 random_hg
+      (fun edges ->
+        let hg = Hypergraph.make (List.init 5 (fun i -> i)) edges in
+        match Hypergraph.join_tree hg with
+        | None -> not (Hypergraph.is_acyclic hg)
+        | Some jt -> Hypergraph.join_tree_valid hg jt);
+  ]
+
+let suite =
+  [
+    ( "hypergraph",
+      [
+        Alcotest.test_case "acyclicity cases" `Quick test_acyclic_cases;
+        Alcotest.test_case "duplicates and containment" `Quick
+          test_duplicate_and_contained_edges;
+        Alcotest.test_case "join trees" `Quick test_join_tree;
+        Alcotest.test_case "disconnected join tree" `Quick test_join_tree_disconnected;
+        Alcotest.test_case "primal graph" `Quick test_primal_graph;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_gyo );
+  ]

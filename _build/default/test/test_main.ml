@@ -1,0 +1,9 @@
+(** Entry point for the test suite: aggregates the per-module suites. *)
+
+let () =
+  Alcotest.run "ucqc"
+    (Test_util.suite @ Test_bigint.suite @ Test_graph.suite
+   @ Test_hypergraph.suite @ Test_relational.suite @ Test_hom.suite
+   @ Test_db.suite @ Test_cq.suite @ Test_ucq.suite @ Test_scomplex.suite
+   @ Test_reduction.suite @ Test_wl.suite @ Test_meta.suite
+   @ Test_frontend.suite @ Test_approx.suite @ Test_dynamic.suite)

@@ -1,0 +1,289 @@
+(** Tests for the META algorithm (Theorem 5), WL-dimension (Theorems
+    7/8/58), complexity monotonicity (Theorem 28), the classification
+    reports (Theorems 1/2/3), and the Appendix A counterexamples. *)
+
+let sg_e = Signature.make [ Signature.symbol "E" 2 ]
+
+let mkcq n edges free =
+  Cq.make (Structure.make sg_e (List.init n (fun i -> i)) [ ("E", edges) ]) free
+
+let test_meta_corollary49 () =
+  (* Corollary 49: Ψ1 is not linear-time countable, Ψ2 is *)
+  let psi1, _ = Paper_examples.psi1 () in
+  let psi2, _ = Paper_examples.psi2 () in
+  let d1 = Meta.decide psi1 and d2 = Meta.decide psi2 in
+  Alcotest.(check bool) "psi1 not linear" false d1.Meta.linear_time;
+  Alcotest.(check bool) "psi2 linear" true d2.Meta.linear_time;
+  (* the offending term of Ψ1 is the cyclic K_3^4 *)
+  Alcotest.(check int) "one offending term" 1 (List.length d1.Meta.offending);
+  Alcotest.(check bool) "offender is cyclic" true
+    (not (Cq.is_acyclic (List.hd d1.Meta.offending)))
+
+let test_meta_single_queries () =
+  (* a single acyclic CQ: linear *)
+  let acyclic = Ucq.make [ mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "acyclic CQ linear" true (Meta.decide acyclic).Meta.linear_time;
+  (* a single triangle: not linear *)
+  let triangle = Ucq.make [ mkcq 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "triangle not linear" false
+    (Meta.decide triangle).Meta.linear_time;
+  (* quantified input is rejected *)
+  let quantified = Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0 ] ] in
+  Alcotest.check_raises "quantified rejected"
+    (Invalid_argument "Meta.decide: input must be quantifier-free") (fun () ->
+      ignore (Meta.decide quantified))
+
+let test_hereditary_treewidth () =
+  let psi1, _ = Paper_examples.psi1 () in
+  let psi2, _ = Paper_examples.psi2 () in
+  Alcotest.(check int) "hdtw psi1 = tw(K_3^4) = 2" 2 (Meta.hereditary_treewidth psi1);
+  Alcotest.(check int) "hdtw psi2 = 1" 1 (Meta.hereditary_treewidth psi2);
+  let lo1, hi1 = Meta.hereditary_treewidth_bounds psi1 in
+  Alcotest.(check bool) "bounds sandwich" true (lo1 <= 2 && 2 <= hi1)
+
+let test_gap () =
+  let psi1, _ = Paper_examples.psi1 () in
+  let psi2, _ = Paper_examples.psi2 () in
+  Alcotest.(check bool) "psi2 within linear" true (Meta.gap ~c:1 ~d:1 psi2 = Meta.Within_c);
+  Alcotest.(check bool) "psi1 beyond linear" true (Meta.gap ~c:1 ~d:1 psi1 = Meta.Beyond_d);
+  Alcotest.(check bool) "psi1 within cubic" true (Meta.gap ~c:3 ~d:3 psi1 = Meta.Within_c)
+
+let test_wl_dimension () =
+  let psi1, _ = Paper_examples.psi1 () in
+  let psi2, _ = Paper_examples.psi2 () in
+  Alcotest.(check int) "dim_WL psi1 = 2" 2 (Wl_dimension.exact psi1);
+  Alcotest.(check int) "dim_WL psi2 = 1" 1 (Wl_dimension.exact psi2);
+  Alcotest.(check bool) "at_most" true (Wl_dimension.at_most 2 psi1);
+  Alcotest.(check bool) "not at_most 1" false (Wl_dimension.at_most 1 psi1);
+  let lo, hi = Wl_dimension.approximate psi1 in
+  Alcotest.(check bool) "approx sandwich" true (lo <= 2 && 2 <= hi)
+
+let test_wl_invariance () =
+  (* Definition 6 spot-check: k-WL-equivalent databases yield equal counts
+     for a UCQ of WL-dimension k *)
+  let sg2 = Signature.make [ Signature.symbol "E0" 2; Signature.symbol "E1" 2 ] in
+  let mk edges0 edges1 =
+    Cq.of_structure
+      (Structure.make sg2 [ 0; 1; 2 ] [ ("E0", edges0); ("E1", edges1) ])
+  in
+  let psi = Ucq.make [ mk [ [ 0; 1 ] ] []; mk [] [ [ 1; 2 ] ] ] in
+  Alcotest.(check int) "dim 1 union" 1 (Wl_dimension.exact psi);
+  let pairs_checked = Wl_dimension.invariance_check ~k:1 psi in
+  Alcotest.(check bool) "checked pairs" true (pairs_checked >= 1)
+
+let test_monotonicity_recovery () =
+  (* Theorem 28: recover per-term counts from the UCQ oracle *)
+  let psi =
+    Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ]; mkcq 2 [ [ 1; 0 ] ] [ 0; 1 ] ]
+  in
+  let d = Generators.random_digraph ~seed:33 6 14 in
+  let recovered = Monotonicity.recover psi d in
+  Alcotest.(check int) "two terms recovered" 2 (List.length recovered);
+  List.iter
+    (fun (r : Monotonicity.recovered) ->
+      let direct = Counting.count ~strategy:Counting.Naive r.Monotonicity.term d in
+      Alcotest.(check (option int)) "recovered = direct" (Some direct)
+        (Bigint.to_int_opt r.Monotonicity.count))
+    recovered
+
+let test_monotonicity_three_disjuncts () =
+  let psi =
+    Ucq.make
+      [
+        mkcq 3 [ [ 0; 1 ] ] [ 0; 1; 2 ];
+        mkcq 3 [ [ 1; 2 ] ] [ 0; 1; 2 ];
+        mkcq 3 [ [ 0; 2 ] ] [ 0; 1; 2 ];
+      ]
+  in
+  let d = Generators.random_digraph ~seed:34 5 10 in
+  let recovered = Monotonicity.recover psi d in
+  List.iter
+    (fun (r : Monotonicity.recovered) ->
+      let direct = Counting.count ~strategy:Counting.Naive r.Monotonicity.term d in
+      Alcotest.(check (option int)) "recovered = direct" (Some direct)
+        (Bigint.to_int_opt r.Monotonicity.count))
+    recovered
+
+let test_classify_analyze () =
+  let psi1, _ = Paper_examples.psi1 () in
+  let r = Classify.analyze psi1 in
+  Alcotest.(check int) "combined tw" 2 r.Classify.combined_tw;
+  Alcotest.(check int) "gamma tw" 2 r.Classify.gamma_max_tw;
+  Alcotest.(check bool) "qf" true r.Classify.quantifier_free;
+  Alcotest.(check bool) "sjf" true r.Classify.union_of_self_join_free;
+  (* quantifier-free: contract measures coincide with plain treewidth *)
+  Alcotest.(check int) "contract tw = tw" r.Classify.combined_tw
+    r.Classify.combined_contract_tw
+
+let test_lemma59_family () =
+  (* dropping deletion-closedness: combined treewidth grows with t, the
+     expansion support stays acyclic (so #UCQ of the family is FPT) *)
+  List.iter
+    (fun t ->
+      let psi, ktk = Counterexamples.lemma59 t in
+      Alcotest.(check int)
+        (Printf.sprintf "combined tw at t=%d" t)
+        (t - 1)
+        (Cq.treewidth (Ucq.combined_all psi));
+      Alcotest.(check bool) "coefficient of combined vanishes" true
+        (Ucq.coefficient psi (Ucq.combined_all psi) = 0);
+      Alcotest.(check int)
+        (Printf.sprintf "gamma stays acyclic at t=%d" t)
+        1
+        (Meta.hereditary_treewidth psi);
+      ignore ktk)
+    [ 3; 4 ]
+
+let test_lemma60_family () =
+  (* dropping bounded quantified variables: tw(∧Ψ_k) grows, while every
+     #minimal expansion term and its contract stay of treewidth ≤ 2 *)
+  let k = 3 in
+  let psi = Counterexamples.lemma60 k in
+  Alcotest.(check int) "binomial(k,2) disjuncts" 3 (Ucq.length psi);
+  Alcotest.(check bool) "sjf union" true (Ucq.is_union_of_self_join_free psi);
+  Alcotest.(check bool) "combined tw >= k - 1" true
+    (Cq.treewidth (Ucq.combined_all psi) >= k - 1);
+  List.iter
+    (fun (t : Ucq.expansion_term) ->
+      Alcotest.(check bool) "support tw <= 2" true
+        (Cq.treewidth t.representative <= 2);
+      Alcotest.(check bool) "support contract tw <= 2" true
+        (Cq.contract_treewidth t.representative <= 2))
+    (Ucq.support psi)
+
+let test_lemma61_family () =
+  (* dropping self-join-freeness: the contract of ψ_k has treewidth k while
+     the #core's contract has treewidth 1 *)
+  let k = 3 in
+  let psi = Counterexamples.lemma61 k in
+  let q = Ucq.disjunct psi 0 in
+  Alcotest.(check bool) "contract tw grows" true (Cq.contract_treewidth q >= k);
+  let core = Cq.sharp_core q in
+  Alcotest.(check int) "core contract tw" 1 (Cq.contract_treewidth core);
+  Alcotest.(check bool) "not sjf" false (Cq.is_self_join_free q)
+
+let test_meta_pipeline_hdtw () =
+  (* unsat pipeline query: support is all-acyclic, hdtw = 1;
+     sat pipeline query: the cyclic K_3^k survives, hdtw = 2 *)
+  (match Pipeline.ucq_of_cnf (Cnf.make 1 [ [ 1 ]; [ -1 ] ]) with
+  | Pipeline.Query { psi; _ } ->
+      Alcotest.(check int) "unsat hdtw" 1 (Meta.hereditary_treewidth psi)
+  | _ -> Alcotest.fail "expected query");
+  match Pipeline.ucq_of_cnf (Cnf.make 1 [ [ 1 ] ]) with
+  | Pipeline.Query { psi; _ } ->
+      Alcotest.(check int) "sat hdtw" 2 (Meta.hereditary_treewidth psi)
+  | _ -> Alcotest.fail "expected query"
+
+let test_gap_between () =
+  (* a C4 union: hdtw 1 < tw(C4) = 2?  no — the single C4 has hdtw 2; use
+     it to exercise the Between band of META[1, 2] ... hdtw 2 > d = 2 is
+     false, so Between *)
+  let c4 =
+    Ucq.make [ mkcq 4 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] ] [ 0; 1; 2; 3 ] ]
+  in
+  Alcotest.(check bool) "within quadratic" true (Meta.gap ~c:2 ~d:2 c4 = Meta.Within_c);
+  Alcotest.(check bool) "between for (1,2)" true (Meta.gap ~c:1 ~d:2 c4 = Meta.Between);
+  Alcotest.(check bool) "beyond linear" true (Meta.gap ~c:1 ~d:1 c4 = Meta.Beyond_d)
+
+let test_monotonicity_custom_oracle () =
+  (* the oracle really is used as a black box: count the calls *)
+  let psi =
+    Ucq.make [ mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ]; mkcq 2 [ [ 1; 0 ] ] [ 0; 1 ] ]
+  in
+  let d = Generators.random_digraph ~seed:35 5 10 in
+  let calls = ref 0 in
+  let oracle b =
+    incr calls;
+    Ucq.count_inclusion_exclusion_big psi b
+  in
+  let recovered = Monotonicity.recover_with_oracle ~oracle psi d in
+  Alcotest.(check int) "oracle called once per basis element"
+    (List.length recovered) !calls;
+  List.iter
+    (fun (r : Monotonicity.recovered) ->
+      let direct = Counting.count ~strategy:Counting.Naive r.Monotonicity.term d in
+      Alcotest.(check (option int)) "recovered" (Some direct)
+        (Bigint.to_int_opt r.Monotonicity.count))
+    recovered
+
+let test_analyze_cq () =
+  (* Lemma 61 query: core collapses the contract *)
+  let psi = Counterexamples.lemma61 3 in
+  let q = Ucq.disjunct psi 0 in
+  let r = Classify.analyze_cq q in
+  Alcotest.(check bool) "input not minimal" false r.Classify.was_minimal;
+  Alcotest.(check int) "core tw" 1 r.Classify.core_tw;
+  Alcotest.(check int) "core contract tw" 1 r.Classify.core_contract_tw;
+  Alcotest.(check bool) "core acyclic" true r.Classify.core_acyclic;
+  Alcotest.(check bool) "core quantifier-free" true r.Classify.core_quantifier_free;
+  (* a quantifier-free triangle is its own core *)
+  let tri = mkcq 3 [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ] [ 0; 1; 2 ] in
+  let r2 = Classify.analyze_cq tri in
+  Alcotest.(check bool) "triangle minimal" true r2.Classify.was_minimal;
+  Alcotest.(check int) "triangle core tw" 2 r2.Classify.core_tw
+
+let test_meta_fast_agrees () =
+  List.iter
+    (fun f ->
+      let fast = Pipeline.meta_fast f in
+      match Pipeline.ucq_of_cnf f with
+      | Pipeline.Resolved sat ->
+          Alcotest.(check bool) "degenerate agreement" (not sat) fast
+      | Pipeline.Query { psi; _ } ->
+          Alcotest.(check bool) "fast = generic META" (Meta.decide psi).Meta.linear_time
+            fast)
+    [
+      Cnf.make 1 [ [ 1 ] ];
+      Cnf.make 1 [ [ 1 ]; [ -1 ] ];
+      Cnf.make 2 [ [ 1; 2 ]; [ -1; -2 ] ];
+      Cnf.make 2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ];
+      Cnf.make 2 [ [] ];
+    ]
+
+let test_classify_family_verdicts () =
+  (* bounded family: stars as single-CQ unions -> FPT *)
+  let star_family k =
+    Ucq.make [ mkcq (k + 1) (List.init k (fun i -> [ 0; i + 1 ])) (Combinat.range (k + 1)) ]
+  in
+  let r = Classify.analyze_family star_family [ 2; 3; 4 ] in
+  Alcotest.(check bool) "stars FPT" true (r.Classify.verdict = Classify.Fpt);
+  (* growing family: cliques as single-CQ unions (deletion-closed as a
+     class of single CQs) -> W[1]-hard evidence *)
+  let clique_family k =
+    let edges =
+      List.concat_map
+        (fun (u, v) -> [ [ u; v ] ])
+        (Combinat.pairs (Combinat.range k))
+    in
+    Ucq.make [ mkcq k edges (Combinat.range k) ]
+  in
+  let r2 = Classify.analyze_family ~with_gamma:false clique_family [ 3; 4; 5 ] in
+  Alcotest.(check bool) "cliques hard" true (r2.Classify.verdict = Classify.W1_hard)
+
+let suite =
+  [
+    ( "meta",
+      [
+        Alcotest.test_case "Corollary 49 via META" `Quick test_meta_corollary49;
+        Alcotest.test_case "META on single CQs" `Quick test_meta_single_queries;
+        Alcotest.test_case "hereditary treewidth" `Quick test_hereditary_treewidth;
+        Alcotest.test_case "META gap problem" `Quick test_gap;
+        Alcotest.test_case "WL-dimension (Theorem 58)" `Quick test_wl_dimension;
+        Alcotest.test_case "WL invariance spot-check" `Quick test_wl_invariance;
+        Alcotest.test_case "monotonicity recovery" `Quick test_monotonicity_recovery;
+        Alcotest.test_case "monotonicity (3 disjuncts)" `Quick
+          test_monotonicity_three_disjuncts;
+        Alcotest.test_case "classification report" `Quick test_classify_analyze;
+        Alcotest.test_case "Lemma 59 family" `Quick test_lemma59_family;
+        Alcotest.test_case "Lemma 60 family" `Quick test_lemma60_family;
+        Alcotest.test_case "Lemma 61 family" `Quick test_lemma61_family;
+        Alcotest.test_case "pipeline hereditary treewidth" `Quick
+          test_meta_pipeline_hdtw;
+        Alcotest.test_case "gap bands" `Quick test_gap_between;
+        Alcotest.test_case "monotonicity custom oracle" `Quick
+          test_monotonicity_custom_oracle;
+        Alcotest.test_case "single-CQ profile (Theorem 21)" `Quick test_analyze_cq;
+        Alcotest.test_case "fast pipeline META" `Quick test_meta_fast_agrees;
+        Alcotest.test_case "family verdicts" `Quick test_classify_family_verdicts;
+      ] );
+  ]

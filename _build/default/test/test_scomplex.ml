@@ -1,0 +1,183 @@
+(** Tests for simplicial complexes, the reduced Euler characteristic
+    (Definition 40, Figure 1), domination (Lemmas 41/42), and power
+    complexes (Definition 46, Lemma 47). *)
+
+let test_figure1 () =
+  (* the paper's worked values: χ̂(Δ1) = -2, χ̂(Δ2) = 0 *)
+  let d1 = Scomplex.figure1_delta1 and d2 = Scomplex.figure1_delta2 in
+  Alcotest.(check int) "brute d1" (-2) (Scomplex.euler_brute d1);
+  Alcotest.(check int) "facet-IE d1" (-2) (Scomplex.euler_facet_ie d1);
+  Alcotest.(check int) "euler d1" (-2) (Scomplex.euler d1);
+  Alcotest.(check int) "brute d2" 0 (Scomplex.euler_brute d2);
+  Alcotest.(check int) "facet-IE d2" 0 (Scomplex.euler_facet_ie d2);
+  Alcotest.(check int) "euler d2" 0 (Scomplex.euler d2);
+  (* face counts quoted in the Figure 1 caption: Δ1 has 1 + 6 + 4 + 1 faces *)
+  Alcotest.(check int) "d1 face count" 12 (List.length (Scomplex.faces d1))
+
+let test_sphere_boundaries () =
+  (* boundary of the 3-simplex is a 2-sphere: chi^ = 1 *)
+  let tetra_boundary =
+    Scomplex.make [ 1; 2; 3; 4 ]
+      [ [ 1; 2; 3 ]; [ 1; 2; 4 ]; [ 1; 3; 4 ]; [ 2; 3; 4 ] ]
+  in
+  Alcotest.(check int) "S^2" 1 (Scomplex.euler tetra_boundary);
+  (* boundary of the triangle is a 1-sphere: chi^ = -1 *)
+  let circle = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ] in
+  Alcotest.(check int) "S^1" (-1) (Scomplex.euler circle);
+  (* the full simplex (ground set is a facet): chi^ = 0 *)
+  let full = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2; 3 ] ] in
+  Alcotest.(check int) "full simplex" 0 (Scomplex.euler full)
+
+let test_disjoint_union_formula () =
+  (* chi^(A ⊔ B) = chi^(A) + chi^(B) + 1 (the empty face is shared) *)
+  let circle a b c = [ [ a; b ]; [ b; c ]; [ a; c ] ] in
+  let two_circles =
+    Scomplex.make [ 1; 2; 3; 4; 5; 6 ] (circle 1 2 3 @ circle 4 5 6)
+  in
+  Alcotest.(check int) "two circles" (-1) (Scomplex.euler two_circles)
+
+let test_normalisation () =
+  (* non-maximal facets are absorbed; uncovered elements gain singletons *)
+  let c = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1 ] ] in
+  Alcotest.(check int) "two facets" 2 (List.length (Scomplex.facets c));
+  Alcotest.(check bool) "singleton 3 added" true (Scomplex.is_face c [ 3 ]);
+  Alcotest.(check bool) "downward closure" true (Scomplex.is_face c [ 2 ]);
+  Alcotest.(check bool) "empty face" true (Scomplex.is_face c []);
+  Alcotest.(check bool) "non-face" false (Scomplex.is_face c [ 2; 3 ])
+
+let test_domination () =
+  (* in Δ1, no element dominates another (irreducible) *)
+  Alcotest.(check bool) "Δ1 irreducible" true
+    (Scomplex.is_irreducible Scomplex.figure1_delta1);
+  (* in the complex with facets {1,2} and {1,3}, element 1 dominates 2 and 3 *)
+  let c = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1; 3 ] ] in
+  Alcotest.(check bool) "1 dominates 2" true (Scomplex.dominates c 1 2);
+  Alcotest.(check bool) "2 does not dominate 1" false (Scomplex.dominates c 2 1);
+  Alcotest.(check bool) "reducible" false (Scomplex.is_irreducible c);
+  (* Lemma 42: deleting a dominated element preserves χ̂ *)
+  Alcotest.(check int) "euler preserved" (Scomplex.euler_brute c)
+    (Scomplex.euler_brute (Scomplex.delete c 2));
+  (* this cone has vanishing χ̂ *)
+  Alcotest.(check int) "cone is 0" 0 (Scomplex.euler c)
+
+let test_reduce () =
+  let c = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1; 3 ] ] in
+  let r = Scomplex.reduce c in
+  Alcotest.(check bool) "reduces to trivial" true (Scomplex.is_trivial r)
+
+let test_isomorphic () =
+  let c1 = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ] ] in
+  let c2 = Scomplex.make [ 7; 8; 9 ] [ [ 8; 9 ]; [ 7; 9 ] ] in
+  Alcotest.(check bool) "path complexes isomorphic" true (Scomplex.isomorphic c1 c2);
+  let c3 = Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ] in
+  Alcotest.(check bool) "different face counts" false (Scomplex.isomorphic c1 c3)
+
+let test_power_complex_figure1 () =
+  (* the paper's worked example after Lemma 47, adjusted to our facet
+     order: Δ1 has sorted facets F1={1,2}, F2={1,3}, F3={1,4}, F4={2,3,4},
+     so b(1) = {4}, b(2) = {2,3}, b(3) = {1,3}, b(4) = {1,2}. *)
+  let pc, assignment = Power_complex.of_complex Scomplex.figure1_delta1 in
+  Alcotest.(check (list (list int)))
+    "ground of power complex"
+    [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ]; [ 4 ] ]
+    pc.Power_complex.ground;
+  Alcotest.(check (list int)) "b(1)" [ 4 ] (List.assoc 1 assignment);
+  Alcotest.(check (list int)) "b(2)" [ 2; 3 ] (List.assoc 2 assignment);
+  (* Lemma 47: Δ ≅ Δ_{Ω,U} *)
+  Alcotest.(check bool) "isomorphic to power complex" true
+    (Scomplex.isomorphic Scomplex.figure1_delta1 (Power_complex.to_complex pc));
+  (* Euler characteristics agree across all three algorithms *)
+  Alcotest.(check int) "signed cover" (-2) (Power_complex.euler_signed_cover pc);
+  Alcotest.(check int) "independent sets" (-2)
+    (Power_complex.euler_independent_sets pc)
+
+let test_power_complex_rejects () =
+  Alcotest.(check bool) "universe member rejected" true
+    (try
+       ignore (Power_complex.make [ 1; 2 ] [ [ 1; 2 ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "reducible complex rejected" true
+    (try
+       ignore
+         (Power_complex.of_complex (Scomplex.make [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1; 3 ] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_complex =
+  let open QCheck in
+  let gen_complex =
+    make
+      ~print:(fun facets ->
+        String.concat " "
+          (List.map
+             (fun f -> "{" ^ String.concat "," (List.map string_of_int f) ^ "}")
+             facets))
+      (Gen.list_size (Gen.int_range 1 4)
+         (Gen.map
+            (fun vs -> List.sort_uniq compare vs)
+            (Gen.list_size (Gen.int_range 1 3) (Gen.int_range 1 5))))
+  in
+  let build facets = Scomplex.make [ 1; 2; 3; 4; 5 ] facets in
+  [
+    Test.make ~name:"facet-IE agrees with brute euler" ~count:150 gen_complex
+      (fun facets ->
+        let c = build facets in
+        Scomplex.euler_facet_ie c = Scomplex.euler_brute c);
+    Test.make ~name:"reduction preserves euler" ~count:150 gen_complex
+      (fun facets ->
+        let c = build facets in
+        let r = Scomplex.reduce c in
+        (if Scomplex.is_trivial r then 0 else Scomplex.euler_brute r)
+        = Scomplex.euler_brute c);
+    Test.make ~name:"euler main dispatch agrees with brute" ~count:150 gen_complex
+      (fun facets ->
+        let c = build facets in
+        Scomplex.euler c = Scomplex.euler_brute c);
+    Test.make ~name:"power complex euler algorithms agree" ~count:100
+      (small_list (small_list (int_range 1 4)))
+      (fun members ->
+        let members =
+          List.filter_map
+            (fun m ->
+              let m = List.sort_uniq compare m in
+              if m = [] || m = [ 1; 2; 3; 4 ] then None else Some m)
+            members
+        in
+        match members with
+        | [] -> true
+        | _ ->
+            let pc = Power_complex.make [ 1; 2; 3; 4 ] members in
+            Power_complex.euler_signed_cover pc
+            = Power_complex.euler_independent_sets pc);
+    Test.make ~name:"Lemma 47 roundtrip on irreducible complexes" ~count:100
+      gen_complex (fun facets ->
+        let c = Scomplex.reduce (build facets) in
+        if
+          Scomplex.is_trivial c
+          || List.exists (fun f -> f = Scomplex.ground c) (Scomplex.facets c)
+        then true
+        else begin
+          let pc, _ = Power_complex.of_complex c in
+          Scomplex.isomorphic c (Power_complex.to_complex pc)
+          && Power_complex.euler_signed_cover pc = Scomplex.euler_brute c
+        end);
+  ]
+
+let suite =
+  [
+    ( "scomplex",
+      [
+        Alcotest.test_case "Figure 1 Euler characteristics" `Quick test_figure1;
+        Alcotest.test_case "sphere boundaries" `Quick test_sphere_boundaries;
+        Alcotest.test_case "disjoint union formula" `Quick test_disjoint_union_formula;
+        Alcotest.test_case "normalisation" `Quick test_normalisation;
+        Alcotest.test_case "domination (Lemmas 41/42)" `Quick test_domination;
+        Alcotest.test_case "reduce" `Quick test_reduce;
+        Alcotest.test_case "complex isomorphism" `Quick test_isomorphic;
+        Alcotest.test_case "power complex of Figure 1" `Quick test_power_complex_figure1;
+        Alcotest.test_case "power complex preconditions" `Quick
+          test_power_complex_rejects;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_complex );
+  ]

@@ -1,0 +1,102 @@
+(** Tests for the combinatorics and list utilities. *)
+
+let test_subsets () =
+  Alcotest.(check int) "2^4 subsets" 16 (List.length (Combinat.subsets 4));
+  Alcotest.(check int)
+    "nonempty" 15
+    (List.length (Combinat.nonempty_subsets 4));
+  Alcotest.(check (list (list int)))
+    "subsets 2" [ []; [ 0 ]; [ 1 ]; [ 0; 1 ] ] (Combinat.subsets 2)
+
+let test_subsets_fold () =
+  (* total cardinality of all subsets of [n] is n * 2^(n-1) *)
+  let total =
+    Combinat.subsets_fold (fun acc s -> acc + List.length s) 0 5
+  in
+  Alcotest.(check int) "sum of sizes" (5 * 16) total
+
+let test_ksubsets () =
+  Alcotest.(check int)
+    "5 choose 2" 10
+    (List.length (Combinat.ksubsets 2 [ 1; 2; 3; 4; 5 ]));
+  Alcotest.(check int) "binomial" 10 (Combinat.binomial 5 2);
+  Alcotest.(check int) "binomial edge" 1 (Combinat.binomial 5 0);
+  Alcotest.(check int) "binomial out of range" 0 (Combinat.binomial 3 5)
+
+let test_permutations () =
+  Alcotest.(check int)
+    "4! permutations" 24
+    (List.length (Combinat.permutations [ 1; 2; 3; 4 ]));
+  Alcotest.(check (list (list int)))
+    "perm 2"
+    [ [ 1; 2 ]; [ 2; 1 ] ]
+    (Combinat.permutations [ 1; 2 ])
+
+let test_tuples () =
+  Alcotest.(check int) "3^2 tuples" 9 (List.length (Combinat.tuples 2 [ 1; 2; 3 ]));
+  Alcotest.(check int) "empty tuple" 1 (List.length (Combinat.tuples 0 [ 1 ]))
+
+let test_pairs () =
+  Alcotest.(check int) "4 choose 2 pairs" 6 (List.length (Combinat.pairs [ 1; 2; 3; 4 ]))
+
+let test_power_int () =
+  Alcotest.(check int) "3^4" 81 (Combinat.power_int 3 4);
+  Alcotest.(check int) "x^0" 1 (Combinat.power_int 7 0);
+  Alcotest.(check int) "0^0" 1 (Combinat.power_int 0 0)
+
+let test_sorted_ops () =
+  Alcotest.(check (list int))
+    "inter" [ 2; 4 ]
+    (Listx.inter_sorted [ 1; 2; 3; 4 ] [ 2; 4; 6 ]);
+  Alcotest.(check (list int))
+    "union" [ 1; 2; 3; 4; 6 ]
+    (Listx.union_sorted [ 1; 2; 3; 4 ] [ 2; 4; 6 ]);
+  Alcotest.(check (list int))
+    "diff" [ 1; 3 ]
+    (Listx.diff_sorted [ 1; 2; 3; 4 ] [ 2; 4; 6 ]);
+  Alcotest.(check bool) "subset yes" true (Listx.is_subset_sorted [ 2; 4 ] [ 1; 2; 3; 4 ]);
+  Alcotest.(check bool) "subset no" false (Listx.is_subset_sorted [ 2; 5 ] [ 1; 2; 3; 4 ])
+
+let test_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 3) [ 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check int) "3 groups" 3 (List.length groups);
+  Alcotest.(check (list int)) "class of 1" [ 1; 4; 7 ] (List.assoc 1 groups)
+
+let qcheck_sorted_ops =
+  let open QCheck in
+  [
+    Test.make ~name:"inter_sorted agrees with filter" ~count:200
+      (pair (small_list small_nat) (small_list small_nat))
+      (fun (a, b) ->
+        let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+        Listx.inter_sorted a b = List.filter (fun x -> List.mem x b) a);
+    Test.make ~name:"union_sorted agrees with sort_uniq append" ~count:200
+      (pair (small_list small_nat) (small_list small_nat))
+      (fun (a, b) ->
+        let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+        Listx.union_sorted a b = List.sort_uniq compare (a @ b));
+    Test.make ~name:"diff_sorted agrees with filter-out" ~count:200
+      (pair (small_list small_nat) (small_list small_nat))
+      (fun (a, b) ->
+        let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
+        Listx.diff_sorted a b = List.filter (fun x -> not (List.mem x b)) a);
+    Test.make ~name:"subsets count is 2^n" ~count:20 (int_range 0 10)
+      (fun n -> List.length (Combinat.subsets n) = 1 lsl n);
+  ]
+
+let suite =
+  [
+    ( "util",
+      [
+        Alcotest.test_case "subsets" `Quick test_subsets;
+        Alcotest.test_case "subsets_fold" `Quick test_subsets_fold;
+        Alcotest.test_case "ksubsets/binomial" `Quick test_ksubsets;
+        Alcotest.test_case "permutations" `Quick test_permutations;
+        Alcotest.test_case "tuples" `Quick test_tuples;
+        Alcotest.test_case "pairs" `Quick test_pairs;
+        Alcotest.test_case "power_int" `Quick test_power_int;
+        Alcotest.test_case "sorted ops" `Quick test_sorted_ops;
+        Alcotest.test_case "group_by" `Quick test_group_by;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_sorted_ops );
+  ]

@@ -1,0 +1,116 @@
+(** Tests for the k-dimensional Weisfeiler–Leman algorithm (Section 5). *)
+
+let sg_e = Signature.make [ Signature.symbol "E" 2 ]
+
+let sym_graph n edges =
+  Structure.make sg_e
+    (List.init n (fun i -> i))
+    [ ("E", List.concat_map (fun (u, v) -> [ [ u; v ]; [ v; u ] ]) edges) ]
+
+let c6 = sym_graph 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ]
+let two_c3 = sym_graph 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+let p3 = sym_graph 3 [ (0, 1); (1, 2) ]
+let star3 = sym_graph 4 [ (0, 1); (0, 2); (0, 3) ]
+
+let test_labelled_graph_check () =
+  Alcotest.(check bool) "c6 is labelled graph" true (Wl.is_labelled_graph c6);
+  let with_loop = Structure.make sg_e [ 0; 1 ] [ ("E", [ [ 0; 0 ] ]) ] in
+  Alcotest.(check bool) "self loop rejected" false (Wl.is_labelled_graph with_loop)
+
+let test_classic_pair () =
+  (* C6 and 2×C3 are both 2-regular: 1-WL cannot tell them apart, but 2-WL
+     can (2×C3 has triangles). *)
+  Alcotest.(check bool) "1-WL equivalent" true (Wl.equivalent ~k:1 c6 two_c3);
+  Alcotest.(check bool) "2-WL distinguishes" false (Wl.equivalent ~k:2 c6 two_c3)
+
+let test_distinguishable_pairs () =
+  Alcotest.(check bool) "different sizes" false (Wl.equivalent ~k:1 p3 c6);
+  Alcotest.(check bool) "path vs star" false (Wl.equivalent ~k:1 (sym_graph 4 [ (0, 1); (1, 2); (2, 3) ]) star3)
+
+let test_isomorphic_pairs () =
+  let relabelled = Structure.rename c6 (fun v -> (v + 3) mod 6 + 10) in
+  Alcotest.(check bool) "iso pair 1-WL" true (Wl.equivalent ~k:1 c6 relabelled);
+  Alcotest.(check bool) "iso pair 2-WL" true (Wl.equivalent ~k:2 c6 relabelled)
+
+let test_colour_classes () =
+  (* vertex-transitive C6: one stable 1-WL colour class *)
+  Alcotest.(check int) "C6 classes" 1 (Wl.colour_classes ~k:1 c6);
+  (* path P3: endpoints vs middle *)
+  Alcotest.(check int) "P3 classes" 2 (Wl.colour_classes ~k:1 p3)
+
+let test_equivalence_preserves_hom_counts () =
+  (* 1-WL equivalence preserves homomorphism counts from trees; C6 vs 2C3
+     agree on paths but differ on the triangle (treewidth 2) *)
+  let tree = Structure.make sg_e [ 0; 1; 2 ] [ ("E", [ [ 0; 1 ]; [ 1; 2 ] ]) ] in
+  Alcotest.(check int) "path homs agree"
+    (Hom.count tree c6) (Hom.count tree two_c3);
+  let triangle =
+    Structure.make sg_e [ 0; 1; 2 ] [ ("E", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]) ]
+  in
+  Alcotest.(check bool) "triangle homs differ" true
+    (Hom.count triangle c6 <> Hom.count triangle two_c3)
+
+let test_directed_labels_matter () =
+  (* a directed edge versus its reversal on a path of two vertices with an
+     extra pendant: 1-WL on labelled (directed) graphs distinguishes
+     orientation *)
+  let d1 = Structure.make sg_e [ 0; 1; 2 ] [ ("E", [ [ 0; 1 ]; [ 1; 2 ] ]) ] in
+  let d2 = Structure.make sg_e [ 0; 1; 2 ] [ ("E", [ [ 0; 1 ]; [ 2; 1 ] ]) ] in
+  Alcotest.(check bool) "orientation distinguished" false (Wl.equivalent ~k:1 d1 d2)
+
+let test_unary_labels () =
+  (* vertex labels (unary relations) refine the initial colouring *)
+  let sg =
+    Signature.make [ Signature.symbol "E" 2; Signature.symbol "P" 1 ]
+  in
+  let base edges ps =
+    Structure.make sg [ 0; 1; 2 ] [ ("E", edges); ("P", ps) ]
+  in
+  let d1 = base [ [ 0; 1 ]; [ 1; 0 ] ] [ [ 2 ] ] in
+  let d2 = base [ [ 0; 1 ]; [ 1; 0 ] ] [ [ 0 ] ] in
+  (* d2's labelled vertex is on the edge; d1's is isolated *)
+  Alcotest.(check bool) "labels distinguish" false (Wl.equivalent ~k:1 d1 d2)
+
+let test_k2_on_paths () =
+  (* P4 vs P3+P1 have different degree sequences: distinguished at k=1 *)
+  let p4 = sym_graph 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let p31 = sym_graph 4 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "1-WL" false (Wl.equivalent ~k:1 p4 p31);
+  Alcotest.(check bool) "2-WL" false (Wl.equivalent ~k:2 p4 p31)
+
+let test_k2_iso_invariance () =
+  let g = sym_graph 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let g' = Structure.rename g (fun v -> (v * 2) mod 5 + 100) in
+  Alcotest.(check bool) "2-WL on isomorphic C5" true (Wl.equivalent ~k:2 g g')
+
+let qcheck_wl =
+  let open QCheck in
+  [
+    (* the Dvořák / Dell–Grohe–Rattan fact behind Theorem 58: 1-WL
+       equivalent graphs agree on homomorphism counts from all trees *)
+    Test.make ~name:"1-WL equivalent pair agrees on tree hom counts" ~count:60
+      (int_range 0 100_000) (fun seed ->
+        let tree =
+          Qgen.random_acyclic_cq ~seed ~max_vars:5 Generators.graph_signature
+        in
+        Hom.count (Cq.structure tree) c6 = Hom.count (Cq.structure tree) two_c3);
+  ]
+
+let suite =
+  [
+    ( "wl",
+      [
+        Alcotest.test_case "labelled graph check" `Quick test_labelled_graph_check;
+        Alcotest.test_case "C6 vs 2C3" `Quick test_classic_pair;
+        Alcotest.test_case "distinguishable pairs" `Quick test_distinguishable_pairs;
+        Alcotest.test_case "isomorphic pairs" `Quick test_isomorphic_pairs;
+        Alcotest.test_case "colour classes" `Quick test_colour_classes;
+        Alcotest.test_case "hom count invariance" `Quick
+          test_equivalence_preserves_hom_counts;
+        Alcotest.test_case "orientation matters" `Quick test_directed_labels_matter;
+        Alcotest.test_case "unary labels" `Quick test_unary_labels;
+        Alcotest.test_case "2-WL on paths" `Quick test_k2_on_paths;
+        Alcotest.test_case "2-WL isomorphism invariance" `Quick test_k2_iso_invariance;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_wl );
+  ]

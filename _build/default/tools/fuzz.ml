@@ -1,0 +1,47 @@
+(** Stress harness: a heavy randomised cross-validation sweep over every
+    counting engine, the reduction parsimony identity, and the treewidth
+    machinery.  Not part of `dune runtest` (it takes minutes); run with
+    [dune exec tools/fuzz.exe] before releases. *)
+let () =
+  let sg = Generators.graph_signature in
+  let failures = ref 0 in
+  (* CQ engines *)
+  for seed = 0 to 1500 do
+    let q = Qgen.random_cq ~seed ~max_vars:4 ~max_atoms:5 sg in
+    let db = Generators.random_digraph ~seed:(seed * 7 + 1) 5 12 in
+    let naive = Counting.count ~strategy:Counting.Naive q db in
+    if Counting.count q db <> naive then (incr failures; Printf.printf "AUTO mismatch seed %d\n" seed);
+    if Varelim.count q db <> naive then (incr failures; Printf.printf "VARELIM mismatch seed %d\n" seed);
+    if Cq.is_quantifier_free q then begin
+      if Counting.count ~strategy:Counting.Treedec q db <> naive then (incr failures; Printf.printf "TREEDEC mismatch seed %d\n" seed);
+      if Counting.count ~strategy:Counting.Weighted q db <> naive then (incr failures; Printf.printf "WEIGHTED mismatch seed %d\n" seed);
+      if Nice_count.count (Cq.structure q) db <> Hom.count (Cq.structure q) db then (incr failures; Printf.printf "NICE mismatch seed %d\n" seed)
+    end
+  done;
+  (* UCQ counting *)
+  for seed = 0 to 400 do
+    let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg in
+    let db = Generators.random_digraph ~seed:(seed * 13 + 5) 4 9 in
+    let naive = Ucq.count_naive psi db in
+    if Ucq.count_inclusion_exclusion psi db <> naive then (incr failures; Printf.printf "UCQ IE mismatch seed %d\n" seed);
+    if Ucq.count_via_expansion psi db <> naive then (incr failures; Printf.printf "UCQ EXP mismatch seed %d\n" seed)
+  done;
+  (* reduction parsimony, larger random formulas *)
+  for seed = 0 to 150 do
+    let f = Cnf.random_3cnf ~seed 4 (1 + (seed mod 6)) in
+    if not (Sat_complex.euler_equals_count_sat f) then (incr failures; Printf.printf "PARSIMONY FAIL seed %d\n" seed)
+  done;
+  (* treewidth: exact vs independent nice-width, on random graphs *)
+  for seed = 0 to 300 do
+    let st = Random.State.make [| seed |] in
+    let n = 3 + Random.State.int st 7 in
+    let g = Graph.make n in
+    for _ = 1 to n * 2 do
+      Graph.add_edge g (Random.State.int st n) (Random.State.int st n)
+    done;
+    let w, dec = Treewidth.exact g in
+    let nice = Nice_treedec.of_treedec dec in
+    if not (Nice_treedec.validate g nice) || Nice_treedec.width nice <> max w (-1)
+    then (incr failures; Printf.printf "NICE TD FAIL seed %d\n" seed)
+  done;
+  Printf.printf "fuzz done: %d failures\n" !failures
