@@ -377,8 +377,10 @@ let e9 () =
           string_of_bool (Wl_dimension.at_most 1 psi);
         ])
     [ ("Psi1", psi1); ("Psi2", psi2); ("triangle", tri) ];
-  Printf.printf "\nDefinition 6 consistency (equivalent pairs with equal counts): %d pairs\n"
-    (Wl_dimension.invariance_check ~k:1 psi2)
+  Printf.printf "\nDefinition 6 consistency (equivalent pairs with equal counts): %s\n"
+    (match Wl_dimension.invariance_check ~k:1 psi2 with
+    | Ok n -> Printf.sprintf "%d pairs" n
+    | Error e -> "FAILED: " ^ Ucqc_error.to_string e)
 
 (* ================================================================== *)
 (* E10: Appendix A — necessity of the Theorem 3 side conditions       *)

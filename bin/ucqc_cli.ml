@@ -12,7 +12,14 @@
     - [treewidth]  treewidth of the Gaifman graph of a database
 
     Query files use the {!Parse} surface syntax, e.g.
-    [(x, y) :- E(x, z), E(z, y) ; E(x, y)]. *)
+    [(x, y) :- E(x, z), E(z, y) ; E(x, y)].
+
+    Resource budgets: [--max-steps] (deterministic) and [--timeout]
+    (wall-clock) bound the exponential engines.  On exhaustion the tool
+    degrades to a tagged approximate result and exits with code 2; with
+    [--no-fallback] it fails with code 124 instead.  Malformed input is
+    reported as a structured error on stderr with exit code 65; internal
+    invariant failures exit with 70; exact successes with 0. *)
 
 open Cmdliner
 
@@ -23,9 +30,71 @@ let read_file (path : string) : string =
   close_in ic;
   text
 
+(* ------------------------------------------------------------------ *)
+(* Error rendering and the top-level engine boundary                   *)
+(* ------------------------------------------------------------------ *)
+
+let fail_err (e : Ucqc_error.t) : int =
+  Printf.eprintf "ucqc: %s\n" (Ucqc_error.to_string e);
+  Ucqc_error.exit_code e
+
+(** [guarded f] is the outermost boundary of every subcommand: [f] returns
+    an exit code; any structured error — and any stray library escape —
+    is rendered on stderr and mapped to its exit code. *)
+let guarded (f : unit -> int) : int =
+  match Runner.guard f with
+  | Ok code -> code
+  | Error e -> fail_err e
+  | exception Sys_error msg -> fail_err (Ucqc_error.Unsupported msg)
+
+let parse_ucq_file (path : string) : Ucq.t * Parse.query_env =
+  match Parse.ucq_result (read_file path) with
+  | Ok v -> v
+  | Error e -> raise (Ucqc_error.Error e)
+
+let parse_cq_file (path : string) : Cq.t * Parse.query_env =
+  match Parse.cq_result (read_file path) with
+  | Ok v -> v
+  | Error e -> raise (Ucqc_error.Error e)
+
+let parse_db_file (path : string) : Structure.t * Parse.db_env =
+  match Parse.database_result (read_file path) with
+  | Ok v -> v
+  | Error e -> raise (Ucqc_error.Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Shared flags                                                       *)
+(* ------------------------------------------------------------------ *)
+
 let query_arg =
   let doc = "Query file (surface syntax: '(x, y) :- E(x, z), E(z, y) ; ...')." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY" ~doc)
+
+let max_steps_arg =
+  let doc =
+    "Bound the engines to $(docv) deterministic steps; exceeding the bound \
+     degrades to an approximate result (exit 2) or, with --no-fallback, \
+     fails with exit 124."
+  in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Wall-clock deadline in seconds (fractions allowed)." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let no_fallback_arg =
+  let doc =
+    "Disable graceful degradation: exhausting the budget exits with 124 \
+     and a structured error instead of an approximate result."
+  in
+  Arg.(value & flag & info [ "no-fallback" ] ~doc)
+
+let budget_of max_steps timeout = Budget.make ?max_steps ?timeout ()
+
+let exhaustion_note (e : Budget.exhaustion) (degraded_to : string) : unit =
+  Printf.eprintf
+    "ucqc: budget exhausted in phase %s after %d steps; degraded to %s\n"
+    e.Budget.phase e.Budget.steps_done degraded_to
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)
@@ -33,7 +102,11 @@ let query_arg =
 
 let method_enum =
   Arg.enum
-    [ ("expansion", `Expansion); ("ie", `Ie); ("naive", `Naive) ]
+    [
+      ("expansion", Runner.Expansion);
+      ("ie", Runner.Inclusion_exclusion);
+      ("naive", Runner.Naive);
+    ]
 
 let count_cmd =
   let db_arg =
@@ -45,22 +118,36 @@ let count_cmd =
       "Counting method: 'expansion' (CQ expansion, Lemma 26), 'ie' \
        (inclusion-exclusion), or 'naive' (enumeration; exponential)."
     in
-    Arg.(value & opt method_enum `Expansion & info [ "method" ] ~doc)
+    Arg.(value & opt method_enum Runner.Expansion & info [ "method" ] ~doc)
   in
-  let run qfile dbfile meth =
-    let psi, _ = Parse.ucq (read_file qfile) in
-    let db, _ = Parse.database (read_file dbfile) in
-    let count =
-      match meth with
-      | `Expansion -> Ucq.count_via_expansion psi db
-      | `Ie -> Ucq.count_inclusion_exclusion psi db
-      | `Naive -> Ucq.count_naive psi db
-    in
-    Printf.printf "%d\n" count
+  let seed_arg =
+    let doc = "Random seed for the Karp-Luby fallback." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let run qfile dbfile via seed max_steps timeout no_fallback =
+    guarded (fun () ->
+        let psi, _ = parse_ucq_file qfile in
+        let db, _ = parse_db_file dbfile in
+        let budget = budget_of max_steps timeout in
+        match
+          Runner.count ~via ~fallback:(not no_fallback) ~seed ~budget psi db
+        with
+        | Ok (Runner.Exact n) ->
+            Printf.printf "%d\n" n;
+            Runner.exit_exact
+        | Ok (Runner.Approximate { value; epsilon; delta; exhausted }) ->
+            exhaustion_note exhausted
+              (Printf.sprintf "Karp-Luby estimate (epsilon=%g, delta=%g)"
+                 epsilon delta);
+            Printf.printf "%.2f\n" value;
+            Runner.exit_degraded
+        | Error e -> fail_err e)
   in
   let doc = "Count answers to a union of conjunctive queries." in
   Cmd.v (Cmd.info "count" ~doc)
-    Term.(const run $ query_arg $ db_arg $ method_arg)
+    Term.(
+      const run $ query_arg $ db_arg $ method_arg $ seed_arg $ max_steps_arg
+      $ timeout_arg $ no_fallback_arg)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                             *)
@@ -79,44 +166,61 @@ let approx_cmd =
     let doc = "Random seed." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile samples seed =
-    let psi, _ = Parse.ucq (read_file qfile) in
-    let db, _ = Parse.database (read_file dbfile) in
-    let est = Karp_luby.estimate ~seed ~samples psi db in
-    Printf.printf "estimate: %.2f (samples %d, space %d, hits %d)\n"
-      est.Karp_luby.value est.Karp_luby.samples est.Karp_luby.space
-      est.Karp_luby.hits
+  let run qfile dbfile samples seed max_steps timeout =
+    guarded (fun () ->
+        let psi, _ = parse_ucq_file qfile in
+        let db, _ = parse_db_file dbfile in
+        let budget = budget_of max_steps timeout in
+        match
+          Budget.run budget ~phase:"approx" (fun () ->
+              Karp_luby.estimate ~seed ~budget ~samples psi db)
+        with
+        | Ok est ->
+            Printf.printf "estimate: %.2f (samples %d, space %d, hits %d)\n"
+              est.Karp_luby.value est.Karp_luby.samples est.Karp_luby.space
+              est.Karp_luby.hits;
+            Runner.exit_exact
+        | Error exhausted ->
+            fail_err (Ucqc_error.of_exhaustion exhausted))
   in
   let doc =
     "Approximate the answer count with the Karp-Luby estimator (Section \
      1.2) — no exponential CQ expansion involved."
   in
   Cmd.v (Cmd.info "approx" ~doc)
-    Term.(const run $ query_arg $ db_arg $ samples_arg $ seed_arg)
+    Term.(
+      const run $ query_arg $ db_arg $ samples_arg $ seed_arg $ max_steps_arg
+      $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* meta                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let meta_cmd =
-  let run qfile =
-    let psi, env = Parse.ucq (read_file qfile) in
-    let d = Meta.decide psi in
-    Printf.printf "linear-time countable: %b\n" d.Meta.linear_time;
-    Printf.printf "expansion support (%d #minimal classes):\n"
-      (List.length d.Meta.support);
-    List.iter
-      (fun (q, c) ->
-        Printf.printf "  %+d  x  %s   [%s]\n" c
-          (Pretty.cq ~env q)
-          (if Cq.is_acyclic q then "acyclic" else "CYCLIC"))
-      d.Meta.support
+  let run qfile max_steps timeout =
+    guarded (fun () ->
+        let psi, env = parse_ucq_file qfile in
+        let budget = budget_of max_steps timeout in
+        match Runner.decide_meta ~budget psi with
+        | Error e -> fail_err e
+        | Ok d ->
+            Printf.printf "linear-time countable: %b\n" d.Meta.linear_time;
+            Printf.printf "expansion support (%d #minimal classes):\n"
+              (List.length d.Meta.support);
+            List.iter
+              (fun (q, c) ->
+                Printf.printf "  %+d  x  %s   [%s]\n" c
+                  (Pretty.cq ~env q)
+                  (if Cq.is_acyclic q then "acyclic" else "CYCLIC"))
+              d.Meta.support;
+            Runner.exit_exact)
   in
   let doc =
     "Decide whether counting answers is possible in linear time (META, \
      Theorem 5; quantifier-free unions only)."
   in
-  Cmd.v (Cmd.info "meta" ~doc) Term.(const run $ query_arg)
+  Cmd.v (Cmd.info "meta" ~doc)
+    Term.(const run $ query_arg $ max_steps_arg $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                           *)
@@ -128,18 +232,23 @@ let classify_cmd =
     Arg.(value & flag & info [ "no-gamma" ] ~doc)
   in
   let run qfile no_gamma =
-    let psi, _ = Parse.ucq (read_file qfile) in
-    let r = Classify.analyze ~with_gamma:(not no_gamma) psi in
-    Printf.printf "disjuncts:               %d\n" r.Classify.num_disjuncts;
-    Printf.printf "quantifier-free:         %b\n" r.Classify.quantifier_free;
-    Printf.printf "union of self-join-free: %b\n" r.Classify.union_of_self_join_free;
-    Printf.printf "quantified variables:    %d\n" r.Classify.num_quantified;
-    Printf.printf "tw(/\\Psi):               %d\n" r.Classify.combined_tw;
-    Printf.printf "tw(contract(/\\Psi)):     %d\n" r.Classify.combined_contract_tw;
-    if not no_gamma then begin
-      Printf.printf "max tw over Gamma:       %d\n" r.Classify.gamma_max_tw;
-      Printf.printf "max ctw over Gamma:      %d\n" r.Classify.gamma_max_contract_tw
-    end
+    guarded (fun () ->
+        let psi, _ = parse_ucq_file qfile in
+        let r = Classify.analyze ~with_gamma:(not no_gamma) psi in
+        Printf.printf "disjuncts:               %d\n" r.Classify.num_disjuncts;
+        Printf.printf "quantifier-free:         %b\n" r.Classify.quantifier_free;
+        Printf.printf "union of self-join-free: %b\n"
+          r.Classify.union_of_self_join_free;
+        Printf.printf "quantified variables:    %d\n" r.Classify.num_quantified;
+        Printf.printf "tw(/\\Psi):               %d\n" r.Classify.combined_tw;
+        Printf.printf "tw(contract(/\\Psi)):     %d\n"
+          r.Classify.combined_contract_tw;
+        if not no_gamma then begin
+          Printf.printf "max tw over Gamma:       %d\n" r.Classify.gamma_max_tw;
+          Printf.printf "max ctw over Gamma:      %d\n"
+            r.Classify.gamma_max_contract_tw
+        end;
+        Runner.exit_exact)
   in
   let doc = "Report the treewidth measures behind Theorems 1/2/3." in
   Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ query_arg $ gamma_arg)
@@ -153,19 +262,38 @@ let wl_dim_cmd =
     let doc = "Use the polynomial-per-term approximation (Theorem 7)." in
     Arg.(value & flag & info [ "approx" ] ~doc)
   in
-  let run qfile approx =
-    let psi, _ = Parse.ucq (read_file qfile) in
-    if approx then begin
-      let lo, hi = Wl_dimension.approximate psi in
-      Printf.printf "dim_WL in [%d, %d]\n" lo hi
-    end
-    else Printf.printf "dim_WL = %d\n" (Wl_dimension.exact psi)
+  let run qfile approx max_steps timeout no_fallback =
+    guarded (fun () ->
+        let psi, _ = parse_ucq_file qfile in
+        if approx then begin
+          (* explicitly requested bounds: not a degraded result *)
+          let lo, hi = Wl_dimension.approximate psi in
+          Printf.printf "dim_WL in [%d, %d]\n" lo hi;
+          Runner.exit_exact
+        end
+        else begin
+          let budget = budget_of max_steps timeout in
+          match
+            Runner.wl_dimension ~fallback:(not no_fallback) ~budget psi
+          with
+          | Ok (Runner.Exact_dim k) ->
+              Printf.printf "dim_WL = %d\n" k;
+              Runner.exit_exact
+          | Ok (Runner.Bounds { lower; upper; exhausted }) ->
+              exhaustion_note exhausted "polynomial bound pair (Theorem 7)";
+              Printf.printf "dim_WL in [%d, %d]\n" lower upper;
+              Runner.exit_degraded
+          | Error e -> fail_err e
+        end)
   in
   let doc =
     "Compute the Weisfeiler-Leman dimension of a quantifier-free UCQ on \
      labelled graphs (Theorems 7/8/58)."
   in
-  Cmd.v (Cmd.info "wl-dim" ~doc) Term.(const run $ query_arg $ approx_arg)
+  Cmd.v (Cmd.info "wl-dim" ~doc)
+    Term.(
+      const run $ query_arg $ approx_arg $ max_steps_arg $ timeout_arg
+      $ no_fallback_arg)
 
 (* ------------------------------------------------------------------ *)
 (* euler                                                              *)
@@ -177,25 +305,27 @@ let euler_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"COMPLEX" ~doc)
   in
   let run path =
-    let facets =
-      read_file path |> String.split_on_char '\n'
-      |> List.filter_map (fun line ->
-             let line = String.trim line in
-             if line = "" || line.[0] = '#' then None
-             else
-               Some
-                 (String.split_on_char ' '
-                    (String.map (fun c -> if c = ',' then ' ' else c) line)
-                 |> List.filter (( <> ) "")
-                 |> List.map int_of_string))
-    in
-    let ground = List.sort_uniq compare (List.concat facets) in
-    let c = Scomplex.make ground facets in
-    Printf.printf "ground set: %d elements, %d facets\n"
-      (List.length (Scomplex.ground c))
-      (List.length (Scomplex.facets c));
-    Printf.printf "irreducible: %b\n" (Scomplex.is_irreducible c);
-    Printf.printf "reduced Euler characteristic: %d\n" (Scomplex.euler c)
+    guarded (fun () ->
+        let facets =
+          read_file path |> String.split_on_char '\n'
+          |> List.filter_map (fun line ->
+                 let line = String.trim line in
+                 if line = "" || line.[0] = '#' then None
+                 else
+                   Some
+                     (String.split_on_char ' '
+                        (String.map (fun c -> if c = ',' then ' ' else c) line)
+                     |> List.filter (( <> ) "")
+                     |> List.map int_of_string))
+        in
+        let ground = List.sort_uniq compare (List.concat facets) in
+        let c = Scomplex.make ground facets in
+        Printf.printf "ground set: %d elements, %d facets\n"
+          (List.length (Scomplex.ground c))
+          (List.length (Scomplex.facets c));
+        Printf.printf "irreducible: %b\n" (Scomplex.is_irreducible c);
+        Printf.printf "reduced Euler characteristic: %d\n" (Scomplex.euler c);
+        Runner.exit_exact)
   in
   let doc = "Reduced Euler characteristic of a facet-encoded complex." in
   Cmd.v (Cmd.info "euler" ~doc) Term.(const run $ file_arg)
@@ -214,21 +344,25 @@ let pipeline_cmd =
     Arg.(value & opt int 3 & info [ "t" ] ~doc)
   in
   let run path t =
-    let f = Cnf.parse_dimacs (read_file path) in
-    match Pipeline.ucq_of_cnf ~t f with
-    | Pipeline.Resolved sat ->
-        Printf.printf "resolved during preprocessing: satisfiable = %b\n" sat
-    | Pipeline.Query { psi; ktk; complex } ->
-        Printf.printf "power complex: |U| = %d, |Omega| = %d\n"
-          (List.length complex.Power_complex.universe)
-          (List.length complex.Power_complex.ground);
-        Printf.printf "UCQ: %d CQs over K_%d^%d\n" (Ucq.length psi) ktk.Ktk.t_
-          ktk.Ktk.k;
-        Printf.printf "c_Psi(K_t^k) = %d\n"
-          (Ucq.coefficient psi (Ucq.combined_all psi));
-        let d = Meta.decide psi in
-        Printf.printf "META linear-time: %b  =>  formula %s\n" d.Meta.linear_time
-          (if d.Meta.linear_time then "UNSATISFIABLE" else "SATISFIABLE")
+    guarded (fun () ->
+        let f = Cnf.parse_dimacs (read_file path) in
+        (match Pipeline.ucq_of_cnf ~t f with
+        | Pipeline.Resolved sat ->
+            Printf.printf "resolved during preprocessing: satisfiable = %b\n"
+              sat
+        | Pipeline.Query { psi; ktk; complex } ->
+            Printf.printf "power complex: |U| = %d, |Omega| = %d\n"
+              (List.length complex.Power_complex.universe)
+              (List.length complex.Power_complex.ground);
+            Printf.printf "UCQ: %d CQs over K_%d^%d\n" (Ucq.length psi)
+              ktk.Ktk.t_ ktk.Ktk.k;
+            Printf.printf "c_Psi(K_t^k) = %d\n"
+              (Ucq.coefficient psi (Ucq.combined_all psi));
+            let d = Meta.decide psi in
+            Printf.printf "META linear-time: %b  =>  formula %s\n"
+              d.Meta.linear_time
+              (if d.Meta.linear_time then "UNSATISFIABLE" else "SATISFIABLE"));
+        Runner.exit_exact)
   in
   let doc = "Run the Lemma 51 SAT-hardness pipeline on a DIMACS file." in
   Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ file_arg $ t_arg)
@@ -247,17 +381,20 @@ let enumerate_cmd =
     Arg.(value & opt int 20 & info [ "limit" ] ~doc)
   in
   let run qfile dbfile limit =
-    let q, env = Parse.cq (read_file qfile) in
-    let db, _ = Parse.database (read_file dbfile) in
-    let e = Enumerate.prepare q db in
-    let seq = Enumerate.answers e in
-    let seq = if limit > 0 then Seq.take limit seq else seq in
-    let names = List.map (Pretty.var_name env) (Cq.free q) in
-    Printf.printf "(%s)\n" (String.concat ", " names);
-    Seq.iter
-      (fun a ->
-        Printf.printf "(%s)\n" (String.concat ", " (List.map string_of_int a)))
-      seq
+    guarded (fun () ->
+        let q, env = parse_cq_file qfile in
+        let db, _ = parse_db_file dbfile in
+        let e = Enumerate.prepare q db in
+        let seq = Enumerate.answers e in
+        let seq = if limit > 0 then Seq.take limit seq else seq in
+        let names = List.map (Pretty.var_name env) (Cq.free q) in
+        Printf.printf "(%s)\n" (String.concat ", " names);
+        Seq.iter
+          (fun a ->
+            Printf.printf "(%s)\n"
+              (String.concat ", " (List.map string_of_int a)))
+          seq;
+        Runner.exit_exact)
   in
   let doc =
     "Enumerate the answers of an acyclic quantifier-free CQ with constant \
@@ -279,26 +416,49 @@ let treewidth_cmd =
     let doc = "Force the exact (exponential) algorithm regardless of size." in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run path force_exact =
-    let d, _ = Parse.database (read_file path) in
-    let g, _ = Structure.gaifman d in
-    if force_exact || Graph.num_vertices g <= 20 then
-      Printf.printf "treewidth = %d (exact)\n" (Treewidth.treewidth g)
-    else begin
-      let ub, _ = Treewidth.heuristic g in
-      Printf.printf "treewidth in [%d, %d] (heuristic; use --exact to force)\n"
-        (Treewidth.lower_bound g) ub
-    end
+  let run path force_exact max_steps timeout no_fallback =
+    guarded (fun () ->
+        let d, _ = parse_db_file path in
+        let g, _ = Structure.gaifman d in
+        if force_exact || Graph.num_vertices g <= 20 then begin
+          let budget = budget_of max_steps timeout in
+          match
+            Runner.treewidth ~fallback:(not no_fallback) ~budget g
+          with
+          | Ok (Runner.Exact_width w) ->
+              Printf.printf "treewidth = %d (exact)\n" w;
+              Runner.exit_exact
+          | Ok (Runner.Heuristic { lower; upper; exhausted }) ->
+              exhaustion_note exhausted "heuristic treewidth bounds";
+              Printf.printf "treewidth in [%d, %d] (heuristic)\n" lower upper;
+              Runner.exit_degraded
+          | Error e -> fail_err e
+        end
+        else begin
+          (* size-gated heuristic: requested behaviour, not degradation *)
+          let ub, _ = Treewidth.heuristic g in
+          Printf.printf
+            "treewidth in [%d, %d] (heuristic; use --exact to force)\n"
+            (Treewidth.lower_bound g) ub;
+          Runner.exit_exact
+        end)
   in
   let doc = "Treewidth of the Gaifman graph of a database." in
-  Cmd.v (Cmd.info "treewidth" ~doc) Term.(const run $ file_arg $ exact_arg)
+  Cmd.v (Cmd.info "treewidth" ~doc)
+    Term.(
+      const run $ file_arg $ exact_arg $ max_steps_arg $ timeout_arg
+      $ no_fallback_arg)
 
 let () =
   let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in
   let info = Cmd.info "ucqc" ~version:"1.0.0" ~doc in
+  (* cmdliner's default usage-error code is 124, which would collide with
+     our budget-exhausted code; report usage errors as sysexits EX_USAGE
+     (64) and uncaught exceptions as EX_SOFTWARE (70). *)
   exit
-    (Cmd.eval
-       (Cmd.group info
+    (match
+       Cmd.eval_value
+         (Cmd.group info
           [
             count_cmd;
             approx_cmd;
@@ -309,4 +469,9 @@ let () =
             pipeline_cmd;
             enumerate_cmd;
             treewidth_cmd;
-          ]))
+          ])
+     with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 64
+    | Error `Exn -> 70)

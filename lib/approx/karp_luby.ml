@@ -46,10 +46,15 @@ let membership_oracle (q : Cq.t) (d : Structure.t) : (int * int) list -> bool =
     fun answer -> Hashtbl.mem set (List.map (fun v -> List.assoc v answer) free)
   end
 
-(** [estimate ?seed ~samples psi d] runs the estimator with a fixed sample
-    budget. *)
-let estimate ?(seed = 0xACE) ~(samples : int) (psi : Ucq.t) (d : Structure.t) :
-    estimate =
+(** [estimate ?seed ?budget ~samples psi d] runs the estimator with a
+    fixed sample budget.  A resource budget, when given, is ticked once
+    per sample, so the sampling loop participates in deadline/step
+    enforcement like every other engine.  A degenerate draw (an empty
+    sample from a disjunct, which can only arise from a pathological
+    sampler state) is retried under a deterministically rotated seed a
+    bounded number of times rather than silently diluting the estimate. *)
+let estimate ?(seed = 0xACE) ?(budget : Budget.t option) ~(samples : int)
+    (psi : Ucq.t) (d : Structure.t) : estimate =
   let st = Random.State.make [| seed |] in
   let disjuncts = Ucq.disjuncts psi in
   let samplers = List.map (fun q -> Sampler.make q d) disjuncts in
@@ -64,10 +69,25 @@ let estimate ?(seed = 0xACE) ~(samples : int) (psi : Ucq.t) (d : Structure.t) :
     let weighted =
       List.mapi (fun i c -> (i, c)) counts |> List.filter (fun (_, c) -> c > 0)
     in
+    (* seed-rotation retry: draw from a fresh state derived from the base
+       seed and the rotation round, keeping the run deterministic *)
+    let max_rotations = 3 in
+    let rec draw_rotated i rotation =
+      let state =
+        if rotation = 0 then st
+        else Random.State.make [| seed lxor (0x9E3779B9 * rotation) |]
+      in
+      match Sampler.draw state samplers.(i) with
+      | Some answer -> Some answer
+      | None ->
+          if rotation >= max_rotations then None
+          else draw_rotated i (rotation + 1)
+    in
     let hits = ref 0 in
     for _ = 1 to samples do
+      Budget.tick_opt budget;
       let i = Sampler.weighted_choice st weighted in
-      match Sampler.draw st samplers.(i) with
+      match draw_rotated i 0 with
       | None -> ()
       | Some answer ->
           (* is i the first disjunct containing this answer? *)
@@ -89,11 +109,11 @@ let estimate ?(seed = 0xACE) ~(samples : int) (psi : Ucq.t) (d : Structure.t) :
     accuracy parameters: [⌈ 4 ℓ ln(2/δ) / ε² ⌉] samples give an (ε, δ)
     guarantee (standard Karp–Luby analysis: the hit probability is at least
     [1/ℓ]). *)
-let fpras ?(seed = 0xACE) ~(epsilon : float) ~(delta : float) (psi : Ucq.t)
-    (d : Structure.t) : estimate =
+let fpras ?(seed = 0xACE) ?(budget : Budget.t option) ~(epsilon : float)
+    ~(delta : float) (psi : Ucq.t) (d : Structure.t) : estimate =
   if epsilon <= 0. || delta <= 0. then invalid_arg "Karp_luby.fpras";
   let l = float_of_int (Ucq.length psi) in
   let samples =
     int_of_float (ceil (4. *. l *. log (2. /. delta) /. (epsilon *. epsilon)))
   in
-  estimate ~seed ~samples psi d
+  estimate ~seed ?budget ~samples psi d

@@ -9,12 +9,23 @@ type estimate = {
   hits : int;
 }
 
-(** [estimate ?seed ~samples psi d] runs the estimator with a fixed
-    budget; unbiased, with relative error [O(sqrt(ℓ / samples))]. *)
-val estimate : ?seed:int -> samples:int -> Ucq.t -> Structure.t -> estimate
+(** [estimate ?seed ?budget ~samples psi d] runs the estimator with a
+    fixed sample budget; unbiased, with relative error
+    [O(sqrt(ℓ / samples))].  A resource budget is ticked once per sample;
+    degenerate (empty) draws are retried under deterministically rotated
+    seeds a bounded number of times.
+    @raise Budget.Exhausted when the resource budget runs out mid-loop. *)
+val estimate :
+  ?seed:int -> ?budget:Budget.t -> samples:int -> Ucq.t -> Structure.t -> estimate
 
-(** [fpras ?seed ~epsilon ~delta psi d] derives the budget
+(** [fpras ?seed ?budget ~epsilon ~delta psi d] derives the sample budget
     [⌈4 ℓ ln(2/δ) / ε²⌉] for an (ε, δ)-guarantee.
     @raise Invalid_argument for non-positive parameters. *)
 val fpras :
-  ?seed:int -> epsilon:float -> delta:float -> Ucq.t -> Structure.t -> estimate
+  ?seed:int ->
+  ?budget:Budget.t ->
+  epsilon:float ->
+  delta:float ->
+  Ucq.t ->
+  Structure.t ->
+  estimate

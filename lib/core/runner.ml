@@ -1,0 +1,185 @@
+(** Result-based engine boundaries with graceful degradation.
+
+    The library's engines raise {!Budget.Exhausted} from their hot loops;
+    this module is the boundary that catches it and either degrades to a
+    polynomial-time substitute — exact UCQ counting falls back to the
+    Karp–Luby estimator, exact treewidth to the minor-min-width /
+    min-fill bound pair — or reports a structured
+    {!Ucqc_error.Budget_exhausted}.  Every wrapper returns [Result]; no
+    exception of the library escapes it.  Degraded results are tagged so
+    callers (the CLI, services) can distinguish exact from approximate
+    output and pick the corresponding exit code. *)
+
+(* Extend the runtime-level guard with engine exceptions the runtime
+   library cannot know about (layering: ucq_runtime sits below the
+   engines). *)
+let guard (f : unit -> 'a) : ('a, Ucqc_error.t) result =
+  try Ucqc_error.guard f
+  with Counting.Unsupported msg -> Error (Ucqc_error.Unsupported msg)
+
+(* ------------------------------------------------------------------ *)
+(* Counting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type count_outcome =
+  | Exact of int
+  | Approximate of {
+      value : float;
+      epsilon : float;
+      delta : float;
+      exhausted : Budget.exhaustion;
+    }
+
+type count_method = Expansion | Inclusion_exclusion | Naive
+
+let default_epsilon = 0.1
+let default_delta = 0.05
+
+(** [count ?strategy ?via ?fallback ?epsilon ?delta ?seed ~budget psi d]
+    counts [ans(Ψ → D)] exactly (via the CQ expansion by default) under
+    [budget].  On exhaustion, when [fallback] (default [true]), it
+    degrades to the un-budgeted Karp–Luby [(ε, δ)]-estimate — polynomial
+    per sample — tagged with the exhaustion record; with
+    [fallback = false] the exhaustion becomes
+    [Error (Budget_exhausted _)]. *)
+let count ?strategy ?(via = Expansion) ?(fallback = true)
+    ?(epsilon = default_epsilon) ?(delta = default_delta) ?seed
+    ~(budget : Budget.t) (psi : Ucq.t) (d : Structure.t) :
+    (count_outcome, Ucqc_error.t) result =
+  let exact () =
+    match via with
+    | Expansion -> Ucq.count_via_expansion ?strategy ~budget psi d
+    | Inclusion_exclusion ->
+        Ucq.count_inclusion_exclusion ?strategy ~budget psi d
+    | Naive -> Ucq.count_naive ~budget psi d
+  in
+  match guard (fun () -> Budget.run budget ~phase:"count" exact) with
+  | Error e -> Error e
+  | Ok (Ok n) -> Ok (Exact n)
+  | Ok (Error exhausted) ->
+      if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
+      else
+        guard (fun () ->
+            let est = Karp_luby.fpras ?seed ~epsilon ~delta psi d in
+            Approximate
+              { value = est.Karp_luby.value; epsilon; delta; exhausted })
+
+(** [approx ?seed ~epsilon ~delta ~budget psi d] runs the Karp–Luby
+    estimator under [budget] directly (no further fallback exists below
+    it). *)
+let approx ?seed ~(epsilon : float) ~(delta : float) ~(budget : Budget.t)
+    (psi : Ucq.t) (d : Structure.t) :
+    (Karp_luby.estimate, Ucqc_error.t) result =
+  match
+    guard (fun () ->
+        Budget.run budget ~phase:"approx" (fun () ->
+            Karp_luby.fpras ?seed ~budget ~epsilon ~delta psi d))
+  with
+  | Error e -> Error e
+  | Ok (Ok est) -> Ok est
+  | Ok (Error exhausted) -> Error (Ucqc_error.of_exhaustion exhausted)
+
+(* ------------------------------------------------------------------ *)
+(* Treewidth                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type treewidth_outcome =
+  | Exact_width of int
+  | Heuristic of {
+      lower : int;
+      upper : int;
+      exhausted : Budget.exhaustion;
+    }
+
+(** [treewidth ?fallback ~budget g] computes exact treewidth by branch and
+    bound; on exhaustion it degrades to the polynomial
+    minor-min-width/min-fill bound pair [lower ≤ tw(g) ≤ upper]. *)
+let treewidth ?(fallback = true) ~(budget : Budget.t) (g : Graph.t) :
+    (treewidth_outcome, Ucqc_error.t) result =
+  match
+    guard (fun () ->
+        Budget.run budget ~phase:"treewidth" (fun () ->
+            Treewidth.treewidth ~budget g))
+  with
+  | Error e -> Error e
+  | Ok (Ok w) -> Ok (Exact_width w)
+  | Ok (Error exhausted) ->
+      if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
+      else
+        guard (fun () ->
+            let lower = Treewidth.lower_bound g in
+            let upper, _ = Treewidth.heuristic g in
+            Heuristic { lower; upper; exhausted })
+
+(* ------------------------------------------------------------------ *)
+(* WL-dimension                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type dimension_outcome =
+  | Exact_dim of int
+  | Bounds of {
+      lower : int;
+      upper : int;
+      exhausted : Budget.exhaustion;
+    }
+
+(** [wl_dimension ?fallback ~budget psi] computes [dim_WL(Ψ) = hdtw(Ψ)]
+    exactly; on exhaustion it degrades to the Theorem 7 polynomial-per-term
+    bound pair.  (The fallback re-runs the [2^ℓ] expansion un-budgeted:
+    exhaustion almost always happens in the per-term exact treewidth, and
+    the expansion itself is small for query-sized [ℓ].) *)
+let wl_dimension ?(fallback = true) ~(budget : Budget.t) (psi : Ucq.t) :
+    (dimension_outcome, Ucqc_error.t) result =
+  match
+    guard (fun () ->
+        Budget.run budget ~phase:"wl-dimension" (fun () ->
+            Wl_dimension.exact ~budget psi))
+  with
+  | Error e -> Error e
+  | Ok (Ok k) -> Ok (Exact_dim k)
+  | Ok (Error exhausted) ->
+      if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
+      else
+        guard (fun () ->
+            let lower, upper = Wl_dimension.approximate psi in
+            Bounds { lower; upper; exhausted })
+
+(* ------------------------------------------------------------------ *)
+(* META                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [decide_meta ~budget psi] runs the META decision procedure.  There is
+    no approximate substitute for a yes/no classification, so exhaustion
+    is always an error. *)
+let decide_meta ~(budget : Budget.t) (psi : Ucq.t) :
+    (Meta.decision, Ucqc_error.t) result =
+  match
+    guard (fun () ->
+        Budget.run budget ~phase:"meta" (fun () -> Meta.decide ~budget psi))
+  with
+  | Error e -> Error e
+  | Ok (Ok d) -> Ok d
+  | Ok (Error exhausted) -> Error (Ucqc_error.of_exhaustion exhausted)
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let exit_exact = 0
+let exit_degraded = 2
+
+(** [exit_code ~degraded r]: 0 for an exact success, 2 for a degraded
+    one, and the {!Ucqc_error.exit_code} of the error otherwise. *)
+let exit_code ~(degraded : 'a -> bool) : ('a, Ucqc_error.t) result -> int =
+  function
+  | Ok v -> if degraded v then exit_degraded else exit_exact
+  | Error e -> Ucqc_error.exit_code e
+
+let count_exit_code : (count_outcome, Ucqc_error.t) result -> int =
+  exit_code ~degraded:(function Exact _ -> false | Approximate _ -> true)
+
+let treewidth_exit_code : (treewidth_outcome, Ucqc_error.t) result -> int =
+  exit_code ~degraded:(function Exact_width _ -> false | Heuristic _ -> true)
+
+let dimension_exit_code : (dimension_outcome, Ucqc_error.t) result -> int =
+  exit_code ~degraded:(function Exact_dim _ -> false | Bounds _ -> true)

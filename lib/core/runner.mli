@@ -1,0 +1,109 @@
+(** Result-based engine boundaries with graceful degradation.
+
+    Wrappers around the exact engines that run under a {!Budget.t}, catch
+    the {!Budget.Exhausted} signal at the boundary, and either degrade to
+    a tagged polynomial-time substitute or return a structured
+    {!Ucqc_error.t}.  No library exception escapes these functions.
+
+    Degradation matrix:
+    - exact UCQ count     → Karp–Luby [(ε, δ)]-estimate ({!Approximate})
+    - exact treewidth     → minor-min-width / min-fill pair ({!Heuristic})
+    - exact WL-dimension  → Theorem 7 bound pair ({!Bounds})
+    - META decision       → no substitute: always an error on exhaustion
+
+    Pass [~fallback:false] to disable degradation and surface
+    [Budget_exhausted] instead. *)
+
+(** [guard f] is {!Ucqc_error.guard} extended with the engine-level
+    exceptions ([Counting.Unsupported]) that the runtime layer cannot
+    know. *)
+val guard : (unit -> 'a) -> ('a, Ucqc_error.t) result
+
+(** {2 Counting} *)
+
+type count_outcome =
+  | Exact of int
+  | Approximate of {
+      value : float;
+      epsilon : float;
+      delta : float;
+      exhausted : Budget.exhaustion;
+          (** where the exact computation ran out *)
+    }
+
+(** Which exact counting algorithm to budget. *)
+type count_method = Expansion | Inclusion_exclusion | Naive
+
+val default_epsilon : float
+(** [0.1] — relative error of the degraded estimate. *)
+
+val default_delta : float
+(** [0.05] — failure probability of the degraded estimate. *)
+
+(** [count ?strategy ?via ?fallback ?epsilon ?delta ?seed ~budget psi d]
+    counts [ans(Ψ → D)] exactly under [budget], degrading to a Karp–Luby
+    estimate on exhaustion (unless [fallback = false]). *)
+val count :
+  ?strategy:Counting.strategy ->
+  ?via:count_method ->
+  ?fallback:bool ->
+  ?epsilon:float ->
+  ?delta:float ->
+  ?seed:int ->
+  budget:Budget.t ->
+  Ucq.t ->
+  Structure.t ->
+  (count_outcome, Ucqc_error.t) result
+
+(** [approx ?seed ~epsilon ~delta ~budget psi d] runs the Karp–Luby
+    estimator under [budget]; exhaustion is always an error (nothing to
+    degrade to). *)
+val approx :
+  ?seed:int ->
+  epsilon:float ->
+  delta:float ->
+  budget:Budget.t ->
+  Ucq.t ->
+  Structure.t ->
+  (Karp_luby.estimate, Ucqc_error.t) result
+
+(** {2 Treewidth} *)
+
+type treewidth_outcome =
+  | Exact_width of int
+  | Heuristic of { lower : int; upper : int; exhausted : Budget.exhaustion }
+
+val treewidth :
+  ?fallback:bool ->
+  budget:Budget.t ->
+  Graph.t ->
+  (treewidth_outcome, Ucqc_error.t) result
+
+(** {2 WL-dimension} *)
+
+type dimension_outcome =
+  | Exact_dim of int
+  | Bounds of { lower : int; upper : int; exhausted : Budget.exhaustion }
+
+val wl_dimension :
+  ?fallback:bool ->
+  budget:Budget.t ->
+  Ucq.t ->
+  (dimension_outcome, Ucqc_error.t) result
+
+(** {2 META} *)
+
+val decide_meta :
+  budget:Budget.t -> Ucq.t -> (Meta.decision, Ucqc_error.t) result
+
+(** {2 Exit codes}
+
+    0 — exact success; 2 — degraded success; errors map through
+    {!Ucqc_error.exit_code} (65 data, 124 budget, 70 internal). *)
+
+val exit_exact : int
+val exit_degraded : int
+val exit_code : degraded:('a -> bool) -> ('a, Ucqc_error.t) result -> int
+val count_exit_code : (count_outcome, Ucqc_error.t) result -> int
+val treewidth_exit_code : (treewidth_outcome, Ucqc_error.t) result -> int
+val dimension_exit_code : (dimension_outcome, Ucqc_error.t) result -> int

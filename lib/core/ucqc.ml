@@ -49,6 +49,15 @@
     - {!Classify} — the tractability criteria of Theorems 1/2/3
     - {!Counterexamples} — the Appendix A families (Lemmas 59/60/61)
 
+    {b Runtime}
+    - {!Budget} — deterministic step budgets, wall-clock deadlines, and
+      cooperative cancellation for every exponential engine
+    - {!Ucqc_error} — structured errors (parse positions, arity clashes,
+      budget exhaustion) with CLI exit-code mapping
+    - {!Runner} — Result-based engine boundaries with graceful
+      degradation (exact count → Karp–Luby, exact treewidth → heuristic
+      bounds)
+
     {b Extensions}
     - {!Parse}, {!Pretty} — a Datalog-flavoured surface syntax for queries
       and databases (used by the [ucqc] command-line tool)
@@ -59,6 +68,9 @@
     - {!Paper_examples} — the worked objects of the paper (Figures 1/2,
       Ψ₁/Ψ₂, Corollary 49) *)
 
+module Budget = Budget
+module Ucqc_error = Ucqc_error
+module Runner = Runner
 module Combinat = Combinat
 module Listx = Listx
 module Intset = Intset

@@ -73,8 +73,9 @@ let drop_isolated_quantified (q : t) : t =
   in
   { structure = Structure.delete_elements q.structure iso; free = q.free }
 
-(** [treewidth q] is the treewidth of the Gaifman graph of [A]. *)
-let treewidth (q : t) : int = Structure.treewidth q.structure
+(** [treewidth ?budget q] is the treewidth of the Gaifman graph of [A]. *)
+let treewidth ?(budget : Budget.t option) (q : t) : int =
+  Structure.treewidth ?budget q.structure
 
 (** [is_free_connex q] decides free-connexity: the query is acyclic and
     remains acyclic after adding the free-variable set as an extra

@@ -42,8 +42,9 @@ val isolated_variables : t -> int list
     (answer-preserving; the Lemma 34 normalisation). *)
 val drop_isolated_quantified : t -> t
 
-(** [treewidth q] is the treewidth of the Gaifman graph of [A]. *)
-val treewidth : t -> int
+(** [treewidth ?budget q] is the treewidth of the Gaifman graph of [A].
+    @raise Budget.Exhausted when the budget runs out mid-search. *)
+val treewidth : ?budget:Budget.t -> t -> int
 
 (** [is_free_connex q] decides free-connexity (footnote 2 of the paper):
     acyclic, and still acyclic after adding the free set as a hyperedge. *)

@@ -17,9 +17,15 @@ type strategy = Auto | Naive | Yannakakis | Treedec | Weighted | Varelim
 
 exception Unsupported of string
 
-(** [count ?strategy q d] is [ans((A, X) → D)].
-    @raise Unsupported when a forced strategy does not apply to [q]. *)
-let count ?(strategy = Auto) (q : Cq.t) (d : Structure.t) : int =
+(** [count ?strategy ?budget q d] is [ans((A, X) → D)].  The budget is
+    threaded into the engines with super-linear worst cases ([Naive]
+    assignment enumeration, the variable-elimination joins); the
+    linear-time join-tree counter only re-checks the limits on entry.
+    @raise Unsupported when a forced strategy does not apply to [q].
+    @raise Budget.Exhausted when the budget runs out mid-count. *)
+let count ?(strategy = Auto) ?(budget : Budget.t option) (q : Cq.t)
+    (d : Structure.t) : int =
+  Budget.check_opt budget;
   let quantifier_free = Cq.is_quantifier_free q in
   match strategy with
   | Naive ->
@@ -29,7 +35,8 @@ let count ?(strategy = Auto) (q : Cq.t) (d : Structure.t) : int =
       List.length
         (List.filter
            (fun tup ->
-             Hom.exists ~fixed:(List.combine x tup) (Cq.structure q) d)
+             Budget.tick_opt budget;
+             Hom.exists ?budget ~fixed:(List.combine x tup) (Cq.structure q) d)
            assignments)
   | Yannakakis -> begin
       if not quantifier_free then
@@ -45,15 +52,15 @@ let count ?(strategy = Auto) (q : Cq.t) (d : Structure.t) : int =
   | Weighted ->
       if not quantifier_free then
         raise (Unsupported "Weighted counting requires a quantifier-free query");
-      Wvarelim.count_homs (Cq.structure q) d
-  | Varelim -> Varelim.count q d
+      Wvarelim.count_homs ?budget (Cq.structure q) d
+  | Varelim -> Varelim.count ?budget q d
   | Auto ->
       if quantifier_free then begin
         match Jointree_count.count (Cq.structure q) d with
         | Some c -> c
-        | None -> Wvarelim.count_homs (Cq.structure q) d
+        | None -> Wvarelim.count_homs ?budget (Cq.structure q) d
       end
-      else Varelim.count q d
+      else Varelim.count ?budget q d
 
 (** [count_big q d] is [ans((A, X) → D)] with exact arbitrary-precision
     arithmetic (same automatic dispatch as [count ~strategy:Auto]). *)

@@ -13,9 +13,10 @@ type strategy =
 
 exception Unsupported of string
 
-(** [count ?strategy q d] is [ans((A, X) → D)].
-    @raise Unsupported when a forced strategy does not apply to [q]. *)
-val count : ?strategy:strategy -> Cq.t -> Structure.t -> int
+(** [count ?strategy ?budget q d] is [ans((A, X) → D)].
+    @raise Unsupported when a forced strategy does not apply to [q].
+    @raise Budget.Exhausted when the supplied budget runs out. *)
+val count : ?strategy:strategy -> ?budget:Budget.t -> Cq.t -> Structure.t -> int
 
 (** [count_big q d] is the exact arbitrary-precision variant with [Auto]
     dispatch. *)

@@ -14,7 +14,8 @@
     relation over a subset [V ⊆ X] of covered free variables, paired with
     the number of free variables not covered by any atom (each such
     variable ranges freely over the universe). *)
-let answer_relation (q : Cq.t) (d : Structure.t) : Relation.t * int =
+let answer_relation ?(budget : Budget.t option) (q : Cq.t) (d : Structure.t) :
+    Relation.t * int =
   let a = Cq.structure q in
   if not (Signature.subset (Structure.signature a) (Structure.signature d))
   then (Relation.falsity, 0)
@@ -47,6 +48,9 @@ let answer_relation (q : Cq.t) (d : Structure.t) : Relation.t * int =
           if not domain_nonempty then ok := false
       | _ ->
           let joined = Relation.join_all with_y in
+          (* cost-proportional accounting: the joined intermediate is the
+             quantity a budget must bound *)
+          Budget.ticks_opt budget (1 + Relation.cardinality joined);
           let projected = Relation.eliminate joined y in
           if Relation.is_empty projected then ok := false;
           rels := projected :: without_y
@@ -62,16 +66,16 @@ let answer_relation (q : Cq.t) (d : Structure.t) : Relation.t * int =
     end
   end
 
-(** [count q d] is [ans((A, X) → D)]. *)
-let count (q : Cq.t) (d : Structure.t) : int =
+(** [count ?budget q d] is [ans((A, X) → D)]. *)
+let count ?(budget : Budget.t option) (q : Cq.t) (d : Structure.t) : int =
   let n = Structure.universe_size d in
   if n = 0 then begin
     (* No assignments exist unless X = ∅; the empty assignment is an answer
        iff the (necessarily atom- and variable-free) query is satisfied. *)
-    if Cq.free q = [] && Hom.exists (Cq.structure q) d then 1 else 0
+    if Cq.free q = [] && Hom.exists ?budget (Cq.structure q) d then 1 else 0
   end
   else begin
-    let answers, missing = answer_relation q d in
+    let answers, missing = answer_relation ?budget q d in
     Relation.cardinality answers * Combinat.power_int n missing
   end
 

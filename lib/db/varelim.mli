@@ -2,13 +2,14 @@
     variable elimination: counting answers means counting distinct
     projections of the homomorphism set onto the free variables. *)
 
-(** [answer_relation q d] is the answer set as a relation over the covered
-    free variables, with the number of free variables covered by no atom
-    (each ranging freely over the universe). *)
-val answer_relation : Cq.t -> Structure.t -> Relation.t * int
+(** [answer_relation ?budget q d] is the answer set as a relation over the
+    covered free variables, with the number of free variables covered by
+    no atom (each ranging freely over the universe).  The budget is
+    charged proportionally to each joined intermediate. *)
+val answer_relation : ?budget:Budget.t -> Cq.t -> Structure.t -> Relation.t * int
 
-(** [count q d] is [ans((A, X) → D)]. *)
-val count : Cq.t -> Structure.t -> int
+(** [count ?budget q d] is [ans((A, X) → D)]. *)
+val count : ?budget:Budget.t -> Cq.t -> Structure.t -> int
 
 (** [count_big q d] is the exact arbitrary-precision variant. *)
 val count_big : Cq.t -> Structure.t -> Bigint.t

@@ -73,9 +73,12 @@ let of_atom (query_tuple : int list) (db_tuples : int list list) : wrel =
   let plain = Relation.of_atom query_tuple db_tuples in
   { vars = plain.Relation.vars; rows = List.map (fun t -> (t, 1)) plain.Relation.tuples }
 
-(** [count_homs a d] is [hom(A → D)] for a quantifier-free view of the
-    structure [a] (all elements summed out). *)
-let count_homs (a : Structure.t) (d : Structure.t) : int =
+(** [count_homs ?budget a d] is [hom(A → D)] for a quantifier-free view of
+    the structure [a] (all elements summed out).  The budget is charged
+    proportionally to every joined intermediate, so dense joins exhaust a
+    step allowance at a deterministic point. *)
+let count_homs ?(budget : Budget.t option) (a : Structure.t) (d : Structure.t)
+    : int =
   if not (Signature.subset (Structure.signature a) (Structure.signature d))
   then 0
   else begin
@@ -110,6 +113,7 @@ let count_homs (a : Structure.t) (d : Structure.t) : int =
       | [] -> () (* cannot happen: v is covered *)
       | first :: rest ->
           let joined = List.fold_left join first rest in
+          Budget.ticks_opt budget (1 + List.length joined.rows);
           let projected = eliminate joined v in
           if projected.rows = [] then empty := true;
           factors := projected :: without_v

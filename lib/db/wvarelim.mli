@@ -23,5 +23,6 @@ val eliminate : wrel -> int -> wrel
 (** [of_atom query_tuple db_tuples] lifts an atom to a weight-1 relation. *)
 val of_atom : int list -> int list list -> wrel
 
-(** [count_homs a d] is [hom(A → D)]. *)
-val count_homs : Structure.t -> Structure.t -> int
+(** [count_homs ?budget a d] is [hom(A → D)]; the budget is charged
+    proportionally to every joined intermediate. *)
+val count_homs : ?budget:Budget.t -> Structure.t -> Structure.t -> int

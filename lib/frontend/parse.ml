@@ -22,9 +22,28 @@
 
     Constants may be integers (used as themselves) or identifiers
     (interned to fresh integers above every literal); the returned
-    environment maps names to ids. *)
+    environment maps names to ids.
+
+    All syntax and semantic errors are reported as structured
+    {!Ucqc_error.t} values with 1-based line/column positions through the
+    [_result] entry points; the legacy functions re-raise the rendered
+    message as {!Parse_error} for callers that predate structured
+    errors. *)
 
 exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Positions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type pos = { line : int; col : int }
+
+(** Raise the structured error; the [_result] wrappers catch it at the
+    entry-point boundary. *)
+let error_at (p : pos) (msg : string) : 'a =
+  raise
+    (Ucqc_error.Error
+       (Ucqc_error.Parse_error { line = p.line; col = p.col; msg }))
 
 (* ------------------------------------------------------------------ *)
 (* Tokeniser                                                          *)
@@ -42,113 +61,144 @@ type token =
   | Turnstile (* ":-" *)
   | Dot
 
+(** A token together with the 1-based position of its first character. *)
+type ptoken = { tok : token; pos : pos }
+
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
   || (c >= 'A' && c <= 'Z')
   || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
 
-let tokenize (s : string) : token list =
+(** [tokenize s] scans [s] into positioned tokens and also returns the
+    position one past the last character (where end-of-input errors are
+    reported). *)
+let tokenize (s : string) : ptoken list * pos =
   let n = String.length s in
   let tokens = ref [] in
   let i = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let advance () =
+    (if s.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let push tok p = tokens := { tok; pos = p } :: !tokens in
   while !i < n do
     let c = s.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    let here = { line = !line; col = !col } in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance ()
     else if c = '#' then begin
       while !i < n && s.[!i] <> '\n' do
-        incr i
+        advance ()
       done
     end
-    else if c = '(' then (tokens := Lparen :: !tokens; incr i)
-    else if c = ')' then (tokens := Rparen :: !tokens; incr i)
-    else if c = '{' then (tokens := Lbrace :: !tokens; incr i)
-    else if c = '}' then (tokens := Rbrace :: !tokens; incr i)
-    else if c = ',' then (tokens := Comma :: !tokens; incr i)
-    else if c = ';' then (tokens := Semicolon :: !tokens; incr i)
-    else if c = '.' then (tokens := Dot :: !tokens; incr i)
+    else if c = '(' then (push Lparen here; advance ())
+    else if c = ')' then (push Rparen here; advance ())
+    else if c = '{' then (push Lbrace here; advance ())
+    else if c = '}' then (push Rbrace here; advance ())
+    else if c = ',' then (push Comma here; advance ())
+    else if c = ';' then (push Semicolon here; advance ())
+    else if c = '.' then (push Dot here; advance ())
     else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then begin
-      tokens := Turnstile :: !tokens;
-      i := !i + 2
+      push Turnstile here;
+      advance ();
+      advance ()
     end
-    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+    else if
+      (c >= '0' && c <= '9')
+      || (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
     then begin
       let start = !i in
-      incr i;
+      advance ();
       while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
-        incr i
+        advance ()
       done;
-      tokens := Int (int_of_string (String.sub s start (!i - start))) :: !tokens
+      let text = String.sub s start (!i - start) in
+      match int_of_string_opt text with
+      | Some k -> push (Int k) here
+      | None -> error_at here (Printf.sprintf "integer literal %s out of range" text)
     end
     else if is_ident_char c then begin
       let start = !i in
       while !i < n && is_ident_char s.[!i] do
-        incr i
+        advance ()
       done;
-      tokens := Ident (String.sub s start (!i - start)) :: !tokens
+      push (Ident (String.sub s start (!i - start))) here
     end
-    else raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c !i))
+    else error_at here (Printf.sprintf "unexpected character %C" c)
   done;
-  List.rev !tokens
+  (List.rev !tokens, { line = !line; col = !col })
 
 (* ------------------------------------------------------------------ *)
 (* Query parsing                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type atom = { rel : string; args : string list }
+(** A parsed atom, carrying the position of its relation symbol so that
+    interning errors (arity clashes, constants) point at their source. *)
+type atom = { rel : string; args : string list; apos : pos }
 
 (** Abstract syntax of a parsed UCQ before variable interning. *)
-type ast = { head : string list; disjuncts : atom list list }
+type ast = { head : string list; head_pos : pos; disjuncts : atom list list }
 
-let parse_term = function
-  | Ident v :: rest -> (v, rest)
-  | Int k :: rest -> (string_of_int k, rest)
-  | _ -> raise (Parse_error "expected a variable or constant")
+(** Position of the next token, or of end-of-input. *)
+let here ~(eof : pos) = function [] -> eof | (t : ptoken) :: _ -> t.pos
 
-let rec parse_term_list acc tokens =
-  let t, rest = parse_term tokens in
+let parse_term ~eof = function
+  | { tok = Ident v; _ } :: rest -> (v, rest)
+  | { tok = Int k; _ } :: rest -> (string_of_int k, rest)
+  | ts -> error_at (here ~eof ts) "expected a variable or constant"
+
+let rec parse_term_list ~eof acc tokens =
+  let t, rest = parse_term ~eof tokens in
   match rest with
-  | Comma :: rest -> parse_term_list (t :: acc) rest
-  | Rparen :: rest -> (List.rev (t :: acc), rest)
-  | _ -> raise (Parse_error "expected ',' or ')' in argument list")
+  | { tok = Comma; _ } :: rest -> parse_term_list ~eof (t :: acc) rest
+  | { tok = Rparen; _ } :: rest -> (List.rev (t :: acc), rest)
+  | ts -> error_at (here ~eof ts) "expected ',' or ')' in argument list"
 
-let parse_args = function
-  | Lparen :: Rparen :: rest -> ([], rest)
-  | Lparen :: rest -> parse_term_list [] rest
-  | _ -> raise (Parse_error "expected '('")
+let parse_args ~eof = function
+  | { tok = Lparen; _ } :: { tok = Rparen; _ } :: rest -> ([], rest)
+  | { tok = Lparen; _ } :: rest -> parse_term_list ~eof [] rest
+  | ts -> error_at (here ~eof ts) "expected '('"
 
-let parse_atom = function
-  | Ident rel :: rest ->
-      let args, rest = parse_args rest in
-      ({ rel; args }, rest)
-  | _ -> raise (Parse_error "expected a relation name")
+let parse_atom ~eof = function
+  | { tok = Ident rel; pos } :: rest ->
+      let args, rest = parse_args ~eof rest in
+      ({ rel; args; apos = pos }, rest)
+  | ts -> error_at (here ~eof ts) "expected a relation name"
 
-let rec parse_conjunction acc tokens =
-  let atom, rest = parse_atom tokens in
+let rec parse_conjunction ~eof acc tokens =
+  let atom, rest = parse_atom ~eof tokens in
   match rest with
-  | Comma :: rest -> parse_conjunction (atom :: acc) rest
+  | { tok = Comma; _ } :: rest -> parse_conjunction ~eof (atom :: acc) rest
   | _ -> (List.rev (atom :: acc), rest)
 
-let rec parse_union acc tokens =
-  let conj, rest = parse_conjunction [] tokens in
+let rec parse_union ~eof acc tokens =
+  let conj, rest = parse_conjunction ~eof [] tokens in
   match rest with
-  | Semicolon :: rest -> parse_union (conj :: acc) rest
-  | [] | [ Dot ] -> List.rev (conj :: acc)
-  | _ -> raise (Parse_error "expected ';' or end of query")
+  | { tok = Semicolon; _ } :: rest -> parse_union ~eof (conj :: acc) rest
+  | [] | [ { tok = Dot; _ } ] -> List.rev (conj :: acc)
+  | ts -> error_at (here ~eof ts) "expected ';' or end of query"
 
 (** [parse_ast text] parses the surface syntax into an AST. *)
 let parse_ast (text : string) : ast =
-  match tokenize text with
-  | Lparen :: rest ->
+  let tokens, eof = tokenize text in
+  match tokens with
+  | { tok = Lparen; pos = head_pos } :: rest ->
       let head, rest =
         match rest with
-        | Rparen :: rest -> ([], rest)
-        | _ -> parse_term_list [] rest
+        | { tok = Rparen; _ } :: rest -> ([], rest)
+        | _ -> parse_term_list ~eof [] rest
       in
       (match rest with
-      | Turnstile :: body -> { head; disjuncts = parse_union [] body }
-      | _ -> raise (Parse_error "expected ':-' after the head"))
-  | _ -> raise (Parse_error "a query starts with its head tuple '(x, ...)'")
+      | { tok = Turnstile; _ } :: body ->
+          { head; head_pos; disjuncts = parse_union ~eof [] body }
+      | ts -> error_at (here ~eof ts) "expected ':-' after the head")
+  | ts -> error_at (here ~eof ts) "a query starts with its head tuple '(x, ...)'"
 
 (* ------------------------------------------------------------------ *)
 (* Interning: AST -> Ucq.t                                            *)
@@ -170,9 +220,9 @@ let infer_signature (disjuncts : atom list list) : Signature.t =
          | Some k ->
              if k <> List.length a.args then
                raise
-                 (Parse_error
-                    (Printf.sprintf "relation %s used with arities %d and %d"
-                       a.rel k (List.length a.args)))))
+                 (Ucqc_error.Error
+                    (Ucqc_error.Arity_mismatch
+                       { rel = a.rel; expected = k; got = List.length a.args }))))
     disjuncts;
   Signature.make
     (Hashtbl.fold (fun name arity acc -> Signature.symbol name arity :: acc) arities [])
@@ -181,21 +231,22 @@ let infer_signature (disjuncts : atom list list) : Signature.t =
     variables get ids [0, 1, ...] in head order; quantified variables get
     fresh ids per disjunct. *)
 let ucq_of_ast (ast : ast) : Ucq.t * query_env =
-  if ast.disjuncts = [] then raise (Parse_error "empty union");
+  if ast.disjuncts = [] then error_at ast.head_pos "empty union";
   (* the CQ model of the paper has no constants: reject numeric terms *)
   List.iter
-    (fun v ->
+    (fun (v, p) ->
       if int_of_string_opt v <> None then
-        raise (Parse_error "constants are not supported in queries"))
-    (ast.head
-    @ List.concat_map (fun conj -> List.concat_map (fun a -> a.args) conj)
+        error_at p "constants are not supported in queries")
+    (List.map (fun v -> (v, ast.head_pos)) ast.head
+    @ List.concat_map
+        (fun conj -> List.concat_map (fun a -> List.map (fun v -> (v, a.apos)) a.args) conj)
         ast.disjuncts);
   let dup =
     List.exists
       (fun v -> List.length (List.filter (( = ) v) ast.head) > 1)
       ast.head
   in
-  if dup then raise (Parse_error "duplicate variable in the head");
+  if dup then error_at ast.head_pos "duplicate variable in the head";
   let signature = infer_signature ast.disjuncts in
   let free_names = List.mapi (fun i v -> (v, i)) ast.head in
   let next = ref (List.length ast.head) in
@@ -225,38 +276,29 @@ let ucq_of_ast (ast : ast) : Ucq.t * query_env =
   in
   (Ucq.make cqs, { free_names; signature })
 
-(** [ucq text] parses a UCQ from its surface syntax. *)
-let ucq (text : string) : Ucq.t * query_env =
-  ucq_of_ast (parse_ast text)
-
-(** [cq text] parses a single conjunctive query (no [;] allowed). *)
-let cq (text : string) : Cq.t * query_env =
-  let psi, env = ucq text in
-  if Ucq.length psi <> 1 then raise (Parse_error "expected a single CQ");
-  (Ucq.disjunct psi 0, env)
-
 (* ------------------------------------------------------------------ *)
 (* Database parsing                                                   *)
 (* ------------------------------------------------------------------ *)
 
 type db_env = { constants : (string * int) list }
 
-(** [database text] parses a fact list into a structure.  Integer literals
-    denote themselves; identifier constants are interned to fresh integers
-    above every literal. *)
-let database (text : string) : Structure.t * db_env =
-  let tokens = tokenize text in
+let database_of_tokens (tokens : ptoken list) (eof : pos) :
+    Structure.t * db_env =
   (* optional universe declaration *)
   let extra, tokens =
     match tokens with
-    | Ident "universe" :: Lbrace :: rest ->
+    | { tok = Ident "universe"; _ } :: { tok = Lbrace; _ } :: rest ->
         let rec grab acc = function
-          | Int k :: Comma :: rest -> grab (`I k :: acc) rest
-          | Int k :: Rbrace :: rest -> (List.rev (`I k :: acc), rest)
-          | Ident v :: Comma :: rest -> grab (`S v :: acc) rest
-          | Ident v :: Rbrace :: rest -> (List.rev (`S v :: acc), rest)
-          | Rbrace :: rest -> (List.rev acc, rest)
-          | _ -> raise (Parse_error "malformed universe declaration")
+          | { tok = Int k; _ } :: { tok = Comma; _ } :: rest ->
+              grab (`I k :: acc) rest
+          | { tok = Int k; _ } :: { tok = Rbrace; _ } :: rest ->
+              (List.rev (`I k :: acc), rest)
+          | { tok = Ident v; _ } :: { tok = Comma; _ } :: rest ->
+              grab (`S v :: acc) rest
+          | { tok = Ident v; _ } :: { tok = Rbrace; _ } :: rest ->
+              (List.rev (`S v :: acc), rest)
+          | { tok = Rbrace; _ } :: rest -> (List.rev acc, rest)
+          | ts -> error_at (here ~eof ts) "malformed universe declaration"
         in
         grab [] rest
     | _ -> ([], tokens)
@@ -265,16 +307,16 @@ let database (text : string) : Structure.t * db_env =
   let rec parse_facts acc tokens =
     match tokens with
     | [] -> List.rev acc
-    | Dot :: rest -> parse_facts acc rest
+    | { tok = Dot; _ } :: rest -> parse_facts acc rest
     | _ ->
-        let atom, rest = parse_atom tokens in
+        let atom, rest = parse_atom ~eof tokens in
         parse_facts (atom :: acc) rest
   in
   let facts = parse_facts [] tokens in
   (* interning *)
   let max_literal =
     List.fold_left
-      (fun acc a ->
+      (fun acc (a : atom) ->
         List.fold_left
           (fun acc arg ->
             match int_of_string_opt arg with Some k -> max acc k | None -> acc)
@@ -286,10 +328,10 @@ let database (text : string) : Structure.t * db_env =
   in
   let interned = Hashtbl.create 16 in
   let next = ref (max_literal + 1) in
-  let elem_of arg =
+  let elem_of p arg =
     match int_of_string_opt arg with
     | Some k ->
-        if k < 0 then raise (Parse_error "negative constants are not allowed");
+        if k < 0 then error_at p "negative constants are not allowed";
         k
     | None -> (
         match Hashtbl.find_opt interned arg with
@@ -301,12 +343,67 @@ let database (text : string) : Structure.t * db_env =
             i)
   in
   let extra_elems =
-    List.map (function `I k -> k | `S v -> elem_of v) extra
+    (* the declaration's own position is close enough for its elements *)
+    let p = { line = 1; col = 1 } in
+    List.map (function `I k -> k | `S v -> elem_of p v) extra
   in
   let signature = infer_signature [ facts ] in
-  let rels = List.map (fun a -> (a.rel, [ List.map elem_of a.args ])) facts in
+  let rels =
+    List.map (fun (a : atom) -> (a.rel, [ List.map (elem_of a.apos) a.args ])) facts
+  in
   let universe =
     extra_elems @ List.concat_map (fun (_, ts) -> List.concat ts) rels
   in
   let s = Structure.make signature universe rels in
   (s, { constants = Hashtbl.fold (fun k v acc -> (k, v) :: acc) interned [] })
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [ucq_result text] parses a UCQ from its surface syntax, reporting
+    failures as structured errors. *)
+let ucq_result (text : string) : (Ucq.t * query_env, Ucqc_error.t) result =
+  match ucq_of_ast (parse_ast text) with
+  | v -> Ok v
+  | exception Ucqc_error.Error e -> Error e
+
+(** [cq_result text] parses a single conjunctive query (no [;] allowed). *)
+let cq_result (text : string) : (Cq.t * query_env, Ucqc_error.t) result =
+  match ucq_result text with
+  | Error e -> Error e
+  | Ok (psi, env) ->
+      if Ucq.length psi <> 1 then
+        Error
+          (Ucqc_error.Parse_error
+             { line = 1; col = 1; msg = "expected a single CQ" })
+      else Ok (Ucq.disjunct psi 0, env)
+
+(** [database_result text] parses a fact list into a structure. *)
+let database_result (text : string) :
+    (Structure.t * db_env, Ucqc_error.t) result =
+  match
+    let tokens, eof = tokenize text in
+    database_of_tokens tokens eof
+  with
+  | v -> Ok v
+  | exception Ucqc_error.Error e -> Error e
+
+(* Legacy exception-raising API: structured errors are rendered to the
+   historical string-carrying exception. *)
+
+let of_result = function
+  | Ok v -> v
+  | Error e -> raise (Parse_error (Ucqc_error.to_string e))
+
+(** [ucq text] parses a UCQ from its surface syntax. *)
+let ucq (text : string) : Ucq.t * query_env = of_result (ucq_result text)
+
+(** [cq text] parses a single conjunctive query (no [;] allowed). *)
+let cq (text : string) : Cq.t * query_env = of_result (cq_result text)
+
+(** [database text] parses a fact list into a structure.  Integer literals
+    denote themselves; identifier constants are interned to fresh integers
+    above every literal. *)
+let database (text : string) : Structure.t * db_env =
+  of_result (database_result text)

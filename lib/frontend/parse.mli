@@ -14,6 +14,10 @@
     {v  universe { 7, spare }
         E(1, 2). Likes(alice, post1).  v} *)
 
+(** Legacy string-carrying parse exception, raised only by the
+    exception-based entry points {!ucq}, {!cq} and {!database}; prefer the
+    [_result] variants, which report structured {!Ucqc_error.t} values
+    with 1-based line/column positions. *)
 exception Parse_error of string
 
 (** Variable environment of a parsed query. *)
@@ -21,6 +25,21 @@ type query_env = {
   free_names : (string * int) list;  (** head variables, in head order *)
   signature : Signature.t;  (** inferred from the atoms *)
 }
+
+(** Constant-interning environment of a parsed database. *)
+type db_env = { constants : (string * int) list }
+
+(** [ucq_result text] parses a union of conjunctive queries.  Malformed
+    input yields [Error (Parse_error {line; col; _})] pointing at the
+    offending token (1-based); arity clashes yield
+    [Error (Arity_mismatch _)]. *)
+val ucq_result : string -> (Ucq.t * query_env, Ucqc_error.t) result
+
+(** [cq_result text] parses a single conjunctive query (no [;]). *)
+val cq_result : string -> (Cq.t * query_env, Ucqc_error.t) result
+
+(** [database_result text] parses a fact list into a structure. *)
+val database_result : string -> (Structure.t * db_env, Ucqc_error.t) result
 
 (** [ucq text] parses a union of conjunctive queries.
     @raise Parse_error on malformed input (including constants in queries
@@ -31,9 +50,6 @@ val ucq : string -> Ucq.t * query_env
     @raise Parse_error as {!ucq}, or when the union has several
     disjuncts. *)
 val cq : string -> Cq.t * query_env
-
-(** Constant-interning environment of a parsed database. *)
-type db_env = { constants : (string * int) list }
 
 (** [database text] parses a fact list into a structure.
     @raise Parse_error on malformed input. *)

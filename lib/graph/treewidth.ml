@@ -169,8 +169,10 @@ let lower_bound (g : Graph.t) : int =
 (* ------------------------------------------------------------------ *)
 
 (** State for the branch-and-bound search: a mutable filled graph plus the
-    set of remaining vertices. *)
-let exact_order (g : Graph.t) : int list =
+    set of remaining vertices.  The budget is ticked once per expanded
+    search node, so an [of_steps] budget cuts the exponential search at a
+    deterministic point. *)
+let exact_order ?(budget : Budget.t option) (g : Graph.t) : int list =
   let n = Graph.num_vertices g in
   if n = 0 then []
   else begin
@@ -217,6 +219,7 @@ let exact_order (g : Graph.t) : int list =
           in
           List.iter
             (fun v ->
+              Budget.tick_opt budget;
               let nbrs = live_nbrs v in
               let deg = Intset.cardinal nbrs in
               let new_width = max width_so_far deg in
@@ -246,17 +249,21 @@ let exact_order (g : Graph.t) : int list =
     !best_order
   end
 
-(** [exact g] computes the exact treewidth of [g] together with a witnessing
-    valid tree decomposition.  Exponential in the worst case; intended for
-    query-sized graphs (up to roughly 25 vertices). *)
-let exact (g : Graph.t) : int * Treedec.t =
+(** [exact ?budget g] computes the exact treewidth of [g] together with a
+    witnessing valid tree decomposition.  Exponential in the worst case;
+    intended for query-sized graphs (up to roughly 25 vertices).  With a
+    budget, raises {!Budget.Exhausted} when the search is cut — callers
+    wanting graceful degradation catch it at the engine boundary and fall
+    back to {!heuristic}. *)
+let exact ?(budget : Budget.t option) (g : Graph.t) : int * Treedec.t =
   if Graph.num_vertices g = 0 then (-1, { Treedec.bags = [||]; tree = [] })
   else begin
-    let order = exact_order g in
+    let order = exact_order ?budget g in
     let d = Treedec.of_elimination_order g order in
     (Treedec.width d, d)
   end
 
-(** [treewidth g] is the exact treewidth as an integer (convention: the
-    empty graph has treewidth [-1], matching [max bag - 1]). *)
-let treewidth (g : Graph.t) : int = fst (exact g)
+(** [treewidth ?budget g] is the exact treewidth as an integer (convention:
+    the empty graph has treewidth [-1], matching [max bag - 1]). *)
+let treewidth ?(budget : Budget.t option) (g : Graph.t) : int =
+  fst (exact ?budget g)

@@ -17,13 +17,18 @@ val heuristic : Graph.t -> int * Treedec.t
 (** [lower_bound g] is the minor-min-width lower bound. *)
 val lower_bound : Graph.t -> int
 
-(** [exact_order g] is an optimal elimination order, found by QuickBB-style
-    branch and bound (simplicial-vertex rule, minor-min-width pruning).
-    Exponential; intended for query-sized graphs. *)
-val exact_order : Graph.t -> int list
+(** [exact_order ?budget g] is an optimal elimination order, found by
+    QuickBB-style branch and bound (simplicial-vertex rule,
+    minor-min-width pruning).  Exponential; intended for query-sized
+    graphs.  The budget, when given, is ticked once per expanded search
+    node and raises {!Budget.Exhausted} when spent. *)
+val exact_order : ?budget:Budget.t -> Graph.t -> int list
 
-(** [exact g] is the exact treewidth with a witnessing decomposition. *)
-val exact : Graph.t -> int * Treedec.t
+(** [exact ?budget g] is the exact treewidth with a witnessing
+    decomposition.
+    @raise Budget.Exhausted when the budget runs out mid-search. *)
+val exact : ?budget:Budget.t -> Graph.t -> int * Treedec.t
 
-(** [treewidth g] is the exact treewidth ([-1] for the empty graph). *)
-val treewidth : Graph.t -> int
+(** [treewidth ?budget g] is the exact treewidth ([-1] for the empty
+    graph). *)
+val treewidth : ?budget:Budget.t -> Graph.t -> int

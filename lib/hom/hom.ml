@@ -70,12 +70,13 @@ let prepare (a : Structure.t) (b : Structure.t) : search option =
     Some { elems; idx_of; candidates; atoms; atoms_of_elem }
   end
 
-(** [iter_homs ?fixed a b f] calls [f] on every homomorphism from [a] to
-    [b] extending the partial assignment [fixed] (pairs (element of A,
-    element of B)); [f] receives the total mapping as an association list
-    and returns [true] to continue the enumeration or [false] to stop. *)
-let iter_homs ?(fixed : (int * int) list = []) (a : Structure.t)
-    (b : Structure.t) (f : (int * int) list -> bool) : unit =
+(** [iter_homs ?budget ?fixed a b f] calls [f] on every homomorphism from
+    [a] to [b] extending the partial assignment [fixed] (pairs (element of
+    A, element of B)); [f] receives the total mapping as an association
+    list and returns [true] to continue the enumeration or [false] to
+    stop.  A budget is ticked once per candidate extension tried. *)
+let iter_homs ?(budget : Budget.t option) ?(fixed : (int * int) list = [])
+    (a : Structure.t) (b : Structure.t) (f : (int * int) list -> bool) : unit =
   match prepare a b with
   | None -> ()
   | Some s ->
@@ -143,6 +144,7 @@ let iter_homs ?(fixed : (int * int) list = []) (a : Structure.t)
               List.iter
                 (fun w ->
                   if !continue_ then begin
+                    Budget.tick_opt budget;
                     assignment.(i) <- w;
                     if consistent i then go (k + 1);
                     assignment.(i) <- -1
@@ -154,23 +156,23 @@ let iter_homs ?(fixed : (int * int) list = []) (a : Structure.t)
         if all_fixed_consistent then go 0
       end
 
-(** [exists ?fixed a b] decides whether a homomorphism extending [fixed]
-    exists. *)
-let exists ?(fixed : (int * int) list = []) (a : Structure.t) (b : Structure.t)
-    : bool =
+(** [exists ?budget ?fixed a b] decides whether a homomorphism extending
+    [fixed] exists. *)
+let exists ?(budget : Budget.t option) ?(fixed : (int * int) list = [])
+    (a : Structure.t) (b : Structure.t) : bool =
   let found = ref false in
-  iter_homs ~fixed a b (fun _ ->
+  iter_homs ?budget ~fixed a b (fun _ ->
       found := true;
       false);
   !found
 
-(** [count ?fixed a b] counts homomorphisms extending [fixed] by exhaustive
-    backtracking.  This is the reference oracle: correct for every input,
-    exponential in |U(A)|. *)
-let count ?(fixed : (int * int) list = []) (a : Structure.t) (b : Structure.t)
-    : int =
+(** [count ?budget ?fixed a b] counts homomorphisms extending [fixed] by
+    exhaustive backtracking.  This is the reference oracle: correct for
+    every input, exponential in |U(A)|. *)
+let count ?(budget : Budget.t option) ?(fixed : (int * int) list = [])
+    (a : Structure.t) (b : Structure.t) : int =
   let c = ref 0 in
-  iter_homs ~fixed a b (fun _ ->
+  iter_homs ?budget ~fixed a b (fun _ ->
       incr c;
       true);
   !c

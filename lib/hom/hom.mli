@@ -2,22 +2,27 @@
     semantics of conjunctive-query answers, found by backtracking with
     unary-consistency pruning. *)
 
-(** [iter_homs ?fixed a b f] invokes [f] on every homomorphism [A → B]
-    extending the partial assignment [fixed]; [f] returns [false] to stop
-    the enumeration. *)
+(** [iter_homs ?budget ?fixed a b f] invokes [f] on every homomorphism
+    [A → B] extending the partial assignment [fixed]; [f] returns [false]
+    to stop the enumeration.  When a budget is supplied it is ticked once
+    per candidate extension, so exhaustion surfaces as
+    {!Budget.Exhausted} from inside the search. *)
 val iter_homs :
+  ?budget:Budget.t ->
   ?fixed:(int * int) list ->
   Structure.t ->
   Structure.t ->
   ((int * int) list -> bool) ->
   unit
 
-(** [exists ?fixed a b] decides existence. *)
-val exists : ?fixed:(int * int) list -> Structure.t -> Structure.t -> bool
+(** [exists ?budget ?fixed a b] decides existence. *)
+val exists :
+  ?budget:Budget.t -> ?fixed:(int * int) list -> Structure.t -> Structure.t -> bool
 
-(** [count ?fixed a b] counts by exhaustive backtracking — the reference
-    oracle (exponential in [|U(A)|]). *)
-val count : ?fixed:(int * int) list -> Structure.t -> Structure.t -> int
+(** [count ?budget ?fixed a b] counts by exhaustive backtracking — the
+    reference oracle (exponential in [|U(A)|]). *)
+val count :
+  ?budget:Budget.t -> ?fixed:(int * int) list -> Structure.t -> Structure.t -> int
 
 (** [find ?fixed a b] returns some homomorphism, if any. *)
 val find :

@@ -23,17 +23,17 @@ type decision = {
           [linear_time]) *)
 }
 
-(** [decide psi] runs the META algorithm.
+(** [decide ?budget psi] runs the META algorithm.
     @raise Invalid_argument if [psi] has quantified variables (META is
     defined for quantifier-free inputs; with quantifiers the meta problem
     is NP-hard even for single CQs, see Section 1.1). *)
-let decide (psi : Ucq.t) : decision =
+let decide ?(budget : Budget.t option) (psi : Ucq.t) : decision =
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Meta.decide: input must be quantifier-free";
   let support =
     List.map
       (fun (t : Ucq.expansion_term) -> (t.representative, t.coefficient))
-      (Ucq.support psi)
+      (Ucq.support ?budget psi)
   in
   let offending =
     List.filter_map
@@ -42,14 +42,15 @@ let decide (psi : Ucq.t) : decision =
   in
   { linear_time = offending = []; support; offending }
 
-(** [hereditary_treewidth psi] is [hdtw(Ψ)] (Definition 57): the maximum
-    treewidth over the support of [c_Ψ]. *)
-let hereditary_treewidth (psi : Ucq.t) : int =
+(** [hereditary_treewidth ?budget psi] is [hdtw(Ψ)] (Definition 57): the
+    maximum treewidth over the support of [c_Ψ]. *)
+let hereditary_treewidth ?(budget : Budget.t option) (psi : Ucq.t) : int =
   List.fold_left
     (fun acc (t : Ucq.expansion_term) ->
-      if t.coefficient = 0 then acc else max acc (Cq.treewidth t.representative))
+      if t.coefficient = 0 then acc
+      else max acc (Cq.treewidth ?budget t.representative))
     (-1)
-    (Ucq.expansion psi)
+    (Ucq.expansion ?budget psi)
 
 (** [hereditary_treewidth_bounds psi] is the polynomial-per-term variant
     used by the approximation algorithm of Theorem 7: instead of exact
@@ -58,7 +59,8 @@ let hereditary_treewidth (psi : Ucq.t) : int =
     maxima [(lo, hi)] with [lo ≤ hdtw(Ψ) ≤ hi].  (The paper invokes the
     Feige–Hajiaghayi–Lee [O(sqrt(log k))]-approximation here; our heuristic
     pair plays that role and its gap is reported by the benchmarks.) *)
-let hereditary_treewidth_bounds (psi : Ucq.t) : int * int =
+let hereditary_treewidth_bounds ?(budget : Budget.t option) (psi : Ucq.t) :
+    int * int =
   List.fold_left
     (fun (lo, hi) (t : Ucq.expansion_term) ->
       if t.coefficient = 0 then (lo, hi)
@@ -69,7 +71,7 @@ let hereditary_treewidth_bounds (psi : Ucq.t) : int * int =
         (max lo lb, max hi ub)
       end)
     (-1, -1)
-    (Ucq.expansion psi)
+    (Ucq.expansion ?budget psi)
 
 (** Outcome of the gap problem META[c, d] (Definition 54), decided through
     hereditary treewidth: support terms of treewidth ≤ c are countable in
@@ -79,19 +81,20 @@ let hereditary_treewidth_bounds (psi : Ucq.t) : int * int =
     [O(|D|^d)] is impossible. *)
 type gap_outcome = Within_c | Beyond_d | Between
 
-(** [gap ~c ~d psi] classifies [psi] for META[c, d] ([1 ≤ c ≤ d]). *)
-let gap ~(c : int) ~(d : int) (psi : Ucq.t) : gap_outcome =
+(** [gap ?budget ~c ~d psi] classifies [psi] for META[c, d] ([1 ≤ c ≤ d]). *)
+let gap ?(budget : Budget.t option) ~(c : int) ~(d : int) (psi : Ucq.t) :
+    gap_outcome =
   if c < 1 || d < c then invalid_arg "Meta.gap";
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Meta.gap: input must be quantifier-free";
   if c = 1 then begin
-    if (decide psi).linear_time then Within_c
+    if (decide ?budget psi).linear_time then Within_c
     else begin
-      let h = hereditary_treewidth psi in
+      let h = hereditary_treewidth ?budget psi in
       if h > d then Beyond_d else Between
     end
   end
   else begin
-    let h = hereditary_treewidth psi in
+    let h = hereditary_treewidth ?budget psi in
     if h <= c then Within_c else if h > d then Beyond_d else Between
   end

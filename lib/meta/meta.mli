@@ -12,23 +12,26 @@ type decision = {
       (** the cyclic support terms (empty iff [linear_time]) *)
 }
 
-(** [decide psi] runs META in [2^ℓ · poly(|Ψ|)] time.
+(** [decide ?budget psi] runs META in [2^ℓ · poly(|Ψ|)] time.
     @raise Invalid_argument on inputs with quantified variables (META is
     defined for quantifier-free unions; with quantifiers the meta problem
-    is NP-hard already for single CQs). *)
-val decide : Ucq.t -> decision
+    is NP-hard already for single CQs).
+    @raise Budget.Exhausted when the resource budget runs out. *)
+val decide : ?budget:Budget.t -> Ucq.t -> decision
 
-(** [hereditary_treewidth psi] is [hdtw(Ψ)] (Definition 57): the maximum
-    treewidth over the support of [c_Ψ]. *)
-val hereditary_treewidth : Ucq.t -> int
+(** [hereditary_treewidth ?budget psi] is [hdtw(Ψ)] (Definition 57): the
+    maximum treewidth over the support of [c_Ψ].
+    @raise Budget.Exhausted when the resource budget runs out. *)
+val hereditary_treewidth : ?budget:Budget.t -> Ucq.t -> int
 
-(** [hereditary_treewidth_bounds psi] is the polynomial-per-term
+(** [hereditary_treewidth_bounds ?budget psi] is the polynomial-per-term
     approximation pair [(lo, hi)] with [lo ≤ hdtw(Ψ) ≤ hi] (the Theorem 7
-    regime). *)
-val hereditary_treewidth_bounds : Ucq.t -> int * int
+    regime).  Only the expansion is budgeted; the per-term heuristics are
+    polynomial. *)
+val hereditary_treewidth_bounds : ?budget:Budget.t -> Ucq.t -> int * int
 
 type gap_outcome = Within_c | Beyond_d | Between
 
-(** [gap ~c ~d psi] classifies for META[c, d] (Definition 54), [1 ≤ c ≤ d],
-    through acyclicity (c = 1) and hereditary treewidth. *)
-val gap : c:int -> d:int -> Ucq.t -> gap_outcome
+(** [gap ?budget ~c ~d psi] classifies for META[c, d] (Definition 54),
+    [1 ≤ c ≤ d], through acyclicity (c = 1) and hereditary treewidth. *)
+val gap : ?budget:Budget.t -> c:int -> d:int -> Ucq.t -> gap_outcome

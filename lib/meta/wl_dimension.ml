@@ -24,28 +24,30 @@ let check_labelled (psi : Ucq.t) : bool =
            (Structure.relations a))
        (Ucq.disjunct_structures psi)
 
-(** [exact psi] is [dim_WL(Ψ) = hdtw(Ψ)] (Theorem 58).
+(** [exact ?budget psi] is [dim_WL(Ψ) = hdtw(Ψ)] (Theorem 58).
     @raise Invalid_argument for inputs that are not quantifier-free UCQs on
     labelled graphs. *)
-let exact (psi : Ucq.t) : int =
+let exact ?(budget : Budget.t option) (psi : Ucq.t) : int =
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Wl_dimension.exact: input must be quantifier-free";
   if not (check_labelled psi) then
     invalid_arg "Wl_dimension.exact: input must be a UCQ on labelled graphs";
-  Meta.hereditary_treewidth psi
+  Meta.hereditary_treewidth ?budget psi
 
-(** [approximate psi] is the Theorem 7 algorithm: lower and upper bounds
-    [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi], each support term handled in
-    polynomial time. *)
-let approximate (psi : Ucq.t) : int * int =
+(** [approximate ?budget psi] is the Theorem 7 algorithm: lower and upper
+    bounds [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi], each support term handled
+    in polynomial time. *)
+let approximate ?(budget : Budget.t option) (psi : Ucq.t) : int * int =
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Wl_dimension.approximate: input must be quantifier-free";
   if not (check_labelled psi) then
     invalid_arg "Wl_dimension.approximate: input must be a UCQ on labelled graphs";
-  Meta.hereditary_treewidth_bounds psi
+  Meta.hereditary_treewidth_bounds ?budget psi
 
-(** [at_most k psi] decides [dim_WL(Ψ) ≤ k] (the Theorem 8 problem). *)
-let at_most (k : int) (psi : Ucq.t) : bool = exact psi <= k
+(** [at_most ?budget k psi] decides [dim_WL(Ψ) ≤ k] (the Theorem 8
+    problem). *)
+let at_most ?(budget : Budget.t option) (k : int) (psi : Ucq.t) : bool =
+  exact ?budget psi <= k
 
 (** [c6_and_2c3 sg] is the classical 1-WL-equivalent, non-isomorphic pair —
     the 6-cycle versus two disjoint triangles, both 2-regular — interpreted
@@ -67,44 +69,54 @@ let c6_and_2c3 (sg : Signature.t) : Structure.t * Structure.t =
   in
   (build c6, build c33)
 
-(** [invariance_check ~k psi] empirically validates Definition 6 against
-    {!Wl.equivalent} on two families: (a) the 6-cycle vs two triangles
-    (1-WL equivalent), (b) isomorphic random relabellings.  For every pair
-    that is [k]-WL equivalent, the answer counts of [Ψ] must agree; returns
-    the number of equivalent pairs checked.
-    @raise Failure on a counterexample. *)
-let invariance_check ~(k : int) (psi : Ucq.t) : int =
+(** [invariance_check ?budget ~k psi] empirically validates Definition 6
+    against {!Wl.equivalent} on two families: (a) the 6-cycle vs two
+    triangles (1-WL equivalent), (b) isomorphic random relabellings.  For
+    every pair that is [k]-WL equivalent, the answer counts of [Ψ] must
+    agree; returns the number of equivalent pairs checked, or a structured
+    [Ucqc_error.Internal] describing the first counterexample found. *)
+let invariance_check ?(budget : Budget.t option) ~(k : int) (psi : Ucq.t) :
+    (int, Ucqc_error.t) result =
   let sg = Structure.signature (List.hd (Ucq.disjunct_structures psi)) in
   let checked = ref 0 in
   let check d1 d2 =
-    if Wl.equivalent ~k d1 d2 then begin
+    if Wl.equivalent ?budget ~k d1 d2 then begin
       incr checked;
-      let c1 = Ucq.count_via_expansion psi d1 in
-      let c2 = Ucq.count_via_expansion psi d2 in
+      let c1 = Ucq.count_via_expansion ?budget psi d1 in
+      let c2 = Ucq.count_via_expansion ?budget psi d2 in
       if c1 <> c2 then
-        failwith
-          (Printf.sprintf
-             "Wl_dimension.invariance_check: %d-WL equivalent pair with \
-              different counts (%d vs %d)"
-             k c1 c2)
+        Error
+          (Ucqc_error.Internal
+             (Printf.sprintf
+                "Wl_dimension.invariance_check: %d-WL equivalent pair with \
+                 different counts (%d vs %d)"
+                k c1 c2))
+      else Ok ()
     end
+    else Ok ()
   in
   let d1, d2 = c6_and_2c3 sg in
-  check d1 d2;
   (* isomorphic pairs: relabel a random structure by an index reversal *)
-  List.iter
-    (fun seed ->
-      let d =
-        Generators.random_labelled_graph ~seed ~labels:(Signature.size sg) 5 8
-      in
-      let retag d =
-        Structure.make sg (Structure.universe d)
-          (List.map2
-             (fun (s : Signature.symbol) (_, ts) -> (s.name, ts))
-             sg (Structure.relations d))
-      in
-      let d = retag d in
-      let d' = Structure.rename d (fun v -> 4 - v) in
-      check d d')
-    [ 11; 23; 47 ];
-  !checked
+  let iso_pairs =
+    List.map
+      (fun seed ->
+        let d =
+          Generators.random_labelled_graph ~seed ~labels:(Signature.size sg) 5 8
+        in
+        let retag d =
+          Structure.make sg (Structure.universe d)
+            (List.map2
+               (fun (s : Signature.symbol) (_, ts) -> (s.name, ts))
+               sg (Structure.relations d))
+        in
+        let d = retag d in
+        let d' = Structure.rename d (fun v -> 4 - v) in
+        (d, d'))
+      [ 11; 23; 47 ]
+  in
+  let rec run = function
+    | [] -> Ok !checked
+    | (a, b) :: rest -> (
+        match check a b with Ok () -> run rest | Error e -> Error e)
+  in
+  run ((d1, d2) :: iso_pairs)

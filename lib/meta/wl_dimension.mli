@@ -4,24 +4,26 @@
 (** [check_labelled psi]: arity ≤ 2 and no [R(v, v)] atoms. *)
 val check_labelled : Ucq.t -> bool
 
-(** [exact psi] is [dim_WL(Ψ)] (Theorem 8 regime: exact per-term
+(** [exact ?budget psi] is [dim_WL(Ψ)] (Theorem 8 regime: exact per-term
     treewidth).
     @raise Invalid_argument for non-quantifier-free or non-labelled-graph
-    inputs. *)
-val exact : Ucq.t -> int
+    inputs.
+    @raise Budget.Exhausted when the resource budget runs out. *)
+val exact : ?budget:Budget.t -> Ucq.t -> int
 
-(** [approximate psi] is the Theorem 7 regime: polynomial-per-term bounds
-    [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi]. *)
-val approximate : Ucq.t -> int * int
+(** [approximate ?budget psi] is the Theorem 7 regime: polynomial-per-term
+    bounds [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi]. *)
+val approximate : ?budget:Budget.t -> Ucq.t -> int * int
 
-(** [at_most k psi] decides [dim_WL(Ψ) ≤ k]. *)
-val at_most : int -> Ucq.t -> bool
+(** [at_most ?budget k psi] decides [dim_WL(Ψ) ≤ k]. *)
+val at_most : ?budget:Budget.t -> int -> Ucq.t -> bool
 
 (** [c6_and_2c3 sg] is the classical 1-WL-equivalent non-isomorphic pair
     (6-cycle vs two triangles) over the binary symbols of [sg]. *)
 val c6_and_2c3 : Signature.t -> Structure.t * Structure.t
 
-(** [invariance_check ~k psi] validates Definition 6 empirically on k-WL
-    equivalent pairs; returns the number of pairs checked.
-    @raise Failure on a counterexample. *)
-val invariance_check : k:int -> Ucq.t -> int
+(** [invariance_check ?budget ~k psi] validates Definition 6 empirically on
+    k-WL equivalent pairs; returns the number of pairs checked, or
+    [Error (Internal _)] describing the first counterexample. *)
+val invariance_check :
+  ?budget:Budget.t -> k:int -> Ucq.t -> (int, Ucqc_error.t) result

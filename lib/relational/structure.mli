@@ -63,8 +63,9 @@ val isolated_elements : t -> int list
     dense-index → element mapping. *)
 val gaifman : t -> Graph.t * int array
 
-(** [treewidth a] is the treewidth of the Gaifman graph (exact). *)
-val treewidth : t -> int
+(** [treewidth ?budget a] is the treewidth of the Gaifman graph (exact).
+    @raise Budget.Exhausted when the budget runs out mid-search. *)
+val treewidth : ?budget:Budget.t -> t -> int
 
 (** [tensor a b] is the tensor product [A ⊗ B] of Theorem 28, with the
     pair-encoding function. *)

@@ -1,0 +1,107 @@
+(** Resource budgets: a step counter, a wall-clock deadline, and a
+    cooperative cancellation flag shared by every engine hot loop.  See the
+    interface for the contract; the implementation keeps {!tick} cheap —
+    one decrement and two flag tests on the common path — because it sits
+    inside branch-and-bound and enumeration inner loops. *)
+
+type exhaustion = { phase : string; steps_done : int }
+
+exception Exhausted of exhaustion
+
+type t = {
+  mutable steps_left : int; (* [max_int] means unlimited *)
+  step_limited : bool;
+  mutable steps_done : int;
+  deadline : float option; (* absolute, [Unix.gettimeofday] *)
+  mutable clock_probe : int; (* ticks until the next deadline check *)
+  mutable cancelled : bool;
+  mutable phase : string;
+}
+
+(* Checking the clock on every tick would dominate tight loops; probe it
+   every [clock_stride] ticks instead.  Deadlines are inherently
+   non-deterministic, so the coarsening is harmless — deterministic tests
+   use step budgets. *)
+let clock_stride = 256
+
+let make ?max_steps ?timeout () : t =
+  let steps_left =
+    match max_steps with
+    | None -> max_int
+    | Some n -> if n < 0 then invalid_arg "Budget.make: negative step budget" else n
+  in
+  {
+    steps_left;
+    step_limited = max_steps <> None;
+    steps_done = 0;
+    deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout;
+    clock_probe = clock_stride;
+    cancelled = false;
+    phase = "start";
+  }
+
+let unlimited () : t = make ()
+let of_steps (n : int) : t = make ~max_steps:n ()
+let of_timeout (seconds : float) : t = make ~timeout:seconds ()
+let is_limited (b : t) : bool = b.step_limited || b.deadline <> None
+let steps_done (b : t) : int = b.steps_done
+
+let remaining_steps (b : t) : int option =
+  if b.step_limited then Some b.steps_left else None
+
+let phase (b : t) : string = b.phase
+let set_phase (b : t) (p : string) : unit = b.phase <- p
+let cancel (b : t) : unit = b.cancelled <- true
+let is_cancelled (b : t) : bool = b.cancelled
+
+let exhaust (b : t) : 'a =
+  raise (Exhausted { phase = b.phase; steps_done = b.steps_done })
+
+let past_deadline (b : t) : bool =
+  match b.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let check (b : t) : unit =
+  if b.cancelled || b.steps_left <= 0 || past_deadline b then exhaust b
+
+let tick (b : t) : unit =
+  b.steps_done <- b.steps_done + 1;
+  if b.cancelled then exhaust b;
+  if b.step_limited then begin
+    b.steps_left <- b.steps_left - 1;
+    if b.steps_left <= 0 then exhaust b
+  end;
+  if b.deadline <> None then begin
+    b.clock_probe <- b.clock_probe - 1;
+    if b.clock_probe <= 0 then begin
+      b.clock_probe <- clock_stride;
+      if past_deadline b then exhaust b
+    end
+  end
+
+let ticks (b : t) (n : int) : unit =
+  if n > 0 then begin
+    b.steps_done <- b.steps_done + n - 1;
+    if b.step_limited then b.steps_left <- b.steps_left - (n - 1);
+    tick b
+  end
+
+let tick_opt = function None -> () | Some b -> tick b
+let ticks_opt o n = match o with None -> () | Some b -> ticks b n
+let check_opt = function None -> () | Some b -> check b
+
+let with_phase (b : t) (p : string) (f : unit -> 'a) : 'a =
+  let saved = b.phase in
+  b.phase <- p;
+  Fun.protect ~finally:(fun () -> b.phase <- saved) f
+
+let run (b : t) ~(phase : string) (f : unit -> 'a) : ('a, exhaustion) result =
+  b.phase <- phase;
+  match f () with v -> Ok v | exception Exhausted e -> Error e
+
+let run_opt (o : t option) ~(phase : string) (f : unit -> 'a) :
+    ('a, exhaustion) result =
+  match o with
+  | None -> Ok (f ())
+  | Some b -> run b ~phase f

@@ -1,0 +1,38 @@
+type t =
+  | Parse_error of { line : int; col : int; msg : string }
+  | Arity_mismatch of { rel : string; expected : int; got : int }
+  | Budget_exhausted of { phase : string; steps_done : int }
+  | Unsupported of string
+  | Internal of string
+
+exception Error of t
+
+let of_exhaustion (e : Budget.exhaustion) : t =
+  Budget_exhausted { phase = e.Budget.phase; steps_done = e.Budget.steps_done }
+
+let to_string = function
+  | Parse_error { line; col; msg } ->
+      Printf.sprintf "parse error at line %d, column %d: %s" line col msg
+  | Arity_mismatch { rel; expected; got } ->
+      Printf.sprintf "relation %s used with arities %d and %d" rel expected got
+  | Budget_exhausted { phase; steps_done } ->
+      Printf.sprintf "budget exhausted in phase %s after %d steps" phase
+        steps_done
+  | Unsupported msg -> Printf.sprintf "unsupported: %s" msg
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let pp (fmt : Format.formatter) (e : t) : unit =
+  Format.pp_print_string fmt (to_string e)
+
+let exit_code = function
+  | Parse_error _ | Arity_mismatch _ | Unsupported _ -> 65
+  | Budget_exhausted _ -> 124
+  | Internal _ -> 70
+
+let guard (f : unit -> 'a) : ('a, t) result =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Error e
+  | exception Budget.Exhausted e -> Error (of_exhaustion e)
+  | exception Invalid_argument msg -> Error (Unsupported msg)
+  | exception Failure msg -> Error (Internal msg)

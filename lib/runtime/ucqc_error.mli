@@ -1,0 +1,41 @@
+(** Structured errors for every engine entry point.
+
+    User input (malformed query/database files, arity clashes) and
+    resource exhaustion must never surface as untyped [Failure]/
+    [Invalid_argument] escapes: the CLI and any embedding service need to
+    render them, pick an exit code, and decide whether a degraded result
+    is acceptable.  [Result]-based engine wrappers ({!Runner} in the core
+    library) carry values of this type. *)
+
+type t =
+  | Parse_error of { line : int; col : int; msg : string }
+      (** malformed query or database text; positions are 1-based *)
+  | Arity_mismatch of { rel : string; expected : int; got : int }
+      (** a relation symbol used with two different arities *)
+  | Budget_exhausted of { phase : string; steps_done : int }
+      (** a {!Budget.t} ran out and no fallback was allowed *)
+  | Unsupported of string
+      (** the input is outside the algorithm's domain (e.g. META on a
+          quantified union) *)
+  | Internal of string
+      (** an invariant of the library failed — always a bug report *)
+
+(** Exception carrier for contexts that cannot return [Result]. *)
+exception Error of t
+
+(** [of_exhaustion e] converts a budget exhaustion record. *)
+val of_exhaustion : Budget.exhaustion -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Exit code for the CLI: 65 ([EX_DATAERR]) for parse/arity/unsupported
+    errors, 124 for budget exhaustion without fallback, 70
+    ([EX_SOFTWARE]) for internal invariant failures.  Success codes (0
+    exact, 2 degraded) are chosen by the caller from the result tag. *)
+val exit_code : t -> int
+
+(** [guard f] runs [f], converting [Error]-carried values, budget
+    exhaustion, and stray [Invalid_argument]/[Failure] escapes into
+    [Result] errors. *)
+val guard : (unit -> 'a) -> ('a, t) result

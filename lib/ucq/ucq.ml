@@ -131,32 +131,37 @@ let is_union_of_self_join_free (psi : t) : bool =
 (* Counting answers                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(** [count_naive psi d] iterates all assignments [X → U(D)] and keeps those
-    that are an answer of some disjunct — the reference oracle. *)
-let count_naive (psi : t) (d : Structure.t) : int =
+(** [count_naive ?budget psi d] iterates all assignments [X → U(D)] and
+    keeps those that are an answer of some disjunct — the reference
+    oracle.  The budget is ticked once per assignment and threaded into
+    the homomorphism search. *)
+let count_naive ?(budget : Budget.t option) (psi : t) (d : Structure.t) : int =
   let x = psi.free in
   let dom = Structure.universe d in
   let assignments = Combinat.tuples (List.length x) dom in
   List.length
     (List.filter
        (fun tup ->
+         Budget.tick_opt budget;
          let fixed = List.combine x tup in
-         List.exists (fun a -> Hom.exists ~fixed a d) psi.cqs)
+         List.exists (fun a -> Hom.exists ?budget ~fixed a d) psi.cqs)
        assignments)
 
-(** [count_inclusion_exclusion ?strategy psi d] computes
+(** [count_inclusion_exclusion ?strategy ?budget psi d] computes
     [ans(Ψ → D) = Σ_{∅≠J} (-1)^(|J|+1) · ans(∧(Ψ|_J) → D)]
     (the proof of Lemma 26), counting each combined query with the given
-    per-CQ strategy. *)
-let count_inclusion_exclusion ?(strategy = Counting.Auto) (psi : t)
-    (d : Structure.t) : int =
+    per-CQ strategy.  The budget is ticked once per index set [J] and
+    threaded into each per-CQ count. *)
+let count_inclusion_exclusion ?(strategy = Counting.Auto)
+    ?(budget : Budget.t option) (psi : t) (d : Structure.t) : int =
   Combinat.subsets_fold
     (fun acc j ->
       match j with
       | [] -> acc
       | _ ->
+          Budget.tick_opt budget;
           let sign = if List.length j mod 2 = 1 then 1 else -1 in
-          acc + (sign * Counting.count ~strategy (combined psi j) d))
+          acc + (sign * Counting.count ~strategy ?budget (combined psi j) d))
     0 (length psi)
 
 (* ------------------------------------------------------------------ *)
@@ -173,14 +178,16 @@ type expansion_term = { representative : Cq.t; coefficient : int }
     signs [(-1)^(|J|+1)].  Representatives are #minimal (they are #cores),
     so by Lemma 18 grouping by isomorphism of #cores is exactly grouping by
     #equivalence.  Terms with coefficient [0] are retained; use {!support}
-    for the non-vanishing part.  Runs in time [2^ℓ · poly(|Ψ|)]. *)
-let expansion (psi : t) : expansion_term list =
+    for the non-vanishing part.  Runs in time [2^ℓ · poly(|Ψ|)]; the
+    budget is ticked once per index set. *)
+let expansion ?(budget : Budget.t option) (psi : t) : expansion_term list =
   let classes : (Cq.t * int ref) list ref = ref [] in
   Combinat.subsets_fold
     (fun () j ->
       match j with
       | [] -> ()
       | _ ->
+          Budget.tick_opt budget;
           let core = Cq.sharp_core (combined psi j) in
           let sign = if List.length j mod 2 = 1 then 1 else -1 in
           let rec insert = function
@@ -198,10 +205,10 @@ let expansion (psi : t) : expansion_term list =
     (fun (rep, coeff) -> { representative = rep; coefficient = !coeff })
     !classes
 
-(** [support psi] is the expansion restricted to non-zero coefficients: the
-    #minimal queries [(A, X)] with [c_Ψ(A, X) ≠ 0]. *)
-let support (psi : t) : expansion_term list =
-  List.filter (fun t -> t.coefficient <> 0) (expansion psi)
+(** [support ?budget psi] is the expansion restricted to non-zero
+    coefficients: the #minimal queries [(A, X)] with [c_Ψ(A, X) ≠ 0]. *)
+let support ?(budget : Budget.t option) (psi : t) : expansion_term list =
+  List.filter (fun t -> t.coefficient <> 0) (expansion ?budget psi)
 
 (** [coefficient psi q] is [c_Ψ(A, X)] for a conjunctive query [q]
     (Definition 25): the signed number of index sets whose combined query is
@@ -214,15 +221,19 @@ let coefficient (psi : t) (q : Cq.t) : int =
       else acc)
     0 (expansion psi)
 
-(** [count_via_expansion ?strategy psi d] evaluates the linear combination
-    of Lemma 26 term by term: [Σ c_Ψ(A,X) · ans((A,X) → D)]. *)
-let count_via_expansion ?(strategy = Counting.Auto) (psi : t) (d : Structure.t)
-    : int =
+(** [count_via_expansion ?strategy ?budget psi d] evaluates the linear
+    combination of Lemma 26 term by term:
+    [Σ c_Ψ(A,X) · ans((A,X) → D)]. *)
+let count_via_expansion ?(strategy = Counting.Auto) ?(budget : Budget.t option)
+    (psi : t) (d : Structure.t) : int =
   List.fold_left
     (fun acc (term : expansion_term) ->
       if term.coefficient = 0 then acc
-      else acc + (term.coefficient * Counting.count ~strategy term.representative d))
-    0 (expansion psi)
+      else
+        acc
+        + term.coefficient * Counting.count ~strategy ?budget term.representative d)
+    0
+    (expansion ?budget psi)
 
 (** [is_exhaustively_q_hierarchical psi] checks the Berkholz–Keppeler–
     Schweikardt criterion for constant-delay dynamic counting of UCQs

@@ -53,12 +53,16 @@ val is_union_of_self_join_free : t -> bool
 
 (** {2 Counting answers} *)
 
-(** [count_naive psi d] enumerates assignments — the reference oracle. *)
-val count_naive : t -> Structure.t -> int
+(** [count_naive ?budget psi d] enumerates assignments — the reference
+    oracle.  Every budgeted counter in this module raises
+    {!Budget.Exhausted} from its hot loop when the budget runs out; catch
+    it only at an engine boundary. *)
+val count_naive : ?budget:Budget.t -> t -> Structure.t -> int
 
-(** [count_inclusion_exclusion ?strategy psi d] evaluates
+(** [count_inclusion_exclusion ?strategy ?budget psi d] evaluates
     [Σ_(∅≠J) (-1)^(|J|+1) ans(∧(Ψ|J) → D)] (proof of Lemma 26). *)
-val count_inclusion_exclusion : ?strategy:Counting.strategy -> t -> Structure.t -> int
+val count_inclusion_exclusion :
+  ?strategy:Counting.strategy -> ?budget:Budget.t -> t -> Structure.t -> int
 
 (** {2 The CQ expansion (Definition 25, Lemma 26)} *)
 
@@ -69,17 +73,19 @@ type expansion_term = { representative : Cq.t; coefficient : int }
 (** [expansion psi] groups the combined queries of all nonempty [J] by
     #equivalence and sums the signs; zero-coefficient classes are retained.
     Runs in [2^ℓ · poly(|Ψ|)] time. *)
-val expansion : t -> expansion_term list
+val expansion : ?budget:Budget.t -> t -> expansion_term list
 
-(** [support psi] is the expansion restricted to non-zero coefficients. *)
-val support : t -> expansion_term list
+(** [support ?budget psi] is the expansion restricted to non-zero
+    coefficients. *)
+val support : ?budget:Budget.t -> t -> expansion_term list
 
 (** [coefficient psi q] is [c_Ψ(A, X)] for the class of [q]. *)
 val coefficient : t -> Cq.t -> int
 
-(** [count_via_expansion ?strategy psi d] evaluates the Lemma 26 linear
-    combination term by term. *)
-val count_via_expansion : ?strategy:Counting.strategy -> t -> Structure.t -> int
+(** [count_via_expansion ?strategy ?budget psi d] evaluates the Lemma 26
+    linear combination term by term. *)
+val count_via_expansion :
+  ?strategy:Counting.strategy -> ?budget:Budget.t -> t -> Structure.t -> int
 
 (** Exact arbitrary-precision variants (oracles for Theorem 28). *)
 val count_via_expansion_big : t -> Structure.t -> Bigint.t

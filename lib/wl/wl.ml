@@ -156,8 +156,11 @@ let num_colours (s : run_state) : int =
 
 (** [refine_lockstep k states assign_term] performs rounds on all runs with
     a shared term → identifier table until every run is stable; returns the
-    list of per-round histogram lists (index 0 = initial colouring). *)
-let run_lockstep (k : int) (ds : Structure.t list) : run_state list * (int * int) list list list =
+    list of per-round histogram lists (index 0 = initial colouring).  The
+    [k]-tuple colourings touch [n^k] tuples per round, so the budget is
+    ticked once per recoloured tuple. *)
+let run_lockstep ?(budget : Budget.t option) (k : int) (ds : Structure.t list)
+    : run_state list * (int * int) list list list =
   let term_ids : (term, int) Hashtbl.t = Hashtbl.create 256 in
   let next = ref 0 in
   let id_of term =
@@ -184,7 +187,9 @@ let run_lockstep (k : int) (ds : Structure.t list) : run_state list * (int * int
     let new_colour_arrays =
       List.map2
         (fun d s ->
-          Array.init (Array.length s.tuples) (fun i -> round_term d s k i))
+          Array.init (Array.length s.tuples) (fun i ->
+              Budget.tick_opt budget;
+              round_term d s k i))
         ds states
     in
     List.iter2
@@ -196,22 +201,24 @@ let run_lockstep (k : int) (ds : Structure.t list) : run_state list * (int * int
   done;
   (states, List.rev !history)
 
-(** [equivalent ~k d1 d2] decides [k]-WL equivalence ([D_1 ≅_k D_2]): run
-    in lockstep with shared colour identifiers and require equal colour
-    histograms at every round. *)
-let equivalent ~(k : int) (d1 : Structure.t) (d2 : Structure.t) : bool =
+(** [equivalent ?budget ~k d1 d2] decides [k]-WL equivalence
+    ([D_1 ≅_k D_2]): run in lockstep with shared colour identifiers and
+    require equal colour histograms at every round. *)
+let equivalent ?(budget : Budget.t option) ~(k : int) (d1 : Structure.t)
+    (d2 : Structure.t) : bool =
   if k < 1 then invalid_arg "Wl.equivalent";
   if Structure.universe_size d1 <> Structure.universe_size d2 then false
   else begin
-    let _, history = run_lockstep k [ d1; d2 ] in
+    let _, history = run_lockstep ?budget k [ d1; d2 ] in
     List.for_all
       (fun hists ->
         match hists with [ h1; h2 ] -> h1 = h2 | _ -> assert false)
       history
   end
 
-(** [colour_classes ~k d] is the number of stable colour classes of the
-    [k]-WL colouring of [d]. *)
-let colour_classes ~(k : int) (d : Structure.t) : int =
-  let states, _ = run_lockstep k [ d ] in
+(** [colour_classes ?budget ~k d] is the number of stable colour classes of
+    the [k]-WL colouring of [d]. *)
+let colour_classes ?(budget : Budget.t option) ~(k : int) (d : Structure.t) :
+    int =
+  let states, _ = run_lockstep ?budget k [ d ] in
   match states with [ s ] -> num_colours s | _ -> assert false

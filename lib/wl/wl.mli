@@ -7,10 +7,12 @@
 (** [is_labelled_graph d]: arity ≤ 2 and no self-loop tuples. *)
 val is_labelled_graph : Structure.t -> bool
 
-(** [equivalent ~k d1 d2] decides [D_1 ≅_k D_2]: equal colour histograms at
-    every refinement round of a lockstep run.
-    @raise Invalid_argument for [k < 1]. *)
-val equivalent : k:int -> Structure.t -> Structure.t -> bool
+(** [equivalent ?budget ~k d1 d2] decides [D_1 ≅_k D_2]: equal colour
+    histograms at every refinement round of a lockstep run.  The budget is
+    ticked once per recoloured tuple per round.
+    @raise Invalid_argument for [k < 1].
+    @raise Budget.Exhausted when the budget runs out mid-refinement. *)
+val equivalent : ?budget:Budget.t -> k:int -> Structure.t -> Structure.t -> bool
 
-(** [colour_classes ~k d] is the number of stable colour classes. *)
-val colour_classes : k:int -> Structure.t -> int
+(** [colour_classes ?budget ~k d] is the number of stable colour classes. *)
+val colour_classes : ?budget:Budget.t -> k:int -> Structure.t -> int

@@ -6,4 +6,5 @@ let () =
    @ Test_hypergraph.suite @ Test_relational.suite @ Test_hom.suite
    @ Test_db.suite @ Test_cq.suite @ Test_ucq.suite @ Test_scomplex.suite
    @ Test_reduction.suite @ Test_wl.suite @ Test_meta.suite
-   @ Test_frontend.suite @ Test_approx.suite @ Test_dynamic.suite)
+   @ Test_frontend.suite @ Test_approx.suite @ Test_dynamic.suite
+   @ Test_runtime.suite)

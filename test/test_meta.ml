@@ -68,7 +68,11 @@ let test_wl_invariance () =
   in
   let psi = Ucq.make [ mk [ [ 0; 1 ] ] []; mk [] [ [ 1; 2 ] ] ] in
   Alcotest.(check int) "dim 1 union" 1 (Wl_dimension.exact psi);
-  let pairs_checked = Wl_dimension.invariance_check ~k:1 psi in
+  let pairs_checked =
+    match Wl_dimension.invariance_check ~k:1 psi with
+    | Ok n -> n
+    | Error e -> Alcotest.fail (Ucqc_error.to_string e)
+  in
   Alcotest.(check bool) "checked pairs" true (pairs_checked >= 1)
 
 let test_monotonicity_recovery () =

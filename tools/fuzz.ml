@@ -1,12 +1,27 @@
 (** Stress harness: a heavy randomised cross-validation sweep over every
     counting engine, the reduction parsimony identity, and the treewidth
     machinery.  Not part of `dune runtest` (it takes minutes); run with
-    [dune exec tools/fuzz.exe] before releases. *)
+    [dune exec tools/fuzz.exe] before releases.  Exits non-zero when any
+    mismatch is found, so CI can gate on it.
+
+    [FUZZ_SCALE] scales every iteration count (e.g. [FUZZ_SCALE=0.05] for
+    a quick CI smoke run, default 1). *)
 let () =
+  let scale =
+    match Sys.getenv_opt "FUZZ_SCALE" with
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some f when f > 0.0 -> f
+        | _ ->
+            Printf.eprintf "fuzz: ignoring malformed FUZZ_SCALE %S\n" s;
+            1.0)
+    | None -> 1.0
+  in
+  let iters n = max 1 (int_of_float (float_of_int n *. scale)) in
   let sg = Generators.graph_signature in
   let failures = ref 0 in
   (* CQ engines *)
-  for seed = 0 to 1500 do
+  for seed = 0 to iters 1500 do
     let q = Qgen.random_cq ~seed ~max_vars:4 ~max_atoms:5 sg in
     let db = Generators.random_digraph ~seed:(seed * 7 + 1) 5 12 in
     let naive = Counting.count ~strategy:Counting.Naive q db in
@@ -19,7 +34,7 @@ let () =
     end
   done;
   (* UCQ counting *)
-  for seed = 0 to 400 do
+  for seed = 0 to iters 400 do
     let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg in
     let db = Generators.random_digraph ~seed:(seed * 13 + 5) 4 9 in
     let naive = Ucq.count_naive psi db in
@@ -27,12 +42,12 @@ let () =
     if Ucq.count_via_expansion psi db <> naive then (incr failures; Printf.printf "UCQ EXP mismatch seed %d\n" seed)
   done;
   (* reduction parsimony, larger random formulas *)
-  for seed = 0 to 150 do
+  for seed = 0 to iters 150 do
     let f = Cnf.random_3cnf ~seed 4 (1 + (seed mod 6)) in
     if not (Sat_complex.euler_equals_count_sat f) then (incr failures; Printf.printf "PARSIMONY FAIL seed %d\n" seed)
   done;
   (* treewidth: exact vs independent nice-width, on random graphs *)
-  for seed = 0 to 300 do
+  for seed = 0 to iters 300 do
     let st = Random.State.make [| seed |] in
     let n = 3 + Random.State.int st 7 in
     let g = Graph.make n in
@@ -44,4 +59,22 @@ let () =
     if not (Nice_treedec.validate g nice) || Nice_treedec.width nice <> max w (-1)
     then (incr failures; Printf.printf "NICE TD FAIL seed %d\n" seed)
   done;
-  Printf.printf "fuzz done: %d failures\n" !failures
+  (* budget determinism: the same step budget must exhaust at the same
+     point twice, and a generous budget must not change any result *)
+  for seed = 0 to iters 200 do
+    let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg in
+    let db = Generators.random_digraph ~seed:(seed * 17 + 3) 4 9 in
+    let run_once n =
+      let b = Budget.of_steps n in
+      Budget.run b ~phase:"fuzz" (fun () ->
+          Ucq.count_via_expansion ~budget:b psi db)
+    in
+    let n = 1 + (seed mod 50) in
+    if run_once n <> run_once n then
+      (incr failures; Printf.printf "BUDGET NONDET seed %d\n" seed);
+    (match run_once max_int with
+    | Ok c when c = Ucq.count_naive psi db -> ()
+    | _ -> (incr failures; Printf.printf "BUDGET CHANGES RESULT seed %d\n" seed))
+  done;
+  Printf.printf "fuzz done: %d failures\n" !failures;
+  if !failures > 0 then exit 1
