@@ -17,6 +17,19 @@ let time (f : unit -> 'a) : float =
     (Sys.time () -. t0) /. float_of_int reps
   end
 
+(** [wall_time f] measures wall-clock seconds per run (median of [reps]
+    runs).  [time] above uses CPU time, which sums over OCaml domains and
+    would report a parallel speedup of at most 1; the speedup tables must
+    use wall clock. *)
+let wall_time ?(reps = 3) (f : unit -> 'a) : float =
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let ts = List.sort compare (List.init (max 1 reps) (fun _ -> one ())) in
+  List.nth ts (List.length ts / 2)
+
 (** [row widths cells] prints one table row with right-padded cells. *)
 let row (widths : int list) (cells : string list) : unit =
   List.iter2

@@ -662,7 +662,127 @@ let run_bechamel () =
     (fun (name, est) -> row widths [ name; Printf.sprintf "%.0f" est ])
     (List.sort compare rows)
 
+(* ================================================================== *)
+(* E14: --json — parallel speedup table (BENCH_parallel.json)         *)
+(* ================================================================== *)
+
+(** The [--json] mode: measure the wall-clock speedup of the domain pool
+    at jobs ∈ {1, 2, 4} on the two engine workloads with the most
+    parallel slack — the E3 Ψ₁ inclusion–exclusion count and the
+    Karp–Luby fpras at ε = 0.1 — and write the table to
+    [BENCH_parallel.json].  Every jobs > 1 result is cross-checked
+    against jobs = 1 (exact counts must be equal; KL estimates are a
+    function of (seed, jobs), so each is re-run for reproducibility). *)
+let parallel_json () =
+  let jobs_list = [ 1; 2; 4 ] in
+  let psi1, ktk = Paper_examples.psi1 () in
+  let host =
+    let n = 12 in
+    Graph.of_edges n (Listx.take (n * (n - 1) / 4) (Graph.edges (Graph.clique n)))
+  in
+  let db = Ktk.database_of_graph ktk host in
+  let kl_psi =
+    Ucq.make
+      [
+        mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ];
+        mkcq 3 [ [ 0; 2 ]; [ 2; 1 ] ] [ 0; 1 ];
+        mkcq 4 [ [ 0; 2 ]; [ 2; 3 ]; [ 3; 1 ] ] [ 0; 1 ];
+      ]
+  in
+  let kl_db = Generators.random_digraph ~seed:17 80 280 in
+  (* [exact_across_jobs]: must every jobs value reproduce the jobs = 1
+     result bit-for-bit?  True for exact counting (deterministic
+     reduction); the KL estimate is instead a function of (seed, jobs) —
+     checked for reproducibility and for staying within the ε band. *)
+  let workloads =
+    [
+      ( "E3_psi1_inclusion_exclusion",
+        true,
+        fun pool -> float_of_int (Ucq.count_inclusion_exclusion ~pool psi1 db) );
+      ( "E12_karp_luby_fpras_eps0.1",
+        false,
+        fun pool ->
+          (Karp_luby.fpras ~seed:1 ~pool ~epsilon:0.1 ~delta:0.05 kl_psi kl_db)
+            .Karp_luby.value );
+    ]
+  in
+  let measured =
+    List.map
+      (fun (name, exact_across_jobs, run) ->
+        let per_jobs =
+          List.map
+            (fun jobs ->
+              let pool = Pool.create ~jobs () in
+              let value = run pool in
+              let value' = run pool in
+              let t = wall_time (fun () -> run pool) in
+              (jobs, t, value, value = value'))
+            jobs_list
+        in
+        (name, exact_across_jobs, per_jobs))
+      workloads
+  in
+  let buf = Buffer.create 2048 in
+  let t1_of per_jobs =
+    match List.find_opt (fun (j, _, _, _) -> j = 1) per_jobs with
+    | Some (_, t, _, _) -> t
+    | None -> nan
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores_available\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs\": [%s],\n"
+       (String.concat ", " (List.map string_of_int jobs_list)));
+  Buffer.add_string buf "  \"workloads\": [\n";
+  List.iteri
+    (fun wi (name, exact_across_jobs, per_jobs) ->
+      let t1 = t1_of per_jobs in
+      let v1 =
+        match List.find_opt (fun (j, _, _, _) -> j = 1) per_jobs with
+        | Some (_, _, v, _) -> v
+        | None -> nan
+      in
+      Buffer.add_string buf "    {\n";
+      Buffer.add_string buf (Printf.sprintf "      \"name\": %S,\n" name);
+      Buffer.add_string buf
+        (Printf.sprintf "      \"exact_across_jobs\": %b,\n" exact_across_jobs);
+      Buffer.add_string buf "      \"runs\": [\n";
+      List.iteri
+        (fun i (jobs, t, value, reproducible) ->
+          let consistent =
+            if exact_across_jobs then value = v1
+            else
+              reproducible
+              && abs_float (value -. v1) /. abs_float v1 < 0.2
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        {\"jobs\": %d, \"wall_s\": %.6f, \"speedup_vs_1\": \
+                %.3f, \"value\": %.4f, \"reproducible\": %b, \
+                \"consistent\": %b}%s\n"
+               jobs t (t1 /. t) value reproducible consistent
+               (if i = List.length per_jobs - 1 then "" else ",")))
+        per_jobs;
+      Buffer.add_string buf "      ]\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n"
+           (if wi = List.length measured - 1 then "" else ","))
+    )
+    measured;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  prerr_endline "wrote BENCH_parallel.json"
+
 let () =
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    parallel_json ();
+    exit 0
+  end;
   Printf.printf "ucqc benchmark harness — regenerating the paper's artefacts\n";
   e1 ();
   e2 ();

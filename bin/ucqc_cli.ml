@@ -89,6 +89,21 @@ let no_fallback_arg =
   in
   Arg.(value & flag & info [ "no-fallback" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel engines.  The default ($(docv) = 1) \
+     runs every engine sequentially, bit-for-bit identical to the \
+     single-threaded behaviour; higher values parallelise the \
+     inclusion-exclusion terms, Karp-Luby sampling chunks, naive \
+     assignment sweeps and treewidth root branches across OCaml domains \
+     with deterministic (index-order) reduction.  Subcommands without a \
+     parallel engine accept and ignore the flag."
+  in
+  let env = Cmd.Env.info "UCQC_JOBS" ~doc:"Default for $(b,--jobs)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~env ~doc)
+
+let pool_of (jobs : int) : Pool.t = Pool.create ~jobs ()
+
 let budget_of max_steps timeout = Budget.make ?max_steps ?timeout ()
 
 let exhaustion_note (e : Budget.exhaustion) (degraded_to : string) : unit =
@@ -124,13 +139,15 @@ let count_cmd =
     let doc = "Random seed for the Karp-Luby fallback." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile via seed max_steps timeout no_fallback =
+  let run qfile dbfile via seed max_steps timeout no_fallback jobs =
     guarded (fun () ->
         let psi, _ = parse_ucq_file qfile in
         let db, _ = parse_db_file dbfile in
         let budget = budget_of max_steps timeout in
+        let pool = pool_of jobs in
         match
-          Runner.count ~via ~fallback:(not no_fallback) ~seed ~budget psi db
+          Runner.count ~via ~fallback:(not no_fallback) ~seed ~pool ~budget
+            psi db
         with
         | Ok (Runner.Exact n) ->
             Printf.printf "%d\n" n;
@@ -147,7 +164,7 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
       const run $ query_arg $ db_arg $ method_arg $ seed_arg $ max_steps_arg
-      $ timeout_arg $ no_fallback_arg)
+      $ timeout_arg $ no_fallback_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                             *)
@@ -166,19 +183,25 @@ let approx_cmd =
     let doc = "Random seed." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile samples seed max_steps timeout =
+  let run qfile dbfile samples seed max_steps timeout jobs =
     guarded (fun () ->
         let psi, _ = parse_ucq_file qfile in
         let db, _ = parse_db_file dbfile in
         let budget = budget_of max_steps timeout in
+        let pool = pool_of jobs in
         match
           Budget.run budget ~phase:"approx" (fun () ->
-              Karp_luby.estimate ~seed ~budget ~samples psi db)
+              Karp_luby.estimate ~seed ~budget ~pool ~samples psi db)
         with
         | Ok est ->
             Printf.printf "estimate: %.2f (samples %d, space %d, hits %d)\n"
               est.Karp_luby.value est.Karp_luby.samples est.Karp_luby.space
               est.Karp_luby.hits;
+            if est.Karp_luby.dropped > 0 then
+              Printf.eprintf
+                "ucqc: %d of %d draws failed and were excluded from the \
+                 estimate\n"
+                est.Karp_luby.dropped est.Karp_luby.samples;
             Runner.exit_exact
         | Error exhausted ->
             fail_err (Ucqc_error.of_exhaustion exhausted))
@@ -190,18 +213,19 @@ let approx_cmd =
   Cmd.v (Cmd.info "approx" ~doc)
     Term.(
       const run $ query_arg $ db_arg $ samples_arg $ seed_arg $ max_steps_arg
-      $ timeout_arg)
+      $ timeout_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* meta                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let meta_cmd =
-  let run qfile max_steps timeout =
+  let run qfile max_steps timeout jobs =
     guarded (fun () ->
         let psi, env = parse_ucq_file qfile in
         let budget = budget_of max_steps timeout in
-        match Runner.decide_meta ~budget psi with
+        let pool = pool_of jobs in
+        match Runner.decide_meta ~pool ~budget psi with
         | Error e -> fail_err e
         | Ok d ->
             Printf.printf "linear-time countable: %b\n" d.Meta.linear_time;
@@ -220,7 +244,7 @@ let meta_cmd =
      Theorem 5; quantifier-free unions only)."
   in
   Cmd.v (Cmd.info "meta" ~doc)
-    Term.(const run $ query_arg $ max_steps_arg $ timeout_arg)
+    Term.(const run $ query_arg $ max_steps_arg $ timeout_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                           *)
@@ -231,10 +255,11 @@ let classify_cmd =
     let doc = "Skip the exponential Gamma(C) measures." in
     Arg.(value & flag & info [ "no-gamma" ] ~doc)
   in
-  let run qfile no_gamma =
+  let run qfile no_gamma jobs =
     guarded (fun () ->
         let psi, _ = parse_ucq_file qfile in
-        let r = Classify.analyze ~with_gamma:(not no_gamma) psi in
+        let pool = pool_of jobs in
+        let r = Classify.analyze ~with_gamma:(not no_gamma) ~pool psi in
         Printf.printf "disjuncts:               %d\n" r.Classify.num_disjuncts;
         Printf.printf "quantifier-free:         %b\n" r.Classify.quantifier_free;
         Printf.printf "union of self-join-free: %b\n"
@@ -251,7 +276,8 @@ let classify_cmd =
         Runner.exit_exact)
   in
   let doc = "Report the treewidth measures behind Theorems 1/2/3." in
-  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ query_arg $ gamma_arg)
+  Cmd.v (Cmd.info "classify" ~doc)
+    Term.(const run $ query_arg $ gamma_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wl-dim                                                             *)
@@ -262,9 +288,10 @@ let wl_dim_cmd =
     let doc = "Use the polynomial-per-term approximation (Theorem 7)." in
     Arg.(value & flag & info [ "approx" ] ~doc)
   in
-  let run qfile approx max_steps timeout no_fallback =
+  let run qfile approx max_steps timeout no_fallback jobs =
     guarded (fun () ->
         let psi, _ = parse_ucq_file qfile in
+        let pool = pool_of jobs in
         if approx then begin
           (* explicitly requested bounds: not a degraded result *)
           let lo, hi = Wl_dimension.approximate psi in
@@ -274,7 +301,7 @@ let wl_dim_cmd =
         else begin
           let budget = budget_of max_steps timeout in
           match
-            Runner.wl_dimension ~fallback:(not no_fallback) ~budget psi
+            Runner.wl_dimension ~fallback:(not no_fallback) ~pool ~budget psi
           with
           | Ok (Runner.Exact_dim k) ->
               Printf.printf "dim_WL = %d\n" k;
@@ -293,7 +320,7 @@ let wl_dim_cmd =
   Cmd.v (Cmd.info "wl-dim" ~doc)
     Term.(
       const run $ query_arg $ approx_arg $ max_steps_arg $ timeout_arg
-      $ no_fallback_arg)
+      $ no_fallback_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* euler                                                              *)
@@ -304,7 +331,8 @@ let euler_cmd =
     let doc = "Complex file: one facet per line, elements separated by spaces or commas." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"COMPLEX" ~doc)
   in
-  let run path =
+  let run path jobs =
+    ignore (pool_of jobs);
     guarded (fun () ->
         let facets =
           read_file path |> String.split_on_char '\n'
@@ -328,7 +356,7 @@ let euler_cmd =
         Runner.exit_exact)
   in
   let doc = "Reduced Euler characteristic of a facet-encoded complex." in
-  Cmd.v (Cmd.info "euler" ~doc) Term.(const run $ file_arg)
+  Cmd.v (Cmd.info "euler" ~doc) Term.(const run $ file_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pipeline                                                           *)
@@ -343,8 +371,9 @@ let pipeline_cmd =
     let doc = "Clique parameter t of the K_t^k construction." in
     Arg.(value & opt int 3 & info [ "t" ] ~doc)
   in
-  let run path t =
+  let run path t jobs =
     guarded (fun () ->
+        let pool = pool_of jobs in
         let f = Cnf.parse_dimacs (read_file path) in
         (match Pipeline.ucq_of_cnf ~t f with
         | Pipeline.Resolved sat ->
@@ -358,14 +387,15 @@ let pipeline_cmd =
               ktk.Ktk.t_ ktk.Ktk.k;
             Printf.printf "c_Psi(K_t^k) = %d\n"
               (Ucq.coefficient psi (Ucq.combined_all psi));
-            let d = Meta.decide psi in
+            let d = Meta.decide ~pool psi in
             Printf.printf "META linear-time: %b  =>  formula %s\n"
               d.Meta.linear_time
               (if d.Meta.linear_time then "UNSATISFIABLE" else "SATISFIABLE"));
         Runner.exit_exact)
   in
   let doc = "Run the Lemma 51 SAT-hardness pipeline on a DIMACS file." in
-  Cmd.v (Cmd.info "pipeline" ~doc) Term.(const run $ file_arg $ t_arg)
+  Cmd.v (Cmd.info "pipeline" ~doc)
+    Term.(const run $ file_arg $ t_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                          *)
@@ -380,7 +410,8 @@ let enumerate_cmd =
     let doc = "Print at most this many answers (0 = all)." in
     Arg.(value & opt int 20 & info [ "limit" ] ~doc)
   in
-  let run qfile dbfile limit =
+  let run qfile dbfile limit jobs =
+    ignore (pool_of jobs);
     guarded (fun () ->
         let q, env = parse_cq_file qfile in
         let db, _ = parse_db_file dbfile in
@@ -401,7 +432,7 @@ let enumerate_cmd =
      delay (Section 1.1)."
   in
   Cmd.v (Cmd.info "enumerate" ~doc)
-    Term.(const run $ query_arg $ db_arg $ limit_arg)
+    Term.(const run $ query_arg $ db_arg $ limit_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                          *)
@@ -416,14 +447,15 @@ let treewidth_cmd =
     let doc = "Force the exact (exponential) algorithm regardless of size." in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run path force_exact max_steps timeout no_fallback =
+  let run path force_exact max_steps timeout no_fallback jobs =
     guarded (fun () ->
         let d, _ = parse_db_file path in
         let g, _ = Structure.gaifman d in
         if force_exact || Graph.num_vertices g <= 20 then begin
           let budget = budget_of max_steps timeout in
+          let pool = pool_of jobs in
           match
-            Runner.treewidth ~fallback:(not no_fallback) ~budget g
+            Runner.treewidth ~fallback:(not no_fallback) ~pool ~budget g
           with
           | Ok (Runner.Exact_width w) ->
               Printf.printf "treewidth = %d (exact)\n" w;
@@ -447,7 +479,7 @@ let treewidth_cmd =
   Cmd.v (Cmd.info "treewidth" ~doc)
     Term.(
       const run $ file_arg $ exact_arg $ max_steps_arg $ timeout_arg
-      $ no_fallback_arg)
+      $ no_fallback_arg $ jobs_arg)
 
 let () =
   let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in

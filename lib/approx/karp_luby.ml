@@ -10,19 +10,27 @@
     hit frequency times the space size is an unbiased estimator.  With
     [O(ℓ ε⁻² log δ⁻¹)] samples the estimate is an (ε, δ)-approximation —
     in contrast to exact counting, for which unions are genuinely harder
-    than CQs (Theorem 5). *)
+    than CQs (Theorem 5).
+
+    Failed draws (a [None] after every seed rotation) are {e dropped}: they
+    count in {!estimate.dropped}, not in the denominator.  Folding them
+    into the denominator — as a plain [hits/samples] frequency would —
+    silently biases the estimate low, because a dropped draw is not
+    evidence of a miss. *)
 
 type estimate = {
   value : float; (** the estimated [ans(Ψ → D)] *)
-  samples : int;
+  samples : int; (** requested draws, including dropped ones *)
   space : int; (** [Σ_i ans(Ψ_i → D)] *)
   hits : int;
+  dropped : int; (** draws that failed after every seed rotation *)
 }
 
 (** [membership_oracle q d] builds a fast test for [a ∈ Ans(q → D)]:
     quantifier-free disjuncts check their atoms against hashed database
     relations in O(#atoms) per query; quantified disjuncts hash the
-    materialised answer set once. *)
+    materialised answer set once.  The oracle is read-only after
+    construction, so pool domains share it freely. *)
 let membership_oracle (q : Cq.t) (d : Structure.t) : (int * int) list -> bool =
   if Cq.is_quantifier_free q then begin
     let atoms =
@@ -46,74 +54,127 @@ let membership_oracle (q : Cq.t) (d : Structure.t) : (int * int) list -> bool =
     fun answer -> Hashtbl.mem set (List.map (fun v -> List.assoc v answer) free)
   end
 
-(** [estimate ?seed ?budget ~samples psi d] runs the estimator with a
-    fixed sample budget.  A resource budget, when given, is ticked once
+(* seed-rotation retry bound for degenerate draws *)
+let max_rotations = 3
+
+(** One sampling loop: [n] draws with primary state [st]; [rotate r] is
+    the fresh deterministic state for retry round [r ≥ 1].  Returns
+    [(hits, dropped)]. *)
+let sample_loop ?(budget : Budget.t option) ~(st : Random.State.t)
+    ~(rotate : int -> Random.State.t) ~(weighted : (int * int) list)
+    ~(draw : Random.State.t -> int -> (int * int) list option)
+    ~(member : int -> (int * int) list -> bool) (n : int) : int * int =
+  let hits = ref 0 in
+  let dropped = ref 0 in
+  for _ = 1 to n do
+    Budget.tick_opt budget;
+    let i = Sampler.weighted_choice st weighted in
+    let rec attempt rotation =
+      let state = if rotation = 0 then st else rotate rotation in
+      match draw state i with
+      | Some answer -> Some answer
+      | None -> if rotation >= max_rotations then None else attempt (rotation + 1)
+    in
+    match attempt 0 with
+    | None -> incr dropped
+    | Some answer ->
+        (* is i the first disjunct containing this answer? *)
+        let first = ref true in
+        for j = 0 to i - 1 do
+          if !first && member j answer then first := false
+        done;
+        if !first then incr hits
+  done;
+  (!hits, !dropped)
+
+(** [estimate_with ?seed ?budget ?pool ~samples ~counts ~draw ~member ()]
+    is the estimator core over an abstract per-disjunct sampler: [counts]
+    are the exact per-disjunct cardinalities, [draw st i] attempts one
+    draw from disjunct [i], [member j a] tests [a ∈ Ans(Ψ_j → D)].  The
+    public {!estimate} instantiates it with {!Sampler}s; tests instantiate
+    it with fault-injecting samplers to exercise the dropped-draw
+    accounting. *)
+let estimate_with ?(seed = 0xACE) ?(budget : Budget.t option)
+    ?(pool : Pool.t option) ~(samples : int) ~(counts : int list)
+    ~(draw : Random.State.t -> int -> (int * int) list option)
+    ~(member : int -> (int * int) list -> bool) () : estimate =
+  let space = Listx.sum counts in
+  if space = 0 then { value = 0.; samples = 0; space = 0; hits = 0; dropped = 0 }
+  else begin
+    let weighted =
+      List.mapi (fun i c -> (i, c)) counts |> List.filter (fun (_, c) -> c > 0)
+    in
+    let finish (hits : int) (dropped : int) : estimate =
+      (* unbiased denominator: only draws that produced a sample carry
+         information about the hit frequency *)
+      let successes = samples - dropped in
+      let value =
+        if successes = 0 then 0.
+        else
+          float_of_int space *. float_of_int hits /. float_of_int successes
+      in
+      { value; samples; space; hits; dropped }
+    in
+    if not (Pool.is_parallel pool) then begin
+      (* the pre-pool sequential path, bit-for-bit: one state drives
+         choice and draws; retries rotate the base seed *)
+      let st = Random.State.make [| seed |] in
+      let rotate r = Random.State.make [| seed lxor (0x9E3779B9 * r) |] in
+      let hits, dropped =
+        sample_loop ?budget ~st ~rotate ~weighted ~draw ~member samples
+      in
+      finish hits dropped
+    end
+    else begin
+      (* chunked: the sample budget splits into one chunk per worker, each
+         with a state derived from (seed, chunk) only — a fixed
+         (seed, jobs) pair is reproducible under any scheduling *)
+      let p = Option.get pool in
+      let jobs = Pool.jobs p in
+      let run_chunk c =
+        let n = (samples * (c + 1) / jobs) - (samples * c / jobs) in
+        let st = Random.State.make [| seed; c; 0x4B4C |] in
+        let rotate r = Random.State.make [| seed; c; 0x4B4C; r |] in
+        sample_loop ?budget ~st ~rotate ~weighted ~draw ~member n
+      in
+      let per_chunk = Pool.run p ?budget ~f:run_chunk jobs in
+      let hits = Array.fold_left (fun acc (h, _) -> acc + h) 0 per_chunk in
+      let dropped = Array.fold_left (fun acc (_, d) -> acc + d) 0 per_chunk in
+      finish hits dropped
+    end
+  end
+
+(** [estimate ?seed ?budget ?pool ~samples psi d] runs the estimator with
+    a fixed sample budget.  A resource budget, when given, is ticked once
     per sample, so the sampling loop participates in deadline/step
     enforcement like every other engine.  A degenerate draw (an empty
     sample from a disjunct, which can only arise from a pathological
     sampler state) is retried under a deterministically rotated seed a
-    bounded number of times rather than silently diluting the estimate. *)
-let estimate ?(seed = 0xACE) ?(budget : Budget.t option) ~(samples : int)
-    (psi : Ucq.t) (d : Structure.t) : estimate =
-  let st = Random.State.make [| seed |] in
+    bounded number of times, then dropped from the denominator. *)
+let estimate ?(seed = 0xACE) ?(budget : Budget.t option)
+    ?(pool : Pool.t option) ~(samples : int) (psi : Ucq.t) (d : Structure.t) :
+    estimate =
   let disjuncts = Ucq.disjuncts psi in
-  let samplers = List.map (fun q -> Sampler.make q d) disjuncts in
-  let counts = List.map Sampler.cardinality samplers in
-  let space = Listx.sum counts in
-  if space = 0 then { value = 0.; samples = 0; space = 0; hits = 0 }
-  else begin
-    let members =
-      Array.of_list (List.map (fun q -> membership_oracle q d) disjuncts)
-    in
-    let samplers = Array.of_list samplers in
-    let weighted =
-      List.mapi (fun i c -> (i, c)) counts |> List.filter (fun (_, c) -> c > 0)
-    in
-    (* seed-rotation retry: draw from a fresh state derived from the base
-       seed and the rotation round, keeping the run deterministic *)
-    let max_rotations = 3 in
-    let rec draw_rotated i rotation =
-      let state =
-        if rotation = 0 then st
-        else Random.State.make [| seed lxor (0x9E3779B9 * rotation) |]
-      in
-      match Sampler.draw state samplers.(i) with
-      | Some answer -> Some answer
-      | None ->
-          if rotation >= max_rotations then None
-          else draw_rotated i (rotation + 1)
-    in
-    let hits = ref 0 in
-    for _ = 1 to samples do
-      Budget.tick_opt budget;
-      let i = Sampler.weighted_choice st weighted in
-      match draw_rotated i 0 with
-      | None -> ()
-      | Some answer ->
-          (* is i the first disjunct containing this answer? *)
-          let first = ref true in
-          for j = 0 to i - 1 do
-            if !first && members.(j) answer then first := false
-          done;
-          if !first then incr hits
-    done;
-    {
-      value = float_of_int space *. float_of_int !hits /. float_of_int samples;
-      samples;
-      space;
-      hits = !hits;
-    }
-  end
+  let samplers = Array.of_list (List.map (fun q -> Sampler.make q d) disjuncts) in
+  let counts = Array.to_list (Array.map Sampler.cardinality samplers) in
+  let members =
+    Array.of_list (List.map (fun q -> membership_oracle q d) disjuncts)
+  in
+  estimate_with ~seed ?budget ?pool ~samples ~counts
+    ~draw:(fun st i -> Sampler.draw st samplers.(i))
+    ~member:(fun j answer -> members.(j) answer)
+    ()
 
 (** [fpras ?seed ~epsilon ~delta psi d] chooses the sample budget from the
     accuracy parameters: [⌈ 4 ℓ ln(2/δ) / ε² ⌉] samples give an (ε, δ)
     guarantee (standard Karp–Luby analysis: the hit probability is at least
     [1/ℓ]). *)
-let fpras ?(seed = 0xACE) ?(budget : Budget.t option) ~(epsilon : float)
-    ~(delta : float) (psi : Ucq.t) (d : Structure.t) : estimate =
+let fpras ?(seed = 0xACE) ?(budget : Budget.t option) ?(pool : Pool.t option)
+    ~(epsilon : float) ~(delta : float) (psi : Ucq.t) (d : Structure.t) :
+    estimate =
   if epsilon <= 0. || delta <= 0. then invalid_arg "Karp_luby.fpras";
   let l = float_of_int (Ucq.length psi) in
   let samples =
     int_of_float (ceil (4. *. l *. log (2. /. delta) /. (epsilon *. epsilon)))
   in
-  estimate ~seed ?budget ~samples psi d
+  estimate ~seed ?budget ?pool ~samples psi d

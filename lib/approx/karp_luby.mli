@@ -4,26 +4,60 @@
 
 type estimate = {
   value : float;  (** the estimated [ans(Ψ → D)] *)
-  samples : int;
+  samples : int;  (** requested draws, including dropped ones *)
   space : int;  (** [Σ_i ans(Ψ_i → D)] *)
   hits : int;
+  dropped : int;
+      (** draws that failed after every seed rotation; excluded from the
+          estimator's denominator — only successful draws carry
+          information about the hit frequency *)
 }
 
-(** [estimate ?seed ?budget ~samples psi d] runs the estimator with a
-    fixed sample budget; unbiased, with relative error
+(** [estimate ?seed ?budget ?pool ~samples psi d] runs the estimator with
+    a fixed sample budget; unbiased, with relative error
     [O(sqrt(ℓ / samples))].  A resource budget is ticked once per sample;
     degenerate (empty) draws are retried under deterministically rotated
-    seeds a bounded number of times.
+    seeds a bounded number of times, then dropped (counted in
+    {!estimate.dropped}, not the denominator).  With a parallel [?pool]
+    the sample budget is partitioned into per-worker chunks whose random
+    states derive from [(seed, chunk)] alone, so a fixed [(seed, jobs)]
+    pair reproduces the estimate exactly under any scheduling; [jobs = 1]
+    (or no pool) is the original single-state loop, bit-for-bit.
     @raise Budget.Exhausted when the resource budget runs out mid-loop. *)
 val estimate :
-  ?seed:int -> ?budget:Budget.t -> samples:int -> Ucq.t -> Structure.t -> estimate
+  ?seed:int ->
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  samples:int ->
+  Ucq.t ->
+  Structure.t ->
+  estimate
 
-(** [fpras ?seed ?budget ~epsilon ~delta psi d] derives the sample budget
-    [⌈4 ℓ ln(2/δ) / ε²⌉] for an (ε, δ)-guarantee.
+(** [estimate_with ?seed ?budget ?pool ~samples ~counts ~draw ~member ()]
+    is the estimator core over an abstract sampler: [counts] lists the
+    exact per-disjunct cardinalities, [draw st i] attempts one draw from
+    disjunct [i] ([None] = degenerate draw, retried then dropped), and
+    [member j a] tests [a ∈ Ans(Ψ_j → D)].  {!estimate} instantiates it
+    with {!Sampler}s; exposed so tests can inject failing samplers and
+    check the dropped-draw accounting. *)
+val estimate_with :
+  ?seed:int ->
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  samples:int ->
+  counts:int list ->
+  draw:(Random.State.t -> int -> (int * int) list option) ->
+  member:(int -> (int * int) list -> bool) ->
+  unit ->
+  estimate
+
+(** [fpras ?seed ?budget ?pool ~epsilon ~delta psi d] derives the sample
+    budget [⌈4 ℓ ln(2/δ) / ε²⌉] for an (ε, δ)-guarantee.
     @raise Invalid_argument for non-positive parameters. *)
 val fpras :
   ?seed:int ->
   ?budget:Budget.t ->
+  ?pool:Pool.t ->
   epsilon:float ->
   delta:float ->
   Ucq.t ->

@@ -44,14 +44,14 @@ let default_delta = 0.05
     [Error (Budget_exhausted _)]. *)
 let count ?strategy ?(via = Expansion) ?(fallback = true)
     ?(epsilon = default_epsilon) ?(delta = default_delta) ?seed
-    ~(budget : Budget.t) (psi : Ucq.t) (d : Structure.t) :
-    (count_outcome, Ucqc_error.t) result =
+    ?(pool : Pool.t option) ~(budget : Budget.t) (psi : Ucq.t)
+    (d : Structure.t) : (count_outcome, Ucqc_error.t) result =
   let exact () =
     match via with
-    | Expansion -> Ucq.count_via_expansion ?strategy ~budget psi d
+    | Expansion -> Ucq.count_via_expansion ?strategy ~budget ?pool psi d
     | Inclusion_exclusion ->
-        Ucq.count_inclusion_exclusion ?strategy ~budget psi d
-    | Naive -> Ucq.count_naive ~budget psi d
+        Ucq.count_inclusion_exclusion ?strategy ~budget ?pool psi d
+    | Naive -> Ucq.count_naive ~budget ?pool psi d
   in
   match guard (fun () -> Budget.run budget ~phase:"count" exact) with
   | Error e -> Error e
@@ -60,20 +60,20 @@ let count ?strategy ?(via = Expansion) ?(fallback = true)
       if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
       else
         guard (fun () ->
-            let est = Karp_luby.fpras ?seed ~epsilon ~delta psi d in
+            let est = Karp_luby.fpras ?seed ?pool ~epsilon ~delta psi d in
             Approximate
               { value = est.Karp_luby.value; epsilon; delta; exhausted })
 
 (** [approx ?seed ~epsilon ~delta ~budget psi d] runs the Karp–Luby
     estimator under [budget] directly (no further fallback exists below
     it). *)
-let approx ?seed ~(epsilon : float) ~(delta : float) ~(budget : Budget.t)
-    (psi : Ucq.t) (d : Structure.t) :
+let approx ?seed ?(pool : Pool.t option) ~(epsilon : float)
+    ~(delta : float) ~(budget : Budget.t) (psi : Ucq.t) (d : Structure.t) :
     (Karp_luby.estimate, Ucqc_error.t) result =
   match
     guard (fun () ->
         Budget.run budget ~phase:"approx" (fun () ->
-            Karp_luby.fpras ?seed ~budget ~epsilon ~delta psi d))
+            Karp_luby.fpras ?seed ?pool ~budget ~epsilon ~delta psi d))
   with
   | Error e -> Error e
   | Ok (Ok est) -> Ok est
@@ -94,12 +94,13 @@ type treewidth_outcome =
 (** [treewidth ?fallback ~budget g] computes exact treewidth by branch and
     bound; on exhaustion it degrades to the polynomial
     minor-min-width/min-fill bound pair [lower ≤ tw(g) ≤ upper]. *)
-let treewidth ?(fallback = true) ~(budget : Budget.t) (g : Graph.t) :
+let treewidth ?(fallback = true) ?(pool : Pool.t option)
+    ~(budget : Budget.t) (g : Graph.t) :
     (treewidth_outcome, Ucqc_error.t) result =
   match
     guard (fun () ->
         Budget.run budget ~phase:"treewidth" (fun () ->
-            Treewidth.treewidth ~budget g))
+            Treewidth.treewidth ~budget ?pool g))
   with
   | Error e -> Error e
   | Ok (Ok w) -> Ok (Exact_width w)
@@ -128,12 +129,13 @@ type dimension_outcome =
     bound pair.  (The fallback re-runs the [2^ℓ] expansion un-budgeted:
     exhaustion almost always happens in the per-term exact treewidth, and
     the expansion itself is small for query-sized [ℓ].) *)
-let wl_dimension ?(fallback = true) ~(budget : Budget.t) (psi : Ucq.t) :
+let wl_dimension ?(fallback = true) ?(pool : Pool.t option)
+    ~(budget : Budget.t) (psi : Ucq.t) :
     (dimension_outcome, Ucqc_error.t) result =
   match
     guard (fun () ->
         Budget.run budget ~phase:"wl-dimension" (fun () ->
-            Wl_dimension.exact ~budget psi))
+            Wl_dimension.exact ~budget ?pool psi))
   with
   | Error e -> Error e
   | Ok (Ok k) -> Ok (Exact_dim k)
@@ -151,11 +153,12 @@ let wl_dimension ?(fallback = true) ~(budget : Budget.t) (psi : Ucq.t) :
 (** [decide_meta ~budget psi] runs the META decision procedure.  There is
     no approximate substitute for a yes/no classification, so exhaustion
     is always an error. *)
-let decide_meta ~(budget : Budget.t) (psi : Ucq.t) :
-    (Meta.decision, Ucqc_error.t) result =
+let decide_meta ?(pool : Pool.t option) ~(budget : Budget.t) (psi : Ucq.t)
+    : (Meta.decision, Ucqc_error.t) result =
   match
     guard (fun () ->
-        Budget.run budget ~phase:"meta" (fun () -> Meta.decide ~budget psi))
+        Budget.run budget ~phase:"meta" (fun () ->
+            Meta.decide ~budget ?pool psi))
   with
   | Error e -> Error e
   | Ok (Ok d) -> Ok d

@@ -50,6 +50,7 @@ val count :
   ?epsilon:float ->
   ?delta:float ->
   ?seed:int ->
+  ?pool:Pool.t ->
   budget:Budget.t ->
   Ucq.t ->
   Structure.t ->
@@ -60,6 +61,7 @@ val count :
     degrade to). *)
 val approx :
   ?seed:int ->
+  ?pool:Pool.t ->
   epsilon:float ->
   delta:float ->
   budget:Budget.t ->
@@ -75,6 +77,7 @@ type treewidth_outcome =
 
 val treewidth :
   ?fallback:bool ->
+  ?pool:Pool.t ->
   budget:Budget.t ->
   Graph.t ->
   (treewidth_outcome, Ucqc_error.t) result
@@ -87,6 +90,7 @@ type dimension_outcome =
 
 val wl_dimension :
   ?fallback:bool ->
+  ?pool:Pool.t ->
   budget:Budget.t ->
   Ucq.t ->
   (dimension_outcome, Ucqc_error.t) result
@@ -94,7 +98,7 @@ val wl_dimension :
 (** {2 META} *)
 
 val decide_meta :
-  budget:Budget.t -> Ucq.t -> (Meta.decision, Ucqc_error.t) result
+  ?pool:Pool.t -> budget:Budget.t -> Ucq.t -> (Meta.decision, Ucqc_error.t) result
 
 (** {2 Exit codes}
 

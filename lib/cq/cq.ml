@@ -73,9 +73,11 @@ let drop_isolated_quantified (q : t) : t =
   in
   { structure = Structure.delete_elements q.structure iso; free = q.free }
 
-(** [treewidth ?budget q] is the treewidth of the Gaifman graph of [A]. *)
-let treewidth ?(budget : Budget.t option) (q : t) : int =
-  Structure.treewidth ?budget q.structure
+(** [treewidth ?budget ?pool q] is the treewidth of the Gaifman graph of
+    [A]. *)
+let treewidth ?(budget : Budget.t option) ?(pool : Pool.t option) (q : t) :
+    int =
+  Structure.treewidth ?budget ?pool q.structure
 
 (** [is_free_connex q] decides free-connexity: the query is acyclic and
     remains acyclic after adding the free-variable set as an extra

@@ -44,7 +44,7 @@ val drop_isolated_quantified : t -> t
 
 (** [treewidth ?budget q] is the treewidth of the Gaifman graph of [A].
     @raise Budget.Exhausted when the budget runs out mid-search. *)
-val treewidth : ?budget:Budget.t -> t -> int
+val treewidth : ?budget:Budget.t -> ?pool:Pool.t -> t -> int
 
 (** [is_free_connex q] decides free-connexity (footnote 2 of the paper):
     acyclic, and still acyclic after adding the free set as a hyperedge. *)

@@ -17,27 +17,37 @@ type strategy = Auto | Naive | Yannakakis | Treedec | Weighted | Varelim
 
 exception Unsupported of string
 
-(** [count ?strategy ?budget q d] is [ans((A, X) → D)].  The budget is
-    threaded into the engines with super-linear worst cases ([Naive]
+(** [count ?strategy ?budget ?pool q d] is [ans((A, X) → D)].  The budget
+    is threaded into the engines with super-linear worst cases ([Naive]
     assignment enumeration, the variable-elimination joins); the
     linear-time join-tree counter only re-checks the limits on entry.
+    [Naive] enumerates the [|D|^|X|] assignments lazily (never
+    materialising the product) and, given a parallel pool, sweeps index
+    ranges of the assignment space on the worker domains.
     @raise Unsupported when a forced strategy does not apply to [q].
     @raise Budget.Exhausted when the budget runs out mid-count. *)
-let count ?(strategy = Auto) ?(budget : Budget.t option) (q : Cq.t)
-    (d : Structure.t) : int =
+let count ?(strategy = Auto) ?(budget : Budget.t option)
+    ?(pool : Pool.t option) (q : Cq.t) (d : Structure.t) : int =
   Budget.check_opt budget;
   let quantifier_free = Cq.is_quantifier_free q in
   match strategy with
   | Naive ->
       let x = Cq.free q in
+      let k = List.length x in
       let dom = Structure.universe d in
-      let assignments = Combinat.tuples (List.length x) dom in
-      List.length
-        (List.filter
-           (fun tup ->
-             Budget.tick_opt budget;
-             Hom.exists ?budget ~fixed:(List.combine x tup) (Cq.structure q) d)
-           assignments)
+      let is_answer tup =
+        Budget.tick_opt budget;
+        Hom.exists ?budget ~fixed:(List.combine x tup) (Cq.structure q) d
+      in
+      if not (Pool.is_parallel pool) then
+        Seq.fold_left
+          (fun acc tup -> if is_answer tup then acc + 1 else acc)
+          0
+          (Combinat.tuples_seq k dom)
+      else
+        Pool.count_range (Option.get pool) ?budget
+          ~total:(Combinat.num_tuples k dom)
+          (fun idx -> is_answer (Combinat.tuple_of_index k dom idx))
   | Yannakakis -> begin
       if not quantifier_free then
         raise (Unsupported "Yannakakis counting requires a quantifier-free query");

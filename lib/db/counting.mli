@@ -13,10 +13,13 @@ type strategy =
 
 exception Unsupported of string
 
-(** [count ?strategy ?budget q d] is [ans((A, X) → D)].
+(** [count ?strategy ?budget ?pool q d] is [ans((A, X) → D)].  [Naive]
+    enumerates assignments lazily and sweeps index ranges on a parallel
+    [?pool]; [jobs = 1] (or no pool) is the bit-for-bit sequential path.
     @raise Unsupported when a forced strategy does not apply to [q].
     @raise Budget.Exhausted when the supplied budget runs out. *)
-val count : ?strategy:strategy -> ?budget:Budget.t -> Cq.t -> Structure.t -> int
+val count :
+  ?strategy:strategy -> ?budget:Budget.t -> ?pool:Pool.t -> Cq.t -> Structure.t -> int
 
 (** [count_big q d] is the exact arbitrary-precision variant with [Auto]
     dispatch. *)

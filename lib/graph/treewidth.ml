@@ -168,25 +168,63 @@ let lower_bound (g : Graph.t) : int =
 (* Exact treewidth: branch and bound over elimination orders          *)
 (* ------------------------------------------------------------------ *)
 
+(** [is_clique adj s] — is [s] a clique in the filled graph [adj]? *)
+let is_clique (adj : Intset.t array) (s : Intset.t) : bool =
+  let l = Intset.to_list s in
+  let rec go = function
+    | [] -> true
+    | a :: rest -> List.for_all (fun b -> Intset.mem b adj.(a)) rest && go rest
+  in
+  go l
+
+(** Root candidates for the branch and bound: the simplicial-vertex rule
+    applied to the full graph (a vertex whose neighbourhood is a clique
+    can be eliminated first without loss), else every vertex. *)
+let root_candidates (adj : Intset.t array) (alive : Intset.t) : int list =
+  let remaining = Intset.to_list alive in
+  match
+    List.find_opt (fun v -> is_clique adj (Intset.inter adj.(v) alive)) remaining
+  with
+  | Some v -> [ v ]
+  | None -> remaining
+
 (** State for the branch-and-bound search: a mutable filled graph plus the
     set of remaining vertices.  The budget is ticked once per expanded
     search node, so an [of_steps] budget cuts the exponential search at a
-    deterministic point. *)
-let exact_order ?(budget : Budget.t option) (g : Graph.t) : int list =
+    deterministic point.
+
+    With a parallel [?pool], the root-level branches (one per candidate
+    first-eliminated vertex) run on the worker domains, pruning through a
+    shared atomic best bound; each branch copies the adjacency before
+    mutating, and the root adjacency stays read-only.  The treewidth
+    {e value} is the exact minimum either way; the witnessing order may
+    depend on which branch lowered the bound first.  Without a pool (or
+    with [jobs = 1]) the depth-first search is the sequential original,
+    bit-for-bit, including its [Budget.tick] order. *)
+let exact_order ?(budget : Budget.t option) ?(pool : Pool.t option)
+    (g : Graph.t) : int list =
   let n = Graph.num_vertices g in
   if n = 0 then []
   else begin
     let ub, _ = heuristic g in
-    let best_width = ref ub in
+    (* the shared bound: an atomic read is free sequentially and makes the
+       cross-branch pruning sound when root branches race on domains *)
+    let best_width = Atomic.make ub in
+    let best_lock = Mutex.create () in
     let best_order = ref (heuristic_order Min_fill g) in
+    let bound () = Atomic.get best_width in
+    let record (width : int) (order : int list) : unit =
+      Mutex.protect best_lock (fun () ->
+          if width < Atomic.get best_width then begin
+            Atomic.set best_width width;
+            best_order := order
+          end)
+    in
     (* Depth-first search over elimination prefixes. *)
     let rec search (adj : Intset.t array) (alive : Intset.t) (width_so_far : int)
         (prefix : int list) : unit =
       if Intset.is_empty alive then begin
-        if width_so_far < !best_width then begin
-          best_width := width_so_far;
-          best_order := List.rev prefix
-        end
+        if width_so_far < bound () then record width_so_far (List.rev prefix)
       end
       else begin
         (* Lower bound on the completion: minor-min-width of the remainder. *)
@@ -199,53 +237,58 @@ let exact_order ?(budget : Budget.t option) (g : Graph.t) : int list =
            !acc)) remaining in
         ignore map;
         let lb = max width_so_far (lower_bound sub) in
-        if lb < !best_width then begin
+        if lb < bound () then begin
           (* Simplicial-vertex rule: a vertex whose live neighbourhood is a
              clique can always be eliminated first, without loss. *)
-          let live_nbrs v = Intset.inter adj.(v) alive in
-          let is_clique s =
-            let l = Intset.to_list s in
-            let rec go = function
-              | [] -> true
-              | a :: rest -> List.for_all (fun b -> Intset.mem b adj.(a)) rest && go rest
-            in
-            go l
-          in
           let simplicial =
-            List.find_opt (fun v -> is_clique (live_nbrs v)) remaining
+            List.find_opt
+              (fun v -> is_clique adj (Intset.inter adj.(v) alive))
+              remaining
           in
           let candidates =
             match simplicial with Some v -> [ v ] | None -> remaining
           in
-          List.iter
-            (fun v ->
-              Budget.tick_opt budget;
-              let nbrs = live_nbrs v in
-              let deg = Intset.cardinal nbrs in
-              let new_width = max width_so_far deg in
-              if new_width < !best_width then begin
-                (* eliminate v on a copied adjacency *)
-                let adj' = Array.copy adj in
-                let nl = Intset.to_list nbrs in
-                let rec cliqueify = function
-                  | [] -> ()
-                  | a :: rest ->
-                      List.iter
-                        (fun b ->
-                          adj'.(a) <- Intset.add b adj'.(a);
-                          adj'.(b) <- Intset.add a adj'.(b))
-                        rest;
-                      cliqueify rest
-                in
-                cliqueify nl;
-                search adj' (Intset.remove v alive) new_width (v :: prefix)
-              end)
-            candidates
+          List.iter (expand adj alive width_so_far prefix) candidates
         end
+      end
+    (* expand one branch: eliminate [v] on a copied adjacency and recurse *)
+    and expand (adj : Intset.t array) (alive : Intset.t) (width_so_far : int)
+        (prefix : int list) (v : int) : unit =
+      Budget.tick_opt budget;
+      let nbrs = Intset.inter adj.(v) alive in
+      let deg = Intset.cardinal nbrs in
+      let new_width = max width_so_far deg in
+      if new_width < bound () then begin
+        let adj' = Array.copy adj in
+        let nl = Intset.to_list nbrs in
+        let rec cliqueify = function
+          | [] -> ()
+          | a :: rest ->
+              List.iter
+                (fun b ->
+                  adj'.(a) <- Intset.add b adj'.(a);
+                  adj'.(b) <- Intset.add a adj'.(b))
+                rest;
+              cliqueify rest
+        in
+        cliqueify nl;
+        search adj' (Intset.remove v alive) new_width (v :: prefix)
       end
     in
     let adj0 = Array.init n (fun v -> Graph.neighbours g v) in
-    search adj0 (Intset.of_list (Graph.vertices g)) 0 [];
+    let alive0 = Intset.of_list (Graph.vertices g) in
+    if not (Pool.is_parallel pool) then search adj0 alive0 0 []
+    else begin
+      (* root-level branching: one pool task per candidate first vertex *)
+      let lb0 = lower_bound g in
+      if lb0 < bound () then begin
+        let candidates = Array.of_list (root_candidates adj0 alive0) in
+        ignore
+          (Pool.run (Option.get pool) ?budget
+             ~f:(fun i -> expand adj0 alive0 0 [] candidates.(i))
+             (Array.length candidates))
+      end
+    end;
     !best_order
   end
 
@@ -255,15 +298,18 @@ let exact_order ?(budget : Budget.t option) (g : Graph.t) : int list =
     budget, raises {!Budget.Exhausted} when the search is cut — callers
     wanting graceful degradation catch it at the engine boundary and fall
     back to {!heuristic}. *)
-let exact ?(budget : Budget.t option) (g : Graph.t) : int * Treedec.t =
+let exact ?(budget : Budget.t option) ?(pool : Pool.t option) (g : Graph.t) :
+    int * Treedec.t =
   if Graph.num_vertices g = 0 then (-1, { Treedec.bags = [||]; tree = [] })
   else begin
-    let order = exact_order ?budget g in
+    let order = exact_order ?budget ?pool g in
     let d = Treedec.of_elimination_order g order in
     (Treedec.width d, d)
   end
 
-(** [treewidth ?budget g] is the exact treewidth as an integer (convention:
-    the empty graph has treewidth [-1], matching [max bag - 1]). *)
-let treewidth ?(budget : Budget.t option) (g : Graph.t) : int =
-  fst (exact ?budget g)
+(** [treewidth ?budget ?pool g] is the exact treewidth as an integer
+    (convention: the empty graph has treewidth [-1], matching
+    [max bag - 1]). *)
+let treewidth ?(budget : Budget.t option) ?(pool : Pool.t option) (g : Graph.t)
+    : int =
+  fst (exact ?budget ?pool g)

@@ -17,18 +17,22 @@ val heuristic : Graph.t -> int * Treedec.t
 (** [lower_bound g] is the minor-min-width lower bound. *)
 val lower_bound : Graph.t -> int
 
-(** [exact_order ?budget g] is an optimal elimination order, found by
-    QuickBB-style branch and bound (simplicial-vertex rule,
+(** [exact_order ?budget ?pool g] is an optimal elimination order, found
+    by QuickBB-style branch and bound (simplicial-vertex rule,
     minor-min-width pruning).  Exponential; intended for query-sized
     graphs.  The budget, when given, is ticked once per expanded search
-    node and raises {!Budget.Exhausted} when spent. *)
-val exact_order : ?budget:Budget.t -> Graph.t -> int list
+    node and raises {!Budget.Exhausted} when spent.  A parallel [?pool]
+    runs the root-level branches on worker domains with a shared atomic
+    best bound: the width found is the exact minimum regardless of
+    scheduling, though the witnessing order may differ; [jobs = 1] (or no
+    pool) is the sequential search, bit-for-bit. *)
+val exact_order : ?budget:Budget.t -> ?pool:Pool.t -> Graph.t -> int list
 
-(** [exact ?budget g] is the exact treewidth with a witnessing
+(** [exact ?budget ?pool g] is the exact treewidth with a witnessing
     decomposition.
     @raise Budget.Exhausted when the budget runs out mid-search. *)
-val exact : ?budget:Budget.t -> Graph.t -> int * Treedec.t
+val exact : ?budget:Budget.t -> ?pool:Pool.t -> Graph.t -> int * Treedec.t
 
-(** [treewidth ?budget g] is the exact treewidth ([-1] for the empty
+(** [treewidth ?budget ?pool g] is the exact treewidth ([-1] for the empty
     graph). *)
-val treewidth : ?budget:Budget.t -> Graph.t -> int
+val treewidth : ?budget:Budget.t -> ?pool:Pool.t -> Graph.t -> int

@@ -29,19 +29,20 @@ type report = {
 (** [analyze ?with_gamma psi] computes the report; the Γ measures require
     the [2^ℓ] expansion and can be disabled for large unions (they are then
     reported as [-1]). *)
-let analyze ?(with_gamma = true) (psi : Ucq.t) : report =
+let analyze ?(with_gamma = true) ?(pool : Pool.t option) (psi : Ucq.t) :
+    report =
   let combined = Ucq.combined_all psi in
   let gamma_max_tw, gamma_max_contract_tw =
     if with_gamma then
       List.fold_left
         (fun (tw, ctw) (t : Ucq.expansion_term) ->
-          ( max tw (Cq.treewidth t.representative),
+          ( max tw (Cq.treewidth ?pool t.representative),
             max ctw (Cq.contract_treewidth t.representative) ))
-        (-1, -1) (Ucq.support psi)
+        (-1, -1) (Ucq.support ?pool psi)
     else (-1, -1)
   in
   {
-    combined_tw = Cq.treewidth combined;
+    combined_tw = Cq.treewidth ?pool combined;
     combined_contract_tw = Cq.contract_treewidth combined;
     gamma_max_tw;
     gamma_max_contract_tw;

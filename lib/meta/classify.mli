@@ -14,7 +14,7 @@ type report = {
 
 (** [analyze ?with_gamma psi] computes the report; [with_gamma:false] skips
     the exponential Γ measures (reported as [-1]). *)
-val analyze : ?with_gamma:bool -> Ucq.t -> report
+val analyze : ?with_gamma:bool -> ?pool:Pool.t -> Ucq.t -> report
 
 type verdict = Fpt | W1_hard | Inconclusive
 

@@ -27,13 +27,14 @@ type decision = {
     @raise Invalid_argument if [psi] has quantified variables (META is
     defined for quantifier-free inputs; with quantifiers the meta problem
     is NP-hard even for single CQs, see Section 1.1). *)
-let decide ?(budget : Budget.t option) (psi : Ucq.t) : decision =
+let decide ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : Ucq.t)
+    : decision =
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Meta.decide: input must be quantifier-free";
   let support =
     List.map
       (fun (t : Ucq.expansion_term) -> (t.representative, t.coefficient))
-      (Ucq.support ?budget psi)
+      (Ucq.support ?budget ?pool psi)
   in
   let offending =
     List.filter_map
@@ -44,13 +45,14 @@ let decide ?(budget : Budget.t option) (psi : Ucq.t) : decision =
 
 (** [hereditary_treewidth ?budget psi] is [hdtw(Ψ)] (Definition 57): the
     maximum treewidth over the support of [c_Ψ]. *)
-let hereditary_treewidth ?(budget : Budget.t option) (psi : Ucq.t) : int =
+let hereditary_treewidth ?(budget : Budget.t option) ?(pool : Pool.t option)
+    (psi : Ucq.t) : int =
   List.fold_left
     (fun acc (t : Ucq.expansion_term) ->
       if t.coefficient = 0 then acc
-      else max acc (Cq.treewidth ?budget t.representative))
+      else max acc (Cq.treewidth ?budget ?pool t.representative))
     (-1)
-    (Ucq.expansion ?budget psi)
+    (Ucq.expansion ?budget ?pool psi)
 
 (** [hereditary_treewidth_bounds psi] is the polynomial-per-term variant
     used by the approximation algorithm of Theorem 7: instead of exact
@@ -82,19 +84,19 @@ let hereditary_treewidth_bounds ?(budget : Budget.t option) (psi : Ucq.t) :
 type gap_outcome = Within_c | Beyond_d | Between
 
 (** [gap ?budget ~c ~d psi] classifies [psi] for META[c, d] ([1 ≤ c ≤ d]). *)
-let gap ?(budget : Budget.t option) ~(c : int) ~(d : int) (psi : Ucq.t) :
-    gap_outcome =
+let gap ?(budget : Budget.t option) ?(pool : Pool.t option) ~(c : int)
+    ~(d : int) (psi : Ucq.t) : gap_outcome =
   if c < 1 || d < c then invalid_arg "Meta.gap";
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Meta.gap: input must be quantifier-free";
   if c = 1 then begin
-    if (decide ?budget psi).linear_time then Within_c
+    if (decide ?budget ?pool psi).linear_time then Within_c
     else begin
-      let h = hereditary_treewidth ?budget psi in
+      let h = hereditary_treewidth ?budget ?pool psi in
       if h > d then Beyond_d else Between
     end
   end
   else begin
-    let h = hereditary_treewidth ?budget psi in
+    let h = hereditary_treewidth ?budget ?pool psi in
     if h <= c then Within_c else if h > d then Beyond_d else Between
   end

@@ -17,12 +17,12 @@ type decision = {
     defined for quantifier-free unions; with quantifiers the meta problem
     is NP-hard already for single CQs).
     @raise Budget.Exhausted when the resource budget runs out. *)
-val decide : ?budget:Budget.t -> Ucq.t -> decision
+val decide : ?budget:Budget.t -> ?pool:Pool.t -> Ucq.t -> decision
 
 (** [hereditary_treewidth ?budget psi] is [hdtw(Ψ)] (Definition 57): the
     maximum treewidth over the support of [c_Ψ].
     @raise Budget.Exhausted when the resource budget runs out. *)
-val hereditary_treewidth : ?budget:Budget.t -> Ucq.t -> int
+val hereditary_treewidth : ?budget:Budget.t -> ?pool:Pool.t -> Ucq.t -> int
 
 (** [hereditary_treewidth_bounds ?budget psi] is the polynomial-per-term
     approximation pair [(lo, hi)] with [lo ≤ hdtw(Ψ) ≤ hi] (the Theorem 7
@@ -34,4 +34,5 @@ type gap_outcome = Within_c | Beyond_d | Between
 
 (** [gap ?budget ~c ~d psi] classifies for META[c, d] (Definition 54),
     [1 ≤ c ≤ d], through acyclicity (c = 1) and hereditary treewidth. *)
-val gap : ?budget:Budget.t -> c:int -> d:int -> Ucq.t -> gap_outcome
+val gap :
+  ?budget:Budget.t -> ?pool:Pool.t -> c:int -> d:int -> Ucq.t -> gap_outcome

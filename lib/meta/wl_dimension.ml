@@ -24,15 +24,16 @@ let check_labelled (psi : Ucq.t) : bool =
            (Structure.relations a))
        (Ucq.disjunct_structures psi)
 
-(** [exact ?budget psi] is [dim_WL(Ψ) = hdtw(Ψ)] (Theorem 58).
+(** [exact ?budget ?pool psi] is [dim_WL(Ψ) = hdtw(Ψ)] (Theorem 58).
     @raise Invalid_argument for inputs that are not quantifier-free UCQs on
     labelled graphs. *)
-let exact ?(budget : Budget.t option) (psi : Ucq.t) : int =
+let exact ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : Ucq.t)
+    : int =
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Wl_dimension.exact: input must be quantifier-free";
   if not (check_labelled psi) then
     invalid_arg "Wl_dimension.exact: input must be a UCQ on labelled graphs";
-  Meta.hereditary_treewidth ?budget psi
+  Meta.hereditary_treewidth ?budget ?pool psi
 
 (** [approximate ?budget psi] is the Theorem 7 algorithm: lower and upper
     bounds [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi], each support term handled
@@ -46,8 +47,9 @@ let approximate ?(budget : Budget.t option) (psi : Ucq.t) : int * int =
 
 (** [at_most ?budget k psi] decides [dim_WL(Ψ) ≤ k] (the Theorem 8
     problem). *)
-let at_most ?(budget : Budget.t option) (k : int) (psi : Ucq.t) : bool =
-  exact ?budget psi <= k
+let at_most ?(budget : Budget.t option) ?(pool : Pool.t option) (k : int)
+    (psi : Ucq.t) : bool =
+  exact ?budget ?pool psi <= k
 
 (** [c6_and_2c3 sg] is the classical 1-WL-equivalent, non-isomorphic pair —
     the 6-cycle versus two disjoint triangles, both 2-regular — interpreted

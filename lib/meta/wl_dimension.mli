@@ -9,14 +9,14 @@ val check_labelled : Ucq.t -> bool
     @raise Invalid_argument for non-quantifier-free or non-labelled-graph
     inputs.
     @raise Budget.Exhausted when the resource budget runs out. *)
-val exact : ?budget:Budget.t -> Ucq.t -> int
+val exact : ?budget:Budget.t -> ?pool:Pool.t -> Ucq.t -> int
 
 (** [approximate ?budget psi] is the Theorem 7 regime: polynomial-per-term
     bounds [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi]. *)
 val approximate : ?budget:Budget.t -> Ucq.t -> int * int
 
 (** [at_most ?budget k psi] decides [dim_WL(Ψ) ≤ k]. *)
-val at_most : ?budget:Budget.t -> int -> Ucq.t -> bool
+val at_most : ?budget:Budget.t -> ?pool:Pool.t -> int -> Ucq.t -> bool
 
 (** [c6_and_2c3 sg] is the classical 1-WL-equivalent non-isomorphic pair
     (6-cycle vs two triangles) over the binary symbols of [sg]. *)

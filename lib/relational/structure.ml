@@ -218,9 +218,10 @@ let gaifman (a : t) : Graph.t * int array =
 
 (** [treewidth a] is the treewidth of the Gaifman graph of [a] (Section 2.2:
     "the treewidth of a structure is the treewidth of its Gaifman graph"). *)
-let treewidth ?(budget : Budget.t option) (a : t) : int =
+let treewidth ?(budget : Budget.t option) ?(pool : Pool.t option) (a : t) :
+    int =
   let g, _ = gaifman a in
-  Treewidth.treewidth ?budget g
+  Treewidth.treewidth ?budget ?pool g
 
 (* ------------------------------------------------------------------ *)
 (* Tensor product (Theorem 28)                                        *)

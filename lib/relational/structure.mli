@@ -65,7 +65,7 @@ val gaifman : t -> Graph.t * int array
 
 (** [treewidth ?budget a] is the treewidth of the Gaifman graph (exact).
     @raise Budget.Exhausted when the budget runs out mid-search. *)
-val treewidth : ?budget:Budget.t -> t -> int
+val treewidth : ?budget:Budget.t -> ?pool:Pool.t -> t -> int
 
 (** [tensor a b] is the tensor product [A ⊗ B] of Theorem 28, with the
     pair-encoding function. *)

@@ -11,7 +11,16 @@
 
     Step budgets are fully deterministic: the same input and the same
     [of_steps n] budget always exhaust at the same point, which is what
-    the fault-injection tests rely on (no sleeps, no wall-clock). *)
+    the fault-injection tests rely on (no sleeps, no wall-clock).
+
+    Budgets are domain-safe: every counter is an {!Atomic.t}, so one
+    budget can be shared by all workers of a {!Pool}.  Accounting stays
+    exact — at most [max_steps] ticks ever return normally — and
+    concurrent ticking can overshoot the recorded [steps_done] by at most
+    the number of domains (far below the 256-tick deadline-probe stride).
+    Under a shared budget the {e exhaustion point} is scheduling-dependent
+    when more than one domain runs; single-domain runs keep the
+    deterministic contract bit-for-bit. *)
 
 type t
 

@@ -1,0 +1,109 @@
+(** Fixed-size domain pool: chunked work queue, deterministic reduction,
+    cooperative cancellation through the shared {!Budget}.  See the
+    interface for the contracts. *)
+
+type t = { jobs : int }
+
+let create ~(jobs : int) () : t = { jobs = max 1 jobs }
+let sequential : t = { jobs = 1 }
+let jobs (p : t) : int = p.jobs
+
+let jobs_of_env () : int =
+  match Sys.getenv_opt "UCQC_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+let of_env () : t = create ~jobs:(jobs_of_env ()) ()
+
+(* Sequential evaluation in ascending index order.  [Array.init] leaves
+   the evaluation order unspecified, and the order is part of the jobs = 1
+   contract (budget ticks must fire exactly as in pre-pool code). *)
+let init_in_order (n : int) (f : int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+let run (p : t) ?(budget : Budget.t option) ~(f : int -> 'a) (n : int) :
+    'a array =
+  if n <= 1 || p.jobs <= 1 then init_in_order n f
+  else begin
+    let workers = min p.jobs n in
+    let results = Array.make n None in
+    (* Chunks several times smaller than a fair share load-balance uneven
+       per-item costs; the atomic cursor is the whole queue. *)
+    let chunk = max 1 (n / (workers * 8)) in
+    let next = Atomic.make 0 in
+    let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let body () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failed <> None then continue := false
+        else begin
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n then continue := false
+          else begin
+            let stop = min n (start + chunk) in
+            try
+              for i = start to stop - 1 do
+                results.(i) <- Some (f i)
+              done
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              if Atomic.compare_and_set failed None (Some (e, bt)) then
+                (* cooperative cancellation: wake every worker that ticks
+                   the shared budget; pure workers notice [failed] at
+                   their next chunk *)
+                Option.iter Budget.cancel budget;
+              continue := false
+          end
+        end
+      done
+    in
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn body) in
+    (* the calling domain is the last worker — never idle *)
+    body ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map (p : t) ?budget (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  run p ?budget ~f:(fun i -> f arr.(i)) (Array.length arr)
+
+let fold (p : t) ?budget ~(f : 'a -> 'b) ~(combine : 'acc -> 'b -> 'acc)
+    ~(init : 'acc) (arr : 'a array) : 'acc =
+  Array.fold_left combine init (map p ?budget f arr)
+
+let map_opt (o : t option) ?budget (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  map (Option.value o ~default:sequential) ?budget f arr
+
+let fold_opt (o : t option) ?budget ~f ~combine ~init arr =
+  fold (Option.value o ~default:sequential) ?budget ~f ~combine ~init arr
+
+let is_parallel (o : t option) : bool =
+  match o with None -> false | Some p -> p.jobs > 1
+
+let count_range (p : t) ?budget ~(total : int) (pred : int -> bool) : int =
+  let ranges = max 1 (min total (p.jobs * 8)) in
+  let sweep r =
+    let lo = total * r / ranges and hi = total * (r + 1) / ranges in
+    let count = ref 0 in
+    for idx = lo to hi - 1 do
+      if pred idx then incr count
+    done;
+    !count
+  in
+  fold p ?budget ~f:sweep ~combine:( + ) ~init:0
+    (init_in_order ranges (fun r -> r))

@@ -1,0 +1,91 @@
+(** A fixed-size OCaml 5 domain pool for data-parallel engine loops.
+
+    Every engine the paper states fans out over independent terms — the
+    [2^ℓ] inclusion–exclusion subsets, Karp–Luby sample chunks, naive
+    assignment sweeps, root branches of the treewidth search — and each
+    term is an independent pure computation over immutable structures, so
+    they parallelise across domains without locking.  A {!t} fixes the
+    worker count once (CLI [--jobs] / [UCQC_JOBS]); engines thread it as
+    [?pool] the same way they thread [?budget].
+
+    Contracts:
+    - [jobs = 1] (and an absent [?pool]) is a {e strict sequential
+      fallback}: work runs in the calling domain, in index order, with no
+      domain spawned — bit-for-bit identical to the pre-pool behaviour,
+      including the order of {!Budget.tick}s.
+    - Reduction order is deterministic: {!map} fills a slot per input
+      index and {!fold} combines the slots left-to-right, so the result
+      never depends on domain scheduling (only the {e exhaustion point} of
+      a shared budget does).
+    - Work is distributed through a chunked queue (an atomic next-chunk
+      cursor), so uneven per-item cost load-balances instead of stalling
+      on a static partition.
+    - Cancellation is cooperative: the first exception in any worker
+      {!Budget.cancel}s the shared budget (waking every budget-ticking
+      worker) and poisons the queue; after all domains join, the first
+      exception is re-raised in the caller with its original backtrace, so
+      {!Budget.run} engine boundaries behave exactly as in sequential
+      code. *)
+
+type t
+
+(** [create ~jobs ()] is a pool of [jobs] workers; values below 1 are
+    clamped to 1 (sequential). *)
+val create : jobs:int -> unit -> t
+
+(** [sequential] is [create ~jobs:1 ()]. *)
+val sequential : t
+
+val jobs : t -> int
+
+(** [jobs_of_env ()] reads [UCQC_JOBS] (default 1; malformed or
+    non-positive values fall back to 1). *)
+val jobs_of_env : unit -> int
+
+(** [of_env ()] is [create ~jobs:(jobs_of_env ()) ()]. *)
+val of_env : unit -> t
+
+(** [run pool ?budget ~f n] evaluates [f i] for [0 ≤ i < n] on the pool's
+    domains and returns the results in index order.  The building block
+    under {!map} / {!fold}. *)
+val run : t -> ?budget:Budget.t -> f:(int -> 'a) -> int -> 'a array
+
+(** [map pool ?budget f arr] is [Array.map f arr] evaluated on the pool. *)
+val map : t -> ?budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [fold pool ?budget ~f ~combine ~init arr] maps [f] on the pool and
+    combines the results {e sequentially, left-to-right} — the
+    deterministic-reduction contract. *)
+val fold :
+  t ->
+  ?budget:Budget.t ->
+  f:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+
+(** [map_opt pool ?budget f arr] is {!map} when a pool is present and the
+    plain sequential map otherwise — the engine-side convenience mirroring
+    {!Budget.tick_opt}. *)
+val map_opt : t option -> ?budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b array
+
+val fold_opt :
+  t option ->
+  ?budget:Budget.t ->
+  f:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+
+(** [is_parallel pool] is [true] iff the pool would actually spawn
+    domains ([jobs > 1]).  Engines use it to keep their sequential hot
+    path untouched. *)
+val is_parallel : t option -> bool
+
+(** [count_range pool ?budget ~total pred] counts the indices in
+    [0 .. total − 1] satisfying [pred], sweeping near-equal index ranges
+    on the pool — the chunked backend of the parallel naive assignment
+    sweeps. *)
+val count_range : t -> ?budget:Budget.t -> total:int -> (int -> bool) -> int

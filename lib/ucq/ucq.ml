@@ -4,22 +4,26 @@
     shared set [X] of free variables present in every universe.  As in the
     paper we maintain the convention that distinct disjuncts share only
     their free variables ([U(A_i) ∩ U(A_j) = X] for [i ≠ j]); {!make}
-    renames quantified variables apart to enforce it. *)
+    renames quantified variables apart to enforce it.
+
+    Disjuncts are stored in an array: the [2^ℓ] subset loops of the
+    expansion and inclusion–exclusion counters select disjuncts by index,
+    and list indexing would cost O(ℓ) per selection — O(ℓ²) per subset —
+    inside an exponential loop. *)
 
 module Intset = Intset
 
-type t = { cqs : Structure.t list; free : int list (* sorted *) }
+type t = { cqs : Structure.t array; free : int list (* sorted *) }
 
-let length (psi : t) : int = List.length psi.cqs
+let length (psi : t) : int = Array.length psi.cqs
 let free (psi : t) : int list = psi.free
-let disjunct_structures (psi : t) : Structure.t list = psi.cqs
+let disjunct_structures (psi : t) : Structure.t list = Array.to_list psi.cqs
 
 (** [disjunct psi i] is the [i]-th CQ of the union ([Ψ_i]). *)
-let disjunct (psi : t) (i : int) : Cq.t =
-  Cq.make (List.nth psi.cqs i) psi.free
+let disjunct (psi : t) (i : int) : Cq.t = Cq.make psi.cqs.(i) psi.free
 
 let disjuncts (psi : t) : Cq.t list =
-  List.map (fun a -> Cq.make a psi.free) psi.cqs
+  Array.to_list (Array.map (fun a -> Cq.make a psi.free) psi.cqs)
 
 (** [make cqs] builds a UCQ from conjunctive queries that must all have the
     same free-variable set and signature; quantified variables are renamed
@@ -66,7 +70,7 @@ let make (cqs : Cq.t list) : t =
             Structure.rename a (Hashtbl.find mapping))
           cqs
       in
-      { cqs = structures; free = x }
+      { cqs = Array.of_list structures; free = x }
 
 (** [of_structures structures free] builds a UCQ directly (used by the
     reduction pipeline, whose structures are already renamed apart: their
@@ -76,21 +80,23 @@ let of_structures (structures : Structure.t list) (free : int list) : t =
 
 (** [size psi] is [|Ψ| = Σ_i |Ψ_i|]. *)
 let size (psi : t) : int =
-  List.fold_left (fun acc a -> acc + Structure.size a + List.length psi.free) 0 psi.cqs
+  Array.fold_left
+    (fun acc a -> acc + Structure.size a + List.length psi.free)
+    0 psi.cqs
 
 (** [arity psi] is the maximum relation arity. *)
 let arity (psi : t) : int =
-  List.fold_left
+  Array.fold_left
     (fun acc a -> max acc (Signature.arity (Structure.signature a)))
     0 psi.cqs
 
 let is_quantifier_free (psi : t) : bool =
-  List.for_all (fun a -> Structure.universe a = psi.free) psi.cqs
+  Array.for_all (fun a -> Structure.universe a = psi.free) psi.cqs
 
 (** [num_quantified psi] is the total number of existentially quantified
     variables, [Σ_i |U(A_i) \ X|]. *)
 let num_quantified (psi : t) : int =
-  List.fold_left
+  Array.fold_left
     (fun acc a -> acc + (Structure.universe_size a - List.length psi.free))
     0 psi.cqs
 
@@ -99,7 +105,7 @@ let num_quantified (psi : t) : int =
 let restrict (psi : t) (j : int list) : t =
   let j = Listx.sort_uniq_ints j in
   if j = [] then invalid_arg "Ucq.restrict: empty index set";
-  { cqs = List.map (List.nth psi.cqs) j; free = psi.free }
+  { cqs = Array.of_list (List.map (fun i -> psi.cqs.(i)) j); free = psi.free }
 
 (** [combined psi j] is the combined conjunctive query [∧(Ψ|_J)]
     (Definition 23): the union of the structures of the selected disjuncts
@@ -107,7 +113,7 @@ let restrict (psi : t) (j : int list) : t =
 let combined (psi : t) (j : int list) : Cq.t =
   let j = Listx.sort_uniq_ints j in
   if j = [] then invalid_arg "Ucq.combined: empty index set";
-  let structures = List.map (List.nth psi.cqs) j in
+  let structures = List.map (fun i -> psi.cqs.(i)) j in
   Cq.make (Structure.union_all structures) psi.free
 
 (** [combined_all psi] is [∧(Ψ)]. *)
@@ -131,38 +137,56 @@ let is_union_of_self_join_free (psi : t) : bool =
 (* Counting answers                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(** [count_naive ?budget psi d] iterates all assignments [X → U(D)] and
-    keeps those that are an answer of some disjunct — the reference
+(** [count_naive ?budget ?pool psi d] iterates all assignments [X → U(D)]
+    and keeps those that are an answer of some disjunct — the reference
     oracle.  The budget is ticked once per assignment and threaded into
-    the homomorphism search. *)
-let count_naive ?(budget : Budget.t option) (psi : t) (d : Structure.t) : int =
+    the homomorphism search.  Assignments are enumerated lazily (never
+    materialising the [|D|^|X|] product); with a parallel pool the index
+    space is split into ranges swept by the worker domains. *)
+let count_naive ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t)
+    (d : Structure.t) : int =
   let x = psi.free in
+  let k = List.length x in
   let dom = Structure.universe d in
-  let assignments = Combinat.tuples (List.length x) dom in
-  List.length
-    (List.filter
-       (fun tup ->
-         Budget.tick_opt budget;
-         let fixed = List.combine x tup in
-         List.exists (fun a -> Hom.exists ?budget ~fixed a d) psi.cqs)
-       assignments)
+  let cqs = Array.to_list psi.cqs in
+  let is_answer tup =
+    Budget.tick_opt budget;
+    let fixed = List.combine x tup in
+    List.exists (fun a -> Hom.exists ?budget ~fixed a d) cqs
+  in
+  if not (Pool.is_parallel pool) then
+    Seq.fold_left
+      (fun acc tup -> if is_answer tup then acc + 1 else acc)
+      0
+      (Combinat.tuples_seq k dom)
+  else
+    Pool.count_range (Option.get pool) ?budget
+      ~total:(Combinat.num_tuples k dom)
+      (fun idx -> is_answer (Combinat.tuple_of_index k dom idx))
 
-(** [count_inclusion_exclusion ?strategy ?budget psi d] computes
+(** The nonempty index sets [J ⊆ [ℓ]] in bitmask order — the iteration
+    space shared by the inclusion–exclusion counter and the expansion. *)
+let nonempty_index_sets (psi : t) : int list array =
+  Array.of_list (Combinat.nonempty_subsets (length psi))
+
+(** [count_inclusion_exclusion ?strategy ?budget ?pool psi d] computes
     [ans(Ψ → D) = Σ_{∅≠J} (-1)^(|J|+1) · ans(∧(Ψ|_J) → D)]
     (the proof of Lemma 26), counting each combined query with the given
     per-CQ strategy.  The budget is ticked once per index set [J] and
-    threaded into each per-CQ count. *)
+    threaded into each per-CQ count.  Each signed term is an independent
+    {!Counting.count} call, so a pool fans the [2^ℓ − 1] terms out across
+    domains; the signed sum is reduced in bitmask order regardless of
+    scheduling. *)
 let count_inclusion_exclusion ?(strategy = Counting.Auto)
-    ?(budget : Budget.t option) (psi : t) (d : Structure.t) : int =
-  Combinat.subsets_fold
-    (fun acc j ->
-      match j with
-      | [] -> acc
-      | _ ->
-          Budget.tick_opt budget;
-          let sign = if List.length j mod 2 = 1 then 1 else -1 in
-          acc + (sign * Counting.count ~strategy ?budget (combined psi j) d))
-    0 (length psi)
+    ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t)
+    (d : Structure.t) : int =
+  let term j =
+    Budget.tick_opt budget;
+    let sign = if List.length j mod 2 = 1 then 1 else -1 in
+    sign * Counting.count ~strategy ?budget (combined psi j) d
+  in
+  Pool.fold_opt pool ?budget ~f:term ~combine:( + ) ~init:0
+    (nonempty_index_sets psi)
 
 (* ------------------------------------------------------------------ *)
 (* CQ expansion (Definition 25, Lemma 26)                             *)
@@ -173,42 +197,48 @@ let count_inclusion_exclusion ?(strategy = Counting.Auto)
     [c_Ψ]. *)
 type expansion_term = { representative : Cq.t; coefficient : int }
 
-(** [expansion psi] computes the CQ expansion of [Ψ]: group the combined
-    queries [∧(Ψ|_J)] over all nonempty [J] by #equivalence and sum the
-    signs [(-1)^(|J|+1)].  Representatives are #minimal (they are #cores),
-    so by Lemma 18 grouping by isomorphism of #cores is exactly grouping by
-    #equivalence.  Terms with coefficient [0] are retained; use {!support}
-    for the non-vanishing part.  Runs in time [2^ℓ · poly(|Ψ|)]; the
-    budget is ticked once per index set. *)
-let expansion ?(budget : Budget.t option) (psi : t) : expansion_term list =
+(** [expansion ?budget ?pool psi] computes the CQ expansion of [Ψ]: group
+    the combined queries [∧(Ψ|_J)] over all nonempty [J] by #equivalence
+    and sum the signs [(-1)^(|J|+1)].  Representatives are #minimal (they
+    are #cores), so by Lemma 18 grouping by isomorphism of #cores is
+    exactly grouping by #equivalence.  Terms with coefficient [0] are
+    retained; use {!support} for the non-vanishing part.  Runs in time
+    [2^ℓ · poly(|Ψ|)]; the budget is ticked once per index set.  The
+    per-subset #core computations are independent and run on the pool;
+    the isomorphism grouping is a sequential pass in bitmask order, so
+    the class list is identical for every job count. *)
+let expansion ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t) :
+    expansion_term list =
+  let core_of j =
+    Budget.tick_opt budget;
+    let core = Cq.sharp_core (combined psi j) in
+    let sign = if List.length j mod 2 = 1 then 1 else -1 in
+    (core, sign)
+  in
+  let cores = Pool.map_opt pool ?budget core_of (nonempty_index_sets psi) in
   let classes : (Cq.t * int ref) list ref = ref [] in
-  Combinat.subsets_fold
-    (fun () j ->
-      match j with
-      | [] -> ()
-      | _ ->
-          Budget.tick_opt budget;
-          let core = Cq.sharp_core (combined psi j) in
-          let sign = if List.length j mod 2 = 1 then 1 else -1 in
-          let rec insert = function
-            | [] -> classes := !classes @ [ (core, ref sign) ]
-            | (rep, coeff) :: rest ->
-                (* syntactic equality is a cheap certificate of isomorphism
-                   and the common case in quantifier-free expansions *)
-                if Cq.equal rep core || Cq.isomorphic rep core then
-                  coeff := !coeff + sign
-                else insert rest
-          in
-          insert !classes)
-    () (length psi);
+  Array.iter
+    (fun (core, sign) ->
+      let rec insert = function
+        | [] -> classes := !classes @ [ (core, ref sign) ]
+        | (rep, coeff) :: rest ->
+            (* syntactic equality is a cheap certificate of isomorphism
+               and the common case in quantifier-free expansions *)
+            if Cq.equal rep core || Cq.isomorphic rep core then
+              coeff := !coeff + sign
+            else insert rest
+      in
+      insert !classes)
+    cores;
   List.map
     (fun (rep, coeff) -> { representative = rep; coefficient = !coeff })
     !classes
 
-(** [support ?budget psi] is the expansion restricted to non-zero
+(** [support ?budget ?pool psi] is the expansion restricted to non-zero
     coefficients: the #minimal queries [(A, X)] with [c_Ψ(A, X) ≠ 0]. *)
-let support ?(budget : Budget.t option) (psi : t) : expansion_term list =
-  List.filter (fun t -> t.coefficient <> 0) (expansion ?budget psi)
+let support ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t) :
+    expansion_term list =
+  List.filter (fun t -> t.coefficient <> 0) (expansion ?budget ?pool psi)
 
 (** [coefficient psi q] is [c_Ψ(A, X)] for a conjunctive query [q]
     (Definition 25): the signed number of index sets whose combined query is
@@ -221,19 +251,22 @@ let coefficient (psi : t) (q : Cq.t) : int =
       else acc)
     0 (expansion psi)
 
-(** [count_via_expansion ?strategy ?budget psi d] evaluates the linear
-    combination of Lemma 26 term by term:
-    [Σ c_Ψ(A,X) · ans((A,X) → D)]. *)
+(** [count_via_expansion ?strategy ?budget ?pool psi d] evaluates the
+    linear combination of Lemma 26 term by term:
+    [Σ c_Ψ(A,X) · ans((A,X) → D)].  Each surviving term is an independent
+    {!Counting.count} call fanned out on the pool. *)
 let count_via_expansion ?(strategy = Counting.Auto) ?(budget : Budget.t option)
-    (psi : t) (d : Structure.t) : int =
-  List.fold_left
-    (fun acc (term : expansion_term) ->
-      if term.coefficient = 0 then acc
-      else
-        acc
-        + term.coefficient * Counting.count ~strategy ?budget term.representative d)
-    0
-    (expansion ?budget psi)
+    ?(pool : Pool.t option) (psi : t) (d : Structure.t) : int =
+  let terms =
+    Array.of_list
+      (List.filter
+         (fun (t : expansion_term) -> t.coefficient <> 0)
+         (expansion ?budget ?pool psi))
+  in
+  Pool.fold_opt pool ?budget
+    ~f:(fun (term : expansion_term) ->
+      term.coefficient * Counting.count ~strategy ?budget term.representative d)
+    ~combine:( + ) ~init:0 terms
 
 (** [is_exhaustively_q_hierarchical psi] checks the Berkholz–Keppeler–
     Schweikardt criterion for constant-delay dynamic counting of UCQs
@@ -286,17 +319,19 @@ let count_inclusion_exclusion_big (psi : t) (d : Structure.t) : Bigint.t =
     evaluating the stored support terms. *)
 type compiled = { query : t; terms : expansion_term list }
 
-(** [compile psi] precomputes the expansion support. *)
-let compile (psi : t) : compiled = { query = psi; terms = support psi }
+(** [compile ?pool psi] precomputes the expansion support. *)
+let compile ?(pool : Pool.t option) (psi : t) : compiled =
+  { query = psi; terms = support ?pool psi }
 
 (** [compiled_support c] exposes the precomputed support. *)
 let compiled_support (c : compiled) : expansion_term list = c.terms
 
-(** [count_compiled ?strategy c d] evaluates the stored linear combination
-    on [d]. *)
-let count_compiled ?(strategy = Counting.Auto) (c : compiled) (d : Structure.t)
-    : int =
-  List.fold_left
-    (fun acc (t : expansion_term) ->
-      acc + (t.coefficient * Counting.count ~strategy t.representative d))
-    0 c.terms
+(** [count_compiled ?strategy ?pool c d] evaluates the stored linear
+    combination on [d], one pool task per surviving term. *)
+let count_compiled ?(strategy = Counting.Auto) ?(pool : Pool.t option)
+    (c : compiled) (d : Structure.t) : int =
+  Pool.fold_opt pool
+    ~f:(fun (t : expansion_term) ->
+      t.coefficient * Counting.count ~strategy t.representative d)
+    ~combine:( + ) ~init:0
+    (Array.of_list c.terms)

@@ -53,16 +53,25 @@ val is_union_of_self_join_free : t -> bool
 
 (** {2 Counting answers} *)
 
-(** [count_naive ?budget psi d] enumerates assignments — the reference
-    oracle.  Every budgeted counter in this module raises
+(** [count_naive ?budget ?pool psi d] enumerates assignments lazily —
+    the reference oracle.  Every budgeted counter in this module raises
     {!Budget.Exhausted} from its hot loop when the budget runs out; catch
-    it only at an engine boundary. *)
-val count_naive : ?budget:Budget.t -> t -> Structure.t -> int
+    it only at an engine boundary.  A parallel [?pool] splits the
+    assignment index space across domains; [jobs = 1] (or no pool) keeps
+    the sequential behaviour bit-for-bit. *)
+val count_naive : ?budget:Budget.t -> ?pool:Pool.t -> t -> Structure.t -> int
 
-(** [count_inclusion_exclusion ?strategy ?budget psi d] evaluates
-    [Σ_(∅≠J) (-1)^(|J|+1) ans(∧(Ψ|J) → D)] (proof of Lemma 26). *)
+(** [count_inclusion_exclusion ?strategy ?budget ?pool psi d] evaluates
+    [Σ_(∅≠J) (-1)^(|J|+1) ans(∧(Ψ|J) → D)] (proof of Lemma 26).  Each
+    signed term is an independent per-CQ count fanned out on the pool;
+    the sum is reduced in bitmask order for every job count. *)
 val count_inclusion_exclusion :
-  ?strategy:Counting.strategy -> ?budget:Budget.t -> t -> Structure.t -> int
+  ?strategy:Counting.strategy ->
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  t ->
+  Structure.t ->
+  int
 
 (** {2 The CQ expansion (Definition 25, Lemma 26)} *)
 
@@ -70,22 +79,31 @@ val count_inclusion_exclusion :
     with its coefficient [c_Ψ]. *)
 type expansion_term = { representative : Cq.t; coefficient : int }
 
-(** [expansion psi] groups the combined queries of all nonempty [J] by
-    #equivalence and sums the signs; zero-coefficient classes are retained.
-    Runs in [2^ℓ · poly(|Ψ|)] time. *)
-val expansion : ?budget:Budget.t -> t -> expansion_term list
+(** [expansion ?budget ?pool psi] groups the combined queries of all
+    nonempty [J] by #equivalence and sums the signs; zero-coefficient
+    classes are retained.  Runs in [2^ℓ · poly(|Ψ|)] time; the per-subset
+    #core computations fan out on the pool, the grouping pass is
+    sequential in bitmask order (identical classes for every job
+    count). *)
+val expansion : ?budget:Budget.t -> ?pool:Pool.t -> t -> expansion_term list
 
-(** [support ?budget psi] is the expansion restricted to non-zero
+(** [support ?budget ?pool psi] is the expansion restricted to non-zero
     coefficients. *)
-val support : ?budget:Budget.t -> t -> expansion_term list
+val support : ?budget:Budget.t -> ?pool:Pool.t -> t -> expansion_term list
 
 (** [coefficient psi q] is [c_Ψ(A, X)] for the class of [q]. *)
 val coefficient : t -> Cq.t -> int
 
-(** [count_via_expansion ?strategy ?budget psi d] evaluates the Lemma 26
-    linear combination term by term. *)
+(** [count_via_expansion ?strategy ?budget ?pool psi d] evaluates the
+    Lemma 26 linear combination term by term, one pool task per surviving
+    term. *)
 val count_via_expansion :
-  ?strategy:Counting.strategy -> ?budget:Budget.t -> t -> Structure.t -> int
+  ?strategy:Counting.strategy ->
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  t ->
+  Structure.t ->
+  int
 
 (** Exact arbitrary-precision variants (oracles for Theorem 28). *)
 val count_via_expansion_big : t -> Structure.t -> Bigint.t
@@ -106,6 +124,8 @@ val pp : Format.formatter -> t -> unit
     stored support terms. *)
 type compiled
 
-val compile : t -> compiled
+val compile : ?pool:Pool.t -> t -> compiled
 val compiled_support : compiled -> expansion_term list
-val count_compiled : ?strategy:Counting.strategy -> compiled -> Structure.t -> int
+
+val count_compiled :
+  ?strategy:Counting.strategy -> ?pool:Pool.t -> compiled -> Structure.t -> int

@@ -84,6 +84,40 @@ let rec cartesian (xss : 'a list list) : 'a list list =
 let tuples (n : int) (xs : 'a list) : 'a list list =
   cartesian (List.init n (fun _ -> xs))
 
+(** [tuples_seq n xs] enumerates [xs^n] lazily, in exactly the order of
+    {!tuples} (position 0 most significant), without materialising the
+    [|xs|^n]-element product. *)
+let tuples_seq (n : int) (xs : 'a list) : 'a list Seq.t =
+  let rec go n =
+    if n = 0 then Seq.return []
+    else
+      Seq.concat_map
+        (fun x -> Seq.map (fun t -> x :: t) (go (n - 1)))
+        (List.to_seq xs)
+  in
+  go n
+
+(** [num_tuples n xs] is [|xs|^n] — the length of {!tuples_seq}. *)
+let num_tuples (n : int) (xs : 'a list) : int =
+  let rec go acc b e = if e = 0 then acc else go (acc * b) b (e - 1) in
+  go 1 (List.length xs) n
+
+(** [tuple_of_index n xs idx] is the [idx]-th element of [tuples n xs]
+    (mixed-radix decoding, position 0 most significant) — the random
+    access that lets a domain pool split an assignment sweep into index
+    ranges without materialising anything. *)
+let tuple_of_index (n : int) (xs : 'a list) (idx : int) : 'a list =
+  let arr = Array.of_list xs in
+  let b = Array.length arr in
+  if n = 0 then []
+  else if b = 0 then invalid_arg "Combinat.tuple_of_index: empty alphabet"
+  else begin
+    let rec go i idx acc =
+      if i < 0 then acc else go (i - 1) (idx / b) (arr.(idx mod b) :: acc)
+    in
+    go (n - 1) idx []
+  end
+
 (** [binomial n k] is the binomial coefficient [n choose k], computed with
     native integers (callers keep [n] small enough to avoid overflow). *)
 let binomial (n : int) (k : int) : int =

@@ -30,6 +30,17 @@ val cartesian : 'a list list -> 'a list list
 (** [tuples n xs] is [xs^n]. *)
 val tuples : int -> 'a list -> 'a list list
 
+(** [tuples_seq n xs] is [xs^n] lazily, in the order of {!tuples}. *)
+val tuples_seq : int -> 'a list -> 'a list Seq.t
+
+(** [num_tuples n xs] is [|xs|^n]. *)
+val num_tuples : int -> 'a list -> int
+
+(** [tuple_of_index n xs idx] is the [idx]-th tuple of {!tuples} by
+    mixed-radix decoding (random access for chunked parallel sweeps).
+    @raise Invalid_argument for an empty alphabet with [n > 0]. *)
+val tuple_of_index : int -> 'a list -> int -> 'a list
+
 (** [binomial n k] is [n choose k] over native ints. *)
 val binomial : int -> int -> int
 

@@ -107,6 +107,39 @@ let test_fpras_budget () =
   (* 4 * 2 * ln(20) / 0.04 = 599.1 -> 600 samples *)
   Alcotest.(check int) "derived sample budget" 600 est.Karp_luby.samples
 
+let test_dropped_draws_not_in_denominator () =
+  (* regression for the denominator bias: draws that fail after every
+     seed rotation must not count as misses.  Disjunct 0 always yields an
+     answer, disjunct 1 always fails; the unbiased estimator divides by
+     the successful draws only, so the estimate is exactly [space]
+     (every successful draw is a hit), not [space / 2]. *)
+  let samples = 1000 in
+  let est =
+    Karp_luby.estimate_with ~seed:5 ~samples ~counts:[ 2; 2 ]
+      ~draw:(fun _st i -> if i = 0 then Some [ (0, 0) ] else None)
+      ~member:(fun _j _a -> true)
+      ()
+  in
+  Alcotest.(check bool) "some draws were dropped" true (est.Karp_luby.dropped > 0);
+  Alcotest.(check int) "every successful draw is a hit"
+    (samples - est.Karp_luby.dropped)
+    est.Karp_luby.hits;
+  Alcotest.(check (float 1e-9)) "estimate = space (unbiased)" 4.0
+    est.Karp_luby.value;
+  Alcotest.(check int) "samples field still counts requested draws" samples
+    est.Karp_luby.samples
+
+let test_all_draws_dropped () =
+  let est =
+    Karp_luby.estimate_with ~seed:5 ~samples:50 ~counts:[ 3 ]
+      ~draw:(fun _st _i -> None)
+      ~member:(fun _j _a -> true)
+      ()
+  in
+  Alcotest.(check int) "everything dropped" 50 est.Karp_luby.dropped;
+  Alcotest.(check (float 1e-9)) "no successes: value 0, not NaN" 0.0
+    est.Karp_luby.value
+
 let qcheck_approx =
   let open QCheck in
   [
@@ -143,6 +176,9 @@ let suite =
           test_karp_luby_with_quantifiers;
         Alcotest.test_case "karp-luby empty" `Quick test_karp_luby_empty;
         Alcotest.test_case "fpras sample budget" `Quick test_fpras_budget;
+        Alcotest.test_case "dropped draws excluded from denominator" `Quick
+          test_dropped_draws_not_in_denominator;
+        Alcotest.test_case "all draws dropped" `Quick test_all_draws_dropped;
       ]
       @ List.map QCheck_alcotest.to_alcotest qcheck_approx );
   ]

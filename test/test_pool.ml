@@ -1,0 +1,235 @@
+(** Tests for the domain pool: sequential-fallback and deterministic
+    reduction contracts, chunked scheduling, exception propagation and
+    cooperative cancellation, the domain-safety of shared budgets, and the
+    jobs-independence of every parallelised engine. *)
+
+let sg_e = Signature.make [ Signature.symbol "E" 2 ]
+
+let mkcq n edges free =
+  Cq.make (Structure.make sg_e (List.init n (fun i -> i)) [ ("E", edges) ]) free
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs () in
+      List.iter
+        (fun n ->
+          let expect = Array.init n (fun i -> (i * i) + 1) in
+          let got = Pool.run p ~f:(fun i -> (i * i) + 1) n in
+          Alcotest.(check (array int))
+            (Printf.sprintf "run jobs=%d n=%d" jobs n)
+            expect got)
+        [ 0; 1; 2; 7; 100 ])
+    [ 1; 2; 4 ]
+
+let test_sequential_fallback_in_order () =
+  (* jobs = 1 must evaluate f 0, f 1, ... in the calling domain, in
+     ascending index order — the bit-for-bit contract *)
+  let seen = ref [] in
+  let self = Domain.self () in
+  let _ =
+    Pool.run Pool.sequential
+      ~f:(fun i ->
+        Alcotest.(check bool) "runs in the calling domain" true
+          (Domain.self () = self);
+        seen := i :: !seen;
+        i)
+      20
+  in
+  Alcotest.(check (list int)) "ascending order" (List.init 20 (fun i -> i))
+    (List.rev !seen)
+
+let test_fold_deterministic_reduction () =
+  (* a non-commutative combine: result depends on reduction order, so a
+     scheduling-dependent fold would differ between runs and job counts *)
+  let input = Array.init 64 string_of_int in
+  let combine acc s = acc ^ "," ^ s in
+  let expect = Array.fold_left combine "" input in
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs () in
+      Alcotest.(check string)
+        (Printf.sprintf "fold jobs=%d" jobs)
+        expect
+        (Pool.fold p ~f:Fun.id ~combine ~init:"" input))
+    [ 1; 2; 4 ]
+
+let test_map_opt_none () =
+  let input = [| 3; 1; 4; 1; 5 |] in
+  Alcotest.(check (array int)) "map_opt None = Array.map"
+    (Array.map succ input)
+    (Pool.map_opt None succ input)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let p = Pool.create ~jobs:4 () in
+  let b = Budget.unlimited () in
+  (match Pool.run p ~budget:b ~f:(fun i -> if i = 37 then raise (Boom i)) 100 with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 37 -> ());
+  Alcotest.(check bool) "failure cancels the shared budget" true
+    (Budget.is_cancelled b)
+
+let test_count_range () =
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs () in
+      Alcotest.(check int)
+        (Printf.sprintf "count_range jobs=%d" jobs)
+        (let c = ref 0 in
+         for i = 0 to 9_999 do
+           if i mod 7 = 3 then incr c
+         done;
+         !c)
+        (Pool.count_range p ~total:10_000 (fun i -> i mod 7 = 3)))
+    [ 1; 3 ]
+
+let test_jobs_of_env () =
+  let with_env v f =
+    Unix.putenv "UCQC_JOBS" v;
+    let r = f () in
+    Unix.putenv "UCQC_JOBS" "";
+    r
+  in
+  Alcotest.(check int) "well-formed" 3 (with_env "3" Pool.jobs_of_env);
+  Alcotest.(check int) "malformed falls back to 1" 1
+    (with_env "lots" Pool.jobs_of_env);
+  Alcotest.(check int) "non-positive falls back to 1" 1
+    (with_env "0" Pool.jobs_of_env);
+  Alcotest.(check int) "empty falls back to 1" 1 (with_env "" Pool.jobs_of_env)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-budget domain safety                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_concurrent_ticks () =
+  (* two domains hammer one step budget: accounting must stay exact (at
+     most [max_steps] ticks return normally) and the recorded steps_done
+     may overshoot max_steps by at most the clock stride (256) *)
+  let n = 25_000 in
+  let b = Budget.of_steps n in
+  let ok_ticks = Atomic.make 0 in
+  let worker () =
+    try
+      while true do
+        Budget.tick b;
+        Atomic.incr ok_ticks
+      done
+    with Budget.Exhausted _ -> ()
+  in
+  let d = Domain.spawn worker in
+  worker ();
+  Domain.join d;
+  Alcotest.(check bool) "both domains stopped; ticks within allowance" true
+    (Atomic.get ok_ticks <= n);
+  Alcotest.(check bool)
+    (Printf.sprintf "steps_done %d within max_steps + stride" (Budget.steps_done b))
+    true
+    (Budget.steps_done b <= n + 256)
+
+let test_worker_exhaustion_exit_codes () =
+  (* budget exhaustion inside a worker domain must surface through the
+     Runner boundary with the PR-1 semantics: 124 without fallback, 2
+     with degradation *)
+  let psi =
+    Ucq.make
+      [
+        mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0; 1; 2 ];
+        mkcq 3 [ [ 1; 0 ] ] [ 0; 1; 2 ];
+      ]
+  in
+  let db = Generators.random_digraph ~seed:71 6 14 in
+  let pool = Pool.create ~jobs:4 () in
+  let strict =
+    Runner.count ~via:Runner.Naive ~fallback:false ~pool
+      ~budget:(Budget.of_steps 40) psi db
+  in
+  Alcotest.(check int) "no-fallback exhaustion exits 124" 124
+    (Runner.count_exit_code strict);
+  let degraded =
+    Runner.count ~via:Runner.Naive ~pool ~budget:(Budget.of_steps 40) psi db
+  in
+  Alcotest.(check bool) "fallback result is approximate" true
+    (match degraded with Ok (Runner.Approximate _) -> true | _ -> false);
+  Alcotest.(check int) "degraded exit code is 2" 2
+    (Runner.count_exit_code degraded)
+
+(* ------------------------------------------------------------------ *)
+(* Engine jobs-independence (qcheck)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pool4 = lazy (Pool.create ~jobs:4 ())
+
+(* captured at module load, before any test mutates the environment: the
+   UCQC_JOBS=2 CI leg runs the engine equivalences below on a 2-domain
+   pool as well; locally (jobs = 1) the extra checks are free *)
+let env_pool = Pool.of_env ()
+
+let qcheck_pool =
+  let open QCheck in
+  [
+    Test.make ~name:"exact counts identical under --jobs 4" ~count:20
+      (int_range 0 10_000)
+      (fun seed ->
+        let psi =
+          Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg_e
+        in
+        let db = Generators.random_digraph ~seed:(seed + 1) 5 10 in
+        let check pool =
+          Ucq.count_via_expansion ~pool psi db = Ucq.count_via_expansion psi db
+          && Ucq.count_inclusion_exclusion ~pool psi db
+             = Ucq.count_inclusion_exclusion psi db
+          && Ucq.count_naive ~pool psi db = Ucq.count_naive psi db
+        in
+        check (Lazy.force pool4) && check env_pool);
+    Test.make ~name:"karp-luby fixed (seed, jobs) is reproducible" ~count:15
+      (int_range 0 10_000)
+      (fun seed ->
+        let psi =
+          Ucq.make
+            [ mkcq 2 [ [ 0; 1 ] ] [ 0; 1 ]; mkcq 2 [ [ 1; 0 ] ] [ 0; 1 ] ]
+        in
+        let db = Generators.random_digraph ~seed 8 20 in
+        let pool = Lazy.force pool4 in
+        let a = Karp_luby.estimate ~seed ~pool ~samples:400 psi db in
+        let b = Karp_luby.estimate ~seed ~pool ~samples:400 psi db in
+        let seq = Karp_luby.estimate ~seed ~samples:400 psi db in
+        let seq' = Karp_luby.estimate ~seed ~samples:400 psi db in
+        a = b && seq = seq');
+    Test.make ~name:"treewidth identical under --jobs 4" ~count:20
+      (int_range 0 10_000)
+      (fun seed ->
+        let db = Generators.random_digraph ~seed 8 18 in
+        let g, _ = Structure.gaifman db in
+        let seq = Treewidth.treewidth g in
+        Treewidth.treewidth ~pool:(Lazy.force pool4) g = seq
+        && Treewidth.treewidth ~pool:env_pool g = seq);
+  ]
+
+let suite =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "run matches sequential" `Quick
+          test_run_matches_sequential;
+        Alcotest.test_case "jobs=1 fallback order" `Quick
+          test_sequential_fallback_in_order;
+        Alcotest.test_case "deterministic fold" `Quick
+          test_fold_deterministic_reduction;
+        Alcotest.test_case "map_opt without a pool" `Quick test_map_opt_none;
+        Alcotest.test_case "exception propagation + cancellation" `Quick
+          test_exception_propagation;
+        Alcotest.test_case "count_range" `Quick test_count_range;
+        Alcotest.test_case "UCQC_JOBS parsing" `Quick test_jobs_of_env;
+        Alcotest.test_case "concurrent budget ticks" `Quick
+          test_budget_concurrent_ticks;
+        Alcotest.test_case "worker exhaustion exit codes" `Quick
+          test_worker_exhaustion_exit_codes;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest qcheck_pool );
+  ]

@@ -5,7 +5,9 @@
     mismatch is found, so CI can gate on it.
 
     [FUZZ_SCALE] scales every iteration count (e.g. [FUZZ_SCALE=0.05] for
-    a quick CI smoke run, default 1). *)
+    a quick CI smoke run, default 1).  [UCQC_JOBS > 1] additionally
+    cross-checks every parallelisable engine on a domain pool of that
+    size against its sequential result. *)
 let () =
   let scale =
     match Sys.getenv_opt "FUZZ_SCALE" with
@@ -18,6 +20,14 @@ let () =
     | None -> 1.0
   in
   let iters n = max 1 (int_of_float (float_of_int n *. scale)) in
+  let pool =
+    let jobs = Pool.jobs_of_env () in
+    if jobs > 1 then begin
+      Printf.printf "fuzz: cross-checking parallel engines with %d jobs\n" jobs;
+      Some (Pool.create ~jobs ())
+    end
+    else None
+  in
   let sg = Generators.graph_signature in
   let failures = ref 0 in
   (* CQ engines *)
@@ -39,7 +49,13 @@ let () =
     let db = Generators.random_digraph ~seed:(seed * 13 + 5) 4 9 in
     let naive = Ucq.count_naive psi db in
     if Ucq.count_inclusion_exclusion psi db <> naive then (incr failures; Printf.printf "UCQ IE mismatch seed %d\n" seed);
-    if Ucq.count_via_expansion psi db <> naive then (incr failures; Printf.printf "UCQ EXP mismatch seed %d\n" seed)
+    if Ucq.count_via_expansion psi db <> naive then (incr failures; Printf.printf "UCQ EXP mismatch seed %d\n" seed);
+    match pool with
+    | None -> ()
+    | Some _ ->
+        if Ucq.count_naive ?pool psi db <> naive then (incr failures; Printf.printf "UCQ PAR-NAIVE mismatch seed %d\n" seed);
+        if Ucq.count_inclusion_exclusion ?pool psi db <> naive then (incr failures; Printf.printf "UCQ PAR-IE mismatch seed %d\n" seed);
+        if Ucq.count_via_expansion ?pool psi db <> naive then (incr failures; Printf.printf "UCQ PAR-EXP mismatch seed %d\n" seed)
   done;
   (* reduction parsimony, larger random formulas *)
   for seed = 0 to iters 150 do
@@ -57,8 +73,21 @@ let () =
     let w, dec = Treewidth.exact g in
     let nice = Nice_treedec.of_treedec dec in
     if not (Nice_treedec.validate g nice) || Nice_treedec.width nice <> max w (-1)
-    then (incr failures; Printf.printf "NICE TD FAIL seed %d\n" seed)
+    then (incr failures; Printf.printf "NICE TD FAIL seed %d\n" seed);
+    if pool <> None && Treewidth.treewidth ?pool g <> w then
+      (incr failures; Printf.printf "PAR TW mismatch seed %d\n" seed)
   done;
+  (* parallel Karp-Luby: a fixed (seed, jobs) pair must be reproducible *)
+  (match pool with
+  | None -> ()
+  | Some _ ->
+      for seed = 0 to iters 50 do
+        let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:3 ~max_atoms:2 sg in
+        let db = Generators.random_digraph ~seed:(seed * 11 + 7) 5 12 in
+        let est () = Karp_luby.estimate ~seed ?pool ~samples:300 psi db in
+        if est () <> est () then
+          (incr failures; Printf.printf "PAR KL NONDET seed %d\n" seed)
+      done);
   (* budget determinism: the same step budget must exhaust at the same
      point twice, and a generous budget must not change any result *)
   for seed = 0 to iters 200 do
