@@ -1,7 +1,9 @@
 (** Benchmark harness: one section per experiment of EXPERIMENTS.md
-    (E1–E11), regenerating every figure / worked example / algorithmic
+    (E1–E13), regenerating every figure / worked example / algorithmic
     claim of the paper, followed by Bechamel micro-benchmarks (one
-    [Test.make] per experiment).
+    [Test.make] per experiment).  [--json] instead runs the E14 parallel
+    speedup table plus the E15 telemetry-overhead measurement and writes
+    [BENCH_parallel.json].
 
     Run with: [dune exec bench/main.exe] *)
 
@@ -672,7 +674,35 @@ let run_bechamel () =
     Karp–Luby fpras at ε = 0.1 — and write the table to
     [BENCH_parallel.json].  Every jobs > 1 result is cross-checked
     against jobs = 1 (exact counts must be equal; KL estimates are a
-    function of (seed, jobs), so each is re-run for reproducibility). *)
+    function of (seed, jobs), so each is re-run for reproducibility).
+
+    Each run also carries a per-phase breakdown (span aggregates from a
+    separate traced execution — the timed runs stay untraced), and the
+    file ends with a measurement of the tracing overhead itself on the
+    inclusion–exclusion workload. *)
+
+(** One traced (untimed) execution, reduced to the top span aggregates:
+    where the run spent its time, by span name. *)
+let span_phases (run : unit -> unit) : Telemetry.span_stat list =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  run ();
+  Telemetry.disable ();
+  let stats = Telemetry.span_stats () in
+  Telemetry.reset ();
+  List.filteri (fun i _ -> i < 8) stats
+
+let phases_json (indent : string) (phases : Telemetry.span_stat list) : string =
+  String.concat ",\n"
+    (List.map
+       (fun (s : Telemetry.span_stat) ->
+         Printf.sprintf
+           "%s{\"span\": %S, \"calls\": %d, \"total_ms\": %.3f, \"steps\": %d}"
+           indent s.Telemetry.sname s.Telemetry.calls
+           (Int64.to_float s.Telemetry.total_ns /. 1e6)
+           s.Telemetry.steps)
+       phases)
+
 let parallel_json () =
   let jobs_list = [ 1; 2; 4 ] in
   let psi1, ktk = Paper_examples.psi1 () in
@@ -716,16 +746,30 @@ let parallel_json () =
               let value = run pool in
               let value' = run pool in
               let t = wall_time (fun () -> run pool) in
-              (jobs, t, value, value = value'))
+              let phases = span_phases (fun () -> ignore (run pool)) in
+              (jobs, t, value, value = value', phases))
             jobs_list
         in
         (name, exact_across_jobs, per_jobs))
       workloads
   in
+  (* tracing overhead on the sequential IE workload: the acceptance bar
+     for the telemetry layer is < 2% when enabled, ~0 when off *)
+  let ie_seq () = ignore (Ucq.count_inclusion_exclusion psi1 db) in
+  let t_off = wall_time ~reps:5 ie_seq in
+  Telemetry.enable ();
+  let t_on =
+    wall_time ~reps:5 (fun () ->
+        Telemetry.reset ();
+        ie_seq ())
+  in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let overhead_pct = 100. *. ((t_on /. t_off) -. 1.) in
   let buf = Buffer.create 2048 in
   let t1_of per_jobs =
-    match List.find_opt (fun (j, _, _, _) -> j = 1) per_jobs with
-    | Some (_, t, _, _) -> t
+    match List.find_opt (fun (j, _, _, _, _) -> j = 1) per_jobs with
+    | Some (_, t, _, _, _) -> t
     | None -> nan
   in
   Buffer.add_string buf "{\n";
@@ -740,8 +784,8 @@ let parallel_json () =
     (fun wi (name, exact_across_jobs, per_jobs) ->
       let t1 = t1_of per_jobs in
       let v1 =
-        match List.find_opt (fun (j, _, _, _) -> j = 1) per_jobs with
-        | Some (_, _, v, _) -> v
+        match List.find_opt (fun (j, _, _, _, _) -> j = 1) per_jobs with
+        | Some (_, _, v, _, _) -> v
         | None -> nan
       in
       Buffer.add_string buf "    {\n";
@@ -750,7 +794,7 @@ let parallel_json () =
         (Printf.sprintf "      \"exact_across_jobs\": %b,\n" exact_across_jobs);
       Buffer.add_string buf "      \"runs\": [\n";
       List.iteri
-        (fun i (jobs, t, value, reproducible) ->
+        (fun i (jobs, t, value, reproducible, phases) ->
           let consistent =
             if exact_across_jobs then value = v1
             else
@@ -761,8 +805,10 @@ let parallel_json () =
             (Printf.sprintf
                "        {\"jobs\": %d, \"wall_s\": %.6f, \"speedup_vs_1\": \
                 %.3f, \"value\": %.4f, \"reproducible\": %b, \
-                \"consistent\": %b}%s\n"
+                \"consistent\": %b,\n         \"phases\": [\n%s\n         \
+                ]}%s\n"
                jobs t (t1 /. t) value reproducible consistent
+               (phases_json "          " phases)
                (if i = List.length per_jobs - 1 then "" else ",")))
         per_jobs;
       Buffer.add_string buf "      ]\n";
@@ -771,7 +817,14 @@ let parallel_json () =
            (if wi = List.length measured - 1 then "" else ","))
     )
     measured;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"telemetry_overhead\": {\"workload\": \
+        \"E3_psi1_inclusion_exclusion_seq\", \"off_wall_s\": %.6f, \
+        \"on_wall_s\": %.6f, \"overhead_pct\": %.2f}\n"
+       t_off t_on overhead_pct);
+  Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_parallel.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -89,6 +89,17 @@ let no_fallback_arg =
   in
   Arg.(value & flag & info [ "no-fallback" ] ~doc)
 
+(* strict jobs parsing: 0, negatives and garbage are usage errors (exit
+   64 through cmdliner's [`Parse]), not silent fallbacks to 1.  The env
+   var [UCQC_JOBS] flows through the same converter. *)
+let jobs_conv : int Arg.conv =
+  let parse s =
+    match Pool.validate_jobs s with
+    | Ok n -> Ok n
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel engines.  The default ($(docv) = 1) \
@@ -97,19 +108,77 @@ let jobs_arg =
      inclusion-exclusion terms, Karp-Luby sampling chunks, naive \
      assignment sweeps and treewidth root branches across OCaml domains \
      with deterministic (index-order) reduction.  Subcommands without a \
-     parallel engine accept and ignore the flag."
+     parallel engine accept and ignore the flag.  Must be a positive \
+     integer; anything else is a usage error."
   in
   let env = Cmd.Env.info "UCQC_JOBS" ~doc:"Default for $(b,--jobs)." in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~env ~doc)
+  Arg.(value & opt jobs_conv 1 & info [ "jobs"; "j" ] ~docv:"N" ~env ~doc)
 
 let pool_of (jobs : int) : Pool.t = Pool.create ~jobs ()
 
 let budget_of max_steps timeout = Budget.make ?max_steps ?timeout ()
 
-let exhaustion_note (e : Budget.exhaustion) (degraded_to : string) : unit =
+let exhaustion_note (e : Budget.exhaustion) (a : Runner.abandoned)
+    (degraded_to : string) : unit =
   Printf.eprintf
-    "ucqc: budget exhausted in phase %s after %d steps; degraded to %s\n"
-    e.Budget.phase e.Budget.steps_done degraded_to
+    "ucqc: budget exhausted in phase %s after %d steps; abandoned attempt \
+     consumed %d steps in %.3f s; degraded to %s\n"
+    e.Budget.phase e.Budget.steps_done a.Runner.steps a.Runner.elapsed_s
+    degraded_to
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags                                                *)
+(* ------------------------------------------------------------------ *)
+
+type obs = { trace : string option; metrics : string option; stats : bool }
+
+let obs_term : obs Term.t =
+  let trace_arg =
+    let doc =
+      "Write a Chrome-trace / Perfetto JSON file of the run's spans to \
+       $(docv) (open it at ui.perfetto.dev or chrome://tracing)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Write counters, gauges and span aggregates as JSON to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print an end-of-run per-phase summary table on stderr." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  Term.(
+    const (fun trace metrics stats -> { trace; metrics; stats })
+    $ trace_arg $ metrics_arg $ stats_arg)
+
+let write_file_with (path : string) (f : out_channel -> unit) : unit =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+(** [with_obs obs name f] enables telemetry when any of [--trace],
+    [--metrics], [--stats] was given, runs [f] under a root span
+    [ucqc.<name>], and exports on the way out — also on error paths, so a
+    budget-exhausted or degraded run still leaves its trace behind. *)
+let with_obs (obs : obs) (name : string) (f : unit -> int) : int =
+  let wanted = obs.trace <> None || obs.metrics <> None || obs.stats in
+  if not wanted then f ()
+  else begin
+    Telemetry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter
+          (fun path -> write_file_with path Telemetry.export_chrome_trace)
+          obs.trace;
+        Option.iter
+          (fun path -> write_file_with path Telemetry.export_metrics)
+          obs.metrics;
+        if obs.stats then Telemetry.print_summary stderr;
+        Telemetry.disable ())
+      (fun () -> Telemetry.with_span ("ucqc." ^ name) f)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* count                                                              *)
@@ -139,8 +208,9 @@ let count_cmd =
     let doc = "Random seed for the Karp-Luby fallback." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile via seed max_steps timeout no_fallback jobs =
+  let run qfile dbfile via seed max_steps timeout no_fallback jobs obs =
     guarded (fun () ->
+        with_obs obs "count" @@ fun () ->
         let psi, _ = parse_ucq_file qfile in
         let db, _ = parse_db_file dbfile in
         let budget = budget_of max_steps timeout in
@@ -152,8 +222,9 @@ let count_cmd =
         | Ok (Runner.Exact n) ->
             Printf.printf "%d\n" n;
             Runner.exit_exact
-        | Ok (Runner.Approximate { value; epsilon; delta; exhausted }) ->
-            exhaustion_note exhausted
+        | Ok (Runner.Approximate { value; epsilon; delta; exhausted; abandoned })
+          ->
+            exhaustion_note exhausted abandoned
               (Printf.sprintf "Karp-Luby estimate (epsilon=%g, delta=%g)"
                  epsilon delta);
             Printf.printf "%.2f\n" value;
@@ -164,7 +235,7 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
       const run $ query_arg $ db_arg $ method_arg $ seed_arg $ max_steps_arg
-      $ timeout_arg $ no_fallback_arg $ jobs_arg)
+      $ timeout_arg $ no_fallback_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                             *)
@@ -183,8 +254,9 @@ let approx_cmd =
     let doc = "Random seed." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile samples seed max_steps timeout jobs =
+  let run qfile dbfile samples seed max_steps timeout jobs obs =
     guarded (fun () ->
+        with_obs obs "approx" @@ fun () ->
         let psi, _ = parse_ucq_file qfile in
         let db, _ = parse_db_file dbfile in
         let budget = budget_of max_steps timeout in
@@ -213,15 +285,16 @@ let approx_cmd =
   Cmd.v (Cmd.info "approx" ~doc)
     Term.(
       const run $ query_arg $ db_arg $ samples_arg $ seed_arg $ max_steps_arg
-      $ timeout_arg $ jobs_arg)
+      $ timeout_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* meta                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let meta_cmd =
-  let run qfile max_steps timeout jobs =
+  let run qfile max_steps timeout jobs obs =
     guarded (fun () ->
+        with_obs obs "meta" @@ fun () ->
         let psi, env = parse_ucq_file qfile in
         let budget = budget_of max_steps timeout in
         let pool = pool_of jobs in
@@ -244,7 +317,9 @@ let meta_cmd =
      Theorem 5; quantifier-free unions only)."
   in
   Cmd.v (Cmd.info "meta" ~doc)
-    Term.(const run $ query_arg $ max_steps_arg $ timeout_arg $ jobs_arg)
+    Term.(
+      const run $ query_arg $ max_steps_arg $ timeout_arg $ jobs_arg
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                           *)
@@ -255,8 +330,9 @@ let classify_cmd =
     let doc = "Skip the exponential Gamma(C) measures." in
     Arg.(value & flag & info [ "no-gamma" ] ~doc)
   in
-  let run qfile no_gamma jobs =
+  let run qfile no_gamma jobs obs =
     guarded (fun () ->
+        with_obs obs "classify" @@ fun () ->
         let psi, _ = parse_ucq_file qfile in
         let pool = pool_of jobs in
         let r = Classify.analyze ~with_gamma:(not no_gamma) ~pool psi in
@@ -277,7 +353,7 @@ let classify_cmd =
   in
   let doc = "Report the treewidth measures behind Theorems 1/2/3." in
   Cmd.v (Cmd.info "classify" ~doc)
-    Term.(const run $ query_arg $ gamma_arg $ jobs_arg)
+    Term.(const run $ query_arg $ gamma_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* wl-dim                                                             *)
@@ -288,8 +364,9 @@ let wl_dim_cmd =
     let doc = "Use the polynomial-per-term approximation (Theorem 7)." in
     Arg.(value & flag & info [ "approx" ] ~doc)
   in
-  let run qfile approx max_steps timeout no_fallback jobs =
+  let run qfile approx max_steps timeout no_fallback jobs obs =
     guarded (fun () ->
+        with_obs obs "wl-dim" @@ fun () ->
         let psi, _ = parse_ucq_file qfile in
         let pool = pool_of jobs in
         if approx then begin
@@ -306,8 +383,9 @@ let wl_dim_cmd =
           | Ok (Runner.Exact_dim k) ->
               Printf.printf "dim_WL = %d\n" k;
               Runner.exit_exact
-          | Ok (Runner.Bounds { lower; upper; exhausted }) ->
-              exhaustion_note exhausted "polynomial bound pair (Theorem 7)";
+          | Ok (Runner.Bounds { lower; upper; exhausted; abandoned }) ->
+              exhaustion_note exhausted abandoned
+                "polynomial bound pair (Theorem 7)";
               Printf.printf "dim_WL in [%d, %d]\n" lower upper;
               Runner.exit_degraded
           | Error e -> fail_err e
@@ -320,7 +398,7 @@ let wl_dim_cmd =
   Cmd.v (Cmd.info "wl-dim" ~doc)
     Term.(
       const run $ query_arg $ approx_arg $ max_steps_arg $ timeout_arg
-      $ no_fallback_arg $ jobs_arg)
+      $ no_fallback_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* euler                                                              *)
@@ -331,9 +409,10 @@ let euler_cmd =
     let doc = "Complex file: one facet per line, elements separated by spaces or commas." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"COMPLEX" ~doc)
   in
-  let run path jobs =
+  let run path jobs obs =
     ignore (pool_of jobs);
     guarded (fun () ->
+        with_obs obs "euler" @@ fun () ->
         let facets =
           read_file path |> String.split_on_char '\n'
           |> List.filter_map (fun line ->
@@ -356,7 +435,8 @@ let euler_cmd =
         Runner.exit_exact)
   in
   let doc = "Reduced Euler characteristic of a facet-encoded complex." in
-  Cmd.v (Cmd.info "euler" ~doc) Term.(const run $ file_arg $ jobs_arg)
+  Cmd.v (Cmd.info "euler" ~doc)
+    Term.(const run $ file_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* pipeline                                                           *)
@@ -371,8 +451,9 @@ let pipeline_cmd =
     let doc = "Clique parameter t of the K_t^k construction." in
     Arg.(value & opt int 3 & info [ "t" ] ~doc)
   in
-  let run path t jobs =
+  let run path t jobs obs =
     guarded (fun () ->
+        with_obs obs "pipeline" @@ fun () ->
         let pool = pool_of jobs in
         let f = Cnf.parse_dimacs (read_file path) in
         (match Pipeline.ucq_of_cnf ~t f with
@@ -395,7 +476,7 @@ let pipeline_cmd =
   in
   let doc = "Run the Lemma 51 SAT-hardness pipeline on a DIMACS file." in
   Cmd.v (Cmd.info "pipeline" ~doc)
-    Term.(const run $ file_arg $ t_arg $ jobs_arg)
+    Term.(const run $ file_arg $ t_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* enumerate                                                          *)
@@ -410,9 +491,10 @@ let enumerate_cmd =
     let doc = "Print at most this many answers (0 = all)." in
     Arg.(value & opt int 20 & info [ "limit" ] ~doc)
   in
-  let run qfile dbfile limit jobs =
+  let run qfile dbfile limit jobs obs =
     ignore (pool_of jobs);
     guarded (fun () ->
+        with_obs obs "enumerate" @@ fun () ->
         let q, env = parse_cq_file qfile in
         let db, _ = parse_db_file dbfile in
         let e = Enumerate.prepare q db in
@@ -432,7 +514,7 @@ let enumerate_cmd =
      delay (Section 1.1)."
   in
   Cmd.v (Cmd.info "enumerate" ~doc)
-    Term.(const run $ query_arg $ db_arg $ limit_arg $ jobs_arg)
+    Term.(const run $ query_arg $ db_arg $ limit_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                          *)
@@ -447,8 +529,9 @@ let treewidth_cmd =
     let doc = "Force the exact (exponential) algorithm regardless of size." in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run path force_exact max_steps timeout no_fallback jobs =
+  let run path force_exact max_steps timeout no_fallback jobs obs =
     guarded (fun () ->
+        with_obs obs "treewidth" @@ fun () ->
         let d, _ = parse_db_file path in
         let g, _ = Structure.gaifman d in
         if force_exact || Graph.num_vertices g <= 20 then begin
@@ -460,8 +543,8 @@ let treewidth_cmd =
           | Ok (Runner.Exact_width w) ->
               Printf.printf "treewidth = %d (exact)\n" w;
               Runner.exit_exact
-          | Ok (Runner.Heuristic { lower; upper; exhausted }) ->
-              exhaustion_note exhausted "heuristic treewidth bounds";
+          | Ok (Runner.Heuristic { lower; upper; exhausted; abandoned }) ->
+              exhaustion_note exhausted abandoned "heuristic treewidth bounds";
               Printf.printf "treewidth in [%d, %d] (heuristic)\n" lower upper;
               Runner.exit_degraded
           | Error e -> fail_err e
@@ -479,7 +562,7 @@ let treewidth_cmd =
   Cmd.v (Cmd.info "treewidth" ~doc)
     Term.(
       const run $ file_arg $ exact_arg $ max_steps_arg $ timeout_arg
-      $ no_fallback_arg $ jobs_arg)
+      $ no_fallback_arg $ jobs_arg $ obs_term)
 
 let () =
   let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in

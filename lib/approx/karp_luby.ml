@@ -57,6 +57,10 @@ let membership_oracle (q : Cq.t) (d : Structure.t) : (int * int) list -> bool =
 (* seed-rotation retry bound for degenerate draws *)
 let max_rotations = 3
 
+let draws_c = Telemetry.counter "kl.draws"
+let hits_c = Telemetry.counter "kl.hits"
+let dropped_c = Telemetry.counter "kl.dropped"
+
 (** One sampling loop: [n] draws with primary state [st]; [rotate r] is
     the fresh deterministic state for retry round [r ≥ 1].  Returns
     [(hits, dropped)]. *)
@@ -101,12 +105,20 @@ let estimate_with ?(seed = 0xACE) ?(budget : Budget.t option)
   let space = Listx.sum counts in
   if space = 0 then { value = 0.; samples = 0; space = 0; hits = 0; dropped = 0 }
   else begin
+    Telemetry.with_span ?budget
+      ~attrs:(fun () ->
+        [ ("samples", Telemetry.I samples); ("space", Telemetry.I space) ])
+      "kl.estimate"
+    @@ fun () ->
     let weighted =
       List.mapi (fun i c -> (i, c)) counts |> List.filter (fun (_, c) -> c > 0)
     in
     let finish (hits : int) (dropped : int) : estimate =
       (* unbiased denominator: only draws that produced a sample carry
          information about the hit frequency *)
+      Telemetry.add draws_c samples;
+      Telemetry.add hits_c hits;
+      Telemetry.add dropped_c dropped;
       let successes = samples - dropped in
       let value =
         if successes = 0 then 0.
@@ -133,6 +145,11 @@ let estimate_with ?(seed = 0xACE) ?(budget : Budget.t option)
       let jobs = Pool.jobs p in
       let run_chunk c =
         let n = (samples * (c + 1) / jobs) - (samples * c / jobs) in
+        Telemetry.with_span
+          ~attrs:(fun () ->
+            [ ("chunk", Telemetry.I c); ("n", Telemetry.I n) ])
+          "kl.chunk"
+        @@ fun () ->
         let st = Random.State.make [| seed; c; 0x4B4C |] in
         let rotate r = Random.State.make [| seed; c; 0x4B4C; r |] in
         sample_loop ?budget ~st ~rotate ~weighted ~draw ~member n

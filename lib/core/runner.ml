@@ -18,6 +18,37 @@ let guard (f : unit -> 'a) : ('a, Ucqc_error.t) result =
   with Counting.Unsupported msg -> Error (Ucqc_error.Unsupported msg)
 
 (* ------------------------------------------------------------------ *)
+(* Abandoned-attempt accounting                                       *)
+(* ------------------------------------------------------------------ *)
+
+type abandoned = { phase : string; steps : int; elapsed_s : float }
+
+(* Meter the exact attempt so its cost is not lost on degradation: the
+   budget's counter keeps running into the fallback, so the consumption
+   of the abandoned attempt must be deltas captured at its boundary. *)
+let metered ~(budget : Budget.t) ~(phase : string) (f : unit -> 'a) :
+    ('a, Budget.exhaustion) result * abandoned =
+  let steps0 = Budget.steps_done budget in
+  let t0 = Unix.gettimeofday () in
+  let result = Budget.run budget ~phase f in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (result, { phase; steps = Budget.steps_done budget - steps0; elapsed_s })
+
+let degraded_event ~(task : string) ~(fallback : string)
+    (abandoned : abandoned) : unit =
+  Telemetry.event
+    ~attrs:(fun () ->
+      [
+        ("task", Telemetry.S task);
+        ("fallback", Telemetry.S fallback);
+        ("reason", Telemetry.S "budget-exhausted");
+        ("phase", Telemetry.S abandoned.phase);
+        ("steps", Telemetry.I abandoned.steps);
+        ("elapsed_ms", Telemetry.F (abandoned.elapsed_s *. 1000.));
+      ])
+    "runner.degraded"
+
+(* ------------------------------------------------------------------ *)
 (* Counting                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -28,6 +59,7 @@ type count_outcome =
       epsilon : float;
       delta : float;
       exhausted : Budget.exhaustion;
+      abandoned : abandoned;
     }
 
 type count_method = Expansion | Inclusion_exclusion | Naive
@@ -53,16 +85,24 @@ let count ?strategy ?(via = Expansion) ?(fallback = true)
         Ucq.count_inclusion_exclusion ?strategy ~budget ?pool psi d
     | Naive -> Ucq.count_naive ~budget ?pool psi d
   in
-  match guard (fun () -> Budget.run budget ~phase:"count" exact) with
+  match guard (fun () -> metered ~budget ~phase:"count" exact) with
   | Error e -> Error e
-  | Ok (Ok n) -> Ok (Exact n)
-  | Ok (Error exhausted) ->
+  | Ok (Ok n, _) -> Ok (Exact n)
+  | Ok (Error exhausted, abandoned) ->
       if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
-      else
+      else begin
+        degraded_event ~task:"count" ~fallback:"karp-luby" abandoned;
         guard (fun () ->
             let est = Karp_luby.fpras ?seed ?pool ~epsilon ~delta psi d in
             Approximate
-              { value = est.Karp_luby.value; epsilon; delta; exhausted })
+              {
+                value = est.Karp_luby.value;
+                epsilon;
+                delta;
+                exhausted;
+                abandoned;
+              })
+      end
 
 (** [approx ?seed ~epsilon ~delta ~budget psi d] runs the Karp–Luby
     estimator under [budget] directly (no further fallback exists below
@@ -89,6 +129,7 @@ type treewidth_outcome =
       lower : int;
       upper : int;
       exhausted : Budget.exhaustion;
+      abandoned : abandoned;
     }
 
 (** [treewidth ?fallback ~budget g] computes exact treewidth by branch and
@@ -99,18 +140,20 @@ let treewidth ?(fallback = true) ?(pool : Pool.t option)
     (treewidth_outcome, Ucqc_error.t) result =
   match
     guard (fun () ->
-        Budget.run budget ~phase:"treewidth" (fun () ->
+        metered ~budget ~phase:"treewidth" (fun () ->
             Treewidth.treewidth ~budget ?pool g))
   with
   | Error e -> Error e
-  | Ok (Ok w) -> Ok (Exact_width w)
-  | Ok (Error exhausted) ->
+  | Ok (Ok w, _) -> Ok (Exact_width w)
+  | Ok (Error exhausted, abandoned) ->
       if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
-      else
+      else begin
+        degraded_event ~task:"treewidth" ~fallback:"heuristic-bounds" abandoned;
         guard (fun () ->
             let lower = Treewidth.lower_bound g in
             let upper, _ = Treewidth.heuristic g in
-            Heuristic { lower; upper; exhausted })
+            Heuristic { lower; upper; exhausted; abandoned })
+      end
 
 (* ------------------------------------------------------------------ *)
 (* WL-dimension                                                       *)
@@ -122,6 +165,7 @@ type dimension_outcome =
       lower : int;
       upper : int;
       exhausted : Budget.exhaustion;
+      abandoned : abandoned;
     }
 
 (** [wl_dimension ?fallback ~budget psi] computes [dim_WL(Ψ) = hdtw(Ψ)]
@@ -134,17 +178,20 @@ let wl_dimension ?(fallback = true) ?(pool : Pool.t option)
     (dimension_outcome, Ucqc_error.t) result =
   match
     guard (fun () ->
-        Budget.run budget ~phase:"wl-dimension" (fun () ->
+        metered ~budget ~phase:"wl-dimension" (fun () ->
             Wl_dimension.exact ~budget ?pool psi))
   with
   | Error e -> Error e
-  | Ok (Ok k) -> Ok (Exact_dim k)
-  | Ok (Error exhausted) ->
+  | Ok (Ok k, _) -> Ok (Exact_dim k)
+  | Ok (Error exhausted, abandoned) ->
       if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
-      else
+      else begin
+        degraded_event ~task:"wl-dimension" ~fallback:"theorem-7-bounds"
+          abandoned;
         guard (fun () ->
             let lower, upper = Wl_dimension.approximate psi in
-            Bounds { lower; upper; exhausted })
+            Bounds { lower; upper; exhausted; abandoned })
+      end
 
 (* ------------------------------------------------------------------ *)
 (* META                                                               *)

@@ -19,6 +19,20 @@
     know. *)
 val guard : (unit -> 'a) -> ('a, Ucqc_error.t) result
 
+(** {2 Abandoned attempts}
+
+    When a wrapper degrades, the cost already sunk into the abandoned
+    exact attempt is captured — the budget counter keeps running into the
+    fallback, so without the deltas that consumption would be
+    unattributable.  Every degradation also emits a [runner.degraded]
+    telemetry event carrying the same data plus the reason. *)
+
+type abandoned = {
+  phase : string;  (** budget phase of the abandoned attempt *)
+  steps : int;  (** budget steps consumed by the attempt alone *)
+  elapsed_s : float;  (** wall seconds spent on the attempt *)
+}
+
 (** {2 Counting} *)
 
 type count_outcome =
@@ -29,6 +43,8 @@ type count_outcome =
       delta : float;
       exhausted : Budget.exhaustion;
           (** where the exact computation ran out *)
+      abandoned : abandoned;
+          (** what the abandoned exact attempt consumed *)
     }
 
 (** Which exact counting algorithm to budget. *)
@@ -73,7 +89,12 @@ val approx :
 
 type treewidth_outcome =
   | Exact_width of int
-  | Heuristic of { lower : int; upper : int; exhausted : Budget.exhaustion }
+  | Heuristic of {
+      lower : int;
+      upper : int;
+      exhausted : Budget.exhaustion;
+      abandoned : abandoned;
+    }
 
 val treewidth :
   ?fallback:bool ->
@@ -86,7 +107,12 @@ val treewidth :
 
 type dimension_outcome =
   | Exact_dim of int
-  | Bounds of { lower : int; upper : int; exhausted : Budget.exhaustion }
+  | Bounds of {
+      lower : int;
+      upper : int;
+      exhausted : Budget.exhaustion;
+      abandoned : abandoned;
+    }
 
 val wl_dimension :
   ?fallback:bool ->

@@ -17,6 +17,15 @@ type strategy = Auto | Naive | Yannakakis | Treedec | Weighted | Varelim
 
 exception Unsupported of string
 
+(* per-resolved-strategy call counters — counters, not spans: [count] sits
+   inside the 2^ℓ subset loops and a per-call span closure would allocate
+   even with telemetry off *)
+let naive_c = Telemetry.counter "count.naive"
+let yannakakis_c = Telemetry.counter "count.yannakakis"
+let treedec_c = Telemetry.counter "count.treedec"
+let weighted_c = Telemetry.counter "count.weighted"
+let varelim_c = Telemetry.counter "count.varelim"
+
 (** [count ?strategy ?budget ?pool q d] is [ans((A, X) → D)].  The budget
     is threaded into the engines with super-linear worst cases ([Naive]
     assignment enumeration, the variable-elimination joins); the
@@ -32,6 +41,7 @@ let count ?(strategy = Auto) ?(budget : Budget.t option)
   let quantifier_free = Cq.is_quantifier_free q in
   match strategy with
   | Naive ->
+      Telemetry.incr naive_c;
       let x = Cq.free q in
       let k = List.length x in
       let dom = Structure.universe d in
@@ -52,25 +62,38 @@ let count ?(strategy = Auto) ?(budget : Budget.t option)
       if not quantifier_free then
         raise (Unsupported "Yannakakis counting requires a quantifier-free query");
       match Jointree_count.count (Cq.structure q) d with
-      | Some c -> c
+      | Some c ->
+          Telemetry.incr yannakakis_c;
+          c
       | None -> raise (Unsupported "Yannakakis counting requires an acyclic query")
     end
   | Treedec ->
       if not quantifier_free then
         raise (Unsupported "Treedec counting requires a quantifier-free query");
+      Telemetry.incr treedec_c;
       Treedec_count.count (Cq.structure q) d
   | Weighted ->
       if not quantifier_free then
         raise (Unsupported "Weighted counting requires a quantifier-free query");
+      Telemetry.incr weighted_c;
       Wvarelim.count_homs ?budget (Cq.structure q) d
-  | Varelim -> Varelim.count ?budget q d
+  | Varelim ->
+      Telemetry.incr varelim_c;
+      Varelim.count ?budget q d
   | Auto ->
       if quantifier_free then begin
         match Jointree_count.count (Cq.structure q) d with
-        | Some c -> c
-        | None -> Wvarelim.count_homs ?budget (Cq.structure q) d
+        | Some c ->
+            Telemetry.incr yannakakis_c;
+            c
+        | None ->
+            Telemetry.incr weighted_c;
+            Wvarelim.count_homs ?budget (Cq.structure q) d
       end
-      else Varelim.count ?budget q d
+      else begin
+        Telemetry.incr varelim_c;
+        Varelim.count ?budget q d
+      end
 
 (** [count_big q d] is [ans((A, X) → D)] with exact arbitrary-precision
     arithmetic (same automatic dispatch as [count ~strategy:Auto]). *)

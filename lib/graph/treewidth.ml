@@ -89,6 +89,10 @@ let order_width (g : Graph.t) (order : int list) : int =
 let heuristic (g : Graph.t) : int * Treedec.t =
   if Graph.num_vertices g = 0 then (-1, { Treedec.bags = [||]; tree = [] })
   else begin
+    Telemetry.with_span
+      ~attrs:(fun () -> [ ("n", Telemetry.I (Graph.num_vertices g)) ])
+      "tw.heuristic"
+    @@ fun () ->
     let o1 = heuristic_order Min_fill g in
     let o2 = heuristic_order Min_degree g in
     let d1 = Treedec.of_elimination_order g o1 in
@@ -168,6 +172,9 @@ let lower_bound (g : Graph.t) : int =
 (* Exact treewidth: branch and bound over elimination orders          *)
 (* ------------------------------------------------------------------ *)
 
+let tw_nodes_c = Telemetry.counter "tw.nodes"
+let tw_incumbents_c = Telemetry.counter "tw.incumbents"
+
 (** [is_clique adj s] — is [s] a clique in the filled graph [adj]? *)
 let is_clique (adj : Intset.t array) (s : Intset.t) : bool =
   let l = Intset.to_list s in
@@ -207,6 +214,10 @@ let exact_order ?(budget : Budget.t option) ?(pool : Pool.t option)
   if n = 0 then []
   else begin
     let ub, _ = heuristic g in
+    Telemetry.with_span ?budget
+      ~attrs:(fun () -> [ ("n", Telemetry.I n); ("ub", Telemetry.I ub) ])
+      "tw.exact"
+    @@ fun () ->
     (* the shared bound: an atomic read is free sequentially and makes the
        cross-branch pruning sound when root branches race on domains *)
     let best_width = Atomic.make ub in
@@ -217,6 +228,7 @@ let exact_order ?(budget : Budget.t option) ?(pool : Pool.t option)
       Mutex.protect best_lock (fun () ->
           if width < Atomic.get best_width then begin
             Atomic.set best_width width;
+            Telemetry.incr tw_incumbents_c;
             best_order := order
           end)
     in
@@ -255,6 +267,7 @@ let exact_order ?(budget : Budget.t option) ?(pool : Pool.t option)
     and expand (adj : Intset.t array) (alive : Intset.t) (width_so_far : int)
         (prefix : int list) (v : int) : unit =
       Budget.tick_opt budget;
+      Telemetry.incr tw_nodes_c;
       let nbrs = Intset.inter adj.(v) alive in
       let deg = Intset.cardinal nbrs in
       let new_width = max width_so_far deg in

@@ -31,6 +31,10 @@ let decide ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : Ucq.t)
     : decision =
   if not (Ucq.is_quantifier_free psi) then
     invalid_arg "Meta.decide: input must be quantifier-free";
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (Ucq.length psi)) ])
+    "meta.decide"
+  @@ fun () ->
   let support =
     List.map
       (fun (t : Ucq.expansion_term) -> (t.representative, t.coefficient))
@@ -47,6 +51,10 @@ let decide ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : Ucq.t)
     maximum treewidth over the support of [c_Ψ]. *)
 let hereditary_treewidth ?(budget : Budget.t option) ?(pool : Pool.t option)
     (psi : Ucq.t) : int =
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (Ucq.length psi)) ])
+    "meta.hdtw"
+  @@ fun () ->
   List.fold_left
     (fun acc (t : Ucq.expansion_term) ->
       if t.coefficient = 0 then acc

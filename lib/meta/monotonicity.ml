@@ -33,6 +33,14 @@ exception No_basis
     Returns the chosen structures and the square matrix. *)
 let select_basis (terms : Cq.t list) (pool : Structure.t list) :
     Structure.t list * Rational.t array array =
+  Telemetry.with_span
+    ~attrs:(fun () ->
+      [
+        ("terms", Telemetry.I (List.length terms));
+        ("pool", Telemetry.I (List.length pool));
+      ])
+    "mono.select_basis"
+  @@ fun () ->
   let r = List.length terms in
   let row b =
     Array.of_list
@@ -74,8 +82,14 @@ let candidate_pool (psi : Ucq.t) : Structure.t list =
     of per-term counts on [d].
     @raise No_basis if the candidate pool cannot be completed to a
     non-singular system (does not happen for the supported inputs). *)
+let oracle_calls_c = Telemetry.counter "mono.oracle_calls"
+
 let recover_with_oracle ~(oracle : Structure.t -> Bigint.t) (psi : Ucq.t)
     (d : Structure.t) : recovered list =
+  Telemetry.with_span
+    ~attrs:(fun () -> [ ("l", Telemetry.I (Ucq.length psi)) ])
+    "mono.recover"
+  @@ fun () ->
   let support = Ucq.support psi in
   let terms = List.map (fun (t : Ucq.expansion_term) -> t.representative) support in
   let coeffs = List.map (fun (t : Ucq.expansion_term) -> t.coefficient) support in
@@ -84,11 +98,15 @@ let recover_with_oracle ~(oracle : Structure.t -> Bigint.t) (psi : Ucq.t)
     Array.of_list
       (List.map
          (fun b ->
+           Telemetry.incr oracle_calls_c;
            let product, _ = Structure.tensor d b in
            Rational.of_bigint (oracle product))
          basis)
   in
-  match Linalg.solve m rhs with
+  let solution =
+    Telemetry.with_span "mono.solve" (fun () -> Linalg.solve m rhs)
+  in
+  match solution with
   | None -> raise No_basis
   | Some v ->
       List.mapi

@@ -33,7 +33,10 @@ let exact ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : Ucq.t)
     invalid_arg "Wl_dimension.exact: input must be quantifier-free";
   if not (check_labelled psi) then
     invalid_arg "Wl_dimension.exact: input must be a UCQ on labelled graphs";
-  Meta.hereditary_treewidth ?budget ?pool psi
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (Ucq.length psi)) ])
+    "wl_dim.exact"
+    (fun () -> Meta.hereditary_treewidth ?budget ?pool psi)
 
 (** [approximate ?budget psi] is the Theorem 7 algorithm: lower and upper
     bounds [(lo, hi)] with [lo ≤ dim_WL(Ψ) ≤ hi], each support term handled
@@ -43,7 +46,10 @@ let approximate ?(budget : Budget.t option) (psi : Ucq.t) : int * int =
     invalid_arg "Wl_dimension.approximate: input must be quantifier-free";
   if not (check_labelled psi) then
     invalid_arg "Wl_dimension.approximate: input must be a UCQ on labelled graphs";
-  Meta.hereditary_treewidth_bounds ?budget psi
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (Ucq.length psi)) ])
+    "wl_dim.approx"
+    (fun () -> Meta.hereditary_treewidth_bounds ?budget psi)
 
 (** [at_most ?budget k psi] decides [dim_WL(Ψ) ≤ k] (the Theorem 8
     problem). *)

@@ -8,13 +8,23 @@ let create ~(jobs : int) () : t = { jobs = max 1 jobs }
 let sequential : t = { jobs = 1 }
 let jobs (p : t) : int = p.jobs
 
-let jobs_of_env () : int =
+let validate_jobs (s : string) : (int, string) result =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "jobs must be at least 1 (got %d)" n)
+  | None ->
+      Error (Printf.sprintf "jobs must be a positive integer (got %S)" s)
+
+let jobs_of_env_result () : (int, string) result =
   match Sys.getenv_opt "UCQC_JOBS" with
-  | None -> 1
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | _ -> 1)
+  | None -> Ok 1
+  | Some s when String.trim s = "" -> Ok 1 (* set-but-empty = unset *)
+  | Some s -> Result.map_error (fun e -> "UCQC_JOBS: " ^ e) (validate_jobs s)
+
+let jobs_of_env () : int =
+  match jobs_of_env_result () with
+  | Ok n -> n
+  | Error msg -> invalid_arg ("Pool.jobs_of_env: " ^ msg)
 
 let of_env () : t = create ~jobs:(jobs_of_env ()) ()
 
@@ -31,11 +41,17 @@ let init_in_order (n : int) (f : int -> 'a) : 'a array =
     out
   end
 
+let chunks_c = Telemetry.counter "pool.chunks"
+
 let run (p : t) ?(budget : Budget.t option) ~(f : int -> 'a) (n : int) :
     'a array =
   if n <= 1 || p.jobs <= 1 then init_in_order n f
   else begin
     let workers = min p.jobs n in
+    Telemetry.with_span ?budget
+      ~attrs:(fun () -> [ ("n", Telemetry.I n); ("workers", Telemetry.I workers) ])
+      "pool.run"
+    @@ fun () ->
     let results = Array.make n None in
     (* Chunks several times smaller than a fair share load-balance uneven
        per-item costs; the atomic cursor is the whole queue. *)
@@ -52,6 +68,7 @@ let run (p : t) ?(budget : Budget.t option) ~(f : int -> 'a) (n : int) :
           let start = Atomic.fetch_and_add next chunk in
           if start >= n then continue := false
           else begin
+            Telemetry.incr chunks_c;
             let stop = min n (start + chunk) in
             try
               for i = start to stop - 1 do
@@ -69,9 +86,13 @@ let run (p : t) ?(budget : Budget.t option) ~(f : int -> 'a) (n : int) :
         end
       done
     in
-    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn body) in
+    (* the worker span makes per-domain utilisation visible in the trace:
+       the gap between a domain's [pool.worker] span and its parent
+       [pool.run] span is queue/join wait *)
+    let worker () = Telemetry.with_span "pool.worker" body in
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
     (* the calling domain is the last worker — never idle *)
-    body ();
+    worker ();
     Array.iter Domain.join domains;
     (match Atomic.get failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -38,8 +38,19 @@ val sequential : t
 
 val jobs : t -> int
 
-(** [jobs_of_env ()] reads [UCQC_JOBS] (default 1; malformed or
-    non-positive values fall back to 1). *)
+(** [validate_jobs s] parses a jobs count: a positive decimal integer.
+    Rejects 0, negative values and garbage with a human-readable message
+    — the shared validation behind [--jobs], [UCQC_JOBS] and the tools. *)
+val validate_jobs : string -> (int, string) result
+
+(** [jobs_of_env_result ()] reads [UCQC_JOBS] through {!validate_jobs}
+    ([Ok 1] when unset).  Callers map [Error] to a usage error
+    (exit 64). *)
+val jobs_of_env_result : unit -> (int, string) result
+
+(** [jobs_of_env ()] is the exception-raising variant of
+    {!jobs_of_env_result}.
+    @raise Invalid_argument on a malformed or non-positive [UCQC_JOBS]. *)
 val jobs_of_env : unit -> int
 
 (** [of_env ()] is [create ~jobs:(jobs_of_env ()) ()]. *)

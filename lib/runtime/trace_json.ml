@@ -1,0 +1,247 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = failwith (Printf.sprintf "json: %s at byte %d" msg st.pos)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_lit st lit value =
+  let n = String.length lit in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = lit
+  then (
+    st.pos <- st.pos + n;
+    value)
+  else fail st (Printf.sprintf "expected %s" lit)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then fail st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if st.pos >= String.length st.src then fail st "unterminated escape";
+        let e = st.src.[st.pos] in
+        st.pos <- st.pos + 1;
+        match e with
+        | '"' -> Buffer.add_char buf '"'; go ()
+        | '\\' -> Buffer.add_char buf '\\'; go ()
+        | '/' -> Buffer.add_char buf '/'; go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'u' ->
+            (* keep \uXXXX verbatim — traces only use it for control chars *)
+            if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
+            Buffer.add_string buf "\\u";
+            Buffer.add_string buf (String.sub st.src st.pos 4);
+            st.pos <- st.pos + 4;
+            go ()
+        | _ -> fail st "bad escape")
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.src && is_num_char st.src.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected number";
+  match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some f -> f
+  | None -> fail st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then (
+        st.pos <- st.pos + 1;
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then (
+        st.pos <- st.pos + 1;
+        Arr [])
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              Arr (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        items []
+  | Some 't' -> parse_lit st "true" (Bool true)
+  | Some 'f' -> parse_lit st "false" (Bool false)
+  | Some 'n' -> parse_lit st "null" Null
+  | Some _ -> Num (parse_number st)
+
+let parse (s : string) : t =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let parse_file (path : string) : t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let member (k : string) (v : t) : t option =
+  match v with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace validation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate_chrome_trace (v : t) : (int, string) result =
+  let ( let* ) = Result.bind in
+  let* events =
+    match member "traceEvents" v with
+    | Some (Arr evs) -> Ok evs
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents key"
+  in
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add stacks tid r;
+        r
+  in
+  let check_event i ev =
+    let str k =
+      match member k ev with
+      | Some (Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+    in
+    let num k =
+      match member k ev with
+      | Some (Num n) -> Ok n
+      | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+    in
+    let* ph = str "ph" in
+    let* name = str "name" in
+    match ph with
+    | "M" -> Ok ()
+    | "B" | "E" | "i" -> (
+        let* _ts = num "ts" in
+        let* tid = num "tid" in
+        let stack = stack_of (int_of_float tid) in
+        match ph with
+        | "B" ->
+            stack := name :: !stack;
+            Ok ()
+        | "E" -> (
+            match !stack with
+            | top :: tl when top = name ->
+                stack := tl;
+                Ok ()
+            | top :: _ ->
+                Error
+                  (Printf.sprintf
+                     "event %d: E %S closes open span %S (tid %d)" i name top
+                     (int_of_float tid))
+            | [] ->
+                Error
+                  (Printf.sprintf "event %d: E %S with no open span (tid %d)"
+                     i name (int_of_float tid)))
+        | _ -> Ok ())
+    | other -> Error (Printf.sprintf "event %d: unknown ph %S" i other)
+  in
+  let* () =
+    List.fold_left
+      (fun acc (i, ev) ->
+        let* () = acc in
+        match ev with
+        | Obj _ -> check_event i ev
+        | _ -> Error (Printf.sprintf "event %d: not an object" i))
+      (Ok ())
+      (List.mapi (fun i ev -> (i, ev)) events)
+  in
+  let* () =
+    Hashtbl.fold
+      (fun tid stack acc ->
+        let* () = acc in
+        match !stack with
+        | [] -> Ok ()
+        | open_spans ->
+            Error
+              (Printf.sprintf "tid %d: %d span(s) left open (innermost %S)"
+                 tid (List.length open_spans) (List.hd open_spans)))
+      stacks (Ok ())
+  in
+  Ok (List.length events)

@@ -1,0 +1,34 @@
+(** Minimal JSON reader + Chrome-trace validator.
+
+    CI needs to check that an emitted [--trace] file is well-formed and
+    that every domain's ["B"]/["E"] events balance, without assuming a
+    Python or jq on the runner.  This is a small recursive-descent JSON
+    parser — enough for machine-generated traces, not a general-purpose
+    library (no surrogate-pair decoding; [\uXXXX] escapes are kept
+    verbatim). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse s] parses the whole string as one JSON value.
+    @raise Failure with a position-tagged message on malformed input. *)
+val parse : string -> t
+
+val parse_file : string -> t
+
+(** [member k v] is the value bound to key [k] when [v] is an object. *)
+val member : string -> t -> t option
+
+(** [validate_chrome_trace v] checks that [v] is a Chrome-trace object:
+    has a ["traceEvents"] array; every event is an object with a string
+    ["ph"] and a string ["name"]; every ["B"]/["E"]/["i"] event has
+    numeric ["ts"] and ["tid"]; and per [tid] the ["B"]/["E"] events
+    nest — no ["E"] without an open ["B"], names match LIFO, and nothing
+    is left open at the end.  Returns the number of events checked, or a
+    human-readable description of the first violation. *)
+val validate_chrome_trace : t -> (int, string) result

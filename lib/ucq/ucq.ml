@@ -137,6 +137,13 @@ let is_union_of_self_join_free (psi : t) : bool =
 (* Counting answers                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let ie_terms_c = Telemetry.counter "ucq.ie.terms"
+let expansion_classes_c = Telemetry.counter "ucq.expansion.classes"
+
+(* bitmask of an index set [J ⊆ [ℓ]], for span attributes *)
+let subset_mask (j : int list) : int =
+  List.fold_left (fun m i -> m lor (1 lsl i)) 0 j
+
 (** [count_naive ?budget ?pool psi d] iterates all assignments [X → U(D)]
     and keeps those that are an answer of some disjunct — the reference
     oracle.  The budget is ticked once per assignment and threaded into
@@ -145,6 +152,15 @@ let is_union_of_self_join_free (psi : t) : bool =
     space is split into ranges swept by the worker domains. *)
 let count_naive ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t)
     (d : Structure.t) : int =
+  Telemetry.with_span ?budget
+    ~attrs:(fun () ->
+      [
+        ("l", Telemetry.I (length psi));
+        ("free", Telemetry.I (List.length psi.free));
+        ("dom", Telemetry.I (Structure.universe_size d));
+      ])
+    "ucq.naive"
+  @@ fun () ->
   let x = psi.free in
   let k = List.length x in
   let dom = Structure.universe d in
@@ -180,8 +196,17 @@ let nonempty_index_sets (psi : t) : int list array =
 let count_inclusion_exclusion ?(strategy = Counting.Auto)
     ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t)
     (d : Structure.t) : int =
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (length psi)) ])
+    "ucq.ie"
+  @@ fun () ->
   let term j =
     Budget.tick_opt budget;
+    Telemetry.incr ie_terms_c;
+    Telemetry.with_span
+      ~attrs:(fun () -> [ ("subset", Telemetry.I (subset_mask j)) ])
+      "ucq.ie.term"
+    @@ fun () ->
     let sign = if List.length j mod 2 = 1 then 1 else -1 in
     sign * Counting.count ~strategy ?budget (combined psi j) d
   in
@@ -209,8 +234,16 @@ type expansion_term = { representative : Cq.t; coefficient : int }
     the class list is identical for every job count. *)
 let expansion ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t) :
     expansion_term list =
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (length psi)) ])
+    "ucq.expansion"
+  @@ fun () ->
   let core_of j =
     Budget.tick_opt budget;
+    Telemetry.with_span
+      ~attrs:(fun () -> [ ("subset", Telemetry.I (subset_mask j)) ])
+      "ucq.expansion.core"
+    @@ fun () ->
     let core = Cq.sharp_core (combined psi j) in
     let sign = if List.length j mod 2 = 1 then 1 else -1 in
     (core, sign)
@@ -230,6 +263,7 @@ let expansion ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t) :
       in
       insert !classes)
     cores;
+  Telemetry.add expansion_classes_c (List.length !classes);
   List.map
     (fun (rep, coeff) -> { representative = rep; coefficient = !coeff })
     !classes
@@ -257,6 +291,10 @@ let coefficient (psi : t) (q : Cq.t) : int =
     {!Counting.count} call fanned out on the pool. *)
 let count_via_expansion ?(strategy = Counting.Auto) ?(budget : Budget.t option)
     ?(pool : Pool.t option) (psi : t) (d : Structure.t) : int =
+  Telemetry.with_span ?budget
+    ~attrs:(fun () -> [ ("l", Telemetry.I (length psi)) ])
+    "ucq.count_via_expansion"
+  @@ fun () ->
   let terms =
     Array.of_list
       (List.filter

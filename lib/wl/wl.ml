@@ -159,8 +159,23 @@ let num_colours (s : run_state) : int =
     list of per-round histogram lists (index 0 = initial colouring).  The
     [k]-tuple colourings touch [n^k] tuples per round, so the budget is
     ticked once per recoloured tuple. *)
+let wl_rounds_c = Telemetry.counter "wl.rounds"
+
 let run_lockstep ?(budget : Budget.t option) (k : int) (ds : Structure.t list)
     : run_state list * (int * int) list list list =
+  Telemetry.with_span ?budget
+    ~attrs:(fun () ->
+      [
+        ("k", Telemetry.I k);
+        ("structures", Telemetry.I (List.length ds));
+        ( "n",
+          Telemetry.I
+            (List.fold_left
+               (fun acc d -> max acc (Structure.universe_size d))
+               0 ds) );
+      ])
+    "wl.refine"
+  @@ fun () ->
   let term_ids : (term, int) Hashtbl.t = Hashtbl.create 256 in
   let next = ref 0 in
   let id_of term =
@@ -181,6 +196,7 @@ let run_lockstep ?(budget : Budget.t option) (k : int) (ds : Structure.t list)
   let history = ref [ List.map histogram states ] in
   let stable = ref false in
   while not !stable do
+    Telemetry.incr wl_rounds_c;
     let before = List.map num_colours states in
     (* assign new colours; fresh shared table each round keeps identifiers
        comparable because terms embed the previous identifiers *)

@@ -89,7 +89,19 @@ let test_count_range () =
         (Pool.count_range p ~total:10_000 (fun i -> i mod 7 = 3)))
     [ 1; 3 ]
 
-let test_jobs_of_env () =
+let test_jobs_validation () =
+  let ok = function Ok n -> Some n | Error _ -> None in
+  Alcotest.(check (option int)) "well-formed" (Some 3) (ok (Pool.validate_jobs "3"));
+  Alcotest.(check (option int)) "whitespace tolerated" (Some 2)
+    (ok (Pool.validate_jobs " 2 "));
+  Alcotest.(check (option int)) "garbage rejected" None
+    (ok (Pool.validate_jobs "lots"));
+  Alcotest.(check (option int)) "zero rejected" None (ok (Pool.validate_jobs "0"));
+  Alcotest.(check (option int)) "negative rejected" None
+    (ok (Pool.validate_jobs "-4"));
+  Alcotest.(check (option int)) "empty rejected" None (ok (Pool.validate_jobs ""))
+
+let test_jobs_of_env_strict () =
   let with_env v f =
     Unix.putenv "UCQC_JOBS" v;
     let r = f () in
@@ -97,11 +109,20 @@ let test_jobs_of_env () =
     r
   in
   Alcotest.(check int) "well-formed" 3 (with_env "3" Pool.jobs_of_env);
-  Alcotest.(check int) "malformed falls back to 1" 1
-    (with_env "lots" Pool.jobs_of_env);
-  Alcotest.(check int) "non-positive falls back to 1" 1
-    (with_env "0" Pool.jobs_of_env);
-  Alcotest.(check int) "empty falls back to 1" 1 (with_env "" Pool.jobs_of_env)
+  Alcotest.(check bool) "malformed is an error, not a silent 1" true
+    (with_env "lots" (fun () ->
+         match Pool.jobs_of_env_result () with Error _ -> true | Ok _ -> false));
+  Alcotest.(check bool) "zero is an error" true
+    (with_env "0" (fun () ->
+         match Pool.jobs_of_env_result () with Error _ -> true | Ok _ -> false));
+  Alcotest.(check int) "set-but-empty means unset" 1
+    (with_env "" Pool.jobs_of_env);
+  (* the exception-raising variant mirrors the result variant *)
+  Alcotest.(check bool) "jobs_of_env raises on garbage" true
+    (with_env "garbage" (fun () ->
+         match Pool.jobs_of_env () with
+         | exception Invalid_argument _ -> true
+         | _ -> false))
 
 (* ------------------------------------------------------------------ *)
 (* Shared-budget domain safety                                        *)
@@ -225,7 +246,9 @@ let suite =
         Alcotest.test_case "exception propagation + cancellation" `Quick
           test_exception_propagation;
         Alcotest.test_case "count_range" `Quick test_count_range;
-        Alcotest.test_case "UCQC_JOBS parsing" `Quick test_jobs_of_env;
+        Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+        Alcotest.test_case "UCQC_JOBS strict parsing" `Quick
+          test_jobs_of_env_strict;
         Alcotest.test_case "concurrent budget ticks" `Quick
           test_budget_concurrent_ticks;
         Alcotest.test_case "worker exhaustion exit codes" `Quick

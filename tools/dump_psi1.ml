@@ -1,0 +1,21 @@
+let () =
+  let psi1, ktk = Paper_examples.psi1 () in
+  let oc = open_out "data/psi1.ucq" in
+  output_string oc
+    "# Psi_1 = A^_3(Delta_1) of Figure 2 (expansion support NOT acyclic:\n\
+     # counting is superlinear under the paper's assumptions)\n";
+  output_string oc (Pretty.ucq psi1);
+  output_string oc "\n";
+  close_out oc;
+  let host =
+    let n = 8 in
+    Graph.of_edges n (Listx.take (n * (n - 1) / 4) (Graph.edges (Graph.clique n)))
+  in
+  let db = Ktk.database_of_graph ktk host in
+  let oc = open_out "data/k34_db.facts" in
+  output_string oc
+    "# Lemma 45 database over K_3^4 for an 8-vertex quarter-dense host graph\n";
+  output_string oc (Pretty.database db);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote data/psi1.ucq data/k34_db.facts"

@@ -7,7 +7,13 @@
     [FUZZ_SCALE] scales every iteration count (e.g. [FUZZ_SCALE=0.05] for
     a quick CI smoke run, default 1).  [UCQC_JOBS > 1] additionally
     cross-checks every parallelisable engine on a domain pool of that
-    size against its sequential result. *)
+    size against its sequential result; a malformed [UCQC_JOBS] is a
+    usage error (exit 64).
+
+    Telemetry runs in stack-only mode ([record = false]): spans cost a
+    push/pop but buffer nothing over the multi-minute run, and every
+    mismatch or crash report carries the active span stack, so a failure
+    names the sweep it came from. *)
 let () =
   let scale =
     match Sys.getenv_opt "FUZZ_SCALE" with
@@ -21,89 +27,138 @@ let () =
   in
   let iters n = max 1 (int_of_float (float_of_int n *. scale)) in
   let pool =
-    let jobs = Pool.jobs_of_env () in
-    if jobs > 1 then begin
-      Printf.printf "fuzz: cross-checking parallel engines with %d jobs\n" jobs;
-      Some (Pool.create ~jobs ())
-    end
-    else None
+    match Pool.jobs_of_env_result () with
+    | Error msg ->
+        Printf.eprintf "fuzz: %s\n" msg;
+        exit 64
+    | Ok jobs when jobs > 1 ->
+        Printf.printf "fuzz: cross-checking parallel engines with %d jobs\n"
+          jobs;
+        Some (Pool.create ~jobs ())
+    | Ok _ -> None
   in
+  Telemetry.enable ~record:false ();
   let sg = Generators.graph_signature in
   let failures = ref 0 in
-  (* CQ engines *)
-  for seed = 0 to iters 1500 do
-    let q = Qgen.random_cq ~seed ~max_vars:4 ~max_atoms:5 sg in
-    let db = Generators.random_digraph ~seed:(seed * 7 + 1) 5 12 in
-    let naive = Counting.count ~strategy:Counting.Naive q db in
-    if Counting.count q db <> naive then (incr failures; Printf.printf "AUTO mismatch seed %d\n" seed);
-    if Varelim.count q db <> naive then (incr failures; Printf.printf "VARELIM mismatch seed %d\n" seed);
-    if Cq.is_quantifier_free q then begin
-      if Counting.count ~strategy:Counting.Treedec q db <> naive then (incr failures; Printf.printf "TREEDEC mismatch seed %d\n" seed);
-      if Counting.count ~strategy:Counting.Weighted q db <> naive then (incr failures; Printf.printf "WEIGHTED mismatch seed %d\n" seed);
-      if Nice_count.count (Cq.structure q) db <> Hom.count (Cq.structure q) db then (incr failures; Printf.printf "NICE mismatch seed %d\n" seed)
-    end
-  done;
-  (* UCQ counting *)
-  for seed = 0 to iters 400 do
-    let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg in
-    let db = Generators.random_digraph ~seed:(seed * 13 + 5) 4 9 in
-    let naive = Ucq.count_naive psi db in
-    if Ucq.count_inclusion_exclusion psi db <> naive then (incr failures; Printf.printf "UCQ IE mismatch seed %d\n" seed);
-    if Ucq.count_via_expansion psi db <> naive then (incr failures; Printf.printf "UCQ EXP mismatch seed %d\n" seed);
-    match pool with
+  let report fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        let stack = Telemetry.current_stack () in
+        Printf.printf "%s%s\n" msg
+          (if stack = [] then ""
+           else
+             Printf.sprintf "  [spans: %s]"
+               (String.concat " > " (List.rev stack))))
+      fmt
+  in
+  let section name f = Telemetry.with_span name f in
+  let run () =
+    (* CQ engines *)
+    section "fuzz.cq-engines" (fun () ->
+        for seed = 0 to iters 1500 do
+          let q = Qgen.random_cq ~seed ~max_vars:4 ~max_atoms:5 sg in
+          let db = Generators.random_digraph ~seed:(seed * 7 + 1) 5 12 in
+          let naive = Counting.count ~strategy:Counting.Naive q db in
+          if Counting.count q db <> naive then report "AUTO mismatch seed %d" seed;
+          if Varelim.count q db <> naive then report "VARELIM mismatch seed %d" seed;
+          if Cq.is_quantifier_free q then begin
+            if Counting.count ~strategy:Counting.Treedec q db <> naive then
+              report "TREEDEC mismatch seed %d" seed;
+            if Counting.count ~strategy:Counting.Weighted q db <> naive then
+              report "WEIGHTED mismatch seed %d" seed;
+            if Nice_count.count (Cq.structure q) db <> Hom.count (Cq.structure q) db
+            then report "NICE mismatch seed %d" seed
+          end
+        done);
+    (* UCQ counting *)
+    section "fuzz.ucq-counting" (fun () ->
+        for seed = 0 to iters 400 do
+          let psi =
+            Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg
+          in
+          let db = Generators.random_digraph ~seed:(seed * 13 + 5) 4 9 in
+          let naive = Ucq.count_naive psi db in
+          if Ucq.count_inclusion_exclusion psi db <> naive then
+            report "UCQ IE mismatch seed %d" seed;
+          if Ucq.count_via_expansion psi db <> naive then
+            report "UCQ EXP mismatch seed %d" seed;
+          match pool with
+          | None -> ()
+          | Some _ ->
+              if Ucq.count_naive ?pool psi db <> naive then
+                report "UCQ PAR-NAIVE mismatch seed %d" seed;
+              if Ucq.count_inclusion_exclusion ?pool psi db <> naive then
+                report "UCQ PAR-IE mismatch seed %d" seed;
+              if Ucq.count_via_expansion ?pool psi db <> naive then
+                report "UCQ PAR-EXP mismatch seed %d" seed
+        done);
+    (* reduction parsimony, larger random formulas *)
+    section "fuzz.parsimony" (fun () ->
+        for seed = 0 to iters 150 do
+          let f = Cnf.random_3cnf ~seed 4 (1 + (seed mod 6)) in
+          if not (Sat_complex.euler_equals_count_sat f) then
+            report "PARSIMONY FAIL seed %d" seed
+        done);
+    (* treewidth: exact vs independent nice-width, on random graphs *)
+    section "fuzz.treewidth" (fun () ->
+        for seed = 0 to iters 300 do
+          let st = Random.State.make [| seed |] in
+          let n = 3 + Random.State.int st 7 in
+          let g = Graph.make n in
+          for _ = 1 to n * 2 do
+            Graph.add_edge g (Random.State.int st n) (Random.State.int st n)
+          done;
+          let w, dec = Treewidth.exact g in
+          let nice = Nice_treedec.of_treedec dec in
+          if
+            (not (Nice_treedec.validate g nice))
+            || Nice_treedec.width nice <> max w (-1)
+          then report "NICE TD FAIL seed %d" seed;
+          if pool <> None && Treewidth.treewidth ?pool g <> w then
+            report "PAR TW mismatch seed %d" seed
+        done);
+    (* parallel Karp-Luby: a fixed (seed, jobs) pair must be reproducible *)
+    (match pool with
     | None -> ()
     | Some _ ->
-        if Ucq.count_naive ?pool psi db <> naive then (incr failures; Printf.printf "UCQ PAR-NAIVE mismatch seed %d\n" seed);
-        if Ucq.count_inclusion_exclusion ?pool psi db <> naive then (incr failures; Printf.printf "UCQ PAR-IE mismatch seed %d\n" seed);
-        if Ucq.count_via_expansion ?pool psi db <> naive then (incr failures; Printf.printf "UCQ PAR-EXP mismatch seed %d\n" seed)
-  done;
-  (* reduction parsimony, larger random formulas *)
-  for seed = 0 to iters 150 do
-    let f = Cnf.random_3cnf ~seed 4 (1 + (seed mod 6)) in
-    if not (Sat_complex.euler_equals_count_sat f) then (incr failures; Printf.printf "PARSIMONY FAIL seed %d\n" seed)
-  done;
-  (* treewidth: exact vs independent nice-width, on random graphs *)
-  for seed = 0 to iters 300 do
-    let st = Random.State.make [| seed |] in
-    let n = 3 + Random.State.int st 7 in
-    let g = Graph.make n in
-    for _ = 1 to n * 2 do
-      Graph.add_edge g (Random.State.int st n) (Random.State.int st n)
-    done;
-    let w, dec = Treewidth.exact g in
-    let nice = Nice_treedec.of_treedec dec in
-    if not (Nice_treedec.validate g nice) || Nice_treedec.width nice <> max w (-1)
-    then (incr failures; Printf.printf "NICE TD FAIL seed %d\n" seed);
-    if pool <> None && Treewidth.treewidth ?pool g <> w then
-      (incr failures; Printf.printf "PAR TW mismatch seed %d\n" seed)
-  done;
-  (* parallel Karp-Luby: a fixed (seed, jobs) pair must be reproducible *)
-  (match pool with
-  | None -> ()
-  | Some _ ->
-      for seed = 0 to iters 50 do
-        let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:3 ~max_atoms:2 sg in
-        let db = Generators.random_digraph ~seed:(seed * 11 + 7) 5 12 in
-        let est () = Karp_luby.estimate ~seed ?pool ~samples:300 psi db in
-        if est () <> est () then
-          (incr failures; Printf.printf "PAR KL NONDET seed %d\n" seed)
-      done);
-  (* budget determinism: the same step budget must exhaust at the same
-     point twice, and a generous budget must not change any result *)
-  for seed = 0 to iters 200 do
-    let psi = Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg in
-    let db = Generators.random_digraph ~seed:(seed * 17 + 3) 4 9 in
-    let run_once n =
-      let b = Budget.of_steps n in
-      Budget.run b ~phase:"fuzz" (fun () ->
-          Ucq.count_via_expansion ~budget:b psi db)
-    in
-    let n = 1 + (seed mod 50) in
-    if run_once n <> run_once n then
-      (incr failures; Printf.printf "BUDGET NONDET seed %d\n" seed);
-    (match run_once max_int with
-    | Ok c when c = Ucq.count_naive psi db -> ()
-    | _ -> (incr failures; Printf.printf "BUDGET CHANGES RESULT seed %d\n" seed))
-  done;
+        section "fuzz.parallel-kl" (fun () ->
+            for seed = 0 to iters 50 do
+              let psi =
+                Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:3 ~max_atoms:2
+                  sg
+              in
+              let db = Generators.random_digraph ~seed:(seed * 11 + 7) 5 12 in
+              let est () =
+                Karp_luby.estimate ~seed ?pool ~samples:300 psi db
+              in
+              if est () <> est () then report "PAR KL NONDET seed %d" seed
+            done));
+    (* budget determinism: the same step budget must exhaust at the same
+       point twice, and a generous budget must not change any result *)
+    section "fuzz.budget-determinism" (fun () ->
+        for seed = 0 to iters 200 do
+          let psi =
+            Qgen.random_ucq ~seed ~max_disjuncts:3 ~max_vars:4 ~max_atoms:3 sg
+          in
+          let db = Generators.random_digraph ~seed:(seed * 17 + 3) 4 9 in
+          let run_once n =
+            let b = Budget.of_steps n in
+            Budget.run b ~phase:"fuzz" (fun () ->
+                Ucq.count_via_expansion ~budget:b psi db)
+          in
+          let n = 1 + (seed mod 50) in
+          if run_once n <> run_once n then report "BUDGET NONDET seed %d" seed;
+          match run_once max_int with
+          | Ok c when c = Ucq.count_naive psi db -> ()
+          | _ -> report "BUDGET CHANGES RESULT seed %d" seed
+        done)
+  in
+  (try run ()
+   with e ->
+     (* crash report: the active span stack names the sweep that died *)
+     Printf.eprintf "fuzz: CRASH %s  [spans: %s]\n" (Printexc.to_string e)
+       (String.concat " > " (List.rev (Telemetry.current_stack ())));
+     raise e);
   Printf.printf "fuzz done: %d failures\n" !failures;
   if !failures > 0 then exit 1

@@ -1,0 +1,31 @@
+(** Validate a Chrome-trace JSON file emitted by [ucqc --trace].
+
+    Usage: [trace_check FILE [FILE...]].  For each file: parse the JSON,
+    check the Chrome-trace shape, and check that every domain's B/E
+    events nest and balance.  Exits 0 when every file passes, 1 on a
+    validation failure, 64 on usage errors.  CI runs this against traces
+    produced by the workflow's traced invocation. *)
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: trace_check FILE [FILE...]";
+    exit 64
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Trace_json.parse_file path with
+      | exception Sys_error msg ->
+          Printf.eprintf "trace_check: %s\n" msg;
+          failed := true
+      | exception Failure msg ->
+          Printf.eprintf "trace_check: %s: %s\n" path msg;
+          failed := true
+      | v -> (
+          match Trace_json.validate_chrome_trace v with
+          | Ok n -> Printf.printf "%s: OK (%d events, B/E balanced)\n" path n
+          | Error msg ->
+              Printf.eprintf "trace_check: %s: %s\n" path msg;
+              failed := true))
+    files;
+  if !failed then exit 1
