@@ -3,6 +3,7 @@
     Subcommands:
     - [count]      count answers to a UCQ in a database
     - [approx]     Karp-Luby approximate counting (Section 1.2)
+    - [check]      static analysis / lint of query files (SARIF, JSON)
     - [meta]       decide linear-time countability (Theorem 5)
     - [classify]   structural measures for the Theorems 1/2/3 criteria
     - [wl-dim]     Weisfeiler–Leman dimension (Theorems 7/8/58)
@@ -181,6 +182,28 @@ let with_obs (obs : obs) (name : string) (f : unit -> int) : int =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Static pre-flight (--lint)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lint_arg =
+  let doc =
+    "Run the static analyzer ('ucqc check') on the query before executing \
+     and print its findings on stderr.  Informational only: the exit code \
+     is unaffected (genuine errors surface through normal parsing)."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
+(** The [--lint] pre-flight: analyze the query file under the analyzer's
+    own default budget (never the run's execution budget) and report on
+    stderr. *)
+let lint_preflight (lint : bool) ~(pool : Pool.t) (path : string) : unit =
+  if lint then
+    let report = Runner.preflight ~pool ~path (read_file path) in
+    List.iter
+      (fun d -> Printf.eprintf "ucqc: %s\n" (Diagnostic.to_string ~path d))
+      report.Analysis.diagnostics
+
+(* ------------------------------------------------------------------ *)
 (* count                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,13 +231,14 @@ let count_cmd =
     let doc = "Random seed for the Karp-Luby fallback." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile via seed max_steps timeout no_fallback jobs obs =
+  let run qfile dbfile via seed max_steps timeout no_fallback jobs obs lint =
     guarded (fun () ->
         with_obs obs "count" @@ fun () ->
+        let pool = pool_of jobs in
+        lint_preflight lint ~pool qfile;
         let psi, _ = parse_ucq_file qfile in
         let db, _ = parse_db_file dbfile in
         let budget = budget_of max_steps timeout in
-        let pool = pool_of jobs in
         match
           Runner.count ~via ~fallback:(not no_fallback) ~seed ~pool ~budget
             psi db
@@ -235,7 +259,124 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
       const run $ query_arg $ db_arg $ method_arg $ seed_arg $ max_steps_arg
-      $ timeout_arg $ no_fallback_arg $ jobs_arg $ obs_term)
+      $ timeout_arg $ no_fallback_arg $ jobs_arg $ obs_term $ lint_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type check_format = Human | Json | Sarif_format
+
+let check_cmd =
+  let files_arg =
+    let doc = "Query files to analyze (surface syntax)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: 'human' (one finding per line), 'json' (structured \
+       reports), or 'sarif' (SARIF 2.1.0, one run covering every file)."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [ ("human", Human); ("json", Json); ("sarif", Sarif_format) ])
+          Human
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  (* a deny spec is validated at parse time: usage errors (exit 64), not
+     runtime failures *)
+  let deny_conv : Diagnostic.deny Arg.conv =
+    let parse s =
+      match Diagnostic.deny_of_string s with
+      | Ok d -> Ok d
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf (d : Diagnostic.deny) =
+      Format.pp_print_string ppf
+        (match d with
+        | Diagnostic.Code c -> c
+        | Diagnostic.At_least s -> Diagnostic.severity_to_string s)
+    in
+    Arg.conv ~docv:"SPEC" (parse, print)
+  in
+  let deny_arg =
+    let doc =
+      "Fail (exit 1) when a finding matches $(docv): a rule code (e.g. \
+       'UCQ104') or a severity ('warning' denies warnings and errors). \
+       Error-severity findings are always denied.  Repeatable."
+    in
+    Arg.(value & opt_all deny_conv [] & info [ "deny" ] ~docv:"SPEC" ~doc)
+  in
+  let tw_threshold_arg =
+    let doc = "Contract treewidth above which UCQ201 fires." in
+    Arg.(value & opt int 2 & info [ "tw-threshold" ] ~docv:"W" ~doc)
+  in
+  let ie_threshold_arg =
+    let doc = "Disjunct count at which UCQ203 (2^l blowup) fires." in
+    Arg.(value & opt int 8 & info [ "ie-threshold" ] ~docv:"L" ~doc)
+  in
+  let run files format denies tw_threshold ie_threshold max_steps timeout
+      jobs obs =
+    guarded (fun () ->
+        with_obs obs "check" @@ fun () ->
+        let pool = pool_of jobs in
+        let reports =
+          List.map
+            (fun path ->
+              (* a fresh budget per file: one pathological query must not
+                 starve the analysis of the files after it *)
+              let budget =
+                match (max_steps, timeout) with
+                | None, None -> None
+                | _ -> Some (budget_of max_steps timeout)
+              in
+              Analysis.check ?budget ~pool ~tw_threshold ~ie_threshold ~path
+                (read_file path))
+            files
+        in
+        (match format with
+        | Human ->
+            List.iter
+              (fun r -> print_endline (Analysis.report_to_human r))
+              reports
+        | Json ->
+            print_endline
+              (Trace_json.to_string
+                 (Trace_json.Arr (List.map Analysis.report_to_json reports)))
+        | Sarif_format ->
+            print_endline
+              (Sarif.to_string (Sarif.of_reports ~tool_version:"1.0.0" reports)));
+        let denied =
+          List.concat_map (Analysis.denied_diagnostics denies) reports
+        in
+        if denied = [] then 0
+        else begin
+          Printf.eprintf "ucqc: check failed: %d denied finding%s\n"
+            (List.length denied)
+            (if List.length denied = 1 then "" else "s");
+          if format <> Human then
+            (* the findings went to stdout in machine form; repeat the
+               denied ones on stderr for the human reading the CI log *)
+            List.iter
+              (fun d -> Printf.eprintf "ucqc: %s\n" (Diagnostic.to_string d))
+              denied;
+          1
+        end)
+  in
+  let doc =
+    "Statically analyze query files: structural lints, \
+     complexity-theoretic findings (contract treewidth, free-connexity, \
+     WL-dimension, inclusion-exclusion blowup) and a predicted execution \
+     plan, as structured diagnostics with stable UCQnnn codes.  Exits 0 \
+     when no finding is denied, 1 when one is ('--deny'), 64 on usage \
+     errors."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ files_arg $ format_arg $ deny_arg $ tw_threshold_arg
+      $ ie_threshold_arg $ max_steps_arg $ timeout_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                             *)
@@ -292,12 +433,13 @@ let approx_cmd =
 (* ------------------------------------------------------------------ *)
 
 let meta_cmd =
-  let run qfile max_steps timeout jobs obs =
+  let run qfile max_steps timeout jobs obs lint =
     guarded (fun () ->
         with_obs obs "meta" @@ fun () ->
+        let pool = pool_of jobs in
+        lint_preflight lint ~pool qfile;
         let psi, env = parse_ucq_file qfile in
         let budget = budget_of max_steps timeout in
-        let pool = pool_of jobs in
         match Runner.decide_meta ~pool ~budget psi with
         | Error e -> fail_err e
         | Ok d ->
@@ -319,7 +461,7 @@ let meta_cmd =
   Cmd.v (Cmd.info "meta" ~doc)
     Term.(
       const run $ query_arg $ max_steps_arg $ timeout_arg $ jobs_arg
-      $ obs_term)
+      $ obs_term $ lint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* classify                                                           *)
@@ -330,11 +472,12 @@ let classify_cmd =
     let doc = "Skip the exponential Gamma(C) measures." in
     Arg.(value & flag & info [ "no-gamma" ] ~doc)
   in
-  let run qfile no_gamma jobs obs =
+  let run qfile no_gamma jobs obs lint =
     guarded (fun () ->
         with_obs obs "classify" @@ fun () ->
-        let psi, _ = parse_ucq_file qfile in
         let pool = pool_of jobs in
+        lint_preflight lint ~pool qfile;
+        let psi, _ = parse_ucq_file qfile in
         let r = Classify.analyze ~with_gamma:(not no_gamma) ~pool psi in
         Printf.printf "disjuncts:               %d\n" r.Classify.num_disjuncts;
         Printf.printf "quantifier-free:         %b\n" r.Classify.quantifier_free;
@@ -353,7 +496,7 @@ let classify_cmd =
   in
   let doc = "Report the treewidth measures behind Theorems 1/2/3." in
   Cmd.v (Cmd.info "classify" ~doc)
-    Term.(const run $ query_arg $ gamma_arg $ jobs_arg $ obs_term)
+    Term.(const run $ query_arg $ gamma_arg $ jobs_arg $ obs_term $ lint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* wl-dim                                                             *)
@@ -577,6 +720,7 @@ let () =
           [
             count_cmd;
             approx_cmd;
+            check_cmd;
             meta_cmd;
             classify_cmd;
             wl_dim_cmd;

@@ -1,0 +1,202 @@
+(** Structured lint diagnostics with stable codes.
+
+    Every finding of the static analyzer is a {!t}: a stable [UCQnnn]
+    code, a severity, an optional 1-based end-exclusive source span
+    (mirroring the spans {!Ucqc_error.Parse_error} carries), and a
+    rendered message.  The code space is partitioned:
+
+    - [UCQ00x] — input validity and analyzer state (syntax, arity,
+      incomplete analysis)
+    - [UCQ1xx] — structural rules on the parsed surface syntax
+    - [UCQ2xx] — semantic/complexity rules grounded in the paper's
+      classification theorems
+    - [UCQ3xx] — reports (predicted execution plan) *)
+
+type severity = Error | Warning | Info | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+  | Hint -> "hint"
+
+(* for ordering and [--deny warning]-style promotion thresholds *)
+let severity_rank = function Error -> 3 | Warning -> 2 | Info -> 1 | Hint -> 0
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | "hint" -> Some Hint
+  | _ -> None
+
+(** SARIF [level] values: SARIF has no "hint"; informational findings map
+    to ["note"]. *)
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info | Hint -> "note"
+
+(** 1-based, end-exclusive (like {!Ucqc_error.Parse_error}). *)
+type span = { line : int; col : int; end_line : int; end_col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  message : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type rule = { id : string; default_severity : severity; title : string }
+
+(** The full catalogue, in code order — the single source of truth for
+    the SARIF [rules] array, [--deny] validation, and the DESIGN.md rule
+    table. *)
+let rules : rule list =
+  [
+    { id = "UCQ001"; default_severity = Error; title = "syntax error" };
+    { id = "UCQ002"; default_severity = Error; title = "relation arity clash" };
+    { id = "UCQ003"; default_severity = Info; title = "analysis incomplete" };
+    {
+      id = "UCQ004";
+      default_severity = Warning;
+      title = "analyzer rule failed";
+    };
+    {
+      id = "UCQ101";
+      default_severity = Hint;
+      title = "wildcard existential variable";
+    };
+    {
+      id = "UCQ102";
+      default_severity = Hint;
+      title = "variable confined to a single atom";
+    };
+    {
+      id = "UCQ103";
+      default_severity = Warning;
+      title = "duplicate atom in disjunct";
+    };
+    { id = "UCQ104"; default_severity = Warning; title = "subsumed disjunct" };
+    {
+      id = "UCQ105";
+      default_severity = Warning;
+      title = "cartesian-product disjunct";
+    };
+    { id = "UCQ106"; default_severity = Warning; title = "duplicate disjunct" };
+    {
+      id = "UCQ107";
+      default_severity = Warning;
+      title = "unconstrained free variable";
+    };
+    {
+      id = "UCQ201";
+      default_severity = Warning;
+      title = "contract treewidth exceeds threshold";
+    };
+    {
+      id = "UCQ202";
+      default_severity = Info;
+      title = "free-connexity violation";
+    };
+    {
+      id = "UCQ203";
+      default_severity = Warning;
+      title = "inclusion-exclusion blowup";
+    };
+    { id = "UCQ204"; default_severity = Info; title = "WL-dimension bounds" };
+    { id = "UCQ205"; default_severity = Info; title = "quantified union" };
+    { id = "UCQ206"; default_severity = Info; title = "cyclic disjunct" };
+    { id = "UCQ207"; default_severity = Hint; title = "not q-hierarchical" };
+    { id = "UCQ301"; default_severity = Info; title = "predicted plan" };
+  ]
+
+let find_rule (id : string) : rule option =
+  List.find_opt (fun r -> r.id = id) rules
+
+(** [make ?span ?severity code fmt] builds a diagnostic, defaulting the
+    severity from the registry.
+    @raise Invalid_argument on an unregistered code. *)
+let make ?(span : span option) ?(severity : severity option) (code : string)
+    fmt =
+  Printf.ksprintf
+    (fun message ->
+      match find_rule code with
+      | None -> invalid_arg (Printf.sprintf "Diagnostic.make: unknown %s" code)
+      | Some r ->
+          {
+            code;
+            severity = Option.value severity ~default:r.default_severity;
+            span;
+            message;
+          })
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Ordering and rendering                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Span-first ordering: findings with positions come first in document
+    order, then report-level findings, then by code — a deterministic
+    presentation order independent of rule evaluation order. *)
+let compare (a : t) (b : t) : int =
+  match (a.span, b.span) with
+  | Some sa, Some sb ->
+      let c = Stdlib.compare (sa.line, sa.col) (sb.line, sb.col) in
+      if c <> 0 then c else Stdlib.compare (a.code, a.message) (b.code, b.message)
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> Stdlib.compare (a.code, a.message) (b.code, b.message)
+
+let span_to_string (s : span) : string =
+  if s.line = s.end_line && s.end_col <= s.col then
+    Printf.sprintf "%d:%d" s.line s.col
+  else Printf.sprintf "%d:%d-%d:%d" s.line s.col s.end_line s.end_col
+
+(** [to_string ?path d] renders one [file:line:col-line:col: severity CODE:
+    message] line — the [--format human] output. *)
+let to_string ?(path : string option) (d : t) : string =
+  let where =
+    match (path, d.span) with
+    | Some p, Some s -> Printf.sprintf "%s:%s: " p (span_to_string s)
+    | Some p, None -> Printf.sprintf "%s: " p
+    | None, Some s -> Printf.sprintf "%s: " (span_to_string s)
+    | None, None -> ""
+  in
+  Printf.sprintf "%s%s %s: %s" where
+    (severity_to_string d.severity)
+    d.code d.message
+
+(* ------------------------------------------------------------------ *)
+(* Deny specifications                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** What [--deny] promotes to a failure: a specific code, or every
+    finding at or above a severity. *)
+type deny = Code of string | At_least of severity
+
+let deny_of_string (s : string) : (deny, string) result =
+  match severity_of_string (String.lowercase_ascii s) with
+  | Some sev -> Ok (At_least sev)
+  | None -> (
+      let s = String.uppercase_ascii s in
+      match find_rule s with
+      | Some _ -> Ok (Code s)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown deny spec %S (expected a severity or a UCQnnn code)" s))
+
+(** [denied specs d]: severity [Error] findings are always denied;
+    otherwise a finding is denied when any spec matches it. *)
+let denied (specs : deny list) (d : t) : bool =
+  d.severity = Error
+  || List.exists
+       (function
+         | Code c -> c = d.code
+         | At_least sev -> severity_rank d.severity >= severity_rank sev)
+       specs

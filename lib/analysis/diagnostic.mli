@@ -1,0 +1,90 @@
+(** Structured lint diagnostics with stable codes.
+
+    Every finding of the static analyzer is a {!t}: a stable [UCQnnn]
+    code, a severity, an optional source span, and a rendered message.
+    The code space is partitioned:
+
+    - [UCQ00x] — input validity and analyzer state: [UCQ001] syntax
+      error, [UCQ002] arity clash, [UCQ003] analysis incomplete (budget),
+      [UCQ004] analyzer rule failed (internal, never fatal)
+    - [UCQ1xx] — structural rules on the parsed surface syntax
+      ([UCQ101] wildcard existential … [UCQ107] unconstrained free
+      variable)
+    - [UCQ2xx] — semantic/complexity rules grounded in the paper's
+      classification theorems ([UCQ201] contract treewidth / Theorem 5,
+      [UCQ202] free-connexity, [UCQ203] inclusion–exclusion blowup,
+      [UCQ204] WL-dimension / Theorem 7, [UCQ205] quantified union,
+      [UCQ206] cyclic disjunct, [UCQ207] not q-hierarchical)
+    - [UCQ3xx] — reports ([UCQ301] predicted execution plan) *)
+
+type severity = Error | Warning | Info | Hint
+
+val severity_to_string : severity -> string
+
+(** [severity_of_string s] parses ["error" | "warning" | "info" | "hint"]. *)
+val severity_of_string : string -> severity option
+
+(** [severity_rank s] orders severities ([Hint] = 0 … [Error] = 3). *)
+val severity_rank : severity -> int
+
+(** [sarif_level s] is the SARIF [level] string; SARIF has no "hint", so
+    [Info] and [Hint] both map to ["note"]. *)
+val sarif_level : severity -> string
+
+(** 1-based, end-exclusive — the same convention as
+    {!Ucqc_error.Parse_error}. *)
+type span = { line : int; col : int; end_line : int; end_col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  message : string;
+}
+
+(** {2 Rule registry} *)
+
+type rule = { id : string; default_severity : severity; title : string }
+
+(** The full catalogue in code order — the single source of truth for the
+    SARIF [rules] array and [--deny] validation. *)
+val rules : rule list
+
+val find_rule : string -> rule option
+
+(** [make ?span ?severity code fmt] builds a diagnostic with the
+    registry's default severity unless overridden.
+    @raise Invalid_argument on an unregistered code. *)
+val make :
+  ?span:span ->
+  ?severity:severity ->
+  string ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+(** {2 Ordering and rendering} *)
+
+(** Document order first (spanless findings last), then code — a
+    deterministic presentation order independent of rule evaluation
+    order. *)
+val compare : t -> t -> int
+
+val span_to_string : span -> string
+
+(** [to_string ?path d] renders the [--format human] line:
+    [path:line:col-line:col: severity CODE: message]. *)
+val to_string : ?path:string -> t -> string
+
+(** {2 Deny specifications} *)
+
+(** What [--deny] promotes to failure: one code, or everything at or
+    above a severity. *)
+type deny = Code of string | At_least of severity
+
+(** [deny_of_string s] accepts a severity name (case-insensitive) or a
+    registered [UCQnnn] code. *)
+val deny_of_string : string -> (deny, string) result
+
+(** [denied specs d]: severity [Error] findings are always denied;
+    otherwise [d] is denied when any spec matches. *)
+val denied : deny list -> t -> bool

@@ -1,0 +1,258 @@
+(** SARIF 2.1.0 emission and structural validation.
+
+    One [run] per invocation, one [result] per diagnostic, the full rule
+    catalogue in [tool.driver.rules].  Built on {!Trace_json} — the CLI
+    has exactly one JSON writer.  {!validate} checks the structural
+    subset this module emits (and that consumers like GitHub code
+    scanning require), so [tools/sarif_check.exe] can gate CI without a
+    schema validator on the runner. *)
+
+let version = "2.1.0"
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let tool_name = "ucqc"
+
+let rule_to_json (r : Diagnostic.rule) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("id", Trace_json.Str r.Diagnostic.id);
+      ( "shortDescription",
+        Trace_json.Obj [ ("text", Trace_json.Str r.Diagnostic.title) ] );
+      ( "defaultConfiguration",
+        Trace_json.Obj
+          [
+            ( "level",
+              Trace_json.Str (Diagnostic.sarif_level r.Diagnostic.default_severity)
+            );
+          ] );
+    ]
+
+(** SARIF requires a URI; stdin input gets a stable placeholder. *)
+let uri_of_path (path : string option) : string =
+  match path with None -> "stdin" | Some p -> p
+
+let result_to_json ~(uri : string) (d : Diagnostic.t) : Trace_json.t =
+  let location =
+    match d.Diagnostic.span with
+    | None ->
+        Trace_json.Obj
+          [
+            ( "physicalLocation",
+              Trace_json.Obj
+                [
+                  ( "artifactLocation",
+                    Trace_json.Obj [ ("uri", Trace_json.Str uri) ] );
+                ] );
+          ]
+    | Some s ->
+        Trace_json.Obj
+          [
+            ( "physicalLocation",
+              Trace_json.Obj
+                [
+                  ( "artifactLocation",
+                    Trace_json.Obj [ ("uri", Trace_json.Str uri) ] );
+                  ( "region",
+                    Trace_json.Obj
+                      [
+                        ( "startLine",
+                          Trace_json.Num (float_of_int s.Diagnostic.line) );
+                        ( "startColumn",
+                          Trace_json.Num (float_of_int s.Diagnostic.col) );
+                        ( "endLine",
+                          Trace_json.Num (float_of_int s.Diagnostic.end_line) );
+                        ( "endColumn",
+                          Trace_json.Num (float_of_int s.Diagnostic.end_col) );
+                      ] );
+                ] );
+          ]
+  in
+  Trace_json.Obj
+    [
+      ("ruleId", Trace_json.Str d.Diagnostic.code);
+      ("level", Trace_json.Str (Diagnostic.sarif_level d.Diagnostic.severity));
+      ( "message",
+        Trace_json.Obj [ ("text", Trace_json.Str d.Diagnostic.message) ] );
+      ("locations", Trace_json.Arr [ location ]);
+    ]
+
+(** [of_reports ?tool_version reports] builds one SARIF log with a single
+    run covering every report (one result per diagnostic, in report
+    order). *)
+let of_reports ?(tool_version : string = "dev")
+    (reports : Analysis.report list) : Trace_json.t =
+  let results =
+    List.concat_map
+      (fun (r : Analysis.report) ->
+        let uri = uri_of_path r.Analysis.path in
+        List.map (result_to_json ~uri) r.Analysis.diagnostics)
+      reports
+  in
+  Trace_json.Obj
+    [
+      ("$schema", Trace_json.Str schema_uri);
+      ("version", Trace_json.Str version);
+      ( "runs",
+        Trace_json.Arr
+          [
+            Trace_json.Obj
+              [
+                ( "tool",
+                  Trace_json.Obj
+                    [
+                      ( "driver",
+                        Trace_json.Obj
+                          [
+                            ("name", Trace_json.Str tool_name);
+                            ("version", Trace_json.Str tool_version);
+                            ( "informationUri",
+                              Trace_json.Str
+                                "https://github.com/ucqc/ucqc" );
+                            ( "rules",
+                              Trace_json.Arr
+                                (List.map rule_to_json Diagnostic.rules) );
+                          ] );
+                    ] );
+                ("results", Trace_json.Arr results);
+              ];
+          ] );
+    ]
+
+let to_string (log : Trace_json.t) : string = Trace_json.to_string log
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let valid_levels = [ "error"; "warning"; "note"; "none" ]
+
+(** [validate log] structurally checks a SARIF value: version 2.1.0;
+    non-empty [runs]; per run a [tool.driver] with a string [name] and a
+    [rules] array of objects with string [id]s; a [results] array whose
+    entries carry a [ruleId] declared in [rules], a valid [level], a
+    [message.text] string, and — when locations are present — a
+    [physicalLocation.artifactLocation.uri] string and a [region] with
+    1-based [startLine]/[startColumn] and end >= start.  Returns the
+    number of results checked, or a description of the first
+    violation. *)
+let validate (log : Trace_json.t) : (int, string) result =
+  let ( let* ) = Result.bind in
+  let str ctx v =
+    match v with
+    | Some (Trace_json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "%s: expected a string" ctx)
+  in
+  let num ctx v =
+    match v with
+    | Some (Trace_json.Num n) -> Ok n
+    | _ -> Error (Printf.sprintf "%s: expected a number" ctx)
+  in
+  let arr ctx v =
+    match v with
+    | Some (Trace_json.Arr l) -> Ok l
+    | _ -> Error (Printf.sprintf "%s: expected an array" ctx)
+  in
+  let obj ctx v =
+    match v with
+    | Some (Trace_json.Obj _ as o) -> Ok o
+    | _ -> Error (Printf.sprintf "%s: expected an object" ctx)
+  in
+  let* v = str "version" (Trace_json.member "version" log) in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "version: expected %S, got %S" version v)
+  in
+  let* runs = arr "runs" (Trace_json.member "runs" log) in
+  let* () = if runs = [] then Error "runs: empty" else Ok () in
+  let validate_region ctx region =
+    let* start_line = num (ctx ^ ".startLine") (Trace_json.member "startLine" region) in
+    let* start_col =
+      num (ctx ^ ".startColumn") (Trace_json.member "startColumn" region)
+    in
+    let* end_line = num (ctx ^ ".endLine") (Trace_json.member "endLine" region) in
+    let* end_col = num (ctx ^ ".endColumn") (Trace_json.member "endColumn" region) in
+    if start_line < 1.0 || start_col < 1.0 then
+      Error (Printf.sprintf "%s: start is not 1-based" ctx)
+    else if
+      end_line < start_line || (end_line = start_line && end_col < start_col)
+    then Error (Printf.sprintf "%s: end precedes start" ctx)
+    else Ok ()
+  in
+  let validate_result ~rule_ids ri result =
+    let ctx = Printf.sprintf "results[%d]" ri in
+    let* rule_id = str (ctx ^ ".ruleId") (Trace_json.member "ruleId" result) in
+    let* () =
+      if List.mem rule_id rule_ids then Ok ()
+      else Error (Printf.sprintf "%s: undeclared ruleId %S" ctx rule_id)
+    in
+    let* level = str (ctx ^ ".level") (Trace_json.member "level" result) in
+    let* () =
+      if List.mem level valid_levels then Ok ()
+      else Error (Printf.sprintf "%s: invalid level %S" ctx level)
+    in
+    let* message = obj (ctx ^ ".message") (Trace_json.member "message" result) in
+    let* _text = str (ctx ^ ".message.text") (Trace_json.member "text" message) in
+    match Trace_json.member "locations" result with
+    | None -> Ok ()
+    | Some (Trace_json.Arr locs) ->
+        List.fold_left
+          (fun acc loc ->
+            let* () = acc in
+            let lctx = ctx ^ ".locations[]" in
+            let* phys =
+              obj (lctx ^ ".physicalLocation")
+                (Trace_json.member "physicalLocation" loc)
+            in
+            let* artifact =
+              obj
+                (lctx ^ ".artifactLocation")
+                (Trace_json.member "artifactLocation" phys)
+            in
+            let* _uri = str (lctx ^ ".uri") (Trace_json.member "uri" artifact) in
+            match Trace_json.member "region" phys with
+            | None -> Ok ()
+            | Some region -> validate_region (lctx ^ ".region") region)
+          (Ok ()) locs
+    | Some _ -> Error (ctx ^ ".locations: expected an array")
+  in
+  let validate_run ri run =
+    let ctx = Printf.sprintf "runs[%d]" ri in
+    let* tool = obj (ctx ^ ".tool") (Trace_json.member "tool" run) in
+    let* driver = obj (ctx ^ ".tool.driver") (Trace_json.member "driver" tool) in
+    let* _name = str (ctx ^ ".tool.driver.name") (Trace_json.member "name" driver) in
+    let* rules =
+      arr (ctx ^ ".tool.driver.rules") (Trace_json.member "rules" driver)
+    in
+    let* rule_ids =
+      List.fold_left
+        (fun acc rule ->
+          let* ids = acc in
+          let* id =
+            str (ctx ^ ".rules[].id") (Trace_json.member "id" rule)
+          in
+          Ok (id :: ids))
+        (Ok []) rules
+    in
+    let* results = arr (ctx ^ ".results") (Trace_json.member "results" run) in
+    let* _ =
+      List.fold_left
+        (fun acc result ->
+          let* i = acc in
+          let* () = validate_result ~rule_ids i result in
+          Ok (i + 1))
+        (Ok 0) results
+    in
+    Ok (List.length results)
+  in
+  let* _, total =
+    List.fold_left
+      (fun acc run ->
+        let* i, total = acc in
+        let* n = validate_run i run in
+        Ok (i + 1, total + n))
+      (Ok (0, 0))
+      runs
+  in
+  Ok total

@@ -1,0 +1,29 @@
+(** SARIF 2.1.0 emission and structural validation.
+
+    One [run] per invocation, one [result] per diagnostic, the full rule
+    catalogue in [tool.driver.rules].  Built on {!Trace_json}, so the CLI
+    has exactly one JSON writer; {!validate} is the structural check
+    behind [tools/sarif_check.exe]. *)
+
+val version : string
+(** ["2.1.0"] *)
+
+val tool_name : string
+(** ["ucqc"] *)
+
+(** [of_reports ?tool_version reports] builds one SARIF log with a single
+    run covering every report (one result per diagnostic, in report
+    order; spanless findings keep an [artifactLocation] but no
+    [region]). *)
+val of_reports : ?tool_version:string -> Analysis.report list -> Trace_json.t
+
+(** [to_string log] is {!Trace_json.to_string}. *)
+val to_string : Trace_json.t -> string
+
+(** [validate log] structurally checks a SARIF value: version 2.1.0,
+    non-empty [runs], a [tool.driver] with string [name] and declared
+    [rules], and per result a declared [ruleId], a valid [level], a
+    [message.text], and well-formed locations (string [uri]; 1-based
+    region with end >= start).  Returns the number of results checked, or
+    a description of the first violation. *)
+val validate : Trace_json.t -> (int, string) result

@@ -233,3 +233,24 @@ let treewidth_exit_code : (treewidth_outcome, Ucqc_error.t) result -> int =
 
 let dimension_exit_code : (dimension_outcome, Ucqc_error.t) result -> int =
   exit_code ~degraded:(function Exact_dim _ -> false | Bounds _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Static pre-flight                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let preflight ?(budget : Budget.t option) ?(pool : Pool.t option)
+    ?(path : string option) (text : string) : Analysis.report =
+  let report = Analysis.check ?budget ?pool ?path text in
+  Telemetry.event
+    ~attrs:(fun () ->
+      [
+        ("path", Telemetry.S (Option.value path ~default:"<stdin>"));
+        ("findings", Telemetry.I (List.length report.Analysis.diagnostics));
+        ( "max_severity",
+          Telemetry.S
+            (match Analysis.max_severity report with
+            | None -> "clean"
+            | Some s -> Diagnostic.severity_to_string s) );
+      ])
+    "runner.preflight";
+  report

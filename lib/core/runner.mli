@@ -126,6 +126,23 @@ val wl_dimension :
 val decide_meta :
   ?pool:Pool.t -> budget:Budget.t -> Ucq.t -> (Meta.decision, Ucqc_error.t) result
 
+(** {2 Static pre-flight}
+
+    [preflight ?budget ?pool ?path text] runs the static analyzer
+    ({!Analysis.check}) over a query text — the engine behind
+    [ucqc check] and the [--lint] flag of the executing subcommands.
+    Never raises; emits a [runner.preflight] telemetry event with the
+    finding count and maximum severity.  Without a budget the analyzer's
+    own default allowance applies, so pre-flight never consumes the
+    execution budget of the run it precedes. *)
+
+val preflight :
+  ?budget:Budget.t ->
+  ?pool:Pool.t ->
+  ?path:string ->
+  string ->
+  Analysis.report
+
 (** {2 Exit codes}
 
     0 — exact success; 2 — degraded success; errors map through

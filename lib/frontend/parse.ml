@@ -38,12 +38,23 @@ exception Parse_error of string
 
 type pos = { line : int; col : int }
 
-(** Raise the structured error; the [_result] wrappers catch it at the
-    entry-point boundary. *)
-let error_at (p : pos) (msg : string) : 'a =
+(** Raise the structured error over a full start/end span (end-exclusive,
+    1-based); the [_result] wrappers catch it at the entry-point
+    boundary. *)
+let error_span (start : pos) (fin : pos) (msg : string) : 'a =
   raise
     (Ucqc_error.Error
-       (Ucqc_error.Parse_error { line = p.line; col = p.col; msg }))
+       (Ucqc_error.Parse_error
+          {
+            line = start.line;
+            col = start.col;
+            end_line = fin.line;
+            end_col = fin.col;
+            msg;
+          }))
+
+(** Zero-width-span variant for point positions (end-of-input). *)
+let error_at (p : pos) (msg : string) : 'a = error_span p p msg
 
 (* ------------------------------------------------------------------ *)
 (* Tokeniser                                                          *)
@@ -61,8 +72,10 @@ type token =
   | Turnstile (* ":-" *)
   | Dot
 
-(** A token together with the 1-based position of its first character. *)
-type ptoken = { tok : token; pos : pos }
+(** A token together with the 1-based position of its first character and
+    the (end-exclusive) position one past its last character.  Tokens
+    never span lines, so [fin.line = pos.line] always. *)
+type ptoken = { tok : token; pos : pos; fin : pos }
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z')
@@ -87,7 +100,11 @@ let tokenize (s : string) : ptoken list * pos =
      else incr col);
     incr i
   in
-  let push tok p = tokens := { tok; pos = p } :: !tokens in
+  (* the scanning loop only advances within a line while inside a token,
+     so the end-exclusive position is always the current scan position *)
+  let push tok p =
+    tokens := { tok; pos = p; fin = { line = !line; col = !col } } :: !tokens
+  in
   while !i < n do
     let c = s.[!i] in
     let here = { line = !line; col = !col } in
@@ -97,17 +114,17 @@ let tokenize (s : string) : ptoken list * pos =
         advance ()
       done
     end
-    else if c = '(' then (push Lparen here; advance ())
-    else if c = ')' then (push Rparen here; advance ())
-    else if c = '{' then (push Lbrace here; advance ())
-    else if c = '}' then (push Rbrace here; advance ())
-    else if c = ',' then (push Comma here; advance ())
-    else if c = ';' then (push Semicolon here; advance ())
-    else if c = '.' then (push Dot here; advance ())
+    else if c = '(' then (advance (); push Lparen here)
+    else if c = ')' then (advance (); push Rparen here)
+    else if c = '{' then (advance (); push Lbrace here)
+    else if c = '}' then (advance (); push Rbrace here)
+    else if c = ',' then (advance (); push Comma here)
+    else if c = ';' then (advance (); push Semicolon here)
+    else if c = '.' then (advance (); push Dot here)
     else if c = ':' && !i + 1 < n && s.[!i + 1] = '-' then begin
-      push Turnstile here;
       advance ();
-      advance ()
+      advance ();
+      push Turnstile here
     end
     else if
       (c >= '0' && c <= '9')
@@ -121,7 +138,10 @@ let tokenize (s : string) : ptoken list * pos =
       let text = String.sub s start (!i - start) in
       match int_of_string_opt text with
       | Some k -> push (Int k) here
-      | None -> error_at here (Printf.sprintf "integer literal %s out of range" text)
+      | None ->
+          error_span here
+            { line = !line; col = !col }
+            (Printf.sprintf "integer literal %s out of range" text)
     end
     else if is_ident_char c then begin
       let start = !i in
@@ -130,7 +150,10 @@ let tokenize (s : string) : ptoken list * pos =
       done;
       push (Ident (String.sub s start (!i - start))) here
     end
-    else error_at here (Printf.sprintf "unexpected character %C" c)
+    else
+      error_span here
+        { line = !line; col = !col + 1 }
+        (Printf.sprintf "unexpected character %C" c)
   done;
   (List.rev !tokens, { line = !line; col = !col })
 
@@ -138,38 +161,54 @@ let tokenize (s : string) : ptoken list * pos =
 (* Query parsing                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(** A parsed atom, carrying the position of its relation symbol so that
-    interning errors (arity clashes, constants) point at their source. *)
-type atom = { rel : string; args : string list; apos : pos }
+(** A parsed atom, carrying the full span from the first character of the
+    relation symbol to one past the closing parenthesis, so that interning
+    errors (arity clashes, constants) and lint diagnostics point at their
+    source. *)
+type atom = { rel : string; args : string list; apos : pos; aend : pos }
 
-(** Abstract syntax of a parsed UCQ before variable interning. *)
-type ast = { head : string list; head_pos : pos; disjuncts : atom list list }
+(** Abstract syntax of a parsed UCQ before variable interning.
+    [head_pos]/[head_end] span the head tuple including its parentheses. *)
+type ast = {
+  head : string list;
+  head_pos : pos;
+  head_end : pos;
+  disjuncts : atom list list;
+}
 
 (** Position of the next token, or of end-of-input. *)
 let here ~(eof : pos) = function [] -> eof | (t : ptoken) :: _ -> t.pos
 
+(** Span of the next token (zero-width at end-of-input). *)
+let error_here ~(eof : pos) (ts : ptoken list) (msg : string) : 'a =
+  match ts with
+  | [] -> error_at eof msg
+  | t :: _ -> error_span t.pos t.fin msg
+
 let parse_term ~eof = function
   | { tok = Ident v; _ } :: rest -> (v, rest)
   | { tok = Int k; _ } :: rest -> (string_of_int k, rest)
-  | ts -> error_at (here ~eof ts) "expected a variable or constant"
+  | ts -> error_here ~eof ts "expected a variable or constant"
 
+(** Returns the terms, the end-exclusive position of the closing [')'],
+    and the remaining tokens. *)
 let rec parse_term_list ~eof acc tokens =
   let t, rest = parse_term ~eof tokens in
   match rest with
   | { tok = Comma; _ } :: rest -> parse_term_list ~eof (t :: acc) rest
-  | { tok = Rparen; _ } :: rest -> (List.rev (t :: acc), rest)
-  | ts -> error_at (here ~eof ts) "expected ',' or ')' in argument list"
+  | { tok = Rparen; fin; _ } :: rest -> (List.rev (t :: acc), fin, rest)
+  | ts -> error_here ~eof ts "expected ',' or ')' in argument list"
 
 let parse_args ~eof = function
-  | { tok = Lparen; _ } :: { tok = Rparen; _ } :: rest -> ([], rest)
+  | { tok = Lparen; _ } :: { tok = Rparen; fin; _ } :: rest -> ([], fin, rest)
   | { tok = Lparen; _ } :: rest -> parse_term_list ~eof [] rest
-  | ts -> error_at (here ~eof ts) "expected '('"
+  | ts -> error_here ~eof ts "expected '('"
 
 let parse_atom ~eof = function
-  | { tok = Ident rel; pos } :: rest ->
-      let args, rest = parse_args ~eof rest in
-      ({ rel; args; apos = pos }, rest)
-  | ts -> error_at (here ~eof ts) "expected a relation name"
+  | { tok = Ident rel; pos; _ } :: rest ->
+      let args, aend, rest = parse_args ~eof rest in
+      ({ rel; args; apos = pos; aend }, rest)
+  | ts -> error_here ~eof ts "expected a relation name"
 
 let rec parse_conjunction ~eof acc tokens =
   let atom, rest = parse_atom ~eof tokens in
@@ -182,23 +221,24 @@ let rec parse_union ~eof acc tokens =
   match rest with
   | { tok = Semicolon; _ } :: rest -> parse_union ~eof (conj :: acc) rest
   | [] | [ { tok = Dot; _ } ] -> List.rev (conj :: acc)
-  | ts -> error_at (here ~eof ts) "expected ';' or end of query"
+  | ts -> error_here ~eof ts "expected ';' or end of query"
 
 (** [parse_ast text] parses the surface syntax into an AST. *)
 let parse_ast (text : string) : ast =
   let tokens, eof = tokenize text in
   match tokens with
-  | { tok = Lparen; pos = head_pos } :: rest ->
-      let head, rest =
+  | { tok = Lparen; pos = head_pos; _ } :: rest ->
+      let head, head_end, rest =
         match rest with
-        | { tok = Rparen; _ } :: rest -> ([], rest)
+        | { tok = Rparen; fin; _ } :: rest -> ([], fin, rest)
         | _ -> parse_term_list ~eof [] rest
       in
       (match rest with
       | { tok = Turnstile; _ } :: body ->
-          { head; head_pos; disjuncts = parse_union ~eof [] body }
-      | ts -> error_at (here ~eof ts) "expected ':-' after the head")
-  | ts -> error_at (here ~eof ts) "a query starts with its head tuple '(x, ...)'"
+          { head; head_pos; head_end; disjuncts = parse_union ~eof [] body }
+      | ts -> error_here ~eof ts "expected ':-' after the head")
+  | ts ->
+      error_here ~eof ts "a query starts with its head tuple '(x, ...)'"
 
 (* ------------------------------------------------------------------ *)
 (* Interning: AST -> Ucq.t                                            *)
@@ -227,32 +267,58 @@ let infer_signature (disjuncts : atom list list) : Signature.t =
   Signature.make
     (Hashtbl.fold (fun name arity acc -> Signature.symbol name arity :: acc) arities [])
 
+(** [dedupe_atoms conj] drops syntactically duplicate atoms (same relation
+    symbol, same argument names) within one disjunct, keeping the first
+    occurrence.  Count-preserving: a CQ's structure stores relations with
+    set semantics, so a repeated atom adds no constraint — dropping it
+    early just shrinks the per-subset work of the inclusion–exclusion and
+    expansion engines (every combined query [∧(Ψ|J)] inherits the smaller
+    atom list). *)
+let dedupe_atoms (conj : atom list) : atom list =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun a ->
+      let key = (a.rel, a.args) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    conj
+
 (** [ucq_of_ast ast] interns variables and builds the {!Ucq.t}: head
     variables get ids [0, 1, ...] in head order; quantified variables get
-    fresh ids per disjunct. *)
+    fresh ids per disjunct.  Duplicate atoms within a disjunct are dropped
+    (see {!dedupe_atoms}). *)
 let ucq_of_ast (ast : ast) : Ucq.t * query_env =
-  if ast.disjuncts = [] then error_at ast.head_pos "empty union";
+  if ast.disjuncts = [] then
+    error_span ast.head_pos ast.head_end "empty union";
   (* the CQ model of the paper has no constants: reject numeric terms *)
   List.iter
-    (fun (v, p) ->
+    (fun (v, p, e) ->
       if int_of_string_opt v <> None then
-        error_at p "constants are not supported in queries")
-    (List.map (fun v -> (v, ast.head_pos)) ast.head
+        error_span p e "constants are not supported in queries")
+    (List.map (fun v -> (v, ast.head_pos, ast.head_end)) ast.head
     @ List.concat_map
-        (fun conj -> List.concat_map (fun a -> List.map (fun v -> (v, a.apos)) a.args) conj)
+        (fun conj ->
+          List.concat_map
+            (fun a -> List.map (fun v -> (v, a.apos, a.aend)) a.args)
+            conj)
         ast.disjuncts);
   let dup =
     List.exists
       (fun v -> List.length (List.filter (( = ) v) ast.head) > 1)
       ast.head
   in
-  if dup then error_at ast.head_pos "duplicate variable in the head";
+  if dup then
+    error_span ast.head_pos ast.head_end "duplicate variable in the head";
   let signature = infer_signature ast.disjuncts in
   let free_names = List.mapi (fun i v -> (v, i)) ast.head in
   let next = ref (List.length ast.head) in
   let cqs =
     List.map
       (fun conj ->
+        let conj = dedupe_atoms conj in
         let local = Hashtbl.create 8 in
         List.iter (fun (v, i) -> Hashtbl.replace local v i) free_names;
         let intern v =
@@ -361,6 +427,21 @@ let database_of_tokens (tokens : ptoken list) (eof : pos) :
 (* Entry points                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(** [ast_result text] parses the surface syntax into the positioned AST
+    without interning — the entry point of the static analyzer, which
+    needs the atom spans and original variable names that {!Ucq.t}
+    discards. *)
+let ast_result (text : string) : (ast, Ucqc_error.t) result =
+  match parse_ast text with
+  | v -> Ok v
+  | exception Ucqc_error.Error e -> Error e
+
+(** [intern_result ast] is the non-raising wrapper of {!ucq_of_ast}. *)
+let intern_result (ast : ast) : (Ucq.t * query_env, Ucqc_error.t) result =
+  match ucq_of_ast ast with
+  | v -> Ok v
+  | exception Ucqc_error.Error e -> Error e
+
 (** [ucq_result text] parses a UCQ from its surface syntax, reporting
     failures as structured errors. *)
 let ucq_result (text : string) : (Ucq.t * query_env, Ucqc_error.t) result =
@@ -374,9 +455,7 @@ let cq_result (text : string) : (Cq.t * query_env, Ucqc_error.t) result =
   | Error e -> Error e
   | Ok (psi, env) ->
       if Ucq.length psi <> 1 then
-        Error
-          (Ucqc_error.Parse_error
-             { line = 1; col = 1; msg = "expected a single CQ" })
+        Error (Ucqc_error.parse_error_at ~line:1 ~col:1 "expected a single CQ")
       else Ok (Ucq.disjunct psi 0, env)
 
 (** [database_result text] parses a fact list into a structure. *)

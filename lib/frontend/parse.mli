@@ -20,11 +20,40 @@
     with 1-based line/column positions. *)
 exception Parse_error of string
 
+(** {2 Positions and the analyzer-facing AST}
+
+    All positions are 1-based; spans are end-exclusive ([aend] points one
+    past the last character of the atom). *)
+
+type pos = { line : int; col : int }
+
+(** A parsed atom before interning: original names, full source span. *)
+type atom = { rel : string; args : string list; apos : pos; aend : pos }
+
+(** A parsed UCQ before interning: the raw material of lint rules, which
+    need spans and surface names that {!Ucq.t} discards. *)
+type ast = {
+  head : string list;
+  head_pos : pos;
+  head_end : pos;
+  disjuncts : atom list list;
+}
+
+(** [ast_result text] parses the surface syntax into the positioned AST
+    (no interning, no constant/arity checks beyond tokenisation). *)
+val ast_result : string -> (ast, Ucqc_error.t) result
+
 (** Variable environment of a parsed query. *)
 type query_env = {
   free_names : (string * int) list;  (** head variables, in head order *)
   signature : Signature.t;  (** inferred from the atoms *)
 }
+
+(** [intern_result ast] validates and interns an AST into a {!Ucq.t}:
+    arity clashes and constants become structured errors; syntactically
+    duplicate atoms within a disjunct are dropped (count-preserving, a
+    pure speedup for the subset-exponential engines). *)
+val intern_result : ast -> (Ucq.t * query_env, Ucqc_error.t) result
 
 (** Constant-interning environment of a parsed database. *)
 type db_env = { constants : (string * int) list }

@@ -24,6 +24,13 @@ val parse_file : string -> t
 (** [member k v] is the value bound to key [k] when [v] is an object. *)
 val member : string -> t -> t option
 
+(** [to_string v] emits compact JSON: strings escaped per RFC 8259,
+    integral numbers (below [1e15]) without a fractional part.
+    [parse (to_string v) = v] for every value this module can produce.
+    Shared by the SARIF and [check --format json] emitters so the CLI has
+    exactly one JSON writer. *)
+val to_string : t -> string
+
 (** [validate_chrome_trace v] checks that [v] is a Chrome-trace object:
     has a ["traceEvents"] array; every event is an object with a string
     ["ph"] and a string ["name"]; every ["B"]/["E"]/["i"] event has

@@ -1,9 +1,18 @@
 type t =
-  | Parse_error of { line : int; col : int; msg : string }
+  | Parse_error of {
+      line : int;
+      col : int;
+      end_line : int;
+      end_col : int;
+      msg : string;
+    }
   | Arity_mismatch of { rel : string; expected : int; got : int }
   | Budget_exhausted of { phase : string; steps_done : int }
   | Unsupported of string
   | Internal of string
+
+let parse_error_at ~line ~col msg =
+  Parse_error { line; col; end_line = line; end_col = col; msg }
 
 exception Error of t
 
@@ -11,7 +20,8 @@ let of_exhaustion (e : Budget.exhaustion) : t =
   Budget_exhausted { phase = e.Budget.phase; steps_done = e.Budget.steps_done }
 
 let to_string = function
-  | Parse_error { line; col; msg } ->
+  | Parse_error { line; col; msg; _ } ->
+      (* the legacy message format names only the start of the span *)
       Printf.sprintf "parse error at line %d, column %d: %s" line col msg
   | Arity_mismatch { rel; expected; got } ->
       Printf.sprintf "relation %s used with arities %d and %d" rel expected got

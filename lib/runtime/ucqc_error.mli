@@ -8,8 +8,17 @@
     library) carry values of this type. *)
 
 type t =
-  | Parse_error of { line : int; col : int; msg : string }
-      (** malformed query or database text; positions are 1-based *)
+  | Parse_error of {
+      line : int;
+      col : int;
+      end_line : int;
+      end_col : int;
+      msg : string;
+    }
+      (** malformed query or database text; the span is 1-based and
+          end-exclusive ([end_line]/[end_col] point one past the last
+          offending character; a zero-width span marks a point, e.g.
+          end-of-input) *)
   | Arity_mismatch of { rel : string; expected : int; got : int }
       (** a relation symbol used with two different arities *)
   | Budget_exhausted of { phase : string; steps_done : int }
@@ -19,6 +28,10 @@ type t =
           quantified union) *)
   | Internal of string
       (** an invariant of the library failed — always a bug report *)
+
+(** [parse_error_at ~line ~col msg] is a zero-width-span parse error —
+    the convenience constructor for callers with a point position only. *)
+val parse_error_at : line:int -> col:int -> string -> t
 
 (** Exception carrier for contexts that cannot return [Result]. *)
 exception Error of t

@@ -102,6 +102,40 @@ let test_pretty_roundtrip () =
         (Ucq.count_via_expansion psi2 db))
     texts
 
+let test_error_spans () =
+  (* structured errors carry a full 1-based, end-exclusive span *)
+  (match Parse.ucq_result "(x) :-\n  E(x,, y)" with
+  | Error (Ucqc_error.Parse_error p) ->
+      Alcotest.(check int) "start line" 2 p.line;
+      Alcotest.(check int) "start col" 7 p.col;
+      Alcotest.(check int) "end line" 2 p.end_line;
+      Alcotest.(check int) "end col (end-exclusive)" 8 p.end_col
+  | Error _ -> Alcotest.fail "expected Parse_error"
+  | Ok _ -> Alcotest.fail "expected a parse failure");
+  (* the legacy exception renders exactly the structured error's text *)
+  match Parse.ucq_result "(x) E(x, y)" with
+  | Error e -> (
+      try
+        ignore (Parse.ucq "(x) E(x, y)");
+        Alcotest.fail "legacy entry point did not raise"
+      with Parse.Parse_error msg ->
+        Alcotest.(check string) "legacy message text unchanged"
+          (Ucqc_error.to_string e) msg)
+  | Ok _ -> Alcotest.fail "expected a parse failure"
+
+let test_atom_dedupe () =
+  (* syntactic duplicates are dropped at interning, count-preserving *)
+  let psi, _ = Parse.ucq "(x) :- E(x, y), E(x, y)" in
+  Alcotest.(check int) "duplicate dropped" 1
+    (Structure.num_tuples (List.hd (Ucq.disjunct_structures psi)));
+  let psi0, _ = Parse.ucq "(x) :- E(x, y)" in
+  let db, _ = Parse.database "E(0, 1). E(1, 2). E(2, 2)." in
+  Alcotest.(check int) "count preserved" (Ucq.count_via_expansion psi0 db)
+    (Ucq.count_via_expansion psi db);
+  (* duplicates across disjuncts are not touched *)
+  let psi2, _ = Parse.ucq "(x) :- E(x, y) ; E(x, y)" in
+  Alcotest.(check int) "disjuncts kept" 2 (Ucq.length psi2)
+
 let test_pretty_database_roundtrip () =
   let db, _ = Parse.database "universe { 9 }\nE(0, 1). E(1, 2)." in
   let db2, _ = Parse.database (Pretty.database db) in
@@ -122,6 +156,8 @@ let suite =
         Alcotest.test_case "identifier constants" `Quick test_database_identifiers;
         Alcotest.test_case "universe declaration" `Quick test_database_universe_decl;
         Alcotest.test_case "end to end counting" `Quick test_end_to_end;
+        Alcotest.test_case "error spans" `Quick test_error_spans;
+        Alcotest.test_case "atom dedupe at interning" `Quick test_atom_dedupe;
         Alcotest.test_case "query pretty roundtrip" `Quick test_pretty_roundtrip;
         Alcotest.test_case "database pretty roundtrip" `Quick
           test_pretty_database_roundtrip;

@@ -7,4 +7,5 @@ let () =
    @ Test_db.suite @ Test_cq.suite @ Test_ucq.suite @ Test_scomplex.suite
    @ Test_reduction.suite @ Test_wl.suite @ Test_meta.suite
    @ Test_frontend.suite @ Test_approx.suite @ Test_dynamic.suite
-   @ Test_runtime.suite @ Test_pool.suite @ Test_telemetry.suite)
+   @ Test_runtime.suite @ Test_pool.suite @ Test_telemetry.suite
+   @ Test_analysis.suite)

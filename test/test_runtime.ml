@@ -265,7 +265,7 @@ let test_runner_meta () =
 let test_exit_codes () =
   let open Ucqc_error in
   Alcotest.(check int) "parse" 65
-    (exit_code (Parse_error { line = 1; col = 2; msg = "x" }));
+    (exit_code (parse_error_at ~line:1 ~col:2 "x"));
   Alcotest.(check int) "arity" 65
     (exit_code (Arity_mismatch { rel = "E"; expected = 1; got = 2 }));
   Alcotest.(check int) "unsupported" 65 (exit_code (Unsupported "x"));
@@ -277,7 +277,9 @@ let test_error_rendering () =
   let open Ucqc_error in
   Alcotest.(check string) "parse message"
     "parse error at line 3, column 7: expected '('"
-    (to_string (Parse_error { line = 3; col = 7; msg = "expected '('" }));
+    (to_string
+       (Parse_error
+          { line = 3; col = 7; end_line = 3; end_col = 9; msg = "expected '('" }));
   Alcotest.(check string) "budget message"
     "budget exhausted in phase count after 42 steps"
     (to_string (Budget_exhausted { phase = "count"; steps_done = 42 }))

@@ -134,6 +134,71 @@ let () =
               in
               if est () <> est () then report "PAR KL NONDET seed %d" seed
             done));
+    (* analyzer totality: the crash corpus and random bytes through
+       Analysis.check — it must never raise, its reports must be
+       deterministic, and every span must lie inside the input text *)
+    section "fuzz.analyzer" (fun () ->
+        let check_text name text =
+          match try Ok (Analysis.check ~path:name text) with e -> Error e with
+          | Error e ->
+              report "ANALYZER RAISED %s: %s" name (Printexc.to_string e)
+          | Ok r ->
+              if Analysis.check ~path:name text <> r then
+                report "ANALYZER NONDET %s" name;
+              let lines =
+                Array.of_list (String.split_on_char '\n' text)
+              in
+              let nlines = Array.length lines in
+              let line_len i = String.length lines.(i - 1) in
+              List.iter
+                (fun (d : Diagnostic.t) ->
+                  match d.Diagnostic.span with
+                  | None -> ()
+                  | Some s ->
+                      let inside line col =
+                        line >= 1 && line <= nlines && col >= 1
+                        && col <= line_len line + 1
+                      in
+                      let ordered =
+                        s.Diagnostic.end_line > s.Diagnostic.line
+                        || (s.Diagnostic.end_line = s.Diagnostic.line
+                            && s.Diagnostic.end_col >= s.Diagnostic.col)
+                      in
+                      if
+                        not
+                          (inside s.Diagnostic.line s.Diagnostic.col
+                          && inside s.Diagnostic.end_line s.Diagnostic.end_col
+                          && ordered)
+                      then
+                        report "ANALYZER SPAN OOB %s: %s" name
+                          (Diagnostic.to_string d))
+                r.Analysis.diagnostics
+        in
+        (* the parser crash corpus (also exercised by the frontend tests) *)
+        let dir = Filename.concat "test" "crash_corpus" in
+        if Sys.file_exists dir && Sys.is_directory dir then
+          Array.iter
+            (fun f ->
+              let path = Filename.concat dir f in
+              let ic = open_in_bin path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              check_text f text)
+            (Sys.readdir dir)
+        else Printf.printf "fuzz: analyzer corpus %s not found, skipping\n" dir;
+        (* random grammar-adjacent bytes, with occasional raw garbage *)
+        let alphabet = "(),;:-#ExyzR01 \n\t" in
+        for seed = 0 to iters 2000 do
+          let st = Random.State.make [| seed; 77 |] in
+          let len = Random.State.int st 80 in
+          let buf =
+            Bytes.init len (fun _ ->
+                if Random.State.int st 8 = 0 then
+                  Char.chr (Random.State.int st 256)
+                else alphabet.[Random.State.int st (String.length alphabet)])
+          in
+          check_text (Printf.sprintf "rand-%d" seed) (Bytes.to_string buf)
+        done);
     (* budget determinism: the same step budget must exhaust at the same
        point twice, and a generous budget must not change any result *)
     section "fuzz.budget-determinism" (fun () ->

@@ -1,0 +1,87 @@
+(** Plan-prediction accuracy harness (EXPERIMENTS.md, E16).
+
+    Draws a Qgen corpus of random UCQs and random databases, predicts
+    with {!Plan.predicted_outcome} whether [Runner.count] completes
+    exactly or degrades under each budget tier, then runs [Runner.count]
+    and scores the prediction.  Exits 1 when overall accuracy drops below
+    95% — the acceptance bar the CI experiment records.
+
+    Tiers: [unlimited] (no step limit — completion is certain),
+    [tiny] (below the expansion cost of nearly every query — exhaustion
+    is certain), [medium] (inside the counting phase, where the
+    database-dependent estimate does the work) and [generous] (far above
+    any corpus query's total cost).
+
+    [PLAN_EVAL_N] overrides the corpus size (default 120 queries). *)
+
+let () =
+  let n =
+    match Sys.getenv_opt "PLAN_EVAL_N" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 120)
+    | None -> 120
+  in
+  let sg = Generators.graph_signature in
+  let tiers =
+    [
+      ("unlimited", None);
+      ("tiny", Some 8);
+      ("medium", Some 2_000);
+      ("generous", Some 50_000_000);
+    ]
+  in
+  let total = ref 0 and correct = ref 0 in
+  let per_tier = Hashtbl.create 8 in
+  List.iter (fun (name, _) -> Hashtbl.replace per_tier name (ref 0, ref 0)) tiers;
+  for seed = 0 to n - 1 do
+    let psi =
+      Qgen.random_ucq ~seed ~max_disjuncts:4 ~max_vars:4 ~max_atoms:3 sg
+    in
+    let db = Generators.random_digraph ~seed:((seed * 13) + 5) 5 12 in
+    let db_elems = Structure.universe_size db in
+    let db_tuples = Structure.num_tuples db in
+    let plan = Plan.predict psi in
+    List.iter
+      (fun (tier, max_steps) ->
+        let predicted =
+          Plan.predicted_outcome ?max_steps ~db_elems ~db_tuples plan
+        in
+        let budget =
+          match max_steps with
+          | None -> Budget.unlimited ()
+          | Some m -> Budget.of_steps m
+        in
+        let actual =
+          match Runner.count ~budget psi db with
+          | Ok (Runner.Exact _) -> Plan.Exact
+          | Ok (Runner.Approximate _) | Error _ -> Plan.Fallback
+        in
+        incr total;
+        let t_correct, t_total = Hashtbl.find per_tier tier in
+        incr t_total;
+        if predicted = actual then begin
+          incr correct;
+          incr t_correct
+        end
+        else
+          Printf.printf
+            "mispredict: seed=%d tier=%s predicted=%s actual=%s \
+             (expansion=%d steps, est=%.0f)\n"
+            seed tier
+            (match predicted with Plan.Exact -> "exact" | Plan.Fallback -> "fallback")
+            (match actual with Plan.Exact -> "exact" | Plan.Fallback -> "fallback")
+            plan.Plan.expansion_steps
+            (Plan.cost ~db_elems ~db_tuples plan))
+      tiers
+  done;
+  List.iter
+    (fun (tier, _) ->
+      let t_correct, t_total = Hashtbl.find per_tier tier in
+      Printf.printf "tier %-9s : %d/%d correct\n" tier !t_correct !t_total)
+    tiers;
+  let accuracy = float_of_int !correct /. float_of_int (max 1 !total) in
+  Printf.printf "plan-prediction accuracy: %d/%d = %.1f%% (corpus of %d queries)\n"
+    !correct !total (100. *. accuracy) n;
+  if accuracy < 0.95 then begin
+    Printf.printf "FAIL: below the 95%% acceptance bar\n";
+    exit 1
+  end

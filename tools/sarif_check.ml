@@ -1,0 +1,34 @@
+(** SARIF gate for CI: structurally validate files produced by
+    [ucqc check --format sarif].
+
+    Usage: [sarif_check.exe FILE...] — parses each file with the in-tree
+    JSON reader and checks it with {!Sarif.validate} (version 2.1.0,
+    declared rule ids, valid levels, well-formed regions).  Prints one
+    line per file and exits 1 on the first malformed one, so the CI leg
+    needs no external schema validator. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: sarif_check.exe FILE...";
+    exit 64
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun path ->
+      match
+        try Ok (Trace_json.parse_file path) with
+        | Failure msg -> Error msg
+        | Sys_error msg -> Error msg
+      with
+      | Error msg ->
+          incr failures;
+          Printf.printf "%s: unreadable or malformed JSON: %s\n" path msg
+      | Ok json -> (
+          match Sarif.validate json with
+          | Ok n -> Printf.printf "%s: valid SARIF %s, %d results\n" path Sarif.version n
+          | Error msg ->
+              incr failures;
+              Printf.printf "%s: INVALID: %s\n" path msg))
+    files;
+  if !failures > 0 then exit 1
