@@ -159,24 +159,54 @@ let write_file_with (path : string) (f : out_channel -> unit) : unit =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
 
+(** [flush_obs obs flushed] writes the requested exports exactly once
+    ([flushed] makes it idempotent): the shared tail of the normal exit
+    path, the signal path, and the server drain path. *)
+let flush_obs (obs : obs) (flushed : bool Atomic.t) : unit =
+  if not (Atomic.exchange flushed true) then begin
+    Option.iter
+      (fun path -> write_file_with path Telemetry.export_chrome_trace)
+      obs.trace;
+    Option.iter
+      (fun path -> write_file_with path Telemetry.export_metrics)
+      obs.metrics;
+    if obs.stats then Telemetry.print_summary stderr
+  end
+
+let obs_wanted (obs : obs) : bool =
+  obs.trace <> None || obs.metrics <> None || obs.stats
+
 (** [with_obs obs name f] enables telemetry when any of [--trace],
     [--metrics], [--stats] was given, runs [f] under a root span
     [ucqc.<name>], and exports on the way out — also on error paths, so a
-    budget-exhausted or degraded run still leaves its trace behind. *)
+    budget-exhausted or degraded run still leaves its trace behind.
+    Ctrl-C and SIGTERM flush too, then exit with the conventional
+    128+signal code (130/143): an interrupted run keeps its partial
+    trace. *)
 let with_obs (obs : obs) (name : string) (f : unit -> int) : int =
-  let wanted = obs.trace <> None || obs.metrics <> None || obs.stats in
-  if not wanted then f ()
+  if not (obs_wanted obs) then f ()
   else begin
     Telemetry.enable ();
+    let flushed = Atomic.make false in
+    (* [exit] does not unwind [Fun.protect], so the handler must flush
+       itself; [flushed] keeps the two paths from exporting twice *)
+    let on_signal code =
+      Sys.Signal_handle
+        (fun _ ->
+          flush_obs obs flushed;
+          exit code)
+    in
+    let prev_int =
+      try Some (Sys.signal Sys.sigint (on_signal 130)) with _ -> None
+    in
+    let prev_term =
+      try Some (Sys.signal Sys.sigterm (on_signal 143)) with _ -> None
+    in
     Fun.protect
       ~finally:(fun () ->
-        Option.iter
-          (fun path -> write_file_with path Telemetry.export_chrome_trace)
-          obs.trace;
-        Option.iter
-          (fun path -> write_file_with path Telemetry.export_metrics)
-          obs.metrics;
-        if obs.stats then Telemetry.print_summary stderr;
+        (try Option.iter (Sys.set_signal Sys.sigint) prev_int with _ -> ());
+        (try Option.iter (Sys.set_signal Sys.sigterm) prev_term with _ -> ());
+        flush_obs obs flushed;
         Telemetry.disable ())
       (fun () -> Telemetry.with_span ("ucqc." ^ name) f)
   end
@@ -707,6 +737,154 @@ let treewidth_cmd =
       const run $ file_arg $ exact_arg $ max_steps_arg $ timeout_arg
       $ no_fallback_arg $ jobs_arg $ obs_term)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let db_arg =
+    let doc = "Database file, loaded once and shared by every request." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DB" ~doc)
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on TCP port $(docv) (see --host)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Bind address for --port." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let queue_depth_arg =
+    let doc =
+      "Admission-queue bound: requests beyond $(docv) outstanding are shed \
+       with an 'overloaded' response and a retry hint."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Reject request frames larger than $(docv) bytes." in
+    Arg.(
+      value & opt int (1 lsl 20) & info [ "max-frame-bytes" ] ~docv:"N" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc = "Close connections idle for $(docv) seconds." in
+    Arg.(value & opt float 300. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let request_timeout_arg =
+    let doc =
+      "Per-request wall-clock cap in seconds (also the default when a \
+       request asks for none); 0 disables the cap."
+    in
+    Arg.(
+      value & opt float 30. & info [ "request-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_steps_cap_arg =
+    let doc =
+      "Per-request deterministic step cap; a request's own max_steps is \
+       clamped to it."
+    in
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let cache_size_arg =
+    let doc = "Prepared-query cache entries (0 disables the cache)." in
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let drain_deadline_arg =
+    let doc =
+      "Graceful-drain allowance on shutdown: past $(docv) seconds the \
+       backlog is answered 'shutting_down' and the in-flight request is \
+       cancelled."
+    in
+    Arg.(
+      value & opt float 5. & info [ "drain-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_connections_arg =
+    let doc = "Concurrent client connections; excess is shed at accept." in
+    Arg.(value & opt int 128 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let run dbfile socket port host queue_depth max_frame_bytes idle_timeout_s
+      request_timeout max_steps_cap cache_capacity drain_deadline_s
+      max_connections jobs obs =
+    guarded (fun () ->
+        let listen =
+          match (socket, port) with
+          | Some path, None -> Server.Unix_socket path
+          | None, Some p -> Server.Tcp { host; port = p }
+          | Some _, Some _ ->
+              raise
+                (Ucqc_error.Error
+                   (Ucqc_error.Unsupported
+                      "--socket and --port are mutually exclusive"))
+          | None, None ->
+              raise
+                (Ucqc_error.Error
+                   (Ucqc_error.Unsupported
+                      "serve needs a listen address: --socket PATH or --port \
+                       PORT"))
+        in
+        let db, _ = parse_db_file dbfile in
+        let cfg =
+          {
+            Server.listen;
+            jobs;
+            queue_depth;
+            max_frame_bytes;
+            idle_timeout_s;
+            request_timeout_s =
+              (if request_timeout <= 0. then None else Some request_timeout);
+            max_steps_cap;
+            cache_capacity;
+            drain_deadline_s;
+            max_connections;
+          }
+        in
+        (* serve manages its own telemetry lifecycle instead of [with_obs]:
+           there is no root span (requests are the roots), and the flush
+           must happen after the drain has joined every thread *)
+        let wanted = obs_wanted obs in
+        if wanted then Telemetry.enable ();
+        let t = Server.start cfg ~db in
+        Server.install_signal_stop t;
+        Printf.eprintf "ucqc: serving %s (jobs %d)\n%!"
+          (match listen with
+          | Server.Unix_socket p -> Printf.sprintf "unix:%s" p
+          | Server.Tcp { host; port } -> Printf.sprintf "%s:%d" host port)
+          jobs;
+        Server.wait_until_stop_requested t;
+        let discarded = Server.stop t in
+        if discarded > 0 then
+          Printf.eprintf
+            "ucqc: drain deadline exceeded; %d queued request%s answered \
+             shutting_down\n"
+            discarded
+            (if discarded = 1 then "" else "s");
+        if wanted then begin
+          flush_obs obs (Atomic.make false);
+          Telemetry.disable ()
+        end;
+        (* a signal-driven drain is the intended way to stop the server:
+           it exits 0, unlike the one-shot commands' 130/143 *)
+        ignore (Server.last_signal t);
+        0)
+  in
+  let doc =
+    "Serve count/classify/check requests over a Unix or TCP socket \
+     (newline-delimited JSON).  The database is loaded once; queries are \
+     prepared once and cached; per-request budgets, admission control \
+     with load shedding, and a graceful SIGINT/SIGTERM drain keep the \
+     process healthy under faults and overload."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ db_arg $ socket_arg $ port_arg $ host_arg $ queue_depth_arg
+      $ max_frame_arg $ idle_timeout_arg $ request_timeout_arg
+      $ max_steps_cap_arg $ cache_size_arg $ drain_deadline_arg
+      $ max_connections_arg $ jobs_arg $ obs_term)
+
 let () =
   let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in
   let info = Cmd.info "ucqc" ~version:"1.0.0" ~doc in
@@ -728,6 +906,7 @@ let () =
             pipeline_cmd;
             enumerate_cmd;
             treewidth_cmd;
+            serve_cmd;
           ])
      with
     | Ok (`Ok code) -> code

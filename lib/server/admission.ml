@@ -1,0 +1,77 @@
+(** Bounded work queue with shedding.  See the interface.
+
+    One mutex + one condition variable: offers never block (full = shed,
+    by design), so only {!take} waits.  The service-time EWMA is stored
+    in microseconds in an [int Atomic.t] so {!note_service_ms} and the
+    retry-hint computation stay lock-free. *)
+
+type 'a t = {
+  depth_bound : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  ewma_service_us : int Atomic.t;
+}
+
+let create ~depth () =
+  if depth < 1 then invalid_arg "Admission.create: depth must be positive";
+  {
+    depth_bound = depth;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+    ewma_service_us = Atomic.make 10_000 (* 10 ms prior *);
+  }
+
+type 'a offer_outcome = Accepted | Shed of { retry_after_ms : int } | Draining
+
+let retry_hint (t : 'a t) : int =
+  let per_request_ms = Atomic.get t.ewma_service_us / 1000 in
+  (* time to drain a full queue, clamped: at least 10 ms so clients
+     back off at all, at most 30 s so the hint stays actionable *)
+  min 30_000 (max 10 (t.depth_bound * max 1 per_request_ms))
+
+let offer (t : 'a t) (x : 'a) : 'a offer_outcome =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then Draining
+      else if Queue.length t.q >= t.depth_bound then
+        Shed { retry_after_ms = retry_hint t }
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        Accepted
+      end)
+
+let take (t : 'a t) : 'a option =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close (t : 'a t) : unit =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let discard_pending (t : 'a t) : 'a list =
+  Mutex.protect t.lock (fun () ->
+      let items = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      items)
+
+let note_service_ms (t : 'a t) (ms : float) : unit =
+  let us = int_of_float (Float.max 0. ms *. 1000.) in
+  (* EWMA with alpha = 1/4; a CAS loop would be overkill for a hint *)
+  let old = Atomic.get t.ewma_service_us in
+  Atomic.set t.ewma_service_us (((3 * old) + us) / 4)
+
+let depth (t : 'a t) : int =
+  Mutex.protect t.lock (fun () -> Queue.length t.q)

@@ -1,0 +1,48 @@
+(** Admission control: a bounded FIFO work queue with load shedding.
+
+    Connection threads {!offer} work; the single evaluator thread
+    {!take}s it.  The queue depth is a hard bound — when it is full the
+    offer is {e shed} immediately with a retry hint instead of queueing
+    unboundedly, so latency under overload stays bounded and the server
+    never accumulates requests faster than it retires them.
+
+    The retry hint is an estimate of when a slot will free up:
+    [queue_depth × EWMA(service time)], clamped to a sane range.  The
+    evaluator reports each request's service time through
+    {!note_service_ms}.
+
+    {!close} flips the queue into drain mode: further offers are
+    {!Draining}, already-queued work is still {!take}n until the queue
+    runs dry, then {!take} returns [None].  {!discard_pending} empties
+    the queue during a forced (deadline-exceeded) drain, returning the
+    dropped items so their connections can be answered. *)
+
+type 'a t
+
+(** [create ~depth ()] bounds the queue to [depth] outstanding items.
+    @raise Invalid_argument when [depth < 1]. *)
+val create : depth:int -> unit -> 'a t
+
+type 'a offer_outcome =
+  | Accepted
+  | Shed of { retry_after_ms : int }
+  | Draining
+
+val offer : 'a t -> 'a -> 'a offer_outcome
+
+(** [take t] blocks until an item is available ([Some]) or the queue is
+    closed and empty ([None]). *)
+val take : 'a t -> 'a option
+
+(** [close t] stops admission; blocked {!take}s wake up once the backlog
+    is drained. *)
+val close : 'a t -> unit
+
+(** [discard_pending t] atomically empties the backlog (oldest first). *)
+val discard_pending : 'a t -> 'a list
+
+(** [note_service_ms t ms] feeds the shedding estimator. *)
+val note_service_ms : 'a t -> float -> unit
+
+(** [depth t] is the current backlog length (racy snapshot, for gauges). *)
+val depth : 'a t -> int

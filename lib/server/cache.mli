@@ -1,0 +1,77 @@
+(** The prepared-query cache behind [ucqc serve].
+
+    Parsing, static analysis, plan prediction and classification are
+    deterministic functions of the query text, so a long-running server
+    pays them once.  Entries are keyed two ways:
+
+    - a {e text front-map} from the exact request bytes to its entry —
+      a repeat of the same text skips even the parse;
+    - an {e intern key} — the canonical {!Pretty.ucq} rendering of the
+      interned {!Ucq.t} — so two texts that intern to the same UCQ
+      (whitespace, comments, variable names) share one entry and its
+      memoized artifacts.
+
+    Capacity is enforced LRU over {e entries} (interned queries); a
+    bounded number of text aliases rides along with each entry, so
+    memory stays flat no matter how many distinct spellings arrive.
+    Negative results (texts that fail to parse) are cached too, in their
+    own equally-bounded table — a malformed query hammered in a loop
+    must not cost a re-parse per hit.
+
+    The lookup is split in two so the caller can meter the parse:
+    {!find} is the no-parse fast path; on [None] the caller parses and
+    {!admit}s the result.  Not thread-safe by design: only the server's
+    single evaluator thread touches the cache (the same single-writer
+    discipline that keeps the telemetry buffers race-free). *)
+
+type entry = {
+  ucq : Ucq.t;
+  env : Parse.query_env;
+  intern_key : string;  (** canonical rendering, the sharing key *)
+  primary_text : string;  (** the spelling that created the entry *)
+  mutable analysis : Analysis.report option;
+      (** lint + plan report of [primary_text], memoized on demand *)
+  mutable classify : Classify.report option;  (** memoized on demand *)
+  mutable hits : int;  (** lookups served from this entry *)
+}
+
+(** Result of a lookup: where the prepared artifacts came from. *)
+type outcome =
+  | Hit of entry  (** exact text seen before: no parse *)
+  | Interned of entry
+      (** new spelling of a known UCQ: parsed, artifacts shared *)
+  | Miss of entry  (** first sighting: freshly prepared *)
+  | Invalid of Ucqc_error.t  (** parse/intern failure (possibly cached) *)
+
+val outcome_label : outcome -> string
+(** ["hit" | "interned" | "miss" | "invalid"] — the [cache] field of a
+    response. *)
+
+type t
+
+(** [create ~capacity ()] holds at most [capacity] prepared entries and
+    as many cached failures ([capacity = 0] disables caching). *)
+val create : capacity:int -> unit -> t
+
+(** [find t text] is the parse-free fast path: [Some (Hit _)] or
+    [Some (Invalid _)] when the exact text is known, [None] otherwise. *)
+val find : t -> string -> outcome option
+
+(** [admit t text parsed] records a parse result for a text {!find}
+    missed and returns the outcome ({!Miss}, {!Interned}, or
+    {!Invalid}).  With [capacity = 0] nothing is stored. *)
+val admit :
+  t ->
+  string ->
+  (Ucq.t * Parse.query_env, Ucqc_error.t) result ->
+  outcome
+
+(** [lookup t text] is [find] followed by a {!Parse.ucq_result} +
+    [admit] on miss — the convenience the unit tests use.  Never
+    raises. *)
+val lookup : t -> string -> outcome
+
+(** Current number of prepared entries / cached invalid texts. *)
+val entries : t -> int
+
+val invalids : t -> int

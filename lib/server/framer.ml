@@ -1,0 +1,69 @@
+(** Newline framing with a size bound.  See the interface. *)
+
+type t = {
+  max_frame_bytes : int;
+  buf : Buffer.t;
+  mutable discarding : bool;
+      (* the current frame already blew the limit: drop bytes until the
+         next newline, then report it once *)
+  mutable discarded : int; (* bytes dropped of the oversized frame *)
+}
+
+type frame = Frame of string | Oversized of int
+
+let create ~max_frame_bytes () : t =
+  if max_frame_bytes < 1 then
+    invalid_arg "Framer.create: max_frame_bytes must be positive";
+  {
+    max_frame_bytes;
+    buf = Buffer.create (min max_frame_bytes 4096);
+    discarding = false;
+    discarded = 0;
+  }
+
+let strip_cr (s : string) : string =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let feed (t : t) (bytes : bytes) ~(off : int) ~(len : int) : frame list =
+  let out = ref [] in
+  for i = off to off + len - 1 do
+    let c = Bytes.get bytes i in
+    if t.discarding then begin
+      if c = '\n' then begin
+        out := Oversized t.max_frame_bytes :: !out;
+        t.discarding <- false;
+        t.discarded <- 0
+      end
+      else t.discarded <- t.discarded + 1
+    end
+    else if c = '\n' then begin
+      out := Frame (strip_cr (Buffer.contents t.buf)) :: !out;
+      Buffer.clear t.buf
+    end
+    else begin
+      Buffer.add_char t.buf c;
+      if Buffer.length t.buf > t.max_frame_bytes then begin
+        Buffer.clear t.buf;
+        t.discarding <- true;
+        t.discarded <- t.max_frame_bytes + 1
+      end
+    end
+  done;
+  List.rev !out
+
+let pending (t : t) : int =
+  if t.discarding then t.discarded else Buffer.length t.buf
+
+let eof (t : t) : frame option =
+  if t.discarding then begin
+    t.discarding <- false;
+    t.discarded <- 0;
+    Some (Oversized t.max_frame_bytes)
+  end
+  else if Buffer.length t.buf > 0 then begin
+    let s = strip_cr (Buffer.contents t.buf) in
+    Buffer.clear t.buf;
+    Some (Frame s)
+  end
+  else None

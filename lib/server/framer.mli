@@ -1,0 +1,36 @@
+(** Incremental newline-delimited framing with a hard size bound.
+
+    A {!t} consumes arbitrary byte chunks (whatever [read(2)] returned)
+    and yields complete frames — lines without their terminating
+    ['\n'].  A frame that grows past [max_frame_bytes] without a newline
+    is {e discarded to the next newline} and reported once as
+    {!Oversized}: the connection survives, the protocol stays in sync,
+    and memory stays bounded — the slowloris and oversized-frame defence
+    in one place.
+
+    Pure state machine, no I/O: the unit tests and the fuzzer drive it
+    with adversarial chunkings directly. *)
+
+type t
+
+(** One yielded item. *)
+type frame =
+  | Frame of string  (** a complete line, ['\n'] stripped *)
+  | Oversized of int  (** a discarded over-limit frame; carries the limit *)
+
+(** [create ~max_frame_bytes ()] starts an empty framer.
+    @raise Invalid_argument when [max_frame_bytes < 1]. *)
+val create : max_frame_bytes:int -> unit -> t
+
+(** [feed t buf ~off ~len] consumes a chunk and returns the frames it
+    completed, in order.  A trailing ['\r'] is stripped (CRLF clients
+    work unmodified). *)
+val feed : t -> bytes -> off:int -> len:int -> frame list
+
+(** [pending t] is the number of buffered bytes of the incomplete frame
+    (0 right after a frame boundary). *)
+val pending : t -> int
+
+(** [eof t] reports a final unterminated frame, if any non-discarded
+    bytes are buffered at connection end. *)
+val eof : t -> frame option

@@ -1,0 +1,232 @@
+(** Wire protocol: request parsing and response rendering.  See the
+    interface for the shape.  Everything here is pure and total — the
+    fuzzer drives {!parse_request} with the parser crash corpus and raw
+    random bytes. *)
+
+type count_method = Expansion | Inclusion_exclusion | Naive
+
+type op =
+  | Ping
+  | Count of {
+      query : string;
+      meth : count_method;
+      seed : int;
+      max_steps : int option;
+      timeout_ms : float option;
+      no_fallback : bool;
+    }
+  | Classify of { query : string }
+  | Check of { query : string }
+  | Stats
+
+type request = { id : Trace_json.t option; op : op }
+
+type req_error =
+  | Bad_json of string
+  | Bad_request of string
+  | Frame_too_large of int
+
+let req_error_message = function
+  | Bad_json msg -> Printf.sprintf "malformed JSON frame: %s" msg
+  | Bad_request msg -> Printf.sprintf "invalid request: %s" msg
+  | Frame_too_large limit ->
+      Printf.sprintf "frame exceeds the %d-byte limit" limit
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Accept ids that are JSON scalars only: echoing a client-chosen nested
+   object back verbatim would let one request grow every response. *)
+let valid_id : Trace_json.t -> bool = function
+  | Trace_json.Str _ | Trace_json.Num _ | Trace_json.Bool _ | Trace_json.Null
+    ->
+      true
+  | Trace_json.Arr _ | Trace_json.Obj _ -> false
+
+let field (obj : (string * Trace_json.t) list) (k : string) :
+    Trace_json.t option =
+  List.assoc_opt k obj
+
+let str_field obj k : (string option, string) result =
+  match field obj k with
+  | None -> Ok None
+  | Some (Trace_json.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+
+let int_field obj k : (int option, string) result =
+  match field obj k with
+  | None -> Ok None
+  | Some (Trace_json.Num f) when Float.is_integer f && Float.abs f < 1e15 ->
+      Ok (Some (int_of_float f))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
+
+let num_field obj k : (float option, string) result =
+  match field obj k with
+  | None -> Ok None
+  | Some (Trace_json.Num f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" k)
+
+let bool_field obj k : (bool option, string) result =
+  match field obj k with
+  | None -> Ok None
+  | Some (Trace_json.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+
+let method_of_string = function
+  | "expansion" -> Ok Expansion
+  | "ie" | "inclusion-exclusion" -> Ok Inclusion_exclusion
+  | "naive" -> Ok Naive
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown method %S (expected 'expansion', 'ie' or 'naive')" s)
+
+let ( let* ) = Result.bind
+
+let require_query obj : (string, string) result =
+  match str_field obj "query" with
+  | Error e -> Error e
+  | Ok None -> Error "missing required field \"query\""
+  | Ok (Some q) -> Ok q
+
+let parse_op (obj : (string * Trace_json.t) list) : (op, string) result =
+  match str_field obj "op" with
+  | Error e -> Error e
+  | Ok None -> Error "missing required field \"op\""
+  | Ok (Some op) -> (
+      match op with
+      | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
+      | "classify" ->
+          let* query = require_query obj in
+          Ok (Classify { query })
+      | "check" ->
+          let* query = require_query obj in
+          Ok (Check { query })
+      | "count" ->
+          let* query = require_query obj in
+          let* meth =
+            match str_field obj "method" with
+            | Error e -> Error e
+            | Ok None -> Ok Expansion
+            | Ok (Some s) -> method_of_string s
+          in
+          let* seed = int_field obj "seed" in
+          let* max_steps = int_field obj "max_steps" in
+          let* timeout_ms = num_field obj "timeout_ms" in
+          let* no_fallback = bool_field obj "no_fallback" in
+          let* () =
+            match max_steps with
+            | Some n when n < 0 -> Error "field \"max_steps\" must be >= 0"
+            | _ -> Ok ()
+          in
+          let* () =
+            match timeout_ms with
+            | Some t when t < 0. -> Error "field \"timeout_ms\" must be >= 0"
+            | _ -> Ok ()
+          in
+          Ok
+            (Count
+               {
+                 query;
+                 meth;
+                 seed = Option.value seed ~default:1;
+                 max_steps;
+                 timeout_ms;
+                 no_fallback = Option.value no_fallback ~default:false;
+               })
+      | other -> Error (Printf.sprintf "unknown op %S" other))
+
+let parse_request (line : string) : (request, req_error) result =
+  match Trace_json.parse line with
+  | exception Failure msg -> Error (Bad_json msg)
+  | exception _ -> Error (Bad_json "unparseable frame")
+  | Trace_json.Obj obj -> (
+      match field obj "id" with
+      | Some v when not (valid_id v) ->
+          Error (Bad_request "field \"id\" must be a JSON scalar")
+      | id -> (
+          match parse_op obj with
+          | Ok op -> Ok { id; op }
+          | Error msg -> Error (Bad_request msg)))
+  | _ -> Error (Bad_request "request frame must be a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok_ | Degraded | Error_ | Overloaded | Shutting_down
+
+let status_to_string = function
+  | Ok_ -> "ok"
+  | Degraded -> "degraded"
+  | Error_ -> "error"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+
+(* 0/2 mirror the CLI success codes; shed and draining responses use
+   sysexits EX_TEMPFAIL — "try again later" is exactly their meaning. *)
+let status_code = function
+  | Ok_ -> 0
+  | Degraded -> 2
+  | Error_ -> 70
+  | Overloaded | Shutting_down -> 75
+
+type response = {
+  rid : Trace_json.t option;
+  rstatus : status;
+  rcode : int;
+  body : (string * Trace_json.t) list;
+}
+
+let make_response ?id ?code (rstatus : status)
+    (body : (string * Trace_json.t) list) : response =
+  {
+    rid = id;
+    rstatus;
+    rcode = Option.value code ~default:(status_code rstatus);
+    body;
+  }
+
+let error_response ?id ~(kind : string) ~(code : int) (msg : string) :
+    response =
+  make_response ?id ~code Error_
+    [
+      ( "error",
+        Trace_json.Obj
+          [
+            ("kind", Trace_json.Str kind); ("message", Trace_json.Str msg);
+          ] );
+    ]
+
+let of_req_error ?id (e : req_error) : response =
+  let kind =
+    match e with
+    | Bad_json _ | Bad_request _ -> "invalid_request"
+    | Frame_too_large _ -> "frame_too_large"
+  in
+  error_response ?id ~kind ~code:64 (req_error_message e)
+
+let of_ucqc_error ?id (e : Ucqc_error.t) : response =
+  let kind =
+    match e with
+    | Ucqc_error.Parse_error _ -> "parse_error"
+    | Ucqc_error.Arity_mismatch _ -> "arity_mismatch"
+    | Ucqc_error.Budget_exhausted _ -> "budget_exhausted"
+    | Ucqc_error.Unsupported _ -> "unsupported"
+    | Ucqc_error.Internal _ -> "internal"
+  in
+  error_response ?id ~kind ~code:(Ucqc_error.exit_code e)
+    (Ucqc_error.to_string e)
+
+let to_string (r : response) : string =
+  let fields =
+    (match r.rid with None -> [] | Some id -> [ ("id", id) ])
+    @ [
+        ("status", Trace_json.Str (status_to_string r.rstatus));
+        ("code", Trace_json.Num (float_of_int r.rcode));
+      ]
+    @ r.body
+  in
+  Trace_json.to_string (Trace_json.Obj fields) ^ "\n"

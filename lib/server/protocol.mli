@@ -1,0 +1,111 @@
+(** The [ucqc serve] wire protocol: newline-delimited JSON.
+
+    One request per line, one response line per request.  Evaluated ops
+    ([count]/[classify]/[check]) are answered in request order per
+    connection; inline ops ([ping]/[stats]) and protocol-error responses
+    are answered immediately and may overtake queued work — match
+    responses by [id], not by position.  Both sides are plain JSON
+    objects; the framing (line splitting, size limits) lives in
+    {!Framer}.
+
+    {b Requests.}  [{"op": "count", "query": "(x) :- E(x, y)", "id": 1,
+    "method": "expansion", "seed": 1, "max_steps": 100000,
+    "timeout_ms": 2000, "no_fallback": false}].  [op] is one of [ping],
+    [count], [classify], [check], [stats]; [query] is the {!Parse}
+    surface syntax and is required for [count]/[classify]/[check]; [id]
+    is any scalar and is echoed verbatim in the response.  Budget fields
+    are per-request {e requests}, capped by the server's own limits.
+
+    {b Responses.}  Every response carries [status] (the exit-code
+    equivalent of the one-shot CLI) and [code]:
+    - ["ok"] (0) — exact result under ["result"]
+    - ["degraded"] (2) — budget ran out, tagged fallback under ["result"]
+    - ["error"] (64/65/70/124) — structured ["error"] object, request not
+      answered
+    - ["overloaded"] (75) — shed by admission control; ["retry_after_ms"]
+      advises when to retry
+    - ["shutting_down"] (75) — server is draining; reconnect later
+
+    Parsing is total: {!parse_request} never raises and maps every
+    malformed frame to a structured {!req_error}. *)
+
+(** Counting method requested for [op = count] (mirrors the CLI
+    [--method]). *)
+type count_method = Expansion | Inclusion_exclusion | Naive
+
+type op =
+  | Ping
+  | Count of {
+      query : string;
+      meth : count_method;
+      seed : int;
+      max_steps : int option;
+      timeout_ms : float option;
+      no_fallback : bool;
+    }
+  | Classify of { query : string }
+  | Check of { query : string }
+  | Stats
+
+type request = {
+  id : Trace_json.t option;  (** echoed verbatim; [None] when absent *)
+  op : op;
+}
+
+(** Why a frame was rejected before evaluation. *)
+type req_error =
+  | Bad_json of string  (** not a JSON value *)
+  | Bad_request of string  (** JSON, but not a valid request object *)
+  | Frame_too_large of int  (** size limit from the {!Framer} *)
+
+val req_error_message : req_error -> string
+
+(** [parse_request line] parses one frame.  Total: never raises. *)
+val parse_request : string -> (request, req_error) result
+
+(** {2 Responses} *)
+
+type status = Ok_ | Degraded | Error_ | Overloaded | Shutting_down
+
+val status_to_string : status -> string
+
+(** [status_code s] is the one-shot-CLI exit-code equivalent carried in
+    the [code] field ([Error_] responses carry their own finer code). *)
+val status_code : status -> int
+
+(** A response under construction: [to_string] renders the single
+    newline-terminated frame. *)
+type response = {
+  rid : Trace_json.t option;
+  rstatus : status;
+  rcode : int;
+  body : (string * Trace_json.t) list;
+      (** extra top-level fields ([result], [error], [cache], ...) *)
+}
+
+val make_response :
+  ?id:Trace_json.t ->
+  ?code:int ->
+  status ->
+  (string * Trace_json.t) list ->
+  response
+
+(** [error_response ?id ~kind ~code msg] is the uniform error frame:
+    [{"status": "error", "code": code, "error": {"kind": kind,
+    "message": msg}}]. *)
+val error_response :
+  ?id:Trace_json.t -> kind:string -> code:int -> string -> response
+
+(** [of_req_error ?id e] maps a frame rejection to its error response
+    (code 64, kind [invalid_request] / [frame_too_large]). *)
+val of_req_error : ?id:Trace_json.t -> req_error -> response
+
+(** [of_ucqc_error ?id e] maps an engine error to its response: the
+    [kind] names the constructor, the [code] is
+    {!Ucqc_error.exit_code}. *)
+val of_ucqc_error : ?id:Trace_json.t -> Ucqc_error.t -> response
+
+(** [to_string r] renders the frame, newline-terminated.  The result is
+    always a single line: newlines inside strings are escaped by the
+    JSON encoder. *)
+val to_string : response -> string

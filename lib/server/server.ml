@@ -1,0 +1,889 @@
+(** The [ucqc serve] daemon.  See the interface for the architecture and
+    failure model; the comments here cover the mechanics.
+
+    Locking discipline (ordering, to stay deadlock-free):
+    [stop_lock] > [conns_lock] > per-connection [wlock].  No code path
+    takes them in the other direction, and nothing blocks while holding
+    [wlock] except the bounded (send-timeout) response write.
+
+    File-descriptor lifetime: a connection's fd is closed exactly once,
+    by whichever party ([conn] reader thread, evaluator release, or the
+    drain sequence) observes [reader_done && pending = 0] first — all
+    under [wlock], so a closed descriptor number recycled by the kernel
+    is never touched again through a stale [conn]. *)
+
+type listen = Unix_socket of string | Tcp of { host : string; port : int }
+
+type config = {
+  listen : listen;
+  jobs : int;
+  queue_depth : int;
+  max_frame_bytes : int;
+  idle_timeout_s : float;
+  request_timeout_s : float option;
+  max_steps_cap : int option;
+  cache_capacity : int;
+  drain_deadline_s : float;
+  max_connections : int;
+}
+
+let default_config ~listen ~jobs =
+  {
+    listen;
+    jobs;
+    queue_depth = 64;
+    max_frame_bytes = 1 lsl 20;
+    idle_timeout_s = 300.;
+    request_timeout_s = Some 30.;
+    max_steps_cap = None;
+    cache_capacity = 256;
+    drain_deadline_s = 5.;
+    max_connections = 128;
+  }
+
+(* Poll tick for every blocking wait (accept select, read timeout): the
+   worst-case latency from a stop request to every loop noticing it. *)
+let tick_s = 0.25
+
+(* A response write to a client that has stopped reading gives up after
+   this long; the client is then treated as dead.  Bounds how long the
+   evaluator can be held hostage by a slow reader. *)
+let write_timeout_s = 5.0
+
+(* [classify] runs the exact (unbudgeted) treewidth engine on the
+   combined query; gate it by total variable count so serve mode cannot
+   be wedged by one adversarial classify request.  Matches the CLI's
+   treewidth size gate. *)
+let classify_var_gate = 20
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry counters (interned once; no-ops when telemetry is off)   *)
+(* ------------------------------------------------------------------ *)
+
+let c_connections = Telemetry.counter "serve.connections"
+let c_requests = Telemetry.counter "serve.requests"
+let c_ok = Telemetry.counter "serve.responses.ok"
+let c_degraded = Telemetry.counter "serve.responses.degraded"
+let c_errors = Telemetry.counter "serve.responses.error"
+let c_shed = Telemetry.counter "serve.shed"
+let c_malformed = Telemetry.counter "serve.frames.malformed"
+let c_oversized = Telemetry.counter "serve.frames.oversized"
+let c_cache_hit = Telemetry.counter "serve.cache.hit"
+let c_cache_interned = Telemetry.counter "serve.cache.interned"
+let c_cache_miss = Telemetry.counter "serve.cache.miss"
+let c_cache_invalid = Telemetry.counter "serve.cache.invalid"
+let c_idle_closed = Telemetry.counter "serve.idle_closed"
+let c_discarded = Telemetry.counter "serve.discarded"
+
+(* ------------------------------------------------------------------ *)
+(* State                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The server's own stats live in atomics (the [stats] op must work with
+   telemetry disabled); each bump also feeds the telemetry counter of
+   the same name for [--metrics]. *)
+type stats = {
+  connections_total : int Atomic.t;
+  connections_active : int Atomic.t;
+  requests_total : int Atomic.t;
+  responses_ok : int Atomic.t;
+  responses_degraded : int Atomic.t;
+  responses_error : int Atomic.t;
+  shed : int Atomic.t;
+  frames_malformed : int Atomic.t;
+  frames_oversized : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_interned : int Atomic.t;
+  cache_misses : int Atomic.t;
+  cache_invalid : int Atomic.t;
+  cache_entries : int Atomic.t;  (* gauge, maintained by the evaluator *)
+  idle_closed : int Atomic.t;
+  discarded : int Atomic.t;
+}
+
+let make_stats () =
+  {
+    connections_total = Atomic.make 0;
+    connections_active = Atomic.make 0;
+    requests_total = Atomic.make 0;
+    responses_ok = Atomic.make 0;
+    responses_degraded = Atomic.make 0;
+    responses_error = Atomic.make 0;
+    shed = Atomic.make 0;
+    frames_malformed = Atomic.make 0;
+    frames_oversized = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_interned = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    cache_invalid = Atomic.make 0;
+    cache_entries = Atomic.make 0;
+    idle_closed = Atomic.make 0;
+    discarded = Atomic.make 0;
+  }
+
+let bump (a : int Atomic.t) (c : Telemetry.counter) : unit =
+  Atomic.incr a;
+  Telemetry.incr c
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  mutable fd_open : bool;  (* guarded by wlock *)
+  mutable reader_done : bool;  (* guarded by wlock *)
+  mutable pending : int;  (* responses the evaluator still owes; wlock *)
+}
+
+type work = {
+  wid : Trace_json.t option;
+  wop : Protocol.op;
+  wconn : conn;
+  enqueued_at : float;
+}
+
+type t = {
+  cfg : config;
+  db : Structure.t;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  queue : work Admission.t;
+  stats : stats;
+  started_at : float;
+  stop_requested_flag : bool Atomic.t;
+  stopping : bool Atomic.t;
+  stop_signal : int Atomic.t;  (* 0 = none *)
+  evaluator_done : bool Atomic.t;
+  current_budget : Budget.t option Atomic.t;
+  next_cid : int Atomic.t;
+  conns : (int, conn) Hashtbl.t;  (* guarded by conns_lock *)
+  conns_lock : Mutex.t;
+  mutable threads : Thread.t list;  (* conn threads; conns_lock *)
+  mutable acceptor : Thread.t option;
+  mutable evaluator : Thread.t option;
+  stop_lock : Mutex.t;
+  mutable stopped : bool;  (* guarded by stop_lock *)
+  mutable discarded_total : int;  (* guarded by stop_lock *)
+}
+
+let draining (t : t) : bool =
+  Atomic.get t.stop_requested_flag || Atomic.get t.stopping
+
+(* ------------------------------------------------------------------ *)
+(* Response plumbing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let num (i : int) = Trace_json.Num (float_of_int i)
+let fnum (f : float) = Trace_json.Num f
+
+(* Write one response frame.  Best-effort: a dead or stalled client
+   (EPIPE, send timeout) silently loses the response — its connection is
+   torn down by the reader side shortly after. *)
+let send (c : conn) (resp : Protocol.response) : unit =
+  let line = Protocol.to_string resp in
+  Mutex.protect c.wlock (fun () ->
+      if c.fd_open then
+        try
+          let len = String.length line in
+          let pos = ref 0 in
+          while !pos < len do
+            let n = Unix.write_substring c.fd line !pos (len - !pos) in
+            if n <= 0 then raise Exit;
+            pos := !pos + n
+          done
+        with _ -> ())
+
+(* Close the fd exactly once, when both the reader is done and no
+   evaluator response is outstanding. *)
+let close_if_done (t : t) (c : conn) : unit =
+  let close_now =
+    Mutex.protect c.wlock (fun () ->
+        if c.fd_open && c.reader_done && c.pending = 0 then begin
+          c.fd_open <- false;
+          true
+        end
+        else false)
+  in
+  if close_now then begin
+    (try Unix.close c.fd with _ -> ());
+    Mutex.protect t.conns_lock (fun () -> Hashtbl.remove t.conns c.cid)
+  end
+
+let release (t : t) (c : conn) : unit =
+  Mutex.protect c.wlock (fun () -> c.pending <- c.pending - 1);
+  close_if_done t c
+
+let shutting_down_response ?id () : Protocol.response =
+  Protocol.make_response ?id Protocol.Shutting_down
+    [ ("message", Trace_json.Str "server is draining; reconnect later") ]
+
+let count_response_status (t : t) (r : Protocol.response) : unit =
+  match r.Protocol.rstatus with
+  | Protocol.Ok_ -> bump t.stats.responses_ok c_ok
+  | Protocol.Degraded -> bump t.stats.responses_degraded c_degraded
+  | Protocol.Error_ -> bump t.stats.responses_error c_errors
+  | Protocol.Overloaded | Protocol.Shutting_down -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Inline ops (answered on the connection thread)                     *)
+(* ------------------------------------------------------------------ *)
+
+let uptime_ms (t : t) : float = (Unix.gettimeofday () -. t.started_at) *. 1000.
+
+let pong (t : t) ?id () : Protocol.response =
+  Protocol.make_response ?id Protocol.Ok_
+    [ ("pong", Trace_json.Bool true); ("uptime_ms", fnum (uptime_ms t)) ]
+
+let stats_response (t : t) ?id () : Protocol.response =
+  let s = t.stats in
+  let g a = num (Atomic.get a) in
+  Protocol.make_response ?id Protocol.Ok_
+    [
+      ( "result",
+        Trace_json.Obj
+          [
+            ("uptime_ms", fnum (uptime_ms t));
+            ("jobs", num (Pool.jobs t.pool));
+            ("connections_total", g s.connections_total);
+            ("connections_active", g s.connections_active);
+            ("requests_total", g s.requests_total);
+            ("responses_ok", g s.responses_ok);
+            ("responses_degraded", g s.responses_degraded);
+            ("responses_error", g s.responses_error);
+            ("shed", g s.shed);
+            ("frames_malformed", g s.frames_malformed);
+            ("frames_oversized", g s.frames_oversized);
+            ("idle_closed", g s.idle_closed);
+            ("discarded", g s.discarded);
+            ("queue_depth", num (Admission.depth t.queue));
+            ( "cache",
+              Trace_json.Obj
+                [
+                  ("hits", g s.cache_hits);
+                  ("interned", g s.cache_interned);
+                  ("misses", g s.cache_misses);
+                  ("invalid", g s.cache_invalid);
+                  ("entries", g s.cache_entries);
+                ] );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let runner_method : Protocol.count_method -> Runner.count_method = function
+  | Protocol.Expansion -> Runner.Expansion
+  | Protocol.Inclusion_exclusion -> Runner.Inclusion_exclusion
+  | Protocol.Naive -> Runner.Naive
+
+let op_label : Protocol.op -> string = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Count _ -> "count"
+  | Protocol.Classify _ -> "classify"
+  | Protocol.Check _ -> "check"
+
+(* Effective budget = min(per-request ask, server cap); absent on both
+   sides means unlimited.  The budget is created at dequeue time, so
+   time spent queued never counts against the compute allowance. *)
+let cap_steps (t : t) (req : int option) : int option =
+  match (t.cfg.max_steps_cap, req) with
+  | None, r -> r
+  | (Some _ as c), None -> c
+  | Some c, Some r -> Some (min c r)
+
+let cap_timeout (t : t) (req_ms : float option) : float option =
+  let req_s = Option.map (fun ms -> ms /. 1000.) req_ms in
+  match (t.cfg.request_timeout_s, req_s) with
+  | None, r -> r
+  | (Some _ as c), None -> c
+  | Some c, Some r -> Some (Float.min c r)
+
+(* Cache lookup with the parse metered under its own span — a repeated
+   query's trace visibly has no [serve.parse] (the acceptance criterion
+   for the prepared-query cache). *)
+let prepare (t : t) (cache : Cache.t) (text : string) : Cache.outcome =
+  let outcome =
+    match Cache.find cache text with
+    | Some o -> o
+    | None ->
+        let parsed =
+          Telemetry.with_span "serve.parse" (fun () ->
+              match Parse.ucq_result text with
+              | r -> r
+              | exception e ->
+                  Error (Ucqc_error.Internal (Printexc.to_string e)))
+        in
+        Cache.admit cache text parsed
+  in
+  (match outcome with
+  | Cache.Hit _ -> bump t.stats.cache_hits c_cache_hit
+  | Cache.Interned _ -> bump t.stats.cache_interned c_cache_interned
+  | Cache.Miss _ -> bump t.stats.cache_misses c_cache_miss
+  | Cache.Invalid _ -> bump t.stats.cache_invalid c_cache_invalid);
+  Atomic.set t.stats.cache_entries (Cache.entries cache);
+  outcome
+
+let abandoned_json (a : Runner.abandoned) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("phase", Trace_json.Str a.Runner.phase);
+      ("steps", num a.Runner.steps);
+      ("elapsed_s", fnum a.Runner.elapsed_s);
+    ]
+
+let answer_count (t : t) (cache : Cache.t) ?id ~query ~meth ~seed ~max_steps
+    ~timeout_ms ~no_fallback () : Protocol.response =
+  let outcome = prepare t cache query in
+  let cache_field = ("cache", Trace_json.Str (Cache.outcome_label outcome)) in
+  match outcome with
+  | Cache.Invalid err ->
+      let r = Protocol.of_ucqc_error ?id err in
+      { r with Protocol.body = r.Protocol.body @ [ cache_field ] }
+  | Cache.Hit entry | Cache.Interned entry | Cache.Miss entry ->
+      let budget =
+        Budget.make
+          ?max_steps:(cap_steps t max_steps)
+          ?timeout:(cap_timeout t timeout_ms)
+          ()
+      in
+      (* Published so a forced drain can cancel this request
+         cooperatively; cleared before the response is built. *)
+      Atomic.set t.current_budget (Some budget);
+      let result =
+        Fun.protect
+          ~finally:(fun () -> Atomic.set t.current_budget None)
+          (fun () ->
+            Telemetry.with_span "serve.eval" ~budget (fun () ->
+                Runner.count ~via:(runner_method meth)
+                  ~fallback:(not no_fallback) ~seed ~pool:t.pool ~budget
+                  entry.Cache.ucq t.db))
+      in
+      let steps_field = ("steps", num (Budget.steps_done budget)) in
+      (match result with
+      | Ok (Runner.Exact n) ->
+          Protocol.make_response ?id Protocol.Ok_
+            [
+              ( "result",
+                Trace_json.Obj
+                  [ ("count", num n); ("exact", Trace_json.Bool true) ] );
+              cache_field;
+              steps_field;
+            ]
+      | Ok (Runner.Approximate { value; epsilon; delta; exhausted; abandoned })
+        ->
+          Protocol.make_response ?id Protocol.Degraded
+            [
+              ( "result",
+                Trace_json.Obj
+                  [
+                    ("estimate", fnum value);
+                    ("epsilon", fnum epsilon);
+                    ("delta", fnum delta);
+                    ("exact", Trace_json.Bool false);
+                    ( "exhausted",
+                      Trace_json.Obj
+                        [
+                          ("phase", Trace_json.Str exhausted.Budget.phase);
+                          ("steps_done", num exhausted.Budget.steps_done);
+                        ] );
+                    ("abandoned", abandoned_json abandoned);
+                  ] );
+              cache_field;
+              steps_field;
+            ]
+      | Error err ->
+          let r = Protocol.of_ucqc_error ?id err in
+          { r with Protocol.body = r.Protocol.body @ [ cache_field; steps_field ] })
+
+let classify_json (r : Classify.report) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("combined_tw", num r.Classify.combined_tw);
+      ("combined_contract_tw", num r.Classify.combined_contract_tw);
+      ("gamma_max_tw", num r.Classify.gamma_max_tw);
+      ("gamma_max_contract_tw", num r.Classify.gamma_max_contract_tw);
+      ("quantifier_free", Trace_json.Bool r.Classify.quantifier_free);
+      ( "union_of_self_join_free",
+        Trace_json.Bool r.Classify.union_of_self_join_free );
+      ("num_quantified", num r.Classify.num_quantified);
+      ("num_disjuncts", num r.Classify.num_disjuncts);
+    ]
+
+let answer_classify (t : t) (cache : Cache.t) ?id ~query () :
+    Protocol.response =
+  let outcome = prepare t cache query in
+  let cache_field = ("cache", Trace_json.Str (Cache.outcome_label outcome)) in
+  match outcome with
+  | Cache.Invalid err ->
+      let r = Protocol.of_ucqc_error ?id err in
+      { r with Protocol.body = r.Protocol.body @ [ cache_field ] }
+  | Cache.Hit entry | Cache.Interned entry | Cache.Miss entry ->
+      let vars =
+        Ucq.arity entry.Cache.ucq + Ucq.num_quantified entry.Cache.ucq
+      in
+      if vars > classify_var_gate then begin
+        (* classify runs the exact treewidth engine unbudgeted; in serve
+           mode that must not be reachable with unbounded input *)
+        let r =
+          Protocol.error_response ?id ~kind:"unsupported" ~code:65
+            (Printf.sprintf
+               "classify is limited to %d total variables in serve mode \
+                (query has %d); use the one-shot CLI"
+               classify_var_gate vars)
+        in
+        { r with Protocol.body = r.Protocol.body @ [ cache_field ] }
+      end
+      else
+        let report =
+          match entry.Cache.classify with
+          | Some r -> r
+          | None ->
+              let r =
+                Telemetry.with_span "serve.analysis" (fun () ->
+                    Classify.analyze ~with_gamma:false ~pool:t.pool
+                      entry.Cache.ucq)
+              in
+              entry.Cache.classify <- Some r;
+              r
+        in
+        Protocol.make_response ?id Protocol.Ok_
+          [ ("result", classify_json report); cache_field ]
+
+let answer_check (t : t) (cache : Cache.t) ?id ~query () : Protocol.response =
+  let outcome = prepare t cache query in
+  let cache_field = ("cache", Trace_json.Str (Cache.outcome_label outcome)) in
+  (* [Analysis.check] is total (parse failures become diagnostics) and
+     budgeted internally, so even an Invalid outcome gets a report.  The
+     report is memoized only for the entry's primary spelling: spans are
+     text-relative, so an alias text must be re-analyzed. *)
+  let memoized (entry : Cache.entry) : Analysis.report option =
+    if String.equal entry.Cache.primary_text query then begin
+      (match entry.Cache.analysis with
+      | Some _ -> ()
+      | None ->
+          entry.Cache.analysis <-
+            Some
+              (Telemetry.with_span "serve.analysis" (fun () ->
+                   Analysis.check ~pool:t.pool query)));
+      entry.Cache.analysis
+    end
+    else None
+  in
+  let report =
+    match outcome with
+    | Cache.Hit e | Cache.Interned e | Cache.Miss e -> (
+        match memoized e with
+        | Some r -> r
+        | None ->
+            Telemetry.with_span "serve.analysis" (fun () ->
+                Analysis.check ~pool:t.pool query))
+    | Cache.Invalid _ ->
+        Telemetry.with_span "serve.analysis" (fun () ->
+            Analysis.check ~pool:t.pool query)
+  in
+  let max_sev =
+    match Analysis.max_severity report with
+    | None -> Trace_json.Null
+    | Some s -> Trace_json.Str (Diagnostic.severity_to_string s)
+  in
+  Protocol.make_response ?id Protocol.Ok_
+    [
+      ("result", Analysis.report_to_json report);
+      ("findings", num (List.length report.Analysis.diagnostics));
+      ("max_severity", max_sev);
+      cache_field;
+    ]
+
+let answer (t : t) (cache : Cache.t) (w : work) : Protocol.response =
+  match w.wop with
+  | Protocol.Ping -> pong t ?id:w.wid ()  (* unreachable: answered inline *)
+  | Protocol.Stats -> stats_response t ?id:w.wid ()
+  | Protocol.Count { query; meth; seed; max_steps; timeout_ms; no_fallback } ->
+      answer_count t cache ?id:w.wid ~query ~meth ~seed ~max_steps ~timeout_ms
+        ~no_fallback ()
+  | Protocol.Classify { query } ->
+      answer_classify t cache ?id:w.wid ~query ()
+  | Protocol.Check { query } -> answer_check t cache ?id:w.wid ~query ()
+
+(* Per-request isolation boundary: nothing thrown while answering one
+   request may reach the evaluator loop. *)
+let process (t : t) (cache : Cache.t) (w : work) : unit =
+  let t0 = Unix.gettimeofday () in
+  let queue_ms = (t0 -. w.enqueued_at) *. 1000. in
+  let resp =
+    try
+      Telemetry.with_span "serve.request"
+        ~attrs:(fun () -> [ ("op", Telemetry.S (op_label w.wop)) ])
+        (fun () -> answer t cache w)
+    with e ->
+      Protocol.error_response ?id:w.wid ~kind:"internal" ~code:70
+        (Printf.sprintf "request failed: %s" (Printexc.to_string e))
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Admission.note_service_ms t.queue elapsed_ms;
+  let resp =
+    {
+      resp with
+      Protocol.body =
+        resp.Protocol.body
+        @ [ ("elapsed_ms", fnum elapsed_ms); ("queue_ms", fnum queue_ms) ];
+    }
+  in
+  count_response_status t resp;
+  send w.wconn resp;
+  release t w.wconn
+
+let evaluator_loop (t : t) : unit =
+  let cache = Cache.create ~capacity:t.cfg.cache_capacity () in
+  let rec loop () =
+    match Admission.take t.queue with
+    | None -> ()
+    | Some w ->
+        process t cache w;
+        loop ()
+  in
+  (try loop () with _ -> ());
+  Atomic.set t.evaluator_done true
+
+(* ------------------------------------------------------------------ *)
+(* Connection threads                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request (t : t) (c : conn) (line : string) : unit =
+  bump t.stats.requests_total c_requests;
+  match Protocol.parse_request line with
+  | Error e ->
+      bump t.stats.frames_malformed c_malformed;
+      bump t.stats.responses_error c_errors;
+      send c (Protocol.of_req_error e)
+  | Ok { Protocol.id; op } -> (
+      match op with
+      | Protocol.Ping ->
+          bump t.stats.responses_ok c_ok;
+          send c (pong t ?id ())
+      | Protocol.Stats ->
+          bump t.stats.responses_ok c_ok;
+          send c (stats_response t ?id ())
+      | Protocol.Count _ | Protocol.Classify _ | Protocol.Check _ ->
+          if draining t then send c (shutting_down_response ?id ())
+          else begin
+            Mutex.protect c.wlock (fun () -> c.pending <- c.pending + 1);
+            let w =
+              { wid = id; wop = op; wconn = c; enqueued_at = Unix.gettimeofday () }
+            in
+            match Admission.offer t.queue w with
+            | Admission.Accepted -> ()
+            | Admission.Shed { retry_after_ms } ->
+                Mutex.protect c.wlock (fun () -> c.pending <- c.pending - 1);
+                bump t.stats.shed c_shed;
+                send c
+                  (Protocol.make_response ?id Protocol.Overloaded
+                     [
+                       ("retry_after_ms", num retry_after_ms);
+                       ("message", Trace_json.Str "admission queue is full");
+                     ])
+            | Admission.Draining ->
+                Mutex.protect c.wlock (fun () -> c.pending <- c.pending - 1);
+                send c (shutting_down_response ?id ())
+          end)
+
+let handle_frame (t : t) (c : conn) (fr : Framer.frame) : unit =
+  match fr with
+  | Framer.Oversized limit ->
+      bump t.stats.frames_oversized c_oversized;
+      bump t.stats.responses_error c_errors;
+      send c (Protocol.of_req_error (Protocol.Frame_too_large limit))
+  | Framer.Frame line -> if String.trim line <> "" then handle_request t c line
+
+let conn_loop (t : t) (c : conn) : unit =
+  (try
+     Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO tick_s;
+     Unix.setsockopt_float c.fd Unix.SO_SNDTIMEO write_timeout_s
+   with _ -> ());
+  let framer = Framer.create ~max_frame_bytes:t.cfg.max_frame_bytes () in
+  let buf = Bytes.create 8192 in
+  let idle_deadline = ref (Unix.gettimeofday () +. t.cfg.idle_timeout_s) in
+  let running = ref true in
+  while !running do
+    if Atomic.get t.stopping then running := false
+    else
+      match Unix.read c.fd buf 0 (Bytes.length buf) with
+      | 0 ->
+          (* client EOF; a final unterminated line still gets answered *)
+          (match Framer.eof framer with
+          | Some fr -> handle_frame t c fr
+          | None -> ());
+          running := false
+      | n ->
+          idle_deadline := Unix.gettimeofday () +. t.cfg.idle_timeout_s;
+          List.iter (handle_frame t c) (Framer.feed framer buf ~off:0 ~len:n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          if Unix.gettimeofday () > !idle_deadline then begin
+            bump t.stats.idle_closed c_idle_closed;
+            running := false
+          end
+      | exception _ -> running := false
+  done;
+  Mutex.protect c.wlock (fun () -> c.reader_done <- true);
+  Atomic.decr t.stats.connections_active;
+  close_if_done t c
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let accept_one (t : t) (fd : Unix.file_descr) : unit =
+  bump t.stats.connections_total c_connections;
+  let active = Atomic.fetch_and_add t.stats.connections_active 1 in
+  if active >= t.cfg.max_connections then begin
+    Atomic.decr t.stats.connections_active;
+    bump t.stats.shed c_shed;
+    (* shed at accept: one well-formed frame, then hang up *)
+    let line =
+      Protocol.to_string
+        (Protocol.make_response Protocol.Overloaded
+           [
+             ("retry_after_ms", num 1000);
+             ("message", Trace_json.Str "connection limit reached");
+           ])
+    in
+    (try
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+       ignore (Unix.write_substring fd line 0 (String.length line))
+     with _ -> ());
+    try Unix.close fd with _ -> ()
+  end
+  else begin
+    (match t.cfg.listen with
+    | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+    | Unix_socket _ -> ());
+    let c =
+      {
+        cid = Atomic.fetch_and_add t.next_cid 1;
+        fd;
+        wlock = Mutex.create ();
+        fd_open = true;
+        reader_done = false;
+        pending = 0;
+      }
+    in
+    Mutex.protect t.conns_lock (fun () -> Hashtbl.replace t.conns c.cid c);
+    let th =
+      Thread.create
+        (fun () ->
+          try conn_loop t c
+          with _ ->
+            (* belt and braces: a crashed reader must still release *)
+            Mutex.protect c.wlock (fun () -> c.reader_done <- true);
+            Atomic.decr t.stats.connections_active;
+            close_if_done t c)
+        ()
+    in
+    Mutex.protect t.conns_lock (fun () -> t.threads <- th :: t.threads)
+  end
+
+let accept_loop (t : t) : unit =
+  while not (draining t) do
+    match Unix.select [ t.listen_fd ] [] [] tick_s with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ -> accept_one t fd
+        | exception
+            Unix.Unix_error
+              ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+            ()
+        | exception _ -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception _ ->
+        (* listen fd went bad; without it the loop has no purpose, but
+           never spin *)
+        if not (draining t) then Thread.delay tick_s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen (l : listen) : Unix.file_descr =
+  match l with
+  | Unix_socket path ->
+      (* reclaim a stale socket file, but never unlink anything else *)
+      (match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> ( try Unix.unlink path with _ -> ())
+      | _ ->
+          raise
+            (Unix.Unix_error (Unix.EEXIST, "bind", path))
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 128
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+  | Tcp { host; port } ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          match
+            Unix.getaddrinfo host ""
+              [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+          with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (addr, port));
+         Unix.listen fd 128
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+
+let start (cfg : config) ~(db : Structure.t) : t =
+  (* a client hanging up mid-write must be an EPIPE, not a process kill *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let listen_fd = bind_listen cfg.listen in
+  let t =
+    {
+      cfg;
+      db;
+      pool = Pool.create ~jobs:cfg.jobs ();
+      listen_fd;
+      queue = Admission.create ~depth:cfg.queue_depth ();
+      stats = make_stats ();
+      started_at = Unix.gettimeofday ();
+      stop_requested_flag = Atomic.make false;
+      stopping = Atomic.make false;
+      stop_signal = Atomic.make 0;
+      evaluator_done = Atomic.make false;
+      current_budget = Atomic.make None;
+      next_cid = Atomic.make 1;
+      conns = Hashtbl.create 64;
+      conns_lock = Mutex.create ();
+      threads = [];
+      acceptor = None;
+      evaluator = None;
+      stop_lock = Mutex.create ();
+      stopped = false;
+      discarded_total = 0;
+    }
+  in
+  t.evaluator <- Some (Thread.create (fun () -> evaluator_loop t) ());
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let request_stop (t : t) : unit = Atomic.set t.stop_requested_flag true
+let stop_requested (t : t) : bool = Atomic.get t.stop_requested_flag
+
+let install_signal_stop (t : t) : unit =
+  let handler signal =
+    (* signal-handler safe: two atomic stores, nothing else *)
+    Atomic.set t.stop_signal signal;
+    request_stop t
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
+
+let last_signal (t : t) : int option =
+  match Atomic.get t.stop_signal with 0 -> None | s -> Some s
+
+let wait_until_stop_requested (t : t) : unit =
+  while not (stop_requested t) do
+    Thread.delay 0.1
+  done
+
+let stop (t : t) : int =
+  Mutex.protect t.stop_lock (fun () ->
+      if t.stopped then t.discarded_total
+      else begin
+        t.stopped <- true;
+        Atomic.set t.stop_requested_flag true;
+        Atomic.set t.stopping true;
+        (* 1. stop accepting *)
+        (match t.acceptor with Some th -> Thread.join th | None -> ());
+        t.acceptor <- None;
+        (try Unix.close t.listen_fd with _ -> ());
+        (match t.cfg.listen with
+        | Unix_socket p -> ( try Unix.unlink p with _ -> ())
+        | Tcp _ -> ());
+        (* 2. close admission; the evaluator retires the backlog *)
+        Admission.close t.queue;
+        let deadline = Unix.gettimeofday () +. t.cfg.drain_deadline_s in
+        while
+          (not (Atomic.get t.evaluator_done))
+          && Unix.gettimeofday () < deadline
+        do
+          Thread.delay 0.01
+        done;
+        let discarded = ref 0 in
+        if not (Atomic.get t.evaluator_done) then begin
+          (* 3. deadline exceeded: answer the backlog with
+             [shutting_down] and cancel the in-flight request *)
+          let dropped = Admission.discard_pending t.queue in
+          List.iter
+            (fun w ->
+              incr discarded;
+              bump t.stats.discarded c_discarded;
+              send w.wconn (shutting_down_response ?id:w.wid ());
+              release t w.wconn)
+            dropped;
+          (match Atomic.get t.current_budget with
+          | Some b -> Budget.cancel b
+          | None -> ());
+          (* grace for the cancelled request to unwind cooperatively *)
+          let grace =
+            Unix.gettimeofday () +. Float.max 1.0 t.cfg.drain_deadline_s
+          in
+          while
+            (not (Atomic.get t.evaluator_done))
+            && Unix.gettimeofday () < grace
+          do
+            Thread.delay 0.01
+          done
+        end;
+        if Atomic.get t.evaluator_done then (
+          (match t.evaluator with Some th -> Thread.join th | None -> ());
+          t.evaluator <- None);
+        (* 4. wake blocked readers and join connection threads *)
+        let conns =
+          Mutex.protect t.conns_lock (fun () ->
+              Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+        in
+        List.iter
+          (fun c ->
+            Mutex.protect c.wlock (fun () ->
+                if c.fd_open then
+                  try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with _ -> ()))
+          conns;
+        let threads =
+          Mutex.protect t.conns_lock (fun () ->
+              let ths = t.threads in
+              t.threads <- [];
+              ths)
+        in
+        List.iter (fun th -> try Thread.join th with _ -> ()) threads;
+        (* 5. anything still open (a response the evaluator never
+           delivered): close unconditionally *)
+        let leftovers =
+          Mutex.protect t.conns_lock (fun () ->
+              let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+              Hashtbl.reset t.conns;
+              cs)
+        in
+        List.iter
+          (fun c ->
+            Mutex.protect c.wlock (fun () ->
+                if c.fd_open then begin
+                  c.fd_open <- false;
+                  try Unix.close c.fd with _ -> ()
+                end))
+          leftovers;
+        t.discarded_total <- !discarded;
+        !discarded
+      end)

@@ -259,6 +259,80 @@ let test_runner_meta () =
   | _ -> Alcotest.fail "quantified META must report Unsupported"
 
 (* ------------------------------------------------------------------ *)
+(* Degradation ordering: step limit and deadline in the same budget    *)
+(* ------------------------------------------------------------------ *)
+
+(* An already-expired deadline is the one wall-clock configuration that
+   behaves deterministically (it is past on every probe), so it can be
+   combined with a step limit to pin down which limit trips first. *)
+
+let test_budget_both_limits_ordering () =
+  (* the step limit sits below the 256-tick clock-probe stride, so it
+     must win even against an expired deadline *)
+  let tick_until_exhausted b =
+    let rec go () = Budget.tick b; go () in
+    match go () with
+    | (_ : unit) -> Alcotest.fail "must exhaust"
+    | exception Budget.Exhausted e -> e
+  in
+  let b = Budget.make ~max_steps:5 ~timeout:(-1.0) () in
+  let e = tick_until_exhausted b in
+  Alcotest.(check int) "step limit wins below the stride" 5 e.Budget.steps_done;
+  (* above the stride the expired deadline wins, at exactly the probe *)
+  let b = Budget.make ~max_steps:100_000 ~timeout:(-1.0) () in
+  let e = tick_until_exhausted b in
+  Alcotest.(check int) "deadline wins at the probe stride" 256
+    e.Budget.steps_done;
+  Alcotest.(check bool) "steps remain" true
+    (Budget.remaining_steps b > Some 0);
+  (* same configuration twice: identical exhaustion points *)
+  let probe () =
+    tick_until_exhausted (Budget.make ~max_steps:100_000 ~timeout:(-1.0) ())
+  in
+  Alcotest.(check bool) "both-limit exhaustion deterministic" true
+    (probe () = probe ());
+  (* [check] probes the clock unconditionally — no stride coarsening *)
+  let b = Budget.make ~max_steps:5 ~timeout:(-1.0) () in
+  match Budget.check b with
+  | () -> Alcotest.fail "check must see the expired deadline"
+  | exception Budget.Exhausted e ->
+      Alcotest.(check int) "no steps consumed" 0 e.Budget.steps_done
+
+let test_runner_both_limits () =
+  let psi = triangle_psi () and db = dense_db () in
+  let both () = Budget.make ~max_steps:50 ~timeout:(-1.0) () in
+  (* with fallbacks on, a doubly-dead budget still degrades: the
+     Karp-Luby substitute is polynomial and deliberately un-budgeted *)
+  let r = Runner.count ~seed:5 ~budget:(both ()) psi db in
+  (match r with
+  | Ok (Runner.Approximate { exhausted; abandoned; _ }) ->
+      Alcotest.(check string) "exhausted in count phase" "count"
+        exhausted.Budget.phase;
+      Alcotest.(check bool) "step limit tripped below the stride" true
+        (exhausted.Budget.steps_done <= 256);
+      Alcotest.(check string) "abandoned phase" "count" abandoned.Runner.phase
+  | _ -> Alcotest.fail "both limits tripping must still degrade");
+  Alcotest.(check int) "degraded exit" 2 (Runner.count_exit_code r);
+  (* degradation is reported identically on a re-run (wall time aside) *)
+  let strip = function
+    | Ok (Runner.Approximate a) ->
+        Ok
+          (Runner.Approximate
+             { a with abandoned = { a.abandoned with elapsed_s = 0. } })
+    | r -> r
+  in
+  let again = Runner.count ~seed:5 ~budget:(both ()) psi db in
+  Alcotest.(check bool) "both-limit degradation deterministic" true
+    (strip r = strip again);
+  (* no fallback: the same exhaustion surfaces as the structured error *)
+  match Runner.count ~fallback:false ~budget:(both ()) psi db with
+  | Error (Ucqc_error.Budget_exhausted { phase; steps_done }) as r ->
+      Alcotest.(check string) "phase" "count" phase;
+      Alcotest.(check bool) "steps recorded" true (steps_done > 0);
+      Alcotest.(check int) "exit 124" 124 (Runner.count_exit_code r)
+  | _ -> Alcotest.fail "no-fallback must surface Budget_exhausted"
+
+(* ------------------------------------------------------------------ *)
 (* Structured errors and exit codes                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -384,6 +458,9 @@ let suite =
         Alcotest.test_case "runner wl-dimension fallback" `Quick
           test_runner_wl_dimension_fallback;
         Alcotest.test_case "runner meta" `Quick test_runner_meta;
+        Alcotest.test_case "both limits ordering" `Quick
+          test_budget_both_limits_ordering;
+        Alcotest.test_case "runner both limits" `Quick test_runner_both_limits;
         Alcotest.test_case "exit codes" `Quick test_exit_codes;
         Alcotest.test_case "error rendering" `Quick test_error_rendering;
         Alcotest.test_case "guard" `Quick test_guard;

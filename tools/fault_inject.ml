@@ -1,0 +1,736 @@
+(** Fault-injection harness for [ucqc serve].
+
+    Spawns the real server binary, then attacks it: malformed and
+    oversized frames, truncated writes, mid-request disconnects, a
+    slowloris client, bursts past the admission bound, budget-blowing
+    queries — asserting after each scenario that the server is still
+    alive, every response frame is well-formed JSON, ids are echoed
+    exactly once, and the counters stay consistent.  Ends with a SIGTERM
+    drain: the process must exit 0 within the deadline and leave a
+    validating Chrome trace and parseable metrics behind.
+
+    Also the server's correctness oracle: a [count] answered over the
+    socket must be bit-identical to the one-shot CLI on the same query
+    and database.
+
+    Run from the repository root: [dune exec tools/fault_inject.exe].
+    [--bin PATH] overrides the server binary (default
+    [_build/default/bin/ucqc_cli.exe]). *)
+
+let bin = ref "_build/default/bin/ucqc_cli.exe"
+let db_file = ref "data/example_db.facts"
+let query_file = ref "data/example_query.ucq"
+
+let failures = ref 0
+
+let report fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL: %s\n%!" msg)
+    fmt
+
+let section name f =
+  Printf.printf "== %s\n%!" name;
+  try f ()
+  with e ->
+    report "%s: harness exception %s" name (Printexc.to_string e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Server lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type server = { pid : int; sock : string; log : string }
+
+let mkdtemp () =
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucqc-fault-%d" (Unix.getpid ()))
+  in
+  let rec try_n i =
+    let d = Printf.sprintf "%s-%d" base i in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when i < 100 ->
+        try_n (i + 1)
+  in
+  try_n 0
+
+let tmp = ref ""
+
+let start_server ?(name = "main") ?(extra = []) () : server =
+  let sock = Filename.concat !tmp (name ^ ".sock") in
+  let log = Filename.concat !tmp (name ^ ".log") in
+  let argv =
+    Array.of_list
+      ([ !bin; "serve"; !db_file; "--socket"; sock ] @ extra)
+  in
+  let logfd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid = Unix.create_process !bin argv null logfd logfd in
+  Unix.close logfd;
+  Unix.close null;
+  (* wait until the socket accepts *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> Unix.close fd
+    | exception _ ->
+        Unix.close fd;
+        if Unix.gettimeofday () > deadline then
+          failwith (Printf.sprintf "server %s did not come up; log: %s" name
+                      (try read_file log with _ -> "<unreadable>"))
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+  in
+  wait ();
+  { pid; sock; log }
+
+(* waitpid with a deadline; returns the exit status or None on timeout *)
+let wait_exit (s : server) ~(deadline_s : float) : Unix.process_status option
+    =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec poll () =
+    match Unix.waitpid [ Unix.WNOHANG ] s.pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then None
+        else begin
+          Unix.sleepf 0.05;
+          poll ()
+        end
+    | _, status -> Some status
+  in
+  poll ()
+
+let stop_server ?(signal = Sys.sigterm) ?(expect = 0) (s : server) : unit =
+  (try Unix.kill s.pid signal with _ -> ());
+  match wait_exit s ~deadline_s:10. with
+  | None ->
+      report "server (pid %d) did not exit within 10 s of signal %d" s.pid
+        signal;
+      (try Unix.kill s.pid Sys.sigkill with _ -> ());
+      ignore (try Unix.waitpid [] s.pid with _ -> (0, Unix.WEXITED 0))
+  | Some (Unix.WEXITED code) ->
+      if code <> expect then begin
+        report "server exited %d, expected %d" code expect;
+        Printf.printf "server log:\n%s\n"
+          (try read_file s.log with _ -> "<unreadable>")
+      end
+  | Some (Unix.WSIGNALED sg) -> report "server killed by signal %d" sg
+  | Some (Unix.WSTOPPED _) -> report "server stopped unexpectedly"
+
+let alive (s : server) : bool =
+  match Unix.waitpid [ Unix.WNOHANG ] s.pid with
+  | 0, _ -> true
+  | _ -> false
+  | exception _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Client plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let connect (s : server) : Unix.file_descr =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX s.sock);
+  fd
+
+let send_all (fd : Unix.file_descr) (data : string) : unit =
+  let len = String.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd data !pos (len - !pos)
+  done
+
+(* Read newline-terminated frames until [n] arrived, EOF, or deadline. *)
+let recv_lines ?(deadline_s = 15.) (fd : Unix.file_descr) (n : int) :
+    string list =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let count_lines () =
+    String.fold_left
+      (fun acc c -> if c = '\n' then acc + 1 else acc)
+      0 (Buffer.contents buf)
+  in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25 with _ -> ());
+  let rec loop () =
+    if count_lines () >= n || Unix.gettimeofday () > deadline then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | r ->
+          Buffer.add_subbytes buf chunk 0 r;
+          loop ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          loop ()
+      | exception _ -> ()
+  in
+  loop ();
+  Buffer.contents buf |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+
+(* Build a request line with correct JSON escaping. *)
+let req (fields : (string * Trace_json.t) list) : string =
+  Trace_json.to_string (Trace_json.Obj fields) ^ "\n"
+
+let num f = Trace_json.Num f
+
+let parse_response (line : string) : Trace_json.t option =
+  match Trace_json.parse line with
+  | v -> Some v
+  | exception _ -> None
+
+let mem k v = Trace_json.member k v
+
+let str_of = function Some (Trace_json.Str s) -> Some s | _ -> None
+let num_of = function Some (Trace_json.Num f) -> Some f | _ -> None
+
+let status_of (v : Trace_json.t) : string =
+  Option.value ~default:"<missing>" (str_of (mem "status" v))
+
+let id_of (v : Trace_json.t) : float option = num_of (mem "id" v)
+
+(* One request/response exchange on a fresh connection. *)
+let roundtrip (s : server) (lines : string list) ~(expect : int) :
+    Trace_json.t list =
+  let fd = connect s in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      send_all fd (String.concat "" lines);
+      let raw = recv_lines fd expect in
+      List.filter_map
+        (fun line ->
+          match parse_response line with
+          | Some v -> Some v
+          | None ->
+              report "response is not JSON: %S" line;
+              None)
+        raw)
+
+(* Well-formedness every response must satisfy. *)
+let check_response_shape (v : Trace_json.t) : unit =
+  (match mem "status" v with
+  | Some (Trace_json.Str _) -> ()
+  | _ -> report "response lacks a string status: %s" (Trace_json.to_string v));
+  match mem "code" v with
+  | Some (Trace_json.Num _) -> ()
+  | _ -> report "response lacks a numeric code: %s" (Trace_json.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* One-shot CLI oracle                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_oneshot (args : string list) : int * string =
+  let out = Filename.concat !tmp "oneshot.out" in
+  let outfd =
+    Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let errfd =
+    Unix.openfile
+      (Filename.concat !tmp "oneshot.err")
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o600
+  in
+  let pid =
+    Unix.create_process !bin (Array.of_list (!bin :: args)) null outfd errfd
+  in
+  Unix.close outfd;
+  Unix.close errfd;
+  Unix.close null;
+  let _, status = Unix.waitpid [] pid in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, String.trim (read_file out))
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_ping (s : server) =
+  section "ping" (fun () ->
+      match
+        roundtrip s [ req [ ("op", Trace_json.Str "ping"); ("id", num 1.) ] ]
+          ~expect:1
+      with
+      | [ v ] ->
+          check_response_shape v;
+          if status_of v <> "ok" then report "ping status %s" (status_of v);
+          if mem "pong" v <> Some (Trace_json.Bool true) then
+            report "ping lacks pong:true";
+          if id_of v <> Some 1. then report "ping id not echoed"
+      | l -> report "ping: %d responses, expected 1" (List.length l))
+
+let scenario_correctness (s : server) =
+  section "correctness vs one-shot CLI" (fun () ->
+      let code, expected = run_oneshot [ "count"; !query_file; !db_file ] in
+      if code <> 0 then report "one-shot count exited %d" code
+      else
+        let query = read_file !query_file in
+        match
+          roundtrip s
+            [
+              req
+                [
+                  ("op", Trace_json.Str "count");
+                  ("id", num 10.);
+                  ("query", Trace_json.Str query);
+                ];
+            ]
+            ~expect:1
+        with
+        | [ v ] -> (
+            check_response_shape v;
+            if status_of v <> "ok" then
+              report "served count status %s: %s" (status_of v)
+                (Trace_json.to_string v)
+            else
+              match num_of (mem "count" (Option.get (mem "result" v))) with
+              | Some n ->
+                  let served = Printf.sprintf "%d" (int_of_float n) in
+                  if served <> expected then
+                    report "served count %s <> one-shot %s" served expected
+              | None -> report "count response lacks result.count")
+        | l -> report "count: %d responses, expected 1" (List.length l))
+
+let scenario_malformed (s : server) =
+  section "malformed frames" (fun () ->
+      let junk =
+        [
+          "not json at all\n";
+          "{\"op\":\n";
+          "[1,2,3]\n";
+          "{\"op\":\"count\"}\n";
+          "{\"op\":\"count\",\"query\":42}\n";
+          "{\"op\":\"launch-missiles\"}\n";
+          "{\"op\":\"count\",\"query\":\"(x) :- E(x, y)\",\"id\":{\"nested\":1}}\n";
+          "{\"op\":\"count\",\"query\":\"(x) :- E(x, y)\",\"max_steps\":-5}\n";
+          "\"just a string\"\n";
+          "null\n";
+        ]
+      in
+      let resps = roundtrip s junk ~expect:(List.length junk) in
+      if List.length resps <> List.length junk then
+        report "malformed: %d responses for %d frames" (List.length resps)
+          (List.length junk);
+      List.iter
+        (fun v ->
+          check_response_shape v;
+          if status_of v <> "error" then
+            report "malformed frame answered %s: %s" (status_of v)
+              (Trace_json.to_string v))
+        resps;
+      if not (alive s) then report "server died on malformed frames")
+
+let scenario_oversized (s : server) =
+  section "oversized frame" (fun () ->
+      (* main server runs with --max-frame-bytes 8192 *)
+      let big = String.make 20_000 'a' ^ "\n" in
+      let follow = req [ ("op", Trace_json.Str "ping"); ("id", num 7.) ] in
+      let resps = roundtrip s [ big; follow ] ~expect:2 in
+      (match resps with
+      | [ a; b ] ->
+          check_response_shape a;
+          check_response_shape b;
+          if status_of a <> "error" then
+            report "oversized frame answered %s" (status_of a);
+          (match str_of (mem "kind" (Option.value ~default:Trace_json.Null
+                                       (mem "error" a))) with
+          | Some "frame_too_large" -> ()
+          | k ->
+              report "oversized frame kind %s"
+                (Option.value ~default:"<none>" k));
+          (* the connection survived the oversized frame *)
+          if status_of b <> "ok" then report "ping after oversized failed"
+      | l -> report "oversized: %d responses, expected 2" (List.length l));
+      if not (alive s) then report "server died on oversized frame")
+
+let scenario_random_bytes (s : server) =
+  section "random bytes" (fun () ->
+      (* deterministic LCG junk, newlines sprinkled in so frames form *)
+      let st = ref 0x2545F491 in
+      let next () =
+        st := (!st * 1103515245) + 12345;
+        (!st lsr 16) land 0xff
+      in
+      let buf = Buffer.create 4096 in
+      for _ = 1 to 2048 do
+        let b = next () in
+        if b land 0x3f = 0 then Buffer.add_char buf '\n'
+        else Buffer.add_char buf (Char.chr (max 1 b))
+      done;
+      Buffer.add_char buf '\n';
+      let fd = connect s in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          send_all fd (Buffer.contents buf);
+          send_all fd (req [ ("op", Trace_json.Str "ping"); ("id", num 9.) ]);
+          let resps = recv_lines fd 1000 ~deadline_s:3. in
+          List.iter
+            (fun line ->
+              match parse_response line with
+              | Some v -> check_response_shape v
+              | None -> report "random-bytes response not JSON: %S" line)
+            resps;
+          let pings =
+            List.filter
+              (fun l ->
+                match parse_response l with
+                | Some v -> id_of v = Some 9.
+                | None -> false)
+              resps
+          in
+          if List.length pings <> 1 then
+            report "ping after random bytes: %d echoes" (List.length pings));
+      if not (alive s) then report "server died on random bytes")
+
+let scenario_truncated (s : server) =
+  section "truncated frame + disconnect" (fun () ->
+      let fd = connect s in
+      send_all fd "{\"op\":\"count\",\"query\":\"(x) :- E";
+      Unix.close fd;
+      Unix.sleepf 0.1;
+      if not (alive s) then report "server died on truncated frame";
+      (* server still answers *)
+      match
+        roundtrip s [ req [ ("op", Trace_json.Str "ping") ] ] ~expect:1
+      with
+      | [ _ ] -> ()
+      | l -> report "ping after truncated: %d responses" (List.length l))
+
+let scenario_mid_request_disconnect (s : server) =
+  section "mid-request disconnect" (fun () ->
+      let query = read_file !query_file in
+      let fd = connect s in
+      send_all fd
+        (req
+           [
+             ("op", Trace_json.Str "count");
+             ("query", Trace_json.Str query);
+             ("id", num 11.);
+           ]);
+      (* hang up before the evaluator answers *)
+      Unix.close fd;
+      Unix.sleepf 0.3;
+      if not (alive s) then report "server died on mid-request disconnect";
+      match
+        roundtrip s [ req [ ("op", Trace_json.Str "ping") ] ] ~expect:1
+      with
+      | [ _ ] -> ()
+      | l -> report "ping after disconnect: %d responses" (List.length l))
+
+let scenario_slowloris (s : server) =
+  section "slowloris" (fun () ->
+      let line = req [ ("op", Trace_json.Str "ping"); ("id", num 21.) ] in
+      let fd = connect s in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          String.iter
+            (fun c ->
+              send_all fd (String.make 1 c);
+              Unix.sleepf 0.01)
+            line;
+          match recv_lines fd 1 ~deadline_s:5. with
+          | [ l ] -> (
+              match parse_response l with
+              | Some v ->
+                  if id_of v <> Some 21. then report "slowloris wrong id"
+              | None -> report "slowloris response not JSON")
+          | l -> report "slowloris: %d responses" (List.length l)))
+
+let scenario_idle_timeout () =
+  section "idle timeout" (fun () ->
+      let s =
+        start_server ~name:"idle" ~extra:[ "--idle-timeout"; "0.5" ] ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_server s)
+        (fun () ->
+          let fd = connect s in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+               with _ -> ());
+              let deadline = Unix.gettimeofday () +. 5. in
+              let chunk = Bytes.create 64 in
+              let rec wait_eof () =
+                if Unix.gettimeofday () > deadline then
+                  report "idle connection not closed within 5 s"
+                else
+                  match Unix.read fd chunk 0 64 with
+                  | 0 -> () (* closed by the server: expected *)
+                  | _ -> wait_eof ()
+                  | exception
+                      Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+                    ->
+                      wait_eof ()
+                  | exception _ -> ()
+              in
+              wait_eof ())))
+
+let scenario_burst () =
+  section "burst beyond the queue bound" (fun () ->
+      let s =
+        start_server ~name:"burst"
+          ~extra:
+            [ "--queue-depth"; "2"; "--jobs"; "1"; "--request-timeout"; "2" ]
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> stop_server s)
+        (fun () ->
+          (* a query slow enough to pin the evaluator: naive enumeration
+             over 9 variables, capped by the 2 s request timeout *)
+          let heavy =
+            "(a, b, c, d, e, f, g, h, i) :- E(a, b), E(c, d), E(e, f), E(g, \
+             h), E(i, a)"
+          in
+          let quick = "(x) :- E(x, y)" in
+          let fd = connect s in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              send_all fd
+                (req
+                   [
+                     ("op", Trace_json.Str "count");
+                     ("query", Trace_json.Str heavy);
+                     ("method", Trace_json.Str "naive");
+                     ("id", num 100.);
+                   ]);
+              Unix.sleepf 0.3;
+              let n_burst = 10 in
+              for i = 1 to n_burst do
+                send_all fd
+                  (req
+                     [
+                       ("op", Trace_json.Str "count");
+                       ("query", Trace_json.Str quick);
+                       ("id", num (100. +. float_of_int i));
+                     ])
+              done;
+              let resps =
+                List.filter_map parse_response
+                  (recv_lines fd (n_burst + 1) ~deadline_s:15.)
+              in
+              if List.length resps <> n_burst + 1 then
+                report "burst: %d responses for %d requests"
+                  (List.length resps) (n_burst + 1);
+              List.iter check_response_shape resps;
+              (* each id answered exactly once *)
+              for i = 0 to n_burst do
+                let id = 100. +. float_of_int i in
+                let n =
+                  List.length
+                    (List.filter (fun v -> id_of v = Some id) resps)
+                in
+                if n <> 1 then report "burst id %g answered %d times" id n
+              done;
+              let shed =
+                List.filter (fun v -> status_of v = "overloaded") resps
+              in
+              if shed = [] then
+                report "burst: nothing shed with queue depth 2";
+              List.iter
+                (fun v ->
+                  match num_of (mem "retry_after_ms" v) with
+                  | Some ms when ms > 0. -> ()
+                  | _ -> report "overloaded without positive retry_after_ms")
+                shed;
+              (* the pinned request itself must resolve: degraded (its
+                 exact attempt timed out) or exact if the machine raced
+                 through it *)
+              match List.find_opt (fun v -> id_of v = Some 100.) resps with
+              | Some v ->
+                  if not (List.mem (status_of v) [ "ok"; "degraded"; "error" ])
+                  then report "heavy request status %s" (status_of v)
+              | None -> report "heavy request never answered")))
+
+let scenario_budget (s : server) =
+  section "budget-blowing query" (fun () ->
+      let q = "(x) :- E(x, y)" in
+      let mk id fields =
+        req
+          ([
+             ("op", Trace_json.Str "count");
+             ("query", Trace_json.Str q);
+             ("id", num id);
+           ]
+          @ fields)
+      in
+      let resps =
+        roundtrip s
+          [
+            mk 30. [ ("max_steps", num 3.); ("no_fallback", Trace_json.Bool true) ];
+            mk 31. [ ("max_steps", num 3.) ];
+          ]
+          ~expect:2
+      in
+      match resps with
+      | [ a; b ] ->
+          check_response_shape a;
+          check_response_shape b;
+          if status_of a <> "error" || num_of (mem "code" a) <> Some 124. then
+            report "no-fallback exhaustion: %s" (Trace_json.to_string a);
+          if status_of b <> "degraded" then
+            report "fallback exhaustion status %s" (status_of b)
+          else if
+            num_of
+              (mem "estimate"
+                 (Option.value ~default:Trace_json.Null (mem "result" b)))
+            = None
+          then report "degraded response lacks result.estimate"
+      | l -> report "budget: %d responses, expected 2" (List.length l))
+
+let scenario_cache_and_stats (s : server) =
+  section "cache + stats consistency" (fun () ->
+      let q = "(u, v) :- E(u, w), E(w, v), E(v, u)" in
+      let mk id =
+        req
+          [
+            ("op", Trace_json.Str "count");
+            ("query", Trace_json.Str q);
+            ("id", num id);
+          ]
+      in
+      let resps = roundtrip s [ mk 40.; mk 41.; mk 42. ] ~expect:3 in
+      (match resps with
+      | [ a; b; c ] ->
+          let cache v = Option.value ~default:"" (str_of (mem "cache" v)) in
+          if cache a <> "miss" then report "first lookup cache=%s" (cache a);
+          if cache b <> "hit" then report "second lookup cache=%s" (cache b);
+          if cache c <> "hit" then report "third lookup cache=%s" (cache c);
+          let counts =
+            List.map
+              (fun v -> num_of (mem "count" (Option.get (mem "result" v))))
+              resps
+          in
+          (match counts with
+          | [ Some x; Some y; Some z ] when x = y && y = z -> ()
+          | _ -> report "cached results differ from cold result")
+      | l -> report "cache: %d responses, expected 3" (List.length l));
+      match
+        roundtrip s [ req [ ("op", Trace_json.Str "stats") ] ] ~expect:1
+      with
+      | [ v ] -> (
+          match mem "result" v with
+          | Some r ->
+              let get k = num_of (mem k r) in
+              let ok = get "responses_ok" in
+              let total = get "requests_total" in
+              (match (ok, total) with
+              | Some ok, Some total when ok <= total -> ()
+              | _ -> report "stats: responses_ok > requests_total");
+              (match mem "cache" r with
+              | Some cr -> (
+                  match num_of (mem "hits" cr) with
+                  | Some h when h >= 2. -> ()
+                  | _ -> report "stats: cache hits not recorded")
+              | None -> report "stats lacks cache block")
+          | None -> report "stats lacks result")
+      | l -> report "stats: %d responses, expected 1" (List.length l))
+
+let scenario_drain (s : server) ~(trace : string) ~(metrics : string) =
+  section "SIGTERM drain" (fun () ->
+      (* leave a request in flight while the signal lands *)
+      let fd = connect s in
+      send_all fd
+        (req
+           [
+             ("op", Trace_json.Str "count");
+             ("query", Trace_json.Str "(x, y) :- E(x, z), E(z, y)");
+             ("id", num 50.);
+           ]);
+      Unix.sleepf 0.05;
+      stop_server s ~expect:0;
+      (try Unix.close fd with _ -> ());
+      (* the drain must have flushed a valid Chrome trace *)
+      (match Trace_json.parse (read_file trace) with
+      | v -> (
+          match Trace_json.validate_chrome_trace v with
+          | Ok _ -> ()
+          | Error msg -> report "drained trace invalid: %s" msg)
+      | exception e ->
+          report "drained trace unreadable: %s" (Printexc.to_string e));
+      match Trace_json.parse (read_file metrics) with
+      | Trace_json.Obj _ -> ()
+      | _ -> report "drained metrics not a JSON object"
+      | exception e ->
+          report "drained metrics unreadable: %s" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let rec parse_args = function
+    | [] -> ()
+    | "--bin" :: v :: rest ->
+        bin := v;
+        parse_args rest
+    | "--db" :: v :: rest ->
+        db_file := v;
+        parse_args rest
+    | "--query" :: v :: rest ->
+        query_file := v;
+        parse_args rest
+    | a :: _ ->
+        Printf.eprintf "fault_inject: unknown argument %s\n" a;
+        exit 64
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if not (Sys.file_exists !bin) then begin
+    Printf.eprintf "fault_inject: server binary %s not found (build first)\n"
+      !bin;
+    exit 64
+  end;
+  tmp := mkdtemp ();
+  let trace = Filename.concat !tmp "serve.trace.json" in
+  let metrics = Filename.concat !tmp "serve.metrics.json" in
+  let s =
+    start_server
+      ~extra:
+        [
+          "--max-frame-bytes"; "8192";
+          "--request-timeout"; "10";
+          "--trace"; trace;
+          "--metrics"; metrics;
+        ]
+      ()
+  in
+  scenario_ping s;
+  scenario_correctness s;
+  scenario_malformed s;
+  scenario_oversized s;
+  scenario_random_bytes s;
+  scenario_truncated s;
+  scenario_mid_request_disconnect s;
+  scenario_slowloris s;
+  scenario_budget s;
+  scenario_cache_and_stats s;
+  scenario_idle_timeout ();
+  scenario_burst ();
+  scenario_drain s ~trace ~metrics;
+  if !failures = 0 then begin
+    Printf.printf "fault_inject: all scenarios passed\n";
+    exit 0
+  end
+  else begin
+    Printf.printf "fault_inject: %d failure%s\n" !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end

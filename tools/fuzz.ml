@@ -217,6 +217,143 @@ let () =
           match run_once max_int with
           | Ok c when c = Ucq.count_naive psi db -> ()
           | _ -> report "BUDGET CHANGES RESULT seed %d" seed
+        done);
+    (* serve-mode wire protocol: the crash corpus and random bytes
+       through Protocol.parse_request — it must never raise, must be
+       deterministic, and every response it leads to must render as one
+       newline-terminated line that parses back as JSON *)
+    section "fuzz.wire-protocol" (fun () ->
+        let check_rendered name (resp : Protocol.response) =
+          let line = Protocol.to_string resp in
+          let n = String.length line in
+          if n = 0 || line.[n - 1] <> '\n' then
+            report "PROTOCOL FRAME NOT NL-TERMINATED %s" name
+          else if String.contains (String.sub line 0 (n - 1)) '\n' then
+            report "PROTOCOL FRAME MULTILINE %s" name
+          else
+            match Trace_json.parse line with
+            | exception e ->
+                report "PROTOCOL FRAME UNPARSEABLE %s: %s" name
+                  (Printexc.to_string e)
+            | v -> (
+                match
+                  (Trace_json.member "status" v, Trace_json.member "code" v)
+                with
+                | Some (Trace_json.Str _), Some (Trace_json.Num _) -> ()
+                | _ -> report "PROTOCOL FRAME MISSING status/code %s" name)
+        in
+        let check_frame name line =
+          match try Ok (Protocol.parse_request line) with e -> Error e with
+          | Error e ->
+              report "PROTOCOL RAISED %s: %s" name (Printexc.to_string e)
+          | Ok r ->
+              if Protocol.parse_request line <> r then
+                report "PROTOCOL NONDET %s" name;
+              let resp =
+                match r with
+                | Ok (req : Protocol.request) ->
+                    Protocol.make_response ?id:req.Protocol.id Protocol.Ok_ []
+                | Error e -> Protocol.of_req_error e
+              in
+              check_rendered name resp
+        in
+        (* engine errors must render as well-formed frames too *)
+        check_rendered "ucqc-internal"
+          (Protocol.of_ucqc_error (Ucqc_error.Internal "boom\n\"quoted\""));
+        check_rendered "ucqc-unsupported"
+          (Protocol.of_ucqc_error ~id:(Trace_json.Num 3.5)
+             (Ucqc_error.Unsupported "no"));
+        (* the parser crash corpus doubles as hostile request bodies *)
+        let dir = Filename.concat "test" "crash_corpus" in
+        if Sys.file_exists dir && Sys.is_directory dir then
+          Array.iter
+            (fun f ->
+              let path = Filename.concat dir f in
+              let ic = open_in_bin path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              check_frame f text;
+              (* ... and embedded as the query of an otherwise-valid op *)
+              check_frame (f ^ "-as-query")
+                (Trace_json.to_string
+                   (Trace_json.Obj
+                      [
+                        ("op", Trace_json.Str "count");
+                        ("query", Trace_json.Str text);
+                        ("id", Trace_json.Str f);
+                      ])))
+            (Sys.readdir dir)
+        else Printf.printf "fuzz: protocol corpus %s not found, skipping\n" dir;
+        (* random JSON-adjacent bytes, with occasional raw garbage *)
+        let alphabet = "{}[]:,\"\\optquerycundismax_1520.-e \n\t" in
+        for seed = 0 to iters 2000 do
+          let st = Random.State.make [| seed; 911 |] in
+          let len = Random.State.int st 120 in
+          let buf =
+            Bytes.init len (fun _ ->
+                if Random.State.int st 8 = 0 then
+                  Char.chr (Random.State.int st 256)
+                else alphabet.[Random.State.int st (String.length alphabet)])
+          in
+          check_frame (Printf.sprintf "rand-%d" seed) (Bytes.to_string buf)
+        done;
+        (* the framer must be chunking-invariant: feeding a byte stream
+           in arbitrary pieces yields the same frames as one big feed,
+           including oversized-frame discards and the EOF tail *)
+        let drain max_frame_bytes chunks =
+          let fr = Framer.create ~max_frame_bytes () in
+          let out = ref [] in
+          List.iter
+            (fun c ->
+              let b = Bytes.of_string c in
+              out := List.rev_append (Framer.feed fr b ~off:0 ~len:(Bytes.length b)) !out;
+              if Framer.pending fr < 0 then report "FRAMER NEGATIVE PENDING")
+            chunks;
+          (match Framer.eof fr with Some f -> out := f :: !out | None -> ());
+          if Framer.eof fr <> None then report "FRAMER EOF NOT IDEMPOTENT";
+          List.rev !out
+        in
+        for seed = 0 to iters 800 do
+          let st = Random.State.make [| seed; 912 |] in
+          let len = Random.State.int st 200 in
+          let payload =
+            String.init len (fun _ ->
+                match Random.State.int st 6 with
+                | 0 -> '\n'
+                | 1 -> '\r'
+                | _ -> Char.chr (32 + Random.State.int st 95))
+          in
+          let limit = 1 + Random.State.int st 24 in
+          let whole =
+            match try Ok (drain limit [ payload ]) with e -> Error e with
+            | Error e ->
+                report "FRAMER RAISED seed %d: %s" seed (Printexc.to_string e);
+                []
+            | Ok frames -> frames
+          in
+          (* random re-chunking of the same payload *)
+          let rec split acc off =
+            if off >= String.length payload then List.rev acc
+            else
+              let n =
+                min (String.length payload - off) (1 + Random.State.int st 9)
+              in
+              split (String.sub payload off n :: acc) (off + n)
+          in
+          let chunked = drain limit (split [] 0) in
+          if chunked <> whole then report "FRAMER CHUNKING MISMATCH seed %d" seed;
+          (* every complete frame respects the size bound and carries no
+             terminator bytes *)
+          List.iter
+            (function
+              | Framer.Frame s ->
+                  if String.length s > limit then
+                    report "FRAMER OVERLONG FRAME seed %d" seed;
+                  if String.contains s '\n' then
+                    report "FRAMER EMBEDDED NEWLINE seed %d" seed
+              | Framer.Oversized n ->
+                  if n <> limit then report "FRAMER BAD OVERSIZED TAG seed %d" seed)
+            whole
         done)
   in
   (try run ()
