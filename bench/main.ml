@@ -795,9 +795,14 @@ let parallel_json () =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"git_commit\": %S,\n" git_commit);
   Buffer.add_string buf (Printf.sprintf "  \"timestamp\": %S,\n" timestamp);
+  let cores = Domain.recommended_domain_count () in
+  Buffer.add_string buf (Printf.sprintf "  \"cores_available\": %d,\n" cores);
+  (* on a single hardware thread a jobs > 1 run measures contention, not
+     parallelism: the speedup columns are recorded for the trajectory
+     but must not be read as a comparison (tools/bench_check.exe skips
+     its speedup bar when this flag is false) *)
   Buffer.add_string buf
-    (Printf.sprintf "  \"cores_available\": %d,\n"
-       (Domain.recommended_domain_count ()));
+    (Printf.sprintf "  \"parallel_comparison_valid\": %b,\n" (cores >= 2));
   Buffer.add_string buf
     (Printf.sprintf "  \"jobs\": [%s],\n"
        (String.concat ", " (List.map string_of_int jobs_list)));
@@ -840,6 +845,14 @@ let parallel_json () =
     )
     measured;
   Buffer.add_string buf "  ],\n";
+  (* resident-pool evidence: every workload above ran on the same
+     process-global worker registry, so the spawn count is the total
+     domains created across all [3 workloads × 3 jobs × ~10 runs] — the
+     pre-persistent pool spawned (jobs − 1) fresh domains per run *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"pool\": {\"domains_spawned\": %d, \"domains_idle\": %d},\n"
+       (Pool.spawn_count ()) (Pool.idle_count ()));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"telemetry_overhead\": {\"workload\": \

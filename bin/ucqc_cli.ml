@@ -888,6 +888,11 @@ let serve_cmd =
 let () =
   let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in
   let info = Cmd.info "ucqc" ~version:"1.0.0" ~doc in
+  (* join the resident pool's parked worker domains on exit
+     (best-effort: the signal paths may fire at any point, and workers
+     borrowed by an interrupted run are simply left to the process
+     teardown) *)
+  at_exit (fun () -> try Pool.shutdown_all () with _ -> ());
   (* cmdliner's default usage-error code is 124, which would collide with
      our budget-exhausted code; report usage errors as sysexits EX_USAGE
      (64) and uncaught exceptions as EX_SOFTWARE (70). *)

@@ -133,6 +133,14 @@ let term_cost ~(db_elems : int) ~(db_tuples : int) (info : term_info) : float =
     let rows = Float.min (m *. n) (n ** width) in
     float_of_int (info.vars + 1) *. (1.0 +. rows)
 
+(** [rep_cost ~db_elems ~db_tuples q] is {!term_cost} for a bare
+    representative: the hook the Runner hands to the pool so expansion
+    terms are bin-packed largest-first by the calibrated estimate
+    (EXPERIMENTS.md, E16) instead of a syntactic proxy. *)
+let rep_cost ~(db_elems : int) ~(db_tuples : int) (q : Cq.t) : float =
+  term_cost ~db_elems ~db_tuples
+    (term_info { Ucq.representative = q; Ucq.coefficient = 1 })
+
 (** [cost ~db_elems ~db_tuples plan] estimates the total ticks of
     [Runner.count ~via:Expansion]: the exact expansion cost plus the
     estimated per-term counting cost. *)

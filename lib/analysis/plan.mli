@@ -46,6 +46,13 @@ val predict : ?budget:Budget.t -> ?pool:Pool.t -> Ucq.t -> t
     [db_tuples] tuples. *)
 val term_cost : db_elems:int -> db_tuples:int -> term_info -> float
 
+(** [rep_cost ~db_elems ~db_tuples q] is {!term_cost} for a bare
+    expansion representative (its profile is computed on the spot) — the
+    scheduling hook the Runner passes to
+    [Ucq.count_via_expansion ~term_cost] so the pool bin-packs terms
+    largest-first by the calibrated estimate. *)
+val rep_cost : db_elems:int -> db_tuples:int -> Cq.t -> float
+
 (** [cost ~db_elems ~db_tuples plan] estimates the total ticks of
     [Runner.count ~via:Expansion]: exact expansion cost plus estimated
     per-term counting cost. *)

@@ -80,7 +80,20 @@ let count ?strategy ?(via = Expansion) ?(fallback = true)
     (d : Structure.t) : (count_outcome, Ucqc_error.t) result =
   let exact () =
     match via with
-    | Expansion -> Ucq.count_via_expansion ?strategy ~budget ?pool psi d
+    | Expansion ->
+        (* with real parallelism, rank the expansion terms by the
+           calibrated database-aware estimate so the pool packs the
+           most expensive term first; sequentially the ranking is dead
+           weight, so skip the profiling entirely *)
+        let term_cost =
+          if Pool.is_parallel pool then
+            Some
+              (Plan.rep_cost
+                 ~db_elems:(Structure.universe_size d)
+                 ~db_tuples:(Structure.num_tuples d))
+          else None
+        in
+        Ucq.count_via_expansion ?strategy ~budget ?pool ?term_cost psi d
     | Inclusion_exclusion ->
         Ucq.count_inclusion_exclusion ?strategy ~budget ?pool psi d
     | Naive -> Ucq.count_naive ~budget ?pool psi d

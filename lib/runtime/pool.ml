@@ -1,4 +1,6 @@
-(** Fixed-size domain pool: chunked work queue, deterministic reduction,
+(** Persistent work-stealing domain pool: resident worker domains parked
+    on a process-global free-list, per-slot queues with steal-on-empty,
+    optional cost-aware largest-first packing, deterministic reduction,
     cooperative cancellation through the shared {!Budget}.  See the
     interface for the contracts. *)
 
@@ -41,90 +43,312 @@ let init_in_order (n : int) (f : int -> 'a) : 'a array =
     out
   end
 
-let chunks_c = Telemetry.counter "pool.chunks"
+(* ------------------------------------------------------------------ *)
+(* Resident worker registry                                           *)
+(* ------------------------------------------------------------------ *)
 
-let run (p : t) ?(budget : Budget.t option) ~(f : int -> 'a) (n : int) :
-    'a array =
+(* Workers are process-global, not per-{!t}: pools are cheap throwaway
+   values (the CLI and the tests create many), and OCaml caps live
+   domains at ~128, so tying domain lifetime to pool lifetime would
+   either leak domains or force a shutdown obligation on every caller.
+   Instead a parked worker domain sleeps on its condition variable until
+   any [run] hands it a job; [run] borrows workers from the free-list
+   and spawns only the shortfall. *)
+
+type worker = {
+  w_lock : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_job : (worker -> unit) option;
+  mutable w_stop : bool;
+  mutable w_domain : unit Domain.t option;
+}
+
+let reg_lock = Mutex.create ()
+let idle : worker list ref = ref []
+let spawned = Atomic.make 0
+
+let spawn_count () : int = Atomic.get spawned
+let idle_count () : int = Mutex.protect reg_lock (fun () -> List.length !idle)
+
+let park (w : worker) : unit =
+  Mutex.protect reg_lock (fun () -> idle := w :: !idle)
+
+let worker_loop (w : worker) : unit =
+  let running = ref true in
+  while !running do
+    Mutex.lock w.w_lock;
+    while w.w_job = None && not w.w_stop do
+      Condition.wait w.w_cond w.w_lock
+    done;
+    let job = w.w_job in
+    w.w_job <- None;
+    if w.w_stop then running := false;
+    Mutex.unlock w.w_lock;
+    (* jobs never raise (they catch everything and record into the run's
+       [failed] slot); the try is belt-and-braces so a bug there cannot
+       kill the domain and deadlock the run waiting on it *)
+    match job with Some j -> ( try j w with _ -> ()) | None -> ()
+  done
+
+let spawn_worker () : worker =
+  let w =
+    {
+      w_lock = Mutex.create ();
+      w_cond = Condition.create ();
+      w_job = None;
+      w_stop = false;
+      w_domain = None;
+    }
+  in
+  Atomic.incr spawned;
+  (* [w_domain] is written before the first job is assigned; the
+     assignment's mutex pair publishes it to whoever later joins *)
+  w.w_domain <- Some (Domain.spawn (fun () -> worker_loop w));
+  w
+
+(* [borrow k] takes [k] workers: parked ones first, spawning only the
+   shortfall.  On a spawn failure (e.g. the domain limit) every worker
+   acquired so far goes back to the free-list before the exception
+   propagates, so a failed borrow leaks nothing. *)
+let borrow (k : int) : worker list =
+  let popped =
+    Mutex.protect reg_lock (fun () ->
+        let rec take acc n rest =
+          if n = 0 then (acc, rest)
+          else
+            match rest with
+            | [] -> (acc, [])
+            | w :: tl -> take (w :: acc) (n - 1) tl
+        in
+        let acc, rest = take [] k !idle in
+        idle := rest;
+        acc)
+  in
+  let rec fill acc n =
+    if n = 0 then acc
+    else
+      match spawn_worker () with
+      | w -> fill (w :: acc) (n - 1)
+      | exception e ->
+          List.iter park acc;
+          List.iter park popped;
+          raise e
+  in
+  popped @ fill [] (k - List.length popped)
+
+let assign (w : worker) (j : worker -> unit) : unit =
+  Mutex.protect w.w_lock (fun () ->
+      w.w_job <- Some j;
+      Condition.signal w.w_cond)
+
+let shutdown_all () : unit =
+  let ws =
+    Mutex.protect reg_lock (fun () ->
+        let ws = !idle in
+        idle := [];
+        ws)
+  in
+  List.iter
+    (fun w ->
+      Mutex.protect w.w_lock (fun () ->
+          w.w_stop <- true;
+          Condition.signal w.w_cond))
+    ws;
+  List.iter
+    (fun w -> match w.w_domain with Some d -> Domain.join d | None -> ())
+    ws
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Overflow-safe near-equal split of [0 .. total-1] into [parts]
+   half-open ranges.  The old formula ([total * (r+1) / ranges])
+   overflowed for [total] near [max_int] — e.g. the 2^62 assignment
+   sweeps the naive engine partitions — producing negative bounds. *)
+let partition ~(total : int) ~(parts : int) : (int * int) array =
+  if total <= 0 then [||]
+  else begin
+    let parts = max 1 (min parts total) in
+    let base = total / parts and rem = total mod parts in
+    Array.init parts (fun r ->
+        let lo = (r * base) + min r rem in
+        let hi = lo + base + if r < rem then 1 else 0 in
+        (lo, hi))
+  end
+
+let sane_cost (c : float) : float =
+  if Float.is_nan c || c < 0. then 0. else c
+
+(* Per-slot initial queues.  Without costs: contiguous index ranges
+   (cache-friendly, and stealing rebalances any unevenness).  With
+   costs: deterministic LPT bin-packing — items sorted by descending
+   cost (index-order tie-break) land greedily on the least-loaded slot,
+   so one giant term starts immediately instead of serialising the
+   tail.  The epsilon per item makes zero-cost inputs round-robin
+   rather than pile onto slot 0. *)
+let build_queues ~(costs : (int -> float) option) ~(workers : int) (n : int) :
+    int array array =
+  match costs with
+  | None ->
+      Array.map
+        (fun (lo, hi) -> Array.init (hi - lo) (fun k -> lo + k))
+        (partition ~total:n ~parts:workers)
+  | Some cost ->
+      let c = Array.init n (fun i -> sane_cost (cost i)) in
+      let order = Array.init n (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          match Float.compare c.(b) c.(a) with 0 -> compare a b | r -> r)
+        order;
+      let loads = Array.make workers 0. in
+      let queues = Array.make workers [] in
+      Array.iter
+        (fun i ->
+          let best = ref 0 in
+          for s = 1 to workers - 1 do
+            if loads.(s) < loads.(!best) then best := s
+          done;
+          loads.(!best) <- loads.(!best) +. c.(i) +. 1e-9;
+          queues.(!best) <- i :: queues.(!best))
+        order;
+      Array.map (fun q -> Array.of_list (List.rev q)) queues
+
+let items_c = Telemetry.counter "pool.items"
+let steals_c = Telemetry.counter "pool.steals"
+
+let run (p : t) ?(budget : Budget.t option) ?(costs : (int -> float) option)
+    ~(f : int -> 'a) (n : int) : 'a array =
   if n <= 1 || p.jobs <= 1 then init_in_order n f
   else begin
     let workers = min p.jobs n in
     Telemetry.with_span ?budget
-      ~attrs:(fun () -> [ ("n", Telemetry.I n); ("workers", Telemetry.I workers) ])
+      ~attrs:(fun () ->
+        [ ("n", Telemetry.I n); ("workers", Telemetry.I workers) ])
       "pool.run"
     @@ fun () ->
     let results = Array.make n None in
-    (* Chunks several times smaller than a fair share load-balance uneven
-       per-item costs; the atomic cursor is the whole queue. *)
-    let chunk = max 1 (n / (workers * 8)) in
-    let next = Atomic.make 0 in
+    let queues = build_queues ~costs ~workers n in
+    let cursors = Array.map (fun _ -> Atomic.make 0) queues in
     let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
       Atomic.make None
     in
-    let body () =
-      let continue = ref true in
-      while !continue do
-        if Atomic.get failed <> None then continue := false
+    (* next item for [slot]: own queue first, then steal round-robin.
+       A cursor past the end means that queue is drained; the
+       fetch-and-add hands out each index exactly once even when
+       several thieves race on the same victim. *)
+    let take (slot : int) : int =
+      let grab v =
+        let q = queues.(v) in
+        if Atomic.get cursors.(v) >= Array.length q then -1
         else begin
-          let start = Atomic.fetch_and_add next chunk in
-          if start >= n then continue := false
+          let i = Atomic.fetch_and_add cursors.(v) 1 in
+          if i >= Array.length q then -1
           else begin
-            Telemetry.incr chunks_c;
-            let stop = min n (start + chunk) in
-            try
-              for i = start to stop - 1 do
-                results.(i) <- Some (f i)
-              done
-            with e ->
-              let bt = Printexc.get_raw_backtrace () in
-              if Atomic.compare_and_set failed None (Some (e, bt)) then
-                (* cooperative cancellation: wake every worker that ticks
-                   the shared budget; pure workers notice [failed] at
-                   their next chunk *)
-                Option.iter Budget.cancel budget;
-              continue := false
+            if v <> slot then Telemetry.incr steals_c;
+            q.(i)
           end
         end
-      done
+      in
+      let rec scan k =
+        if k = workers then -1
+        else begin
+          let got = grab ((slot + k) mod workers) in
+          if got >= 0 then got else scan (k + 1)
+        end
+      in
+      scan 0
     in
-    (* the worker span makes per-domain utilisation visible in the trace:
-       the gap between a domain's [pool.worker] span and its parent
-       [pool.run] span is queue/join wait *)
-    let worker () = Telemetry.with_span "pool.worker" body in
-    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    (* the calling domain is the last worker — never idle *)
-    worker ();
-    Array.iter Domain.join domains;
+    (* the worker span makes per-slot utilisation visible in the trace:
+       it covers only this run's work, never parked time, so the trace
+       gap between [pool.worker] and its [pool.run] is steal/join wait *)
+    let work (slot : int) : unit =
+      Telemetry.with_span
+        ~attrs:(fun () -> [ ("slot", Telemetry.I slot) ])
+        "pool.worker"
+      @@ fun () ->
+      try
+        let continue = ref true in
+        while !continue do
+          (* poisoned-run check at item granularity, not chunk
+             granularity: with an expensive [f] and no budget to
+             cancel, this is the only prompt cancellation path *)
+          if Atomic.get failed <> None then continue := false
+          else begin
+            let i = take slot in
+            if i < 0 then continue := false
+            else begin
+              Telemetry.incr items_c;
+              results.(i) <- Some (f i)
+            end
+          end
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        if Atomic.compare_and_set failed None (Some (e, bt)) then
+          (* cooperative cancellation: wake every worker that ticks the
+             shared budget; pure workers notice [failed] before their
+             next item *)
+          Option.iter Budget.cancel budget
+    in
+    let helpers = borrow (workers - 1) in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let remaining = ref (List.length helpers) in
+    List.iteri
+      (fun k w ->
+        let slot = k + 1 in
+        assign w (fun self ->
+            (try work slot with _ -> ());
+            (* park before signalling completion: when the caller wakes,
+               every borrowed worker is already back on the free-list,
+               so back-to-back runs reuse domains instead of spawning *)
+            park self;
+            Mutex.protect done_lock (fun () ->
+                decr remaining;
+                if !remaining = 0 then Condition.signal done_cond)))
+      helpers;
+    (* the calling domain is slot 0 — never idle *)
+    work 0;
+    Mutex.lock done_lock;
+    while !remaining > 0 do
+      Condition.wait done_cond done_lock
+    done;
+    Mutex.unlock done_lock;
     (match Atomic.get failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let map (p : t) ?budget (f : 'a -> 'b) (arr : 'a array) : 'b array =
-  run p ?budget ~f:(fun i -> f arr.(i)) (Array.length arr)
+let map (p : t) ?budget ?costs (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  let costs = Option.map (fun c i -> c arr.(i)) costs in
+  run p ?budget ?costs ~f:(fun i -> f arr.(i)) (Array.length arr)
 
-let fold (p : t) ?budget ~(f : 'a -> 'b) ~(combine : 'acc -> 'b -> 'acc)
-    ~(init : 'acc) (arr : 'a array) : 'acc =
-  Array.fold_left combine init (map p ?budget f arr)
+let fold (p : t) ?budget ?costs ~(f : 'a -> 'b)
+    ~(combine : 'acc -> 'b -> 'acc) ~(init : 'acc) (arr : 'a array) : 'acc =
+  Array.fold_left combine init (map p ?budget ?costs f arr)
 
-let map_opt (o : t option) ?budget (f : 'a -> 'b) (arr : 'a array) : 'b array =
-  map (Option.value o ~default:sequential) ?budget f arr
+let map_opt (o : t option) ?budget ?costs (f : 'a -> 'b) (arr : 'a array) :
+    'b array =
+  map (Option.value o ~default:sequential) ?budget ?costs f arr
 
-let fold_opt (o : t option) ?budget ~f ~combine ~init arr =
-  fold (Option.value o ~default:sequential) ?budget ~f ~combine ~init arr
+let fold_opt (o : t option) ?budget ?costs ~f ~combine ~init arr =
+  fold (Option.value o ~default:sequential) ?budget ?costs ~f ~combine ~init
+    arr
 
 let is_parallel (o : t option) : bool =
   match o with None -> false | Some p -> p.jobs > 1
 
 let count_range (p : t) ?budget ~(total : int) (pred : int -> bool) : int =
-  let ranges = max 1 (min total (p.jobs * 8)) in
-  let sweep r =
-    let lo = total * r / ranges and hi = total * (r + 1) / ranges in
+  (* a few ranges per worker so stealing can rebalance uneven predicate
+     cost; the multiply is clamped so absurd jobs counts cannot wrap *)
+  let parts = if p.jobs <= max_int / 8 then p.jobs * 8 else max_int in
+  let sweep (lo, hi) =
     let count = ref 0 in
     for idx = lo to hi - 1 do
       if pred idx then incr count
     done;
     !count
   in
-  fold p ?budget ~f:sweep ~combine:( + ) ~init:0
-    (init_in_order ranges (fun r -> r))
+  fold p ?budget ~f:sweep ~combine:( + ) ~init:0 (partition ~total ~parts)

@@ -1,4 +1,5 @@
-(** A fixed-size OCaml 5 domain pool for data-parallel engine loops.
+(** A persistent work-stealing OCaml 5 domain pool for data-parallel
+    engine loops.
 
     Every engine the paper states fans out over independent terms — the
     [2^ℓ] inclusion–exclusion subsets, Karp–Luby sample chunks, naive
@@ -7,6 +8,14 @@
     they parallelise across domains without locking.  A {!t} fixes the
     worker count once (CLI [--jobs] / [UCQC_JOBS]); engines thread it as
     [?pool] the same way they thread [?budget].
+
+    Worker domains are {e resident}: they are spawned on first demand,
+    parked on a process-global free-list between runs, and reused by
+    every subsequent {!run} of every pool in the process.  A [run]
+    borrows [workers − 1] parked domains (spawning only the shortfall)
+    and returns them before it completes, so steady-state parallel
+    execution spawns no domains at all — the per-call [Domain.spawn]
+    cost that used to dominate millisecond-scale workloads is gone.
 
     Contracts:
     - [jobs = 1] (and an absent [?pool]) is a {e strict sequential
@@ -17,20 +26,25 @@
       index and {!fold} combines the slots left-to-right, so the result
       never depends on domain scheduling (only the {e exhaustion point} of
       a shared budget does).
-    - Work is distributed through a chunked queue (an atomic next-chunk
-      cursor), so uneven per-item cost load-balances instead of stalling
-      on a static partition.
+    - Work is distributed through per-worker queues with steal-on-empty:
+      each worker drains its own queue, then steals from the others
+      round-robin, so uneven per-item cost load-balances without a
+      single contended cursor.  When [?costs] is given, items are
+      bin-packed largest-first (deterministic LPT) so the most expensive
+      term starts immediately instead of serialising the tail.
     - Cancellation is cooperative: the first exception in any worker
       {!Budget.cancel}s the shared budget (waking every budget-ticking
-      worker) and poisons the queue; after all domains join, the first
-      exception is re-raised in the caller with its original backtrace, so
-      {!Budget.run} engine boundaries behave exactly as in sequential
-      code. *)
+      worker) and poisons the run — workers re-check the poison flag
+      before {e every item}, not just every chunk; after the run
+      quiesces, the first exception is re-raised in the caller with its
+      original backtrace, so {!Budget.run} engine boundaries behave
+      exactly as in sequential code. *)
 
 type t
 
 (** [create ~jobs ()] is a pool of [jobs] workers; values below 1 are
-    clamped to 1 (sequential). *)
+    clamped to 1 (sequential).  Creation is free — no domain is spawned
+    until a [run] actually needs one, and domains outlive the value. *)
 val create : jobs:int -> unit -> t
 
 (** [sequential] is [create ~jobs:1 ()]. *)
@@ -56,47 +70,87 @@ val jobs_of_env : unit -> int
 (** [of_env ()] is [create ~jobs:(jobs_of_env ()) ()]. *)
 val of_env : unit -> t
 
-(** [run pool ?budget ~f n] evaluates [f i] for [0 ≤ i < n] on the pool's
-    domains and returns the results in index order.  The building block
-    under {!map} / {!fold}. *)
-val run : t -> ?budget:Budget.t -> f:(int -> 'a) -> int -> 'a array
+(** [run pool ?budget ?costs ~f n] evaluates [f i] for [0 ≤ i < n] on the
+    pool's workers and returns the results in index order.  The building
+    block under {!map} / {!fold}.  [costs i] is a nonnegative relative
+    cost estimate for item [i], used only for initial largest-first
+    placement — it never changes the result, and NaN or negative
+    estimates are treated as 0. *)
+val run :
+  t -> ?budget:Budget.t -> ?costs:(int -> float) -> f:(int -> 'a) -> int ->
+  'a array
 
-(** [map pool ?budget f arr] is [Array.map f arr] evaluated on the pool. *)
-val map : t -> ?budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool ?budget ?costs f arr] is [Array.map f arr] evaluated on the
+    pool; [costs] estimates the cost of applying [f] to one element. *)
+val map :
+  t -> ?budget:Budget.t -> ?costs:('a -> float) -> ('a -> 'b) -> 'a array ->
+  'b array
 
-(** [fold pool ?budget ~f ~combine ~init arr] maps [f] on the pool and
-    combines the results {e sequentially, left-to-right} — the
+(** [fold pool ?budget ?costs ~f ~combine ~init arr] maps [f] on the pool
+    and combines the results {e sequentially, left-to-right} — the
     deterministic-reduction contract. *)
 val fold :
   t ->
   ?budget:Budget.t ->
+  ?costs:('a -> float) ->
   f:('a -> 'b) ->
   combine:('acc -> 'b -> 'acc) ->
   init:'acc ->
   'a array ->
   'acc
 
-(** [map_opt pool ?budget f arr] is {!map} when a pool is present and the
-    plain sequential map otherwise — the engine-side convenience mirroring
-    {!Budget.tick_opt}. *)
-val map_opt : t option -> ?budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_opt pool ?budget ?costs f arr] is {!map} when a pool is present
+    and the plain sequential map otherwise — the engine-side convenience
+    mirroring {!Budget.tick_opt}. *)
+val map_opt :
+  t option -> ?budget:Budget.t -> ?costs:('a -> float) -> ('a -> 'b) ->
+  'a array -> 'b array
 
 val fold_opt :
   t option ->
   ?budget:Budget.t ->
+  ?costs:('a -> float) ->
   f:('a -> 'b) ->
   combine:('acc -> 'b -> 'acc) ->
   init:'acc ->
   'a array ->
   'acc
 
-(** [is_parallel pool] is [true] iff the pool would actually spawn
+(** [is_parallel pool] is [true] iff the pool would actually use worker
     domains ([jobs > 1]).  Engines use it to keep their sequential hot
-    path untouched. *)
+    path untouched and to skip cost estimation when it cannot help. *)
 val is_parallel : t option -> bool
 
 (** [count_range pool ?budget ~total pred] counts the indices in
     [0 .. total − 1] satisfying [pred], sweeping near-equal index ranges
-    on the pool — the chunked backend of the parallel naive assignment
-    sweeps. *)
+    on the pool — the backend of the parallel naive assignment sweeps.
+    Range bounds come from {!partition}, so [total] may be any value up
+    to [max_int]. *)
 val count_range : t -> ?budget:Budget.t -> total:int -> (int -> bool) -> int
+
+(** [partition ~total ~parts] splits [0 .. total − 1] into at most
+    [parts] contiguous half-open [(lo, hi)] ranges of near-equal size
+    (sizes differ by at most 1), in ascending order.  Overflow-safe for
+    [total] up to [max_int] — the bounds are computed by division first,
+    never by a [total * r] product. *)
+val partition : total:int -> parts:int -> (int * int) array
+
+(** {2 Introspection and shutdown}
+
+    Test and operations hooks over the process-global worker registry. *)
+
+(** [spawn_count ()] is the number of worker domains ever spawned by the
+    registry.  A steady-state parallel workload holds this constant —
+    the domain-leak regression tests assert exactly that. *)
+val spawn_count : unit -> int
+
+(** [idle_count ()] is the number of parked worker domains currently on
+    the free-list. *)
+val idle_count : unit -> int
+
+(** [shutdown_all ()] stops and joins every {e parked} worker domain.
+    Safe only when no [run] is in flight (workers borrowed by a live run
+    are not on the free-list and are left alone).  Subsequent runs
+    simply spawn fresh workers, so this is an optional courtesy for
+    process teardown, not an obligation. *)
+val shutdown_all : unit -> unit

@@ -243,6 +243,11 @@ let stats_response (t : t) ?id () : Protocol.response =
           [
             ("uptime_ms", fnum (uptime_ms t));
             ("jobs", num (Pool.jobs t.pool));
+            (* resident-pool health: a steady server holds the spawn
+               count constant while requests are served — if it grows
+               per request, domain reuse is broken *)
+            ("pool_domains_spawned", num (Pool.spawn_count ()));
+            ("pool_domains_idle", num (Pool.idle_count ()));
             ("connections_total", g s.connections_total);
             ("connections_active", g s.connections_active);
             ("requests_total", g s.requests_total);
@@ -884,6 +889,11 @@ let stop (t : t) : int =
                   try Unix.close c.fd with _ -> ()
                 end))
           leftovers;
+        (* 6. the evaluator is gone, so no run is in flight: join the
+           parked worker domains the resident pool accumulated (an
+           optional courtesy — a later server in the same process would
+           simply respawn them) *)
+        Pool.shutdown_all ();
         t.discarded_total <- !discarded;
         !discarded
       end)

@@ -144,6 +144,32 @@ let expansion_classes_c = Telemetry.counter "ucq.expansion.classes"
 let subset_mask (j : int list) : int =
   List.fold_left (fun m i -> m lor (1 lsl i)) 0 j
 
+(* Structural cost proxy for scheduling the per-subset work (combined
+   query construction, homomorphism counting, #core computation): the
+   combined query of [J] has [Σ atoms] atoms over [≈ Σ vars] variables,
+   and both the counters and the core search grow with that product.
+   Only relative order matters — the pool bin-packs largest-first — so
+   a cheap syntactic proxy is enough and never touches the database. *)
+let subset_cost_proxy (psi : t) : int list -> float =
+  let atoms = Array.map Structure.num_tuples psi.cqs in
+  let vars = Array.map Structure.universe_size psi.cqs in
+  fun j ->
+    let a = List.fold_left (fun acc i -> acc + atoms.(i)) 0 j in
+    let v = List.fold_left (fun acc i -> acc + vars.(i)) 0 j in
+    float_of_int (1 + a) *. float_of_int (1 + v)
+
+(* Database-independent default for scheduling expansion terms; callers
+   with a database in hand pass the calibrated [Plan.rep_cost] instead.
+   Non-acyclic terms go through variable elimination rather than the
+   linear join-tree counter, so they get a flat penalty factor. *)
+let default_term_cost (q : Cq.t) : float =
+  let s = Cq.structure q in
+  let base =
+    float_of_int (1 + Structure.num_tuples s)
+    *. float_of_int (1 + Structure.universe_size s)
+  in
+  if Cq.is_acyclic q then base else base *. 8.
+
 (** [count_naive ?budget ?pool psi d] iterates all assignments [X → U(D)]
     and keeps those that are an answer of some disjunct — the reference
     oracle.  The budget is ticked once per assignment and threaded into
@@ -210,7 +236,8 @@ let count_inclusion_exclusion ?(strategy = Counting.Auto)
     let sign = if List.length j mod 2 = 1 then 1 else -1 in
     sign * Counting.count ~strategy ?budget (combined psi j) d
   in
-  Pool.fold_opt pool ?budget ~f:term ~combine:( + ) ~init:0
+  let costs = if Pool.is_parallel pool then Some (subset_cost_proxy psi) else None in
+  Pool.fold_opt pool ?budget ?costs ~f:term ~combine:( + ) ~init:0
     (nonempty_index_sets psi)
 
 (* ------------------------------------------------------------------ *)
@@ -248,7 +275,10 @@ let expansion ?(budget : Budget.t option) ?(pool : Pool.t option) (psi : t) :
     let sign = if List.length j mod 2 = 1 then 1 else -1 in
     (core, sign)
   in
-  let cores = Pool.map_opt pool ?budget core_of (nonempty_index_sets psi) in
+  let costs = if Pool.is_parallel pool then Some (subset_cost_proxy psi) else None in
+  let cores =
+    Pool.map_opt pool ?budget ?costs core_of (nonempty_index_sets psi)
+  in
   let classes : (Cq.t * int ref) list ref = ref [] in
   Array.iter
     (fun (core, sign) ->
@@ -285,12 +315,15 @@ let coefficient (psi : t) (q : Cq.t) : int =
       else acc)
     0 (expansion psi)
 
-(** [count_via_expansion ?strategy ?budget ?pool psi d] evaluates the
-    linear combination of Lemma 26 term by term:
+(** [count_via_expansion ?strategy ?budget ?pool ?term_cost psi d]
+    evaluates the linear combination of Lemma 26 term by term:
     [Σ c_Ψ(A,X) · ans((A,X) → D)].  Each surviving term is an independent
-    {!Counting.count} call fanned out on the pool. *)
+    {!Counting.count} call fanned out on the pool; [term_cost] ranks the
+    terms for largest-first placement (the Runner passes the calibrated
+    database-aware estimate from the analysis layer). *)
 let count_via_expansion ?(strategy = Counting.Auto) ?(budget : Budget.t option)
-    ?(pool : Pool.t option) (psi : t) (d : Structure.t) : int =
+    ?(pool : Pool.t option) ?(term_cost : (Cq.t -> float) option) (psi : t)
+    (d : Structure.t) : int =
   Telemetry.with_span ?budget
     ~attrs:(fun () -> [ ("l", Telemetry.I (length psi)) ])
     "ucq.count_via_expansion"
@@ -301,7 +334,13 @@ let count_via_expansion ?(strategy = Counting.Auto) ?(budget : Budget.t option)
          (fun (t : expansion_term) -> t.coefficient <> 0)
          (expansion ?budget ?pool psi))
   in
-  Pool.fold_opt pool ?budget
+  let costs =
+    if Pool.is_parallel pool then
+      let cost = Option.value term_cost ~default:default_term_cost in
+      Some (fun (t : expansion_term) -> cost t.representative)
+    else None
+  in
+  Pool.fold_opt pool ?budget ?costs
     ~f:(fun (term : expansion_term) ->
       term.coefficient * Counting.count ~strategy ?budget term.representative d)
     ~combine:( + ) ~init:0 terms
@@ -353,23 +392,45 @@ let count_inclusion_exclusion_big (psi : t) (d : Structure.t) : Bigint.t =
 (* ------------------------------------------------------------------ *)
 
 (** A UCQ compiled for repeated counting: the [2^ℓ] expansion work (cores,
-    isomorphism grouping) is paid once; each database is then counted by
-    evaluating the stored support terms. *)
-type compiled = { query : t; terms : expansion_term list }
+    isomorphism grouping) is paid once, as are the per-term scheduling
+    cost estimates; each database is then counted by evaluating the
+    stored support terms. *)
+type compiled = {
+  query : t;
+  terms : expansion_term list;
+  costs : float array;  (** one scheduling estimate per stored term *)
+}
 
-(** [compile ?pool psi] precomputes the expansion support. *)
-let compile ?(pool : Pool.t option) (psi : t) : compiled =
-  { query = psi; terms = support ?pool psi }
+(** [compile ?pool ?term_cost psi] precomputes the expansion support and
+    the per-term scheduling estimates. *)
+let compile ?(pool : Pool.t option) ?(term_cost = default_term_cost) (psi : t)
+    : compiled =
+  let terms = support ?pool psi in
+  {
+    query = psi;
+    terms;
+    costs =
+      Array.of_list
+        (List.map (fun (t : expansion_term) -> term_cost t.representative) terms);
+  }
 
 (** [compiled_support c] exposes the precomputed support. *)
 let compiled_support (c : compiled) : expansion_term list = c.terms
 
 (** [count_compiled ?strategy ?pool c d] evaluates the stored linear
-    combination on [d], one pool task per surviving term. *)
+    combination on [d], one pool task per surviving term, packed
+    largest-first by the precomputed estimates. *)
 let count_compiled ?(strategy = Counting.Auto) ?(pool : Pool.t option)
     (c : compiled) (d : Structure.t) : int =
-  Pool.fold_opt pool
-    ~f:(fun (t : expansion_term) ->
-      t.coefficient * Counting.count ~strategy t.representative d)
-    ~combine:( + ) ~init:0
-    (Array.of_list c.terms)
+  let terms = Array.of_list c.terms in
+  let eval i =
+    let t = terms.(i) in
+    t.coefficient * Counting.count ~strategy t.representative d
+  in
+  let per =
+    Pool.run
+      (Option.value pool ~default:Pool.sequential)
+      ~costs:(fun i -> c.costs.(i))
+      ~f:eval (Array.length terms)
+  in
+  Array.fold_left ( + ) 0 per

@@ -94,13 +94,16 @@ val support : ?budget:Budget.t -> ?pool:Pool.t -> t -> expansion_term list
 (** [coefficient psi q] is [c_Ψ(A, X)] for the class of [q]. *)
 val coefficient : t -> Cq.t -> int
 
-(** [count_via_expansion ?strategy ?budget ?pool psi d] evaluates the
-    Lemma 26 linear combination term by term, one pool task per surviving
-    term. *)
+(** [count_via_expansion ?strategy ?budget ?pool ?term_cost psi d]
+    evaluates the Lemma 26 linear combination term by term, one pool task
+    per surviving term.  [term_cost] ranks terms for the pool's
+    largest-first placement (default: a syntactic size proxy); it never
+    affects the result, only the schedule. *)
 val count_via_expansion :
   ?strategy:Counting.strategy ->
   ?budget:Budget.t ->
   ?pool:Pool.t ->
+  ?term_cost:(Cq.t -> float) ->
   t ->
   Structure.t ->
   int
@@ -124,7 +127,10 @@ val pp : Format.formatter -> t -> unit
     stored support terms. *)
 type compiled
 
-val compile : ?pool:Pool.t -> t -> compiled
+(** [compile ?pool ?term_cost psi] precomputes the expansion support and
+    a per-term scheduling estimate ([term_cost], default: a syntactic
+    size proxy), so repeated {!count_compiled} calls pay neither. *)
+val compile : ?pool:Pool.t -> ?term_cost:(Cq.t -> float) -> t -> compiled
 val compiled_support : compiled -> expansion_term list
 
 val count_compiled :

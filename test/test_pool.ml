@@ -89,6 +89,140 @@ let test_count_range () =
         (Pool.count_range p ~total:10_000 (fun i -> i mod 7 = 3)))
     [ 1; 3 ]
 
+let test_partition_overflow_regression () =
+  (* the pre-work-stealing bounds were [total * r / ranges], which
+     overflows for totals near max_int (2^62 subset sweeps) and produced
+     negative range bounds; the partition must stay exact by division *)
+  List.iter
+    (fun (total, parts) ->
+      let ranges = Pool.partition ~total ~parts in
+      Alcotest.(check bool)
+        (Printf.sprintf "some ranges for total=%d" total)
+        true
+        (Array.length ranges > 0 && Array.length ranges <= parts);
+      let lo0, _ = ranges.(0) in
+      let _, hi_last = ranges.(Array.length ranges - 1) in
+      Alcotest.(check int) "starts at 0" 0 lo0;
+      Alcotest.(check int) "ends at total" total hi_last;
+      Array.iteri
+        (fun r (lo, hi) ->
+          Alcotest.(check bool) "bounds non-negative and ordered" true
+            (0 <= lo && lo <= hi);
+          if r > 0 then begin
+            let _, prev_hi = ranges.(r - 1) in
+            Alcotest.(check int) "contiguous" prev_hi lo
+          end;
+          (* near-equal: sizes differ by at most one *)
+          let size = hi - lo in
+          let base = total / Array.length ranges in
+          Alcotest.(check bool) "near-equal size" true
+            (size = base || size = base + 1))
+        ranges)
+    [
+      (max_int, 32);
+      (max_int - 1, 7);
+      (max_int, 1);
+      (10, 3);
+      (1, 8);
+      (5, 5);
+    ];
+  Alcotest.(check int) "empty for total=0" 0
+    (Array.length (Pool.partition ~total:0 ~parts:4))
+
+let test_pool_reuse_no_domain_leak () =
+  (* resident-worker contract: after a warm-up run, many runs across
+     many pool values spawn no further domains *)
+  let p = Pool.create ~jobs:4 () in
+  ignore (Pool.run p ~f:Fun.id 64);
+  let s0 = Pool.spawn_count () in
+  for _ = 1 to 50 do
+    ignore (Pool.run p ~f:(fun i -> i * 2) 64);
+    (* fresh pool values share the same resident workers *)
+    ignore (Pool.run (Pool.create ~jobs:3 ()) ~f:(fun i -> i + 1) 32)
+  done;
+  Alcotest.(check int) "no domain spawned after warm-up" s0
+    (Pool.spawn_count ());
+  Alcotest.(check bool) "workers parked between runs" true
+    (Pool.idle_count () >= 3)
+
+let test_cost_aware_run () =
+  (* costs steer placement only — any cost function (including adversarial
+     NaN / negative / zero estimates) must leave results and reduction
+     order untouched *)
+  let n = 37 in
+  let expect = Array.init n (fun i -> i * 3) in
+  List.iter
+    (fun (label, costs) ->
+      let p = Pool.create ~jobs:4 () in
+      Alcotest.(check (array int))
+        label expect
+        (Pool.run p ~costs ~f:(fun i -> i * 3) n))
+    [
+      ("descending costs", fun i -> float_of_int (n - i));
+      ("one giant item", fun i -> if i = 17 then 1e9 else 1.);
+      ("all equal", fun _ -> 1.);
+      ("all zero", fun _ -> 0.);
+      ("adversarial nan/negative", fun i ->
+        if i mod 3 = 0 then Float.nan else if i mod 3 = 1 then -5. else 2.);
+    ];
+  (* the deterministic-fold contract holds with costs too *)
+  let input = Array.init 48 string_of_int in
+  let combine acc s = acc ^ "," ^ s in
+  let expect = Array.fold_left combine "" input in
+  let p = Pool.create ~jobs:4 () in
+  Alcotest.(check string) "cost-aware fold is index-ordered" expect
+    (Pool.fold p
+       ~costs:(fun s -> float_of_string s)
+       ~f:Fun.id ~combine ~init:"" input)
+
+let test_nested_run () =
+  (* a pool task may itself run on a pool (engines compose); the inner
+     runs borrow or spawn workers independently of the outer run *)
+  let p = Pool.create ~jobs:2 () in
+  let got =
+    Pool.run p
+      ~f:(fun i ->
+        Array.fold_left ( + ) 0
+          (Pool.run (Pool.create ~jobs:2 ()) ~f:(fun j -> (10 * i) + j) 4))
+      6
+  in
+  let expect =
+    Array.init 6 (fun i ->
+        Array.fold_left ( + ) 0 (Array.init 4 (fun j -> (10 * i) + j)))
+  in
+  Alcotest.(check (array int)) "nested runs" expect got
+
+let test_shutdown_and_respawn () =
+  let p = Pool.create ~jobs:3 () in
+  ignore (Pool.run p ~f:Fun.id 16);
+  Alcotest.(check bool) "workers parked" true (Pool.idle_count () >= 2);
+  Pool.shutdown_all ();
+  Alcotest.(check int) "free-list empty after shutdown" 0 (Pool.idle_count ());
+  (* shutdown is a courtesy, not a poison pill: the next run respawns *)
+  Alcotest.(check (array int))
+    "runs fine after shutdown"
+    (Array.init 16 (fun i -> i + 1))
+    (Pool.run p ~f:(fun i -> i + 1) 16);
+  Alcotest.(check bool) "workers parked again" true (Pool.idle_count () >= 2)
+
+let test_budget_exhaustion_in_run () =
+  (* Budget.Exhausted raised by a worker is an exception like any other:
+     it cancels the shared budget (waking the ticking workers promptly)
+     and re-raises in the caller *)
+  let p = Pool.create ~jobs:4 () in
+  let b = Budget.of_steps 50 in
+  (match
+     Pool.run p ~budget:b
+       ~f:(fun i ->
+         Budget.tick b;
+         i)
+       10_000
+   with
+  | _ -> Alcotest.fail "expected Budget.Exhausted to propagate"
+  | exception Budget.Exhausted _ -> ());
+  Alcotest.(check bool) "budget cancelled for prompt worker wake-up" true
+    (Budget.is_cancelled b)
+
 let test_jobs_validation () =
   let ok = function Ok n -> Some n | Error _ -> None in
   Alcotest.(check (option int)) "well-formed" (Some 3) (ok (Pool.validate_jobs "3"));
@@ -222,6 +356,19 @@ let qcheck_pool =
         let seq = Karp_luby.estimate ~seed ~samples:400 psi db in
         let seq' = Karp_luby.estimate ~seed ~samples:400 psi db in
         a = b && seq = seq');
+    Test.make ~name:"cost estimates never change results" ~count:30
+      (QCheck.pair (int_range 0 10_000) (int_range 2 6))
+      (fun (seed, jobs) ->
+        (* random (even garbage) per-item costs steer only the initial
+           placement; the filled slots and the left-to-right fold are
+           scheduling-independent *)
+        let n = 1 + (seed mod 97) in
+        let st = Random.State.make [| seed; jobs |] in
+        let raw = Array.init n (fun _ -> Random.State.float st 10. -. 2.) in
+        let costs i = if raw.(i) < -1.5 then Float.nan else raw.(i) in
+        let p = Pool.create ~jobs () in
+        Pool.run p ~costs ~f:(fun i -> (i * 7) mod 13) n
+        = Array.init n (fun i -> (i * 7) mod 13));
     Test.make ~name:"treewidth identical under --jobs 4" ~count:20
       (int_range 0 10_000)
       (fun seed ->
@@ -246,6 +393,16 @@ let suite =
         Alcotest.test_case "exception propagation + cancellation" `Quick
           test_exception_propagation;
         Alcotest.test_case "count_range" `Quick test_count_range;
+        Alcotest.test_case "partition overflow regression" `Quick
+          test_partition_overflow_regression;
+        Alcotest.test_case "pool reuse spawns no domains" `Quick
+          test_pool_reuse_no_domain_leak;
+        Alcotest.test_case "cost-aware scheduling" `Quick test_cost_aware_run;
+        Alcotest.test_case "nested runs" `Quick test_nested_run;
+        Alcotest.test_case "shutdown and respawn" `Quick
+          test_shutdown_and_respawn;
+        Alcotest.test_case "budget exhaustion in a worker" `Quick
+          test_budget_exhaustion_in_run;
         Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
         Alcotest.test_case "UCQC_JOBS strict parsing" `Quick
           test_jobs_of_env_strict;

@@ -374,6 +374,90 @@ let test_server_end_to_end () =
   Alcotest.(check int) "graceful drain discards nothing" 0 (Server.stop t);
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
 
+let test_server_pool_reuse () =
+  (* the serve evaluator owns one resident pool for its whole lifetime:
+     two sequential parallel-counted requests must not spawn any domain
+     beyond what the first one left parked *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ucqc-test-pool-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let config =
+    {
+      (Server.default_config ~listen:(Server.Unix_socket path) ~jobs:2) with
+      Server.queue_depth = 8;
+      cache_capacity = 8;
+      request_timeout_s = Some 10.;
+    }
+  in
+  let t = Server.start config ~db:(small_db ()) in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop t : int))
+    (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let send s =
+        ignore (Unix.write_substring fd s 0 (String.length s) : int)
+      in
+      let recv_line =
+        let buf = Buffer.create 256 in
+        let one = Bytes.create 1 in
+        fun () ->
+          Buffer.clear buf;
+          let rec go () =
+            match Unix.read fd one 0 1 with
+            | 0 -> Alcotest.fail "server closed the connection early"
+            | _ when Bytes.get one 0 = '\n' -> Buffer.contents buf
+            | _ ->
+                Buffer.add_char buf (Bytes.get one 0);
+                go ()
+          in
+          go ()
+      in
+      (* distinct multi-disjunct queries: no cache hit, and ≥ 2 pool
+         items per request so the parallel path actually engages *)
+      let ask id query =
+        send
+          (Trace_json.to_string
+             (Trace_json.Obj
+                [
+                  ("op", Trace_json.Str "count");
+                  ("query", Trace_json.Str query);
+                  ("id", Trace_json.Str id);
+                ]));
+        send "\n";
+        Trace_json.parse (recv_line ())
+      in
+      let r1 = ask "q1" "(x, y) :- E(x, z), E(z, y) ; E(x, y)" in
+      Alcotest.(check (option json)) "first request ok"
+        (Some (Trace_json.Str "ok"))
+        (Trace_json.member "status" r1);
+      (* the first parallel count has parked its workers by the time its
+         response arrived — the second request must reuse them *)
+      let s0 = Pool.spawn_count () in
+      let r2 = ask "q2" "(x, y) :- E(x, y) ; E(y, x)" in
+      Alcotest.(check (option json)) "second request ok"
+        (Some (Trace_json.Str "ok"))
+        (Trace_json.member "status" r2);
+      Alcotest.(check int) "second request spawned no domains" s0
+        (Pool.spawn_count ());
+      (* the stats response exposes the resident-pool gauges *)
+      send {|{"op": "stats", "id": "s"}|};
+      send "\n";
+      let st = Trace_json.parse (recv_line ()) in
+      (match Trace_json.member "result" st with
+      | Some r ->
+          Alcotest.(check (option json)) "stats report the pool jobs"
+            (Some (Trace_json.Num 2.))
+            (Trace_json.member "jobs" r);
+          Alcotest.(check (option json)) "stats expose the spawn count"
+            (Some (Trace_json.Num (float_of_int s0)))
+            (Trace_json.member "pool_domains_spawned" r)
+      | None -> Alcotest.fail "stats response has no result");
+      Unix.close fd)
+
 let suite =
   [
     ( "server",
@@ -388,5 +472,7 @@ let suite =
         Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
         Alcotest.test_case "admission control" `Quick test_admission;
         Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+        Alcotest.test_case "pool reuse across requests" `Quick
+          test_server_pool_reuse;
       ] );
   ]

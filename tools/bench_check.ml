@@ -1,0 +1,145 @@
+(** CI gate over BENCH_parallel.json: the parallel hot path must pay for
+    itself.  Reads the file the bench harness wrote (path as argv 1,
+    default [BENCH_parallel.json]) and enforces:
+
+    - every run of every workload is [reproducible] and [consistent]
+      (these hold on any machine — they are determinism bars, not
+      speedup bars);
+    - when the file says [parallel_comparison_valid] (produced on ≥ 2
+      hardware threads): on the E3 inclusion–exclusion workload, jobs=2
+      must beat jobs=1 wall-clock (speedup > 1.0) and the aggregate
+      [pool.worker] span time of the jobs=2 run must stay within 1.5×
+      its wall time (workers busy on work, not on spawn/join overhead).
+
+    On a single-core producer the speedup section prints a NOTICE and is
+    skipped — a 1-core "comparison" measures contention and failing on
+    it would be noise, which is exactly the misleading-output bug this
+    gate exists to prevent.  Exits 1 on any violation, 0 otherwise. *)
+
+let fail_count = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr fail_count;
+      Printf.eprintf "bench_check: FAIL %s\n" s)
+    fmt
+
+let mem_exn (k : string) (v : Trace_json.t) : Trace_json.t =
+  match Trace_json.member k v with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "missing key %S" k)
+
+let num_exn (k : string) (v : Trace_json.t) : float =
+  match mem_exn k v with
+  | Trace_json.Num f -> f
+  | _ -> failwith (Printf.sprintf "key %S is not a number" k)
+
+let bool_exn (k : string) (v : Trace_json.t) : bool =
+  match mem_exn k v with
+  | Trace_json.Bool b -> b
+  | _ -> failwith (Printf.sprintf "key %S is not a bool" k)
+
+let str_exn (k : string) (v : Trace_json.t) : string =
+  match mem_exn k v with
+  | Trace_json.Str s -> s
+  | _ -> failwith (Printf.sprintf "key %S is not a string" k)
+
+let arr_exn (k : string) (v : Trace_json.t) : Trace_json.t list =
+  match mem_exn k v with
+  | Trace_json.Arr l -> l
+  | _ -> failwith (Printf.sprintf "key %S is not an array" k)
+
+(* aggregate [pool.worker] total_ms out of a run's phase breakdown *)
+let worker_total_ms (run : Trace_json.t) : float option =
+  match Trace_json.member "phases" run with
+  | Some (Trace_json.Arr phases) ->
+      List.fold_left
+        (fun acc p ->
+          match Trace_json.member "span" p with
+          | Some (Trace_json.Str "pool.worker") -> (
+              match Trace_json.member "total_ms" p with
+              | Some (Trace_json.Num ms) ->
+                  Some (Option.value acc ~default:0. +. ms)
+              | _ -> acc)
+          | _ -> acc)
+        None phases
+  | _ -> None
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json"
+  in
+  let j =
+    try Trace_json.parse_file path
+    with e ->
+      Printf.eprintf "bench_check: cannot read %s: %s\n" path
+        (Printexc.to_string e);
+      exit 1
+  in
+  let workloads = arr_exn "workloads" j in
+  (* determinism bars: hold regardless of core count *)
+  List.iter
+    (fun w ->
+      let name = str_exn "name" w in
+      List.iter
+        (fun run ->
+          let jobs = int_of_float (num_exn "jobs" run) in
+          if not (bool_exn "reproducible" run) then
+            fail "%s jobs=%d is not reproducible" name jobs;
+          if not (bool_exn "consistent" run) then
+            fail "%s jobs=%d is not consistent with jobs=1" name jobs)
+        (arr_exn "runs" w))
+    workloads;
+  (* speedup bar: only meaningful when the producer had ≥ 2 cores *)
+  if not (bool_exn "parallel_comparison_valid" j) then
+    Printf.printf
+      "bench_check: NOTICE %s was produced on a single-core machine \
+       (cores_available=%d); the jobs=2 > jobs=1 speedup bar is skipped — \
+       the determinism bars still hold.\n"
+      path
+      (int_of_float (num_exn "cores_available" j))
+  else begin
+    match
+      List.find_opt
+        (fun w -> str_exn "name" w = "E3_psi1_inclusion_exclusion")
+        workloads
+    with
+    | None -> fail "E3_psi1_inclusion_exclusion workload missing"
+    | Some w -> (
+        let runs = arr_exn "runs" w in
+        let find_jobs n =
+          List.find_opt
+            (fun r -> int_of_float (num_exn "jobs" r) = n)
+            runs
+        in
+        match (find_jobs 1, find_jobs 2) with
+        | Some _, Some r2 ->
+            let speedup = num_exn "speedup_vs_1" r2 in
+            let wall_ms = 1000. *. num_exn "wall_s" r2 in
+            if speedup <= 1.0 then
+              fail "E3 jobs=2 speedup %.3f <= 1.0 — parallelism is a net loss"
+                speedup
+            else
+              Printf.printf "bench_check: E3 jobs=2 speedup %.3f > 1.0\n"
+                speedup;
+            (match worker_total_ms r2 with
+            | Some total ->
+                if total > 1.5 *. wall_ms then
+                  fail
+                    "E3 jobs=2 pool.worker total %.1f ms exceeds 1.5x wall \
+                     (%.1f ms) — workers burn time off the critical path"
+                    total wall_ms
+                else
+                  Printf.printf
+                    "bench_check: E3 jobs=2 pool.worker total %.1f ms within \
+                     1.5x wall (%.1f ms)\n"
+                    total wall_ms
+            | None -> fail "E3 jobs=2 run has no pool.worker phase")
+        | _ -> fail "E3 runs for jobs=1 and jobs=2 missing")
+  end;
+  if !fail_count > 0 then begin
+    Printf.eprintf "bench_check: %d violation(s)\n" !fail_count;
+    exit 1
+  end;
+  print_endline "bench_check: all bars hold"
