@@ -774,18 +774,7 @@ let parallel_json () =
   in
   (* provenance stamp: which commit produced these numbers, and when —
      without it two BENCH_parallel.json files cannot be compared *)
-  let git_commit =
-    let from_cmd () =
-      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
-      let line = try input_line ic with End_of_file -> "" in
-      match Unix.close_process_in ic with
-      | Unix.WEXITED 0 when String.length line >= 7 -> Some (String.trim line)
-      | _ -> None
-    in
-    match try from_cmd () with _ -> None with
-    | Some c -> c
-    | None -> "unknown"
-  in
+  let git_commit = Buildid.git_commit () in
   let timestamp =
     let tm = Unix.gmtime (Unix.time ()) in
     Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)

@@ -155,9 +155,22 @@ let obs_term : obs Term.t =
     const (fun trace metrics stats -> { trace; metrics; stats })
     $ trace_arg $ metrics_arg $ stats_arg)
 
+(* Export files are written to a sibling temp file and renamed into
+   place: a crash (or a signal racing the flush) leaves either the old
+   file or the new one, never a truncated half-export — these files are
+   read by dashboards and CI while the process may still be dying. *)
 let write_file_with (path : string) (f : out_channel -> unit) : unit =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  match
+    f oc;
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 (** [flush_obs obs flushed] writes the requested exports exactly once
     ([flushed] makes it idempotent): the shared tail of the normal exit
@@ -377,7 +390,8 @@ let check_cmd =
                  (Trace_json.Arr (List.map Analysis.report_to_json reports)))
         | Sarif_format ->
             print_endline
-              (Sarif.to_string (Sarif.of_reports ~tool_version:"1.0.0" reports)));
+              (Sarif.to_string
+                 (Sarif.of_reports ~tool_version:Buildid.version reports)));
         let denied =
           List.concat_map (Analysis.denied_diagnostics denies) reports
         in
@@ -741,6 +755,20 @@ let treewidth_cmd =
 (* serve                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let hostport_conv : (string * int) Arg.conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected HOST:PORT")
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ -> Error (`Msg "expected HOST:PORT"))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv ~docv:"HOST:PORT" (parse, print)
+
 let serve_cmd =
   let db_arg =
     let doc = "Database file, loaded once and shared by every request." in
@@ -806,9 +834,45 @@ let serve_cmd =
     let doc = "Concurrent client connections; excess is shed at accept." in
     Arg.(value & opt int 128 & info [ "max-connections" ] ~docv:"N" ~doc)
   in
+  let metrics_addr_arg =
+    let doc =
+      "Serve the observability HTTP plane (GET /metrics in Prometheus text \
+       exposition, /healthz, /readyz) on $(docv).  Port 0 lets the kernel \
+       pick; the bound address is printed on stderr.  Scrapes never touch \
+       the evaluator thread."
+    in
+    Arg.(
+      value
+      & opt (some hostport_conv) None
+      & info [ "metrics-addr" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let access_log_arg =
+    let doc =
+      "Append one JSON line per evaluated request (request id, op, status, \
+       latency, queue wait) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_query_log_arg =
+    let doc =
+      "Append one JSON line to $(docv) whenever a query's observed step \
+       count exceeds --slow-factor times the static plan's cost \
+       prediction: the plan-drift log."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-query-log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_factor_arg =
+    let doc = "Drift threshold for --slow-query-log (observed / predicted)." in
+    Arg.(value & opt float 8. & info [ "slow-factor" ] ~docv:"K" ~doc)
+  in
   let run dbfile socket port host queue_depth max_frame_bytes idle_timeout_s
       request_timeout max_steps_cap cache_capacity drain_deadline_s
-      max_connections jobs obs =
+      max_connections metrics_addr access_log slow_query_log slow_factor jobs
+      obs =
     guarded (fun () ->
         let listen =
           match (socket, port) with
@@ -840,6 +904,10 @@ let serve_cmd =
             cache_capacity;
             drain_deadline_s;
             max_connections;
+            metrics_addr;
+            access_log;
+            slow_query_log;
+            slow_factor;
           }
         in
         (* serve manages its own telemetry lifecycle instead of [with_obs]:
@@ -854,6 +922,13 @@ let serve_cmd =
           | Server.Unix_socket p -> Printf.sprintf "unix:%s" p
           | Server.Tcp { host; port } -> Printf.sprintf "%s:%d" host port)
           jobs;
+        (match (metrics_addr, Server.metrics_port t) with
+        | Some (mhost, _), Some mport ->
+            (* obs_check and operators parse this line for the actual
+               port, so --metrics-addr HOST:0 is usable in scripts *)
+            Printf.eprintf "ucqc: metrics on http://%s:%d/metrics\n%!" mhost
+              mport
+        | _ -> ());
         Server.wait_until_stop_requested t;
         let discarded = Server.stop t in
         if discarded > 0 then
@@ -883,11 +958,239 @@ let serve_cmd =
       const run $ db_arg $ socket_arg $ port_arg $ host_arg $ queue_depth_arg
       $ max_frame_arg $ idle_timeout_arg $ request_timeout_arg
       $ max_steps_cap_arg $ cache_size_arg $ drain_deadline_arg
-      $ max_connections_arg $ jobs_arg $ obs_term)
+      $ max_connections_arg $ metrics_addr_arg $ access_log_arg
+      $ slow_query_log_arg $ slow_factor_arg $ jobs_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-request HTTP client sized for a localhost ops port: connect,
+   one GET, read to EOF (the gateway answers with Connection: close). *)
+let http_get ~(host : string) ~(port : int) (target : string) :
+    (string, string) result =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (
+      match
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> Unix.inet_addr_loopback
+      | exception _ -> Unix.inet_addr_loopback)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  match
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+    Unix.connect fd (Unix.ADDR_INET (addr, port))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | () -> (
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+          target host
+      in
+      match
+        let pos = ref 0 in
+        while !pos < String.length req do
+          pos :=
+            !pos
+            + Unix.write_substring fd req !pos (String.length req - !pos)
+        done;
+        let buf = Bytes.create 8192 in
+        let acc = Buffer.create 8192 in
+        let rec drain () =
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes acc buf 0 n;
+              drain ()
+        in
+        drain ();
+        Buffer.contents acc
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "read: %s" (Unix.error_message e))
+      | raw -> (
+          let len = String.length raw in
+          let rec head_end i =
+            if i + 4 > len then None
+            else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+            else head_end (i + 1)
+          in
+          match head_end 0 with
+          | None -> Error "malformed HTTP response"
+          | Some b ->
+              let status_line =
+                match String.index_opt raw '\r' with
+                | Some i -> String.sub raw 0 i
+                | None -> raw
+              in
+              if
+                String.length status_line >= 12
+                && String.sub status_line 9 3 = "200"
+              then Ok (String.sub raw b (len - b))
+              else Error status_line))
+
+let top_cmd =
+  let addr_arg =
+    let doc = "The server's --metrics-addr (HOST:PORT)." in
+    Arg.(
+      required
+      & pos 0 (some hostport_conv) None
+      & info [] ~docv:"HOST:PORT" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 2. & info [ "interval"; "n" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    let doc = "Scrape once, print one snapshot, exit." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let ops = [ "count"; "classify"; "check"; "ping"; "stats" ] in
+  let render_top ~(host : string) ~(port : int)
+      ~(prev : (float * Prometheus.sample list) option) (now_t : float)
+      (samples : Prometheus.sample list) : string =
+    let b = Buffer.create 2048 in
+    let v ?labels name = Prometheus.find ?labels samples name in
+    let gf ?labels name = Option.value (v ?labels name) ~default:0. in
+    let build =
+      List.find_opt
+        (fun s -> s.Prometheus.sname = "ucqc_build_info")
+        samples
+    in
+    let label k =
+      match build with
+      | Some s ->
+          Option.value
+            (List.assoc_opt k s.Prometheus.slabels)
+            ~default:"unknown"
+      | None -> "unknown"
+    in
+    let uptime = gf "ucqc_uptime_seconds" in
+    Buffer.add_string b
+      (Printf.sprintf "ucqc top — %s:%d — v%s (%s) — up %dh%02dm%02ds%s\n"
+         host port (label "version")
+         (let c = label "commit" in
+          if String.length c > 12 then String.sub c 0 12 else c)
+         (int_of_float uptime / 3600)
+         (int_of_float uptime / 60 mod 60)
+         (int_of_float uptime mod 60)
+         (if gf "ucqc_draining" > 0. then "  [DRAINING]" else ""));
+    Buffer.add_string b
+      (Printf.sprintf
+         "conns %d   queue %d (ewma %.1f ms)   pool %d/%d idle   cache %d   \
+          slow %d\n\n"
+         (int_of_float (gf "ucqc_connections_active"))
+         (int_of_float (gf "ucqc_queue_depth"))
+         (gf "ucqc_queue_service_ewma_ms")
+         (int_of_float (gf "ucqc_pool_domains_idle"))
+         (int_of_float (gf "ucqc_pool_domains_spawned"))
+         (int_of_float (gf "ucqc_cache_entries"))
+         (int_of_float (gf "ucqc_serve_slow_queries_total")));
+    Buffer.add_string b
+      (Printf.sprintf "%-10s %10s %8s %9s %9s %9s\n" "op" "total" "req/s"
+         "p50(ms)" "p95(ms)" "p99(ms)");
+    let quant op q =
+      match
+        v
+          ~labels:[ ("op", op); ("quantile", q); ("window", "60s") ]
+          "ucqc_rolling_latency_ms"
+      with
+      | Some x -> Printf.sprintf "%9.2f" x
+      | None -> Printf.sprintf "%9s" "-"
+    in
+    let counter_of smps op =
+      Prometheus.find smps ("ucqc_serve_requests_" ^ op ^ "_total")
+    in
+    let row op (total : float option) =
+      let rate =
+        match (prev, total) with
+        | Some (pt, psamples), Some now_total -> (
+            match counter_of psamples op with
+            | Some was when now_t > pt ->
+                Printf.sprintf "%8.1f" ((now_total -. was) /. (now_t -. pt))
+            | _ -> Printf.sprintf "%8s" "-")
+        | _ -> Printf.sprintf "%8s" "-"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %10.0f %s %s %s %s\n" op
+           (Option.value total ~default:0.)
+           rate (quant op "0.5") (quant op "0.95") (quant op "0.99"))
+    in
+    let totals = List.map (fun op -> counter_of samples op) ops in
+    let all_total =
+      List.fold_left
+        (fun acc t -> acc +. Option.value t ~default:0.)
+        0. totals
+    in
+    (* the "all" rate needs an "all" counter in both scrapes: synthesize
+       it from the per-op sums the same way in prev and now *)
+    let all_rate =
+      match prev with
+      | Some (pt, psamples) when now_t > pt ->
+          let was =
+            List.fold_left
+              (fun acc op ->
+                acc +. Option.value (counter_of psamples op) ~default:0.)
+              0. ops
+          in
+          Printf.sprintf "%8.1f" ((all_total -. was) /. (now_t -. pt))
+      | _ -> Printf.sprintf "%8s" "-"
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%-10s %10.0f %s %s %s %s\n" "all" all_total all_rate
+         (quant "all" "0.5") (quant "all" "0.95") (quant "all" "0.99"));
+    List.iter2 (fun op total -> row op total) ops totals;
+    Buffer.contents b
+  in
+  let run (host, port) interval once =
+    let tty = Unix.isatty Unix.stdout in
+    let rec loop (prev : (float * Prometheus.sample list) option) : int =
+      let now_t = Unix.gettimeofday () in
+      match
+        match http_get ~host ~port "/metrics" with
+        | Error e -> Error e
+        | Ok body -> Prometheus.parse body
+      with
+      | Error msg ->
+          Printf.eprintf "ucqc: top: %s\n%!" msg;
+          if once then 74
+          else begin
+            Thread.delay (Float.max 0.1 interval);
+            loop prev
+          end
+      | Ok samples ->
+          if tty && not once then print_string "\027[H\027[2J";
+          print_string (render_top ~host ~port ~prev now_t samples);
+          flush stdout;
+          if once then 0
+          else begin
+            Thread.delay (Float.max 0.1 interval);
+            loop (Some (now_t, samples))
+          end
+    in
+    loop None
+  in
+  let doc =
+    "Live dashboard for a running server: polls the --metrics-addr \
+     endpoint and renders request rates, rolling latency quantiles \
+     (p50/p95/p99 over the last 60 s), queue and pool state, and the \
+     slow-query count.  Ctrl-C exits."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ addr_arg $ interval_arg $ once_arg)
 
 let () =
   let doc = "counting answers to unions of conjunctive queries (PODS 2024)" in
-  let info = Cmd.info "ucqc" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "ucqc" ~version:Buildid.version ~doc in
   (* join the resident pool's parked worker domains on exit
      (best-effort: the signal paths may fire at any point, and workers
      borrowed by an interrupted run are simply left to the process
@@ -912,6 +1215,7 @@ let () =
             enumerate_cmd;
             treewidth_cmd;
             serve_cmd;
+            top_cmd;
           ])
      with
     | Ok (`Ok code) -> code

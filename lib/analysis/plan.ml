@@ -150,6 +150,17 @@ let cost ~(db_elems : int) ~(db_tuples : int) (plan : t) : float =
     (float_of_int plan.expansion_steps)
     plan.support
 
+(** [try_cost ?max_steps ?pool ~db_elems ~db_tuples psi] is {!predict}
+    followed by {!cost}, with the profiling itself capped at [max_steps]
+    ticks: [None] when the query is too large to profile within the cap
+    — the caller (the server's drift tracker) treats that as "no
+    prediction" rather than burning evaluator time on the predictor. *)
+let try_cost ?(max_steps = 200_000) ?(pool : Pool.t option)
+    ~(db_elems : int) ~(db_tuples : int) (psi : Ucq.t) : float option =
+  match predict ~budget:(Budget.of_steps max_steps) ?pool psi with
+  | plan -> Some (cost ~db_elems ~db_tuples plan)
+  | exception Budget.Exhausted _ -> None
+
 type outcome = Exact | Fallback
 
 let outcome_to_string = function

@@ -58,6 +58,20 @@ val rep_cost : db_elems:int -> db_tuples:int -> Cq.t -> float
     per-term counting cost. *)
 val cost : db_elems:int -> db_tuples:int -> t -> float
 
+(** [try_cost ?max_steps ?pool ~db_elems ~db_tuples psi] is {!predict}
+    followed by {!cost}, with the profiling capped at [max_steps]
+    (default 200k) ticks on a private budget.  [None] when the cap is
+    hit — the query is too large to profile cheaply, so callers on a
+    latency path (the server's drift tracker) skip the prediction
+    instead of paying for it.  Never raises {!Budget.Exhausted}. *)
+val try_cost :
+  ?max_steps:int ->
+  ?pool:Pool.t ->
+  db_elems:int ->
+  db_tuples:int ->
+  Ucq.t ->
+  float option
+
 (** What {!Runner.count} is predicted to do under a given budget. *)
 type outcome = Exact | Fallback
 

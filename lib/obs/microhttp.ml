@@ -1,0 +1,63 @@
+(** Minimal total HTTP/1.x parsing for the metrics gateway.  See the
+    interface for the contract. *)
+
+type request = { meth : string; target : string }
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || String.contains "!#$%&'*+-.^_`|~" c
+
+let parse_request (head : string) : (request, string) result =
+  let line =
+    match String.index_opt head '\n' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+      if meth = "" || not (String.for_all is_token_char meth) then
+        Error "malformed method"
+      else if target = "" then Error "empty request target"
+      else if
+        not
+          (String.length version >= 5 && String.sub version 0 5 = "HTTP/")
+      then Error "malformed HTTP version"
+      else Ok { meth; target }
+  | _ -> Error "malformed request line"
+
+let path (target : string) : string =
+  match String.index_opt target '?' with
+  | Some i -> String.sub target 0 i
+  | None -> target
+
+let head_complete (buf : string) : bool =
+  let n = String.length buf in
+  let rec scan i =
+    if i + 1 >= n then false
+    else if buf.[i] = '\n' && (buf.[i + 1] = '\n' || (i + 2 < n && buf.[i + 1] = '\r' && buf.[i + 2] = '\n'))
+    then true
+    else scan (i + 1)
+  in
+  (* also complete when the head is just one line so far and the peer
+     half-closed: callers treat EOF as completion themselves *)
+  scan 0
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ~(status : int) ?(content_type = "text/plain; charset=utf-8")
+    (body : string) : string =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status (status_text status) content_type (String.length body) body

@@ -1,0 +1,35 @@
+(** Total parsing and rendering for the sliver of HTTP/1.x the metrics
+    gateway speaks: [GET] requests in, fixed-length close-delimited
+    responses out.
+
+    Same philosophy as {!Framer}: a pure total function over bytes read
+    from an untrusted socket — a scraper pointing a browser, curl, or
+    garbage at the port must never raise out of the parser.  No keep-
+    alive, no chunked bodies, no headers the gateway cares about; every
+    response carries [Connection: close] and the socket is closed after
+    the write, which is exactly the lifecycle Prometheus scrapers
+    expect. *)
+
+type request = {
+  meth : string;  (** request method, e.g. ["GET"] *)
+  target : string;  (** request target as sent, e.g. ["/metrics"] *)
+}
+
+(** [parse_request head] parses the first line of a request head (bytes
+    up to the blank line; anything after the first line — headers — is
+    ignored).  Total: malformed input yields [Error]. *)
+val parse_request : string -> (request, string) result
+
+(** [path target] is [target] with any query string ([?...]) dropped. *)
+val path : string -> string
+
+(** [head_complete buf] is true once [buf] contains the end of a
+    request head (a blank line) — the moment the gateway can parse and
+    reply. *)
+val head_complete : string -> bool
+
+(** [response ~status ?content_type body] renders a full HTTP/1.1
+    response with [Content-Length] and [Connection: close]. *)
+val response : status:int -> ?content_type:string -> string -> string
+
+val status_text : int -> string

@@ -1,0 +1,14 @@
+(** Request-id generation.  See the interface for the contract. *)
+
+type gen = { token : string; seq : int Atomic.t }
+
+let create () : gen =
+  let pid = Unix.getpid () in
+  let t = int_of_float (Unix.gettimeofday () *. 1e3) in
+  (* fold pid and boot time into a short hex token that distinguishes
+     server restarts (so ids from two runs never collide in merged logs) *)
+  let mix = (pid * 0x9e3779b1) lxor (t land 0xffffffff) in
+  { token = Printf.sprintf "%06x" (mix land 0xffffff); seq = Atomic.make 0 }
+
+let next (g : gen) : string =
+  Printf.sprintf "r-%s-%d" g.token (Atomic.fetch_and_add g.seq 1)

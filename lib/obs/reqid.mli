@@ -1,0 +1,17 @@
+(** Request-id generation: short, process-unique, lock-free.
+
+    Every evaluated server request gets an id like ["r-1a2b3c-42"] —
+    a per-process token (pid and start time folded to hex) plus an
+    atomic sequence number — threaded through the telemetry span, the
+    access log, the slow-query log and the response body, so one id
+    joins all four views of a request.  Ids are identifiers, not
+    secrets: they are guessable by design (sequence order is itself
+    useful when tailing logs). *)
+
+type gen
+
+(** [create ()] seeds a generator from the pid and wall clock. *)
+val create : unit -> gen
+
+(** [next g] is a fresh id; safe from any thread (one fetch-and-add). *)
+val next : gen -> string

@@ -1,0 +1,62 @@
+(** Lock-free rolling-window histograms and quantile extraction.
+
+    {!Telemetry} histograms are cumulative-since-boot: right for
+    Prometheus (rate math happens scrape-side) but wrong for "p99 over
+    the last minute" — a resident server's lifetime histogram is
+    dominated by history.  A {!t} keeps the same 64-bucket base-2 log
+    layout sliced into time slots that expire as the window slides, so
+    quantiles always describe recent traffic.
+
+    {b Concurrency.}  [observe] is lock-free: one CAS when a slot
+    rotates into a new period, atomic increments otherwise.  A rotation
+    racing concurrent observers can drop (or double-drop) the handful of
+    observations in flight during the zeroing — monitoring-grade by
+    design, never on the query path.
+
+    {b Quantiles.}  Extraction is bucket-resolution: the reported value
+    is the {e upper edge} of the bucket containing the rank-⌈p·n⌉
+    sample.  Deterministic and merge-order independent — merging two
+    count arrays in either order yields identical quantiles — at the
+    cost of up-to-2× overshoot, which is the right trade for log-scale
+    latency monitoring. *)
+
+(** Number of buckets (64), same layout as {!Telemetry.histogram}:
+    bucket [b] covers [[2^(b-32), 2^(b-31))]. *)
+val buckets : int
+
+(** [bucket_of v] is the bucket index of value [v]; non-positive and NaN
+    values clamp to bucket 0, huge values clamp to bucket 63. *)
+val bucket_of : float -> int
+
+(** [bucket_upper b] is the exclusive upper edge [2^(b-31)] of bucket
+    [b] — the value quantile extraction reports. *)
+val bucket_upper : int -> float
+
+(** [quantile_of_counts counts p] extracts the [p]-quantile (clamped to
+    [[0, 1]]) from a log₂ bucket-count array: the upper edge of the
+    bucket containing the rank-⌈p·n⌉ observation.  [0.] when the array
+    is empty of observations.  Works on {!Telemetry.histogram_snapshot}
+    counts and rolling-window snapshots alike. *)
+val quantile_of_counts : int array -> float -> float
+
+type t
+
+(** [create ?window_s ?slots ()] is a rolling window covering the last
+    [window_s] seconds (default 60) sliced into [slots] time slots
+    (default 6; more slots = smoother expiry, more memory). *)
+val create : ?window_s:float -> ?slots:int -> unit -> t
+
+(** [observe t ?now v] drops [v] into the current time slot.  [now]
+    (seconds, e.g. [Unix.gettimeofday]) defaults to the wall clock and
+    exists so tests can drive the window deterministically. *)
+val observe : ?now:float -> t -> float -> unit
+
+(** [snapshot ?now t] sums the live (non-expired) slots into one
+    64-bucket count array. *)
+val snapshot : ?now:float -> t -> int array
+
+(** [count ?now t] is the number of live observations. *)
+val count : ?now:float -> t -> int
+
+(** [quantile ?now t p] = [quantile_of_counts (snapshot ?now t) p]. *)
+val quantile : ?now:float -> t -> float -> float

@@ -1,0 +1,87 @@
+(** Slow-query log records.  See the interface for the schema. *)
+
+type entry = {
+  ts : float;
+  request_id : string;
+  query : string;
+  op : string;
+  predicted_cost : float;
+  observed_steps : int;
+  factor : float;
+  threshold : float;
+  degradation : string;
+  lint_codes : string list;
+  elapsed_ms : float;
+}
+
+let to_json (e : entry) : string =
+  let open Trace_json in
+  to_string
+    (Obj
+       [
+         ("ts", Num e.ts);
+         ("request_id", Str e.request_id);
+         ("query", Str e.query);
+         ("op", Str e.op);
+         ("predicted_cost", Num e.predicted_cost);
+         ("observed_steps", Num (float_of_int e.observed_steps));
+         ("factor", Num e.factor);
+         ("threshold", Num e.threshold);
+         ("degradation", Str e.degradation);
+         ("lint_codes", Arr (List.map (fun c -> Str c) e.lint_codes));
+         ("elapsed_ms", Num e.elapsed_ms);
+       ])
+
+let of_json (line : string) : (entry, string) result =
+  let open Trace_json in
+  match try Ok (parse line) with Failure m -> Error m with
+  | Error m -> Error ("slowlog: " ^ m)
+  | Ok v -> (
+      let str k =
+        match member k v with
+        | Some (Str s) -> Ok s
+        | _ -> Error (Printf.sprintf "slowlog: missing string field %S" k)
+      in
+      let num k =
+        match member k v with
+        | Some (Num f) -> Ok f
+        | _ -> Error (Printf.sprintf "slowlog: missing numeric field %S" k)
+      in
+      let ( let* ) r f = match r with Ok x -> f x | Error e -> Error e in
+      let* ts = num "ts" in
+      let* request_id = str "request_id" in
+      let* query = str "query" in
+      let* op = str "op" in
+      let* predicted_cost = num "predicted_cost" in
+      let* observed_steps = num "observed_steps" in
+      let* factor = num "factor" in
+      let* threshold = num "threshold" in
+      let* degradation = str "degradation" in
+      let* elapsed_ms = num "elapsed_ms" in
+      let* lint_codes =
+        match member "lint_codes" v with
+        | Some (Arr xs) ->
+            List.fold_left
+              (fun acc x ->
+                match (acc, x) with
+                | Ok l, Str s -> Ok (s :: l)
+                | Ok _, _ -> Error "slowlog: non-string lint code"
+                | (Error _ as e), _ -> e)
+              (Ok []) xs
+            |> Result.map List.rev
+        | _ -> Error "slowlog: missing lint_codes"
+      in
+      Ok
+        {
+          ts;
+          request_id;
+          query;
+          op;
+          predicted_cost;
+          observed_steps = int_of_float observed_steps;
+          factor;
+          threshold;
+          degradation;
+          lint_codes;
+          elapsed_ms;
+        })

@@ -1,0 +1,35 @@
+(** Slow-query log records: the drift signal made durable.
+
+    The plan predictor (E16-calibrated, [Plan.rep_cost]) claims
+    per-query cost is readable off query structure.  A slow-query entry
+    is one counterexample: a request whose observed budget steps
+    exceeded [k ×] the prediction.  The server appends one JSON line
+    per firing; [tools/obs_check.exe] reads them back with {!of_json}
+    to assert the pipeline works end to end, and an operator feeds them
+    to the future [--optimize] selector as training signal.
+
+    One entry = one line of JSON (no embedded newlines), so the file is
+    greppable and tail-safe; the writer is the evaluator thread only,
+    so lines are never interleaved. *)
+
+type entry = {
+  ts : float;  (** wall clock, seconds since epoch *)
+  request_id : string;
+  query : string;  (** primary query text as received *)
+  op : string;  (** wire op, e.g. ["count"] *)
+  predicted_cost : float;  (** [Plan.cost] estimate, in budget steps *)
+  observed_steps : int;  (** [Budget.steps_done] at completion *)
+  factor : float;  (** observed / predicted *)
+  threshold : float;  (** the [k] that made this entry fire *)
+  degradation : string;  (** ["exact"], ["karp-luby"], or an error code *)
+  lint_codes : string list;  (** static-analysis diagnostics on the query *)
+  elapsed_ms : float;
+}
+
+(** [to_json e] is the entry as one line of JSON (newline {e not}
+    included). *)
+val to_json : entry -> string
+
+(** [of_json line] parses a line {!to_json} produced.  [Error] on
+    malformed input or missing fields. *)
+val of_json : string -> (entry, string) result

@@ -1,0 +1,25 @@
+(** Build identity.  See the interface for the contract. *)
+
+let version = "1.0.0"
+
+let memo : string option ref = ref None
+let memo_lock = Mutex.create ()
+
+let compute () =
+  let from_cmd () =
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when String.length line >= 7 -> Some (String.trim line)
+    | _ -> None
+  in
+  match try from_cmd () with _ -> None with Some c -> c | None -> "unknown"
+
+let git_commit () =
+  Mutex.protect memo_lock (fun () ->
+      match !memo with
+      | Some c -> c
+      | None ->
+          let c = compute () in
+          memo := Some c;
+          c)

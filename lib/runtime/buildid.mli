@@ -1,0 +1,15 @@
+(** Build identity: the version string and the git commit the binary was
+    built from.  The bench [--json] stamp and the server's [ping]
+    response both report these so two artifacts (a benchmark file, a
+    probe reply) can be traced to the code that produced them. *)
+
+(** The release version, single source of truth for the CLI's
+    [--version] and the server's [ping] reply. *)
+val version : string
+
+(** [git_commit ()] is the full commit hash of [HEAD], or ["unknown"]
+    when the binary runs outside a git checkout.  Shells out to [git]
+    on first call; memoized (mutex-protected, safe from any thread)
+    afterwards.  Call once at startup if the first use is on a latency
+    path. *)
+val git_commit : unit -> string

@@ -157,6 +157,42 @@ let observe (h : histogram) (v : float) : unit =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Metric snapshots                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type histogram_snapshot = {
+  hs_counts : int array;
+  hs_count : int;
+  hs_sum : float;
+}
+
+(* Buckets and count are read one atomic at a time, so a snapshot taken
+   while observers are running can be off by the in-flight observation —
+   fine for monitoring, which is the only caller. *)
+let histogram_snapshot (h : histogram) : histogram_snapshot =
+  {
+    hs_counts = Array.map Atomic.get h.buckets;
+    hs_count = Atomic.get h.hcount;
+    hs_sum = float_of_int (Atomic.get h.hsum_micro) /. 1e6;
+  }
+
+let sorted_bindings (tbl : (string, 'a) Hashtbl.t) : (string * 'a) list =
+  Mutex.protect metrics_lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let counters_snapshot () : (string * int) list =
+  List.map (fun (name, c) -> (name, Atomic.get c.cell)) (sorted_bindings counters)
+
+let gauges_snapshot () : (string * float) list =
+  List.map (fun (name, g) -> (name, Atomic.get g.gcell)) (sorted_bindings gauges)
+
+let histograms_snapshot () : (string * histogram_snapshot) list =
+  List.map
+    (fun (name, h) -> (name, histogram_snapshot h))
+    (sorted_bindings histograms)
+
+(* ------------------------------------------------------------------ *)
 (* Reset                                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -98,6 +98,33 @@ val histogram : string -> histogram
 
 val observe : histogram -> float -> unit
 
+(** {1 Metric snapshots}
+
+    Read-side API for live exporters (the server's [/metrics] endpoint):
+    point-in-time copies of the registered metric cells.  Safe to call
+    from any thread at any time; values are read one atomic at a time,
+    so a histogram snapshot racing an in-flight [observe] can be off by
+    that single observation — monitoring-grade, not transactional. *)
+
+(** Point-in-time copy of one histogram: the 64 base-2 log bucket counts
+    (bucket [b] covers [[2^(b-32), 2^(b-31))]), total observation count,
+    and the sum of observed values. *)
+type histogram_snapshot = {
+  hs_counts : int array;
+  hs_count : int;
+  hs_sum : float;
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+(** Every registered counter / gauge / histogram, sorted by name.  The
+    enumeration takes the registry lock (interning is rare); the reads
+    themselves are lock-free. *)
+val counters_snapshot : unit -> (string * int) list
+
+val gauges_snapshot : unit -> (string * float) list
+val histograms_snapshot : unit -> (string * histogram_snapshot) list
+
 (** {1 Aggregation and export} *)
 
 (** Per-span-name aggregate over all domain buffers: number of completed

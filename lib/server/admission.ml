@@ -75,3 +75,6 @@ let note_service_ms (t : 'a t) (ms : float) : unit =
 
 let depth (t : 'a t) : int =
   Mutex.protect t.lock (fun () -> Queue.length t.q)
+
+let service_ewma_ms (t : 'a t) : float =
+  float_of_int (Atomic.get t.ewma_service_us) /. 1000.

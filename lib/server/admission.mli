@@ -46,3 +46,8 @@ val note_service_ms : 'a t -> float -> unit
 
 (** [depth t] is the current backlog length (racy snapshot, for gauges). *)
 val depth : 'a t -> int
+
+(** [service_ewma_ms t] is the shedding estimator's current per-request
+    service-time estimate — exported as a gauge by the metrics
+    endpoint so an operator can see what the retry hints are based on. *)
+val service_ewma_ms : 'a t -> float

@@ -13,6 +13,7 @@ type entry = {
   primary_text : string;
   mutable analysis : Analysis.report option;
   mutable classify : Classify.report option;
+  mutable plan_cost : float option option;
   mutable hits : int;
 }
 
@@ -121,6 +122,7 @@ let admit (t : t) (text : string)
             primary_text = text;
             analysis = None;
             classify = None;
+            plan_cost = None;
             hits = 0;
           }
       else
@@ -143,6 +145,7 @@ let admit (t : t) (text : string)
                 primary_text = text;
                 analysis = None;
                 classify = None;
+                plan_cost = None;
                 hits = 0;
               }
             in

@@ -32,6 +32,9 @@ type entry = {
   mutable analysis : Analysis.report option;
       (** lint + plan report of [primary_text], memoized on demand *)
   mutable classify : Classify.report option;  (** memoized on demand *)
+  mutable plan_cost : float option option;
+      (** memoized {!Plan.try_cost} for drift tracking: [None] =
+          not computed yet, [Some None] = prediction capped out *)
   mutable hits : int;  (** lookups served from this entry *)
 }
 

@@ -1,0 +1,136 @@
+(** The metrics HTTP sidecar.  See the interface for the contract.
+
+    One thread, one connection at a time: a scrape is a read of a few
+    hundred bytes and a write of a few kilobytes, so serving inline
+    keeps the gateway free of connection bookkeeping.  Per-connection
+    receive/send timeouts bound how long a stalled scraper can hold the
+    thread; the accept select uses the server's standard poll tick so a
+    stop request is noticed promptly. *)
+
+type reply = { status : int; content_type : string; body : string }
+
+type t = {
+  fd : Unix.file_descr;
+  gport : int;
+  stop_flag : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let tick_s = 0.25
+
+(* A scraper that stalls mid-request or mid-response is cut off after
+   this long; Prometheus scrape timeouts are typically 10 s, so 2 s of
+   server-side patience is plenty for a localhost ops port. *)
+let io_timeout_s = 2.0
+
+let max_head_bytes = 8192
+
+let read_head (fd : Unix.file_descr) : string option =
+  let buf = Bytes.create 1024 in
+  let acc = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length acc > max_head_bytes then None
+    else if Microhttp.head_complete (Buffer.contents acc) then
+      Some (Buffer.contents acc)
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> if Buffer.length acc > 0 then Some (Buffer.contents acc) else None
+      | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          go ()
+      | exception _ -> None
+  in
+  go ()
+
+let write_all (fd : Unix.file_descr) (s : string) : unit =
+  let len = String.length s in
+  let pos = ref 0 in
+  try
+    while !pos < len do
+      let n = Unix.write_substring fd s !pos (len - !pos) in
+      if n <= 0 then raise Exit;
+      pos := !pos + n
+    done
+  with _ -> ()
+
+let serve_conn (handler : Microhttp.request -> reply)
+    (fd : Unix.file_descr) : unit =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout_s
+   with _ -> ());
+  (match read_head fd with
+  | None -> ()
+  | Some head ->
+      let out =
+        match Microhttp.parse_request head with
+        | Error msg -> Microhttp.response ~status:400 (msg ^ "\n")
+        | Ok req -> (
+            (* the handler reads shared server state; a bug there must
+               produce a 500, never kill the gateway thread *)
+            match handler req with
+            | { status; content_type; body } ->
+                Microhttp.response ~status ~content_type body
+            | exception e ->
+                Microhttp.response ~status:500
+                  (Printf.sprintf "internal error: %s\n"
+                     (Printexc.to_string e)))
+      in
+      write_all fd out);
+  try Unix.close fd with _ -> ()
+
+let gateway_loop (t : t) (handler : Microhttp.request -> reply) : unit =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.fd ] [] [] tick_s with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.fd with
+        | fd, _ -> serve_conn handler fd
+        | exception
+            Unix.Unix_error
+              ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+            ()
+        | exception _ -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception _ ->
+        if not (Atomic.get t.stop_flag) then Thread.delay tick_s
+  done
+
+let start ~(host : string) ~(port : int)
+    ~(handler : Microhttp.request -> reply) : t =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (
+      match
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let gport =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { fd; gport; stop_flag = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> gateway_loop t handler) ());
+  t
+
+let port (t : t) : int = t.gport
+
+let stop (t : t) : unit =
+  if not (Atomic.get t.stop_flag) then begin
+    Atomic.set t.stop_flag true;
+    (match t.thread with Some th -> (try Thread.join th with _ -> ()) | None -> ());
+    t.thread <- None;
+    try Unix.close t.fd with _ -> ()
+  end

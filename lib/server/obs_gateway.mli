@@ -1,0 +1,34 @@
+(** The observability HTTP sidecar behind [--metrics-addr].
+
+    A tiny single-threaded HTTP/1.x listener that serves whatever the
+    provided handler renders — for [ucqc serve]: [/metrics] (Prometheus
+    text exposition), [/healthz] and [/readyz].  It runs on its own
+    thread beside the accept loop and {e never} touches the evaluator:
+    every value a handler reads is an atomic snapshot or a telemetry
+    metric cell, so a scrape storm cannot add latency to query
+    evaluation.
+
+    TCP only (a Prometheus scraper speaks TCP even when the query plane
+    listens on a Unix socket); bind to [port = 0] to let the kernel
+    pick — {!port} reports the actual one.  The gateway stays up during
+    a drain on purpose: [/healthz] flipping to 503 {e is} the drain
+    signal operators watch.  {!stop} is called last in the server's
+    shutdown sequence. *)
+
+type reply = { status : int; content_type : string; body : string }
+
+type t
+
+(** [start ~host ~port ~handler] binds, listens, and spawns the gateway
+    thread.  [handler] runs on that thread for every request; an
+    exception from it becomes a 500 response.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start :
+  host:string -> port:int -> handler:(Microhttp.request -> reply) -> t
+
+(** [port t] is the actual bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** [stop t] joins the gateway thread and closes the listener.
+    Idempotent. *)
+val stop : t -> unit

@@ -21,6 +21,13 @@ type op =
 
 type request = { id : Trace_json.t option; op : op }
 
+let op_label : op -> string = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Count _ -> "count"
+  | Classify _ -> "classify"
+  | Check _ -> "check"
+
 type req_error =
   | Bad_json of string
   | Bad_request of string

@@ -52,6 +52,11 @@ type request = {
   op : op;
 }
 
+(** [op_label op] is the wire name of [op] (["ping"], ["count"], ...) —
+    the label the server uses for telemetry attributes, per-op metrics
+    and access-log lines, so all three agree with the request syntax. *)
+val op_label : op -> string
+
 (** Why a frame was rejected before evaluation. *)
 type req_error =
   | Bad_json of string  (** not a JSON value *)

@@ -25,6 +25,10 @@ type config = {
   cache_capacity : int;
   drain_deadline_s : float;
   max_connections : int;
+  metrics_addr : (string * int) option;
+  access_log : string option;
+  slow_query_log : string option;
+  slow_factor : float;
 }
 
 let default_config ~listen ~jobs =
@@ -39,6 +43,10 @@ let default_config ~listen ~jobs =
     cache_capacity = 256;
     drain_deadline_s = 5.;
     max_connections = 128;
+    metrics_addr = None;
+    access_log = None;
+    slow_query_log = None;
+    slow_factor = 8.;
   }
 
 (* Poll tick for every blocking wait (accept select, read timeout): the
@@ -74,6 +82,35 @@ let c_cache_miss = Telemetry.counter "serve.cache.miss"
 let c_cache_invalid = Telemetry.counter "serve.cache.invalid"
 let c_idle_closed = Telemetry.counter "serve.idle_closed"
 let c_discarded = Telemetry.counter "serve.discarded"
+let c_slow = Telemetry.counter "serve.slow_queries"
+
+(* per-query-class request counters: the /metrics breakdown by op *)
+let op_counters =
+  List.map
+    (fun op -> (op, Telemetry.counter ("serve.requests." ^ op)))
+    [ "ping"; "stats"; "count"; "classify"; "check" ]
+
+let evaluated_ops = [ "count"; "classify"; "check" ]
+
+(* per-op latency histograms (lifetime; the rolling windows below keep
+   the recent view) and the drift-ratio histogram: observed budget steps
+   over predicted plan cost — log₂ buckets fit a ratio perfectly, 1.0
+   lands in the middle of the range *)
+let op_latency_histograms =
+  List.map
+    (fun op -> (op, Telemetry.histogram ("serve.latency_ms." ^ op)))
+    evaluated_ops
+
+let h_count_steps = Telemetry.histogram "serve.steps.count"
+let h_drift = Telemetry.histogram "serve.drift_ratio"
+
+(* A prediction that cannot finish within this cap is treated as "no
+   prediction" rather than charged to the evaluator. *)
+let plan_predict_cap = 200_000
+
+(* Below this many observed steps a large drift ratio is noise (a tiny
+   query mispredicted by 10x is still instant); no slow-log entry. *)
+let slow_min_steps = 1024
 
 (* ------------------------------------------------------------------ *)
 (* State                                                              *)
@@ -99,6 +136,7 @@ type stats = {
   cache_entries : int Atomic.t;  (* gauge, maintained by the evaluator *)
   idle_closed : int Atomic.t;
   discarded : int Atomic.t;
+  slow_queries : int Atomic.t;
 }
 
 let make_stats () =
@@ -119,7 +157,21 @@ let make_stats () =
     cache_entries = Atomic.make 0;
     idle_closed = Atomic.make 0;
     discarded = Atomic.make 0;
+    slow_queries = Atomic.make 0;
   }
+
+(* One coherent snapshot of the values only the evaluator may read
+   consistently (pool registry + cache size), republished by the
+   evaluator after every request.  The stats handler and the metrics
+   gateway read the whole record through one [Atomic.get], so the pool
+   counters can never be torn against the cache counters the way the
+   old per-field reads could. *)
+type eval_snapshot = {
+  es_pool_spawned : int;
+  es_pool_idle : int;
+  es_cache_entries : int;
+  es_cache_invalids : int;
+}
 
 let bump (a : int Atomic.t) (c : Telemetry.counter) : unit =
   Atomic.incr a;
@@ -136,6 +188,7 @@ type conn = {
 
 type work = {
   wid : Trace_json.t option;
+  wrid : string;  (* generated request id, threaded end to end *)
   wop : Protocol.op;
   wconn : conn;
   enqueued_at : float;
@@ -144,10 +197,20 @@ type work = {
 type t = {
   cfg : config;
   db : Structure.t;
+  db_elems : int;
+  db_tuples : int;
   pool : Pool.t;
   listen_fd : Unix.file_descr;
   queue : work Admission.t;
   stats : stats;
+  eval_snap : eval_snapshot Atomic.t;
+  reqids : Reqid.gen;
+  (* rolling latency windows, by op plus an "all" aggregate; written by
+     the evaluator, read by the gateway — lock-free on both sides *)
+  rolling_all : Rolling.t;
+  rolling_by_op : (string * Rolling.t) list;
+  access_oc : out_channel option;  (* evaluator thread only *)
+  slow_oc : out_channel option;  (* evaluator thread only *)
   started_at : float;
   stop_requested_flag : bool Atomic.t;
   stopping : bool Atomic.t;
@@ -160,6 +223,7 @@ type t = {
   mutable threads : Thread.t list;  (* conn threads; conns_lock *)
   mutable acceptor : Thread.t option;
   mutable evaluator : Thread.t option;
+  mutable gateway : Obs_gateway.t option;
   stop_lock : Mutex.t;
   mutable stopped : bool;  (* guarded by stop_lock *)
   mutable discarded_total : int;  (* guarded by stop_lock *)
@@ -230,12 +294,24 @@ let count_response_status (t : t) (r : Protocol.response) : unit =
 let uptime_ms (t : t) : float = (Unix.gettimeofday () -. t.started_at) *. 1000.
 
 let pong (t : t) ?id () : Protocol.response =
+  (* identity fields so a probe can assert what it is talking to;
+     [Buildid.git_commit] is forced at [start], so this never shells
+     out on the connection thread *)
   Protocol.make_response ?id Protocol.Ok_
-    [ ("pong", Trace_json.Bool true); ("uptime_ms", fnum (uptime_ms t)) ]
+    [
+      ("pong", Trace_json.Bool true);
+      ("uptime_ms", fnum (uptime_ms t));
+      ("uptime_s", fnum ((Unix.gettimeofday () -. t.started_at)));
+      ("version", Trace_json.Str Buildid.version);
+      ("git_commit", Trace_json.Str (Buildid.git_commit ()));
+    ]
 
 let stats_response (t : t) ?id () : Protocol.response =
   let s = t.stats in
   let g a = num (Atomic.get a) in
+  (* pool and cache figures come from the one coherent evaluator-thread
+     snapshot, not from live [Pool.*] reads racing the cache gauges *)
+  let snap = Atomic.get t.eval_snap in
   Protocol.make_response ?id Protocol.Ok_
     [
       ( "result",
@@ -246,8 +322,8 @@ let stats_response (t : t) ?id () : Protocol.response =
             (* resident-pool health: a steady server holds the spawn
                count constant while requests are served — if it grows
                per request, domain reuse is broken *)
-            ("pool_domains_spawned", num (Pool.spawn_count ()));
-            ("pool_domains_idle", num (Pool.idle_count ()));
+            ("pool_domains_spawned", num snap.es_pool_spawned);
+            ("pool_domains_idle", num snap.es_pool_idle);
             ("connections_total", g s.connections_total);
             ("connections_active", g s.connections_active);
             ("requests_total", g s.requests_total);
@@ -267,8 +343,9 @@ let stats_response (t : t) ?id () : Protocol.response =
                   ("interned", g s.cache_interned);
                   ("misses", g s.cache_misses);
                   ("invalid", g s.cache_invalid);
-                  ("entries", g s.cache_entries);
+                  ("entries", num snap.es_cache_entries);
                 ] );
+            ("slow_queries", g s.slow_queries);
           ] );
     ]
 
@@ -281,12 +358,13 @@ let runner_method : Protocol.count_method -> Runner.count_method = function
   | Protocol.Inclusion_exclusion -> Runner.Inclusion_exclusion
   | Protocol.Naive -> Runner.Naive
 
-let op_label : Protocol.op -> string = function
-  | Protocol.Ping -> "ping"
-  | Protocol.Stats -> "stats"
-  | Protocol.Count _ -> "count"
-  | Protocol.Classify _ -> "classify"
-  | Protocol.Check _ -> "check"
+let op_label = Protocol.op_label
+
+(* Drift tracking only runs when some observability output can see it:
+   a metrics endpoint, a slow-query log, or an access log. *)
+let obs_on (t : t) : bool =
+  t.cfg.metrics_addr <> None || t.cfg.slow_query_log <> None
+  || t.cfg.access_log <> None
 
 (* Effective budget = min(per-request ask, server cap); absent on both
    sides means unlimited.  The budget is created at dequeue time, so
@@ -337,8 +415,82 @@ let abandoned_json (a : Runner.abandoned) : Trace_json.t =
       ("elapsed_s", fnum a.Runner.elapsed_s);
     ]
 
-let answer_count (t : t) (cache : Cache.t) ?id ~query ~meth ~seed ~max_steps
-    ~timeout_ms ~no_fallback () : Protocol.response =
+(* ------------------------------------------------------------------ *)
+(* Plan-drift tracking                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Memoized per cache entry: the plan predictor's total-cost estimate
+   for this query on this database.  [Some None] records "the predictor
+   itself capped out" so it is never retried per request. *)
+let predicted_cost (t : t) (entry : Cache.entry) : float option =
+  match entry.Cache.plan_cost with
+  | Some memo -> memo
+  | None ->
+      let memo =
+        Telemetry.with_span "serve.plan" (fun () ->
+            Plan.try_cost ~max_steps:plan_predict_cap ~pool:t.pool
+              ~db_elems:t.db_elems ~db_tuples:t.db_tuples entry.Cache.ucq)
+      in
+      entry.Cache.plan_cost <- Some memo;
+      memo
+
+(* Lint codes for a slow-log entry, via the same memoized analysis the
+   [check] op uses (primary spelling only — good enough for a log). *)
+let entry_lint_codes (t : t) (entry : Cache.entry) : string list =
+  let report =
+    match entry.Cache.analysis with
+    | Some r -> r
+    | None ->
+        let r =
+          Telemetry.with_span "serve.analysis" (fun () ->
+              Analysis.check ~pool:t.pool entry.Cache.primary_text)
+        in
+        entry.Cache.analysis <- Some r;
+        r
+  in
+  List.sort_uniq compare
+    (List.map
+       (fun d -> d.Diagnostic.code)
+       report.Analysis.diagnostics)
+
+(* Compare what the plan predicted with what the budget actually
+   metered; fire the slow-query log when observed > k × predicted. *)
+let note_drift (t : t) ~(rid : string) ~(query : string)
+    ~(entry : Cache.entry) ~(observed : int) ~(elapsed_ms : float)
+    ~(degradation : string) : unit =
+  match predicted_cost t entry with
+  | None -> ()
+  | Some pred when pred <= 0. -> ()
+  | Some pred ->
+      let ratio = float_of_int observed /. pred in
+      Telemetry.observe h_drift ratio;
+      if ratio > t.cfg.slow_factor && observed >= slow_min_steps then begin
+        bump t.stats.slow_queries c_slow;
+        match t.slow_oc with
+        | None -> ()
+        | Some oc ->
+            let line =
+              Slowlog.to_json
+                {
+                  Slowlog.ts = Unix.gettimeofday ();
+                  request_id = rid;
+                  query;
+                  op = "count";
+                  predicted_cost = pred;
+                  observed_steps = observed;
+                  factor = ratio;
+                  threshold = t.cfg.slow_factor;
+                  degradation;
+                  lint_codes = entry_lint_codes t entry;
+                  elapsed_ms;
+                }
+            in
+            output_string oc (line ^ "\n");
+            flush oc
+      end
+
+let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
+    ~max_steps ~timeout_ms ~no_fallback () : Protocol.response =
   let outcome = prepare t cache query in
   let cache_field = ("cache", Trace_json.Str (Cache.outcome_label outcome)) in
   match outcome with
@@ -355,6 +507,7 @@ let answer_count (t : t) (cache : Cache.t) ?id ~query ~meth ~seed ~max_steps
       (* Published so a forced drain can cancel this request
          cooperatively; cleared before the response is built. *)
       Atomic.set t.current_budget (Some budget);
+      let eval_t0 = Unix.gettimeofday () in
       let result =
         Fun.protect
           ~finally:(fun () -> Atomic.set t.current_budget None)
@@ -364,7 +517,20 @@ let answer_count (t : t) (cache : Cache.t) ?id ~query ~meth ~seed ~max_steps
                   ~fallback:(not no_fallback) ~seed ~pool:t.pool ~budget
                   entry.Cache.ucq t.db))
       in
-      let steps_field = ("steps", num (Budget.steps_done budget)) in
+      let observed = Budget.steps_done budget in
+      let steps_field = ("steps", num observed) in
+      Telemetry.observe h_count_steps (float_of_int observed);
+      if obs_on t then begin
+        let degradation =
+          match result with
+          | Ok (Runner.Exact _) -> "exact"
+          | Ok (Runner.Approximate _) -> "karp-luby"
+          | Error _ -> "error"
+        in
+        note_drift t ~rid ~query ~entry ~observed
+          ~elapsed_ms:((Unix.gettimeofday () -. eval_t0) *. 1000.)
+          ~degradation
+      end;
       (match result with
       | Ok (Runner.Exact n) ->
           Protocol.make_response ?id Protocol.Ok_
@@ -505,11 +671,29 @@ let answer (t : t) (cache : Cache.t) (w : work) : Protocol.response =
   | Protocol.Ping -> pong t ?id:w.wid ()  (* unreachable: answered inline *)
   | Protocol.Stats -> stats_response t ?id:w.wid ()
   | Protocol.Count { query; meth; seed; max_steps; timeout_ms; no_fallback } ->
-      answer_count t cache ?id:w.wid ~query ~meth ~seed ~max_steps ~timeout_ms
-        ~no_fallback ()
+      answer_count t cache ?id:w.wid ~rid:w.wrid ~query ~meth ~seed ~max_steps
+        ~timeout_ms ~no_fallback ()
   | Protocol.Classify { query } ->
       answer_classify t cache ?id:w.wid ~query ()
   | Protocol.Check { query } -> answer_check t cache ?id:w.wid ~query ()
+
+(* One JSON line per evaluated request — written only by the evaluator
+   thread, so lines never interleave. *)
+let access_line (w : work) (resp : Protocol.response) ~(elapsed_ms : float)
+    ~(queue_ms : float) : string =
+  Trace_json.to_string
+    (Trace_json.Obj
+       [
+         ("ts", fnum (Unix.gettimeofday ()));
+         ("request_id", Trace_json.Str w.wrid);
+         ("op", Trace_json.Str (op_label w.wop));
+         ( "status",
+           Trace_json.Str (Protocol.status_to_string resp.Protocol.rstatus) );
+         ("code", num resp.Protocol.rcode);
+         ("conn", num w.wconn.cid);
+         ("elapsed_ms", fnum elapsed_ms);
+         ("queue_ms", fnum queue_ms);
+       ])
 
 (* Per-request isolation boundary: nothing thrown while answering one
    request may reach the evaluator loop. *)
@@ -519,7 +703,11 @@ let process (t : t) (cache : Cache.t) (w : work) : unit =
   let resp =
     try
       Telemetry.with_span "serve.request"
-        ~attrs:(fun () -> [ ("op", Telemetry.S (op_label w.wop)) ])
+        ~attrs:(fun () ->
+          [
+            ("op", Telemetry.S (op_label w.wop));
+            ("request_id", Telemetry.S w.wrid);
+          ])
         (fun () -> answer t cache w)
     with e ->
       Protocol.error_response ?id:w.wid ~kind:"internal" ~code:70
@@ -532,20 +720,50 @@ let process (t : t) (cache : Cache.t) (w : work) : unit =
       resp with
       Protocol.body =
         resp.Protocol.body
-        @ [ ("elapsed_ms", fnum elapsed_ms); ("queue_ms", fnum queue_ms) ];
+        @ [
+            ("request_id", Trace_json.Str w.wrid);
+            ("elapsed_ms", fnum elapsed_ms);
+            ("queue_ms", fnum queue_ms);
+          ];
     }
   in
   count_response_status t resp;
+  let op = op_label w.wop in
+  (match List.assoc_opt op op_latency_histograms with
+  | Some h -> Telemetry.observe h elapsed_ms
+  | None -> ());
+  if obs_on t then begin
+    Rolling.observe t.rolling_all elapsed_ms;
+    (match List.assoc_opt op t.rolling_by_op with
+    | Some r -> Rolling.observe r elapsed_ms
+    | None -> ());
+    match t.access_oc with
+    | Some oc ->
+        output_string oc (access_line w resp ~elapsed_ms ~queue_ms ^ "\n");
+        flush oc
+    | None -> ()
+  end;
   send w.wconn resp;
   release t w.wconn
 
+let publish_snapshot (t : t) (cache : Cache.t) : unit =
+  Atomic.set t.eval_snap
+    {
+      es_pool_spawned = Pool.spawn_count ();
+      es_pool_idle = Pool.idle_count ();
+      es_cache_entries = Cache.entries cache;
+      es_cache_invalids = Cache.invalids cache;
+    }
+
 let evaluator_loop (t : t) : unit =
   let cache = Cache.create ~capacity:t.cfg.cache_capacity () in
+  publish_snapshot t cache;
   let rec loop () =
     match Admission.take t.queue with
     | None -> ()
     | Some w ->
         process t cache w;
+        publish_snapshot t cache;
         loop ()
   in
   (try loop () with _ -> ());
@@ -563,6 +781,9 @@ let handle_request (t : t) (c : conn) (line : string) : unit =
       bump t.stats.responses_error c_errors;
       send c (Protocol.of_req_error e)
   | Ok { Protocol.id; op } -> (
+      (match List.assoc_opt (op_label op) op_counters with
+      | Some cnt -> Telemetry.incr cnt
+      | None -> ());
       match op with
       | Protocol.Ping ->
           bump t.stats.responses_ok c_ok;
@@ -575,7 +796,13 @@ let handle_request (t : t) (c : conn) (line : string) : unit =
           else begin
             Mutex.protect c.wlock (fun () -> c.pending <- c.pending + 1);
             let w =
-              { wid = id; wop = op; wconn = c; enqueued_at = Unix.gettimeofday () }
+              {
+                wid = id;
+                wrid = Reqid.next t.reqids;
+                wop = op;
+                wconn = c;
+                enqueued_at = Unix.gettimeofday ();
+              }
             in
             match Admission.offer t.queue w with
             | Admission.Accepted -> ()
@@ -708,6 +935,114 @@ let accept_loop (t : t) : unit =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Metrics gateway                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exposition_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+(* "serve.latency_ms.count" -> ("serve.latency_ms", "count"): the
+   per-op telemetry histograms export as one family with an [op]
+   label instead of an op-mangled family name. *)
+let split_op_histogram (name : string) : (string * string) option =
+  let try_prefix p =
+    let lp = String.length p in
+    if String.length name > lp && String.sub name 0 lp = p then
+      Some
+        (String.sub p 0 (lp - 1), String.sub name lp (String.length name - lp))
+    else None
+  in
+  match try_prefix "serve.latency_ms." with
+  | Some r -> Some r
+  | None -> try_prefix "serve.steps."
+
+(* Render the full exposition.  Everything read here is an atomic cell,
+   an atomic snapshot, or a lock-free rolling window — the evaluator
+   thread is never consulted, so scraping cannot add query latency. *)
+let render_metrics (t : t) : string =
+  let p = Prometheus.create () in
+  let gauge ?help ?labels name v =
+    Prometheus.scalar p ?help ?labels ~kind:Prometheus.Gauge name v
+  in
+  gauge
+    ~help:"Build identity (value is always 1)"
+    ~labels:
+      [ ("version", Buildid.version); ("commit", Buildid.git_commit ()) ]
+    "ucqc_build_info" 1.;
+  gauge "ucqc_uptime_seconds" (Unix.gettimeofday () -. t.started_at);
+  gauge ~help:"1 while the server is draining" "ucqc_draining"
+    (if draining t then 1. else 0.);
+  gauge "ucqc_connections_active"
+    (float_of_int (Atomic.get t.stats.connections_active));
+  gauge "ucqc_queue_depth" (float_of_int (Admission.depth t.queue));
+  gauge "ucqc_queue_service_ewma_ms" (Admission.service_ewma_ms t.queue);
+  let snap = Atomic.get t.eval_snap in
+  gauge "ucqc_pool_domains_spawned" (float_of_int snap.es_pool_spawned);
+  gauge "ucqc_pool_domains_idle" (float_of_int snap.es_pool_idle);
+  gauge "ucqc_cache_entries" (float_of_int snap.es_cache_entries);
+  gauge "ucqc_cache_invalid_entries" (float_of_int snap.es_cache_invalids);
+  (* every registered telemetry counter / gauge / histogram under its
+     sanitized name: the serve.* family, pool.steals, ... — a counter
+     added anywhere in the stack shows up here with no further code *)
+  List.iter
+    (fun (name, v) ->
+      Prometheus.scalar p ~kind:Prometheus.Counter
+        ("ucqc_" ^ Prometheus.sanitize name)
+        (float_of_int v))
+    (Telemetry.counters_snapshot ());
+  List.iter
+    (fun (name, v) -> gauge ("ucqc_" ^ Prometheus.sanitize name) v)
+    (Telemetry.gauges_snapshot ());
+  List.iter
+    (fun (name, hs) ->
+      let fam, labels =
+        match split_op_histogram name with
+        | Some (base, op) ->
+            ("ucqc_" ^ Prometheus.sanitize base, [ ("op", op) ])
+        | None -> ("ucqc_" ^ Prometheus.sanitize name, [])
+      in
+      Prometheus.log2_histogram p ~labels fam
+        ~counts:hs.Telemetry.hs_counts ~sum:hs.Telemetry.hs_sum)
+    (Telemetry.histograms_snapshot ());
+  (* recent-traffic quantiles from the rolling windows *)
+  List.iter
+    (fun (op, r) ->
+      let counts = Rolling.snapshot r in
+      List.iter
+        (fun (qs, q) ->
+          gauge
+            ~labels:[ ("op", op); ("quantile", qs); ("window", "60s") ]
+            "ucqc_rolling_latency_ms"
+            (Rolling.quantile_of_counts counts q))
+        [ ("0.5", 0.5); ("0.95", 0.95); ("0.99", 0.99) ])
+    (("all", t.rolling_all) :: t.rolling_by_op);
+  Prometheus.render p
+
+let gateway_handler (t : t) (req : Microhttp.request) : Obs_gateway.reply =
+  let text status body =
+    {
+      Obs_gateway.status;
+      content_type = "text/plain; charset=utf-8";
+      body;
+    }
+  in
+  let unhealthy = draining t || Atomic.get t.evaluator_done in
+  match (req.Microhttp.meth, Microhttp.path req.Microhttp.target) with
+  | "GET", "/metrics" ->
+      {
+        Obs_gateway.status = 200;
+        content_type = exposition_content_type;
+        body = render_metrics t;
+      }
+  | "GET", "/healthz" ->
+      if unhealthy then text 503 "draining\n" else text 200 "ok\n"
+  | "GET", "/readyz" ->
+      if unhealthy then text 503 "not ready\n" else text 200 "ready\n"
+  | "GET", _ -> text 404 "not found\n"
+  | _, _ -> text 405 "method not allowed\n"
+
+let metrics_port (t : t) : int option = Option.map Obs_gateway.port t.gateway
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -753,15 +1088,62 @@ let bind_listen (l : listen) : Unix.file_descr =
 let start (cfg : config) ~(db : Structure.t) : t =
   (* a client hanging up mid-write must be an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  (* a metrics endpoint with telemetry off would export zeros: flip the
+     metric cells on (recording off, so a resident server accumulates no
+     unbounded span buffers) unless the caller already enabled more *)
+  if cfg.metrics_addr <> None && not (Telemetry.enabled ()) then
+    Telemetry.enable ~record:false ();
+  (* force the memo now: ping and /metrics must never shell out to git
+     on a latency path *)
+  ignore (Buildid.git_commit ());
   let listen_fd = bind_listen cfg.listen in
+  (* partial-startup unwinding: anything acquired before a later
+     failure (bad log path, metrics port in use) is released *)
+  let cleanup : (unit -> unit) list ref =
+    ref [ (fun () -> try Unix.close listen_fd with _ -> ()) ]
+  in
+  let guard f =
+    try f ()
+    with e ->
+      List.iter (fun g -> g ()) !cleanup;
+      raise e
+  in
+  let open_log path_opt =
+    guard (fun () ->
+        match path_opt with
+        | None -> None
+        | Some path ->
+            let oc =
+              open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+            in
+            cleanup := (fun () -> try close_out oc with _ -> ()) :: !cleanup;
+            Some oc)
+  in
+  let access_oc = open_log cfg.access_log in
+  let slow_oc = open_log cfg.slow_query_log in
   let t =
     {
       cfg;
       db;
+      db_elems = Structure.universe_size db;
+      db_tuples = Structure.num_tuples db;
       pool = Pool.create ~jobs:cfg.jobs ();
       listen_fd;
       queue = Admission.create ~depth:cfg.queue_depth ();
       stats = make_stats ();
+      eval_snap =
+        Atomic.make
+          {
+            es_pool_spawned = Pool.spawn_count ();
+            es_pool_idle = Pool.idle_count ();
+            es_cache_entries = 0;
+            es_cache_invalids = 0;
+          };
+      reqids = Reqid.create ();
+      rolling_all = Rolling.create ();
+      rolling_by_op = List.map (fun op -> (op, Rolling.create ())) evaluated_ops;
+      access_oc;
+      slow_oc;
       started_at = Unix.gettimeofday ();
       stop_requested_flag = Atomic.make false;
       stopping = Atomic.make false;
@@ -774,11 +1156,19 @@ let start (cfg : config) ~(db : Structure.t) : t =
       threads = [];
       acceptor = None;
       evaluator = None;
+      gateway = None;
       stop_lock = Mutex.create ();
       stopped = false;
       discarded_total = 0;
     }
   in
+  (match cfg.metrics_addr with
+  | Some (host, port) ->
+      t.gateway <-
+        Some
+          (guard (fun () ->
+               Obs_gateway.start ~host ~port ~handler:(gateway_handler t)))
+  | None -> ());
   t.evaluator <- Some (Thread.create (fun () -> evaluator_loop t) ());
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
   t
@@ -889,7 +1279,19 @@ let stop (t : t) : int =
                   try Unix.close c.fd with _ -> ()
                 end))
           leftovers;
-        (* 6. the evaluator is gone, so no run is in flight: join the
+        (* 6. the query plane is quiesced: take down the observability
+           plane last — it stayed up through the whole drain on purpose,
+           so /healthz visibly reported 503 while requests were being
+           retired — and close the request logs *)
+        (match t.gateway with Some g -> Obs_gateway.stop g | None -> ());
+        t.gateway <- None;
+        (match t.access_oc with
+        | Some oc -> ( try close_out oc with _ -> ())
+        | None -> ());
+        (match t.slow_oc with
+        | Some oc -> ( try close_out oc with _ -> ())
+        | None -> ());
+        (* 7. the evaluator is gone, so no run is in flight: join the
            parked worker domains the resident pool accumulated (an
            optional courtesy — a later server in the same process would
            simply respawn them) *)

@@ -48,11 +48,22 @@ type config = {
   cache_capacity : int;  (** prepared-query entries kept (0 disables) *)
   drain_deadline_s : float;  (** graceful-drain allowance on shutdown *)
   max_connections : int;  (** concurrent clients; excess is shed at accept *)
+  metrics_addr : (string * int) option;
+      (** bind an {!Obs_gateway} here ([host, port]; port 0 lets the
+          kernel pick — see {!metrics_port}).  [None] disables the
+          observability HTTP plane entirely. *)
+  access_log : string option;
+      (** append one JSON line per evaluated request to this file *)
+  slow_query_log : string option;
+      (** append one JSON line ({!Slowlog.entry}) per slow query *)
+  slow_factor : float;
+      (** a query is "slow" when its observed step count exceeds
+          [slow_factor] times the {!Plan} cost prediction *)
 }
 
 (** Defaults: 64-deep queue, 1 MiB frames, 300 s idle timeout, 30 s
     request timeout, 256 cache entries, 5 s drain deadline, 128
-    connections. *)
+    connections, no metrics gateway, no request logs, slow factor 8. *)
 val default_config : listen:listen -> jobs:int -> config
 
 type t
@@ -61,6 +72,10 @@ type t
     evaluator threads.  @raise Unix.Unix_error when binding fails (the
     one fault that must be loud: the service cannot exist). *)
 val start : config -> db:Structure.t -> t
+
+(** [metrics_port t] is the actual bound port of the metrics gateway
+    ([None] when [metrics_addr] was [None]).  Useful with port 0. *)
+val metrics_port : t -> int option
 
 (** [request_stop t] flips the drain flag (signal-handler safe: one
     atomic store).  {!stop} performs the actual drain. *)

@@ -296,6 +296,83 @@ let qcheck_telemetry =
             | Error _ -> false));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Histogram edge cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_empty () =
+  scoped (fun () ->
+      let h = Telemetry.histogram "t.empty" in
+      let s = Telemetry.histogram_snapshot h in
+      Alcotest.(check int) "empty count" 0 s.Telemetry.hs_count;
+      Alcotest.(check (float 0.)) "empty sum" 0. s.Telemetry.hs_sum;
+      Alcotest.(check int) "no bucket populated" 0
+        (Array.fold_left ( + ) 0 s.Telemetry.hs_counts);
+      Alcotest.(check (float 0.)) "empty quantile is 0" 0.
+        (Rolling.quantile_of_counts s.Telemetry.hs_counts 0.99))
+
+let test_histogram_single_sample () =
+  scoped (fun () ->
+      let h = Telemetry.histogram "t.single" in
+      Telemetry.observe h 3.5;
+      let s = Telemetry.histogram_snapshot h in
+      Alcotest.(check int) "one sample" 1 s.Telemetry.hs_count;
+      Alcotest.(check (float 1e-6)) "sum is the sample" 3.5
+        s.Telemetry.hs_sum;
+      Alcotest.(check int) "exactly one bucket" 1
+        (Array.fold_left ( + ) 0 s.Telemetry.hs_counts);
+      (* every quantile of a single sample reports that bucket's edge *)
+      let p50 = Rolling.quantile_of_counts s.Telemetry.hs_counts 0.5 in
+      let p99 = Rolling.quantile_of_counts s.Telemetry.hs_counts 0.99 in
+      Alcotest.(check (float 0.)) "p50 = p99 for one sample" p50 p99;
+      Alcotest.(check bool) "edge bounds the sample" true (p50 >= 3.5))
+
+let test_histogram_max_bucket_overflow () =
+  scoped (fun () ->
+      let h = Telemetry.histogram "t.overflow" in
+      (* far past the top bucket's range (2^31): both must clamp into
+         bucket 63 instead of raising or indexing out of bounds *)
+      Telemetry.observe h 1e10;
+      Telemetry.observe h 4e10;
+      let s = Telemetry.histogram_snapshot h in
+      Alcotest.(check int) "both counted" 2 s.Telemetry.hs_count;
+      Alcotest.(check int) "both in the top bucket" 2
+        s.Telemetry.hs_counts.(63);
+      Alcotest.(check bool) "sum survives" true
+        (Float.abs (s.Telemetry.hs_sum -. 5e10) < 1.))
+
+let test_histogram_cross_domain_merge () =
+  scoped (fun () ->
+      let h = Telemetry.histogram "t.domains" in
+      let per = 5000 in
+      (* two domains observing concurrently: the atomic buckets must
+         lose nothing, and the per-bucket totals are deterministic
+         (set-of-observations determined, order independent) *)
+      let worker lo =
+        Domain.spawn (fun () ->
+            for i = lo to lo + per - 1 do
+              Telemetry.observe h (float_of_int ((i mod 1000) + 1))
+            done)
+      in
+      let d1 = worker 0 and d2 = worker per in
+      Domain.join d1;
+      Domain.join d2;
+      let s = Telemetry.histogram_snapshot h in
+      Alcotest.(check int) "no observation lost" (2 * per)
+        s.Telemetry.hs_count;
+      Alcotest.(check int) "buckets sum to the count" (2 * per)
+        (Array.fold_left ( + ) 0 s.Telemetry.hs_counts);
+      (* the same observations sequentially: bucket-for-bucket equal *)
+      let h' = Telemetry.histogram "t.domains.seq" in
+      for i = 0 to (2 * per) - 1 do
+        Telemetry.observe h' (float_of_int ((i mod 1000) + 1))
+      done;
+      let s' = Telemetry.histogram_snapshot h' in
+      Alcotest.(check (array int)) "merge deterministic"
+        s'.Telemetry.hs_counts s.Telemetry.hs_counts;
+      Alcotest.(check (float 1e-3)) "sums agree" s'.Telemetry.hs_sum
+        s.Telemetry.hs_sum)
+
 let suite =
   [
     ( "telemetry",
@@ -321,6 +398,13 @@ let suite =
           test_noop_zero_alloc_counters;
         Alcotest.test_case "no-op mode: no events" `Quick
           test_disabled_span_no_events;
+        Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+        Alcotest.test_case "histogram: single sample" `Quick
+          test_histogram_single_sample;
+        Alcotest.test_case "histogram: max-bucket overflow" `Quick
+          test_histogram_max_bucket_overflow;
+        Alcotest.test_case "histogram: cross-domain merge deterministic"
+          `Quick test_histogram_cross_domain_merge;
       ]
       @ List.map QCheck_alcotest.to_alcotest qcheck_telemetry );
   ]
