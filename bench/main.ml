@@ -533,7 +533,7 @@ let e13 () =
     (fun n ->
       let universe = List.init n (fun i -> i) in
       let empty = Structure.make sg universe [] in
-      let st = Dynamic.create q empty in
+      let st = Dynamic.create_exn q empty in
       let rng = Random.State.make [| 3 |] in
       let updates = 50_000 in
       let t0 = Sys.time () in
@@ -622,7 +622,7 @@ let bechamel_tests () =
          (Structure.make sg [ 0; 1 ] [ ("R", [ [ 0 ] ]); ("S", [ [ 0; 1 ] ]) ])
          [ 0 ]
      in
-     let st = Dynamic.create q (Structure.make sg (List.init 1000 (fun i -> i)) []) in
+     let st = Dynamic.create_exn q (Structure.make sg (List.init 1000 (fun i -> i)) []) in
      let i = ref 0 in
      Test.make ~name:"E13_dynamic_update" (Staged.stage (fun () ->
          incr i;

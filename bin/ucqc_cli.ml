@@ -536,6 +536,11 @@ let classify_cmd =
           Printf.printf "max ctw over Gamma:      %d\n"
             r.Classify.gamma_max_contract_tw
         end;
+        let sel = Tier.select psi in
+        Printf.printf "maintenance tier:        %s (%s; %s)\n"
+          (Tier.to_string sel.Tier.tier)
+          (Tier.describe sel.Tier.tier)
+          sel.Tier.reason;
         Runner.exit_exact)
   in
   let doc = "Report the treewidth measures behind Theorems 1/2/3." in
@@ -752,6 +757,258 @@ let treewidth_cmd =
       $ no_fallback_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* watch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let watch_cmd =
+  let files_arg =
+    let doc =
+      "Query files followed by the database file: the last $(docv) is the \
+       database, every earlier one a query to keep counted."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let input_arg =
+    let doc = "Read delta lines from $(docv) instead of stdin." in
+    Arg.(value & opt (some file) None & info [ "input" ] ~docv:"FILE" ~doc)
+  in
+  let final_db_arg =
+    let doc =
+      "After the stream ends, write the final database in .facts syntax to \
+       $(docv) — a one-shot 'ucqc count' on it must agree with the last \
+       streamed counts."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "final-db" ] ~docv:"FILE" ~doc)
+  in
+  let run files input final_db max_steps timeout no_fallback jobs obs =
+    guarded (fun () ->
+        with_obs obs "watch" @@ fun () ->
+        let qfiles, dbfile =
+          match List.rev files with
+          | db :: (_ :: _ as qs) -> (List.rev qs, db)
+          | _ ->
+              raise
+                (Ucqc_error.Error
+                   (Ucqc_error.Unsupported
+                      "watch needs at least one query file and a database \
+                       file"))
+        in
+        let pool = pool_of jobs in
+        let db0, env = parse_db_file dbfile in
+        let d = Delta.open_db ~env db0 in
+        let queries = List.map (fun p -> (p, fst (parse_ucq_file p))) qfiles in
+        let fresh_budget () =
+          match (max_steps, timeout) with
+          | None, None -> None
+          | _ -> Some (budget_of max_steps timeout)
+        in
+        let states =
+          List.map
+            (fun (p, psi) -> (p, Delta.prepare ?budget:(fresh_budget ()) psi d))
+            queries
+        in
+        let g_epoch = Telemetry.gauge "watch.db.epoch" in
+        let c_applied = Telemetry.counter "watch.updates.applied" in
+        let c_noop = Telemetry.counter "watch.updates.noop" in
+        let c_rejected = Telemetry.counter "watch.updates.rejected" in
+        let c_maintained = Telemetry.counter "watch.counts.maintained" in
+        let c_memoized = Telemetry.counter "watch.counts.memoized" in
+        let c_recomputed = Telemetry.counter "watch.counts.recomputed" in
+        let any_rejected = ref false in
+        let any_degraded = ref false in
+        (* one count per query: read off the maintained state when it is
+           live, otherwise recompute exactly and memoize.  [None] means
+           the budget ran out: the count is unavailable this epoch but
+           the stream keeps going (degraded, exit 2) — unless
+           --no-fallback turned that into a hard 124. *)
+        let count_for (st : Delta.state) : int option * string =
+          match Delta.maintained_count st d with
+          | Some (n, Delta.Maintained) ->
+              Telemetry.incr c_maintained;
+              (Some n, "maintained")
+          | Some (n, Delta.Memoized) ->
+              Telemetry.incr c_memoized;
+              (Some n, "memoized")
+          | None -> (
+              match
+                Runner.count ~via:Runner.Expansion ~fallback:false ~seed:1
+                  ~pool
+                  ~budget:(budget_of max_steps timeout)
+                  (Delta.query st) (Delta.structure d)
+              with
+              | Ok (Runner.Exact n) ->
+                  Telemetry.incr c_recomputed;
+                  Delta.memoize st d n;
+                  (Some n, "recomputed")
+              | Ok (Runner.Approximate _) ->
+                  (* unreachable with ~fallback:false; treat as absent *)
+                  (None, "unavailable")
+              | Error e ->
+                  if no_fallback then raise (Ucqc_error.Error e);
+                  any_degraded := true;
+                  (None, "unavailable"))
+        in
+        let counts_json () : Trace_json.t =
+          Trace_json.Arr
+            (List.map
+               (fun (path, st) ->
+                 let n, source = count_for st in
+                 Trace_json.Obj
+                   ([
+                      ("query", Trace_json.Str path);
+                      ( "count",
+                        match n with
+                        | Some n -> Trace_json.Num (float_of_int n)
+                        | None -> Trace_json.Null );
+                      ("source", Trace_json.Str source);
+                      ( "tier",
+                        Trace_json.Str
+                          (Tier.to_string (Delta.effective_tier st)) );
+                    ]
+                   @
+                   match Delta.degraded st with
+                   | None -> []
+                   | Some reason ->
+                       any_degraded := true;
+                       [ ("degraded", Trace_json.Str reason) ]))
+               states)
+        in
+        let emit (fields : (string * Trace_json.t) list) : unit =
+          print_endline (Trace_json.to_string (Trace_json.Obj fields));
+          flush stdout
+        in
+        let emit_rejected lineno text (e : Ucqc_error.t) : unit =
+          any_rejected := true;
+          Telemetry.incr c_rejected;
+          emit
+            [
+              ("line", Trace_json.Num (float_of_int lineno));
+              ("status", Trace_json.Str "rejected");
+              ("input", Trace_json.Str text);
+              ("error", Trace_json.Str (Ucqc_error.to_string e));
+            ]
+        in
+        (* the epoch-0 snapshot: initial counts and each query's selected
+           tier with the classifier's reason *)
+        emit
+          [
+            ("line", Trace_json.Num 0.);
+            ("status", Trace_json.Str "initial");
+            ("epoch", Trace_json.Num (float_of_int (Delta.epoch d)));
+            ( "tiers",
+              Trace_json.Arr
+                (List.map
+                   (fun (path, st) ->
+                     let sel = Delta.selection st in
+                     Trace_json.Obj
+                       [
+                         ("query", Trace_json.Str path);
+                         ("tier", Trace_json.Str (Tier.to_string sel.Tier.tier));
+                         ("reason", Trace_json.Str sel.Tier.reason);
+                       ])
+                   states) );
+            ("counts", counts_json ());
+          ];
+        let ic = match input with Some p -> open_in p | None -> stdin in
+        Fun.protect
+          ~finally:(fun () -> if input <> None then close_in_noerr ic)
+          (fun () ->
+            let lineno = ref 0 in
+            (try
+               while true do
+                 let text = input_line ic in
+                 incr lineno;
+                 let lineno = !lineno in
+                 match Delta_parse.line ~lineno text with
+                 | Ok Delta_parse.Blank -> ()
+                 | Error e -> emit_rejected lineno text e
+                 | Ok (Delta_parse.Deltas specs) -> (
+                     (* resolve and validate the whole batch before
+                        applying any of it: a bad delta in an NDJSON
+                        'apply' rejects the batch atomically *)
+                     let resolved =
+                       List.fold_left
+                         (fun acc spec ->
+                           match acc with
+                           | Error _ -> acc
+                           | Ok us -> (
+                               match Delta.resolve d spec with
+                               | Ok u -> Ok (u :: us)
+                               | Error e -> Error e))
+                         (Ok []) specs
+                     in
+                     match resolved with
+                     | Error e -> emit_rejected lineno text e
+                     | Ok rev_updates ->
+                         let applied = ref 0 in
+                         let noops = ref 0 in
+                         List.iter
+                           (fun u ->
+                             match Delta.apply d u with
+                             | Error e ->
+                                 (* validated above; a failure here is an
+                                    invariant break *)
+                                 raise
+                                   (Ucqc_error.Error
+                                      (Ucqc_error.Internal
+                                         ("watch: validated delta failed to \
+                                           apply: "
+                                         ^ Ucqc_error.to_string e)))
+                             | Ok r ->
+                                 if r.Delta.changed then begin
+                                   incr applied;
+                                   Telemetry.incr c_applied;
+                                   List.iter
+                                     (fun (_, st) ->
+                                       Delta.apply_state
+                                         ?budget:(fresh_budget ()) st d r)
+                                     states
+                                 end
+                                 else begin
+                                   incr noops;
+                                   Telemetry.incr c_noop
+                                 end)
+                           (List.rev rev_updates);
+                         Telemetry.set_gauge g_epoch
+                           (float_of_int (Delta.epoch d));
+                         emit
+                           [
+                             ("line", Trace_json.Num (float_of_int lineno));
+                             ("status", Trace_json.Str "ok");
+                             ("applied", Trace_json.Num (float_of_int !applied));
+                             ("noop", Trace_json.Num (float_of_int !noops));
+                             ( "epoch",
+                               Trace_json.Num (float_of_int (Delta.epoch d)) );
+                             ("counts", counts_json ());
+                           ])
+               done
+             with End_of_file -> ());
+            Option.iter
+              (fun path ->
+                write_file_with path (fun oc ->
+                    output_string oc (Delta.render_facts (Delta.structure d))))
+              final_db;
+            if !any_rejected then Ucqc_error.exit_code (Ucqc_error.Unsupported "")
+            else if !any_degraded then Runner.exit_degraded
+            else Runner.exit_exact))
+  in
+  let doc =
+    "Watch a stream of fact deltas ('+E(1,2)' / '-E(1,2)', or the NDJSON \
+     forms) against a set of queries, emitting updated counts after every \
+     change.  Counts are maintained incrementally where the theory \
+     allows: tier A (q-hierarchical dynamic counting, O(1) per update), \
+     tier B (delta evaluation through the changed tuple), tier C (lazy \
+     recompute, memoized per epoch).  Rejected deltas are reported and \
+     skipped (final exit 65); budget exhaustion degrades (exit 2) unless \
+     --no-fallback makes it fatal (124)."
+  in
+  Cmd.v (Cmd.info "watch" ~doc)
+    Term.(
+      const run $ files_arg $ input_arg $ final_db_arg $ max_steps_arg
+      $ timeout_arg $ no_fallback_arg $ jobs_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -890,7 +1147,7 @@ let serve_cmd =
                       "serve needs a listen address: --socket PATH or --port \
                        PORT"))
         in
-        let db, _ = parse_db_file dbfile in
+        let db, db_env = parse_db_file dbfile in
         let cfg =
           {
             Server.listen;
@@ -915,7 +1172,7 @@ let serve_cmd =
            must happen after the drain has joined every thread *)
         let wanted = obs_wanted obs in
         if wanted then Telemetry.enable ();
-        let t = Server.start cfg ~db in
+        let t = Server.start ~env:db_env cfg ~db in
         Server.install_signal_stop t;
         Printf.eprintf "ucqc: serving %s (jobs %d)\n%!"
           (match listen with
@@ -1054,7 +1311,9 @@ let top_cmd =
     let doc = "Scrape once, print one snapshot, exit." in
     Arg.(value & flag & info [ "once" ] ~doc)
   in
-  let ops = [ "count"; "classify"; "check"; "ping"; "stats" ] in
+  let ops =
+    [ "count"; "classify"; "check"; "insert"; "delete"; "apply"; "ping"; "stats" ]
+  in
   let render_top ~(host : string) ~(port : int)
       ~(prev : (float * Prometheus.sample list) option) (now_t : float)
       (samples : Prometheus.sample list) : string =
@@ -1214,6 +1473,7 @@ let () =
             pipeline_cmd;
             enumerate_cmd;
             treewidth_cmd;
+            watch_cmd;
             serve_cmd;
             top_cmd;
           ])

@@ -25,7 +25,7 @@ let () =
   Format.printf "q-hierarchical: %b@.@." (Cq.is_q_hierarchical q);
   let universe = List.init 100 (fun i -> i) in
   let empty = Structure.make sg universe [] in
-  let st = Dynamic.create q empty in
+  let st = Dynamic.create_exn q empty in
   let show msg = Format.printf "%-42s count = %d@." msg (Dynamic.count st) in
   show "initially";
   Dynamic.insert st "Profile" [ 1 ];
@@ -67,6 +67,6 @@ let () =
   let graph_db = Structure.make Generators.graph_signature [ 0; 1 ] [] in
   Format.printf
     "@.the path E(a,b) ∧ E(b,c) ∧ E(c,d) is acyclic but not q-hierarchical:@.";
-  (try ignore (Dynamic.create path graph_db)
+  (try ignore (Dynamic.create_exn path graph_db)
    with Dynamic.Not_q_hierarchical ->
-     Format.printf "  Dynamic.create rejects it (Not_q_hierarchical).@.")
+     Format.printf "  Dynamic.create_exn rejects it (Not_q_hierarchical).@.")

@@ -12,6 +12,9 @@ type report = {
   path : string option;
   diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
   plan : Plan.t option;  (** present when the plan rule completed *)
+  update_tier : Tier.selection option;
+      (** maintenance tier under live updates; present when interning
+          succeeded and the tier rule completed *)
 }
 
 (* Adversarial input must terminate even without a caller budget: the
@@ -223,8 +226,9 @@ let ast_rules ~(add : Diagnostic.t -> unit) (ast : Parse.ast) : unit =
 (* ------------------------------------------------------------------ *)
 
 let semantic_rules ~(add : Diagnostic.t -> unit) ~(budget : Budget.t)
-    ?(pool : Pool.t option) ~(tw_threshold : int) (ast : Parse.ast)
-    (psi : Ucq.t) : Plan.t option =
+    ?(pool : Pool.t option) ~(tw_threshold : int)
+    ~(tier : Tier.selection option ref) (ast : Parse.ast) (psi : Ucq.t) :
+    Plan.t option =
   let plan = ref None in
   let exhausted = ref false in
   (* Every rule is fenced: budget exhaustion reports UCQ003 once and
@@ -278,14 +282,19 @@ let semantic_rules ~(add : Diagnostic.t -> unit) ~(budget : Budget.t)
                   counting backtracks within treewidth <= %d"
                  dnum hi)))
     disjuncts;
-  (* UCQ207: the dynamic-counting criterion, exponential in l - gated. *)
+  (* UCQ207: the dynamic-counting criterion, exponential in l - gated
+     (the gate lives in Tier.select, which reports tier C above it). *)
   rule "q-hierarchical" (fun () ->
-      if Ucq.length psi <= 6 && not (Ucq.is_exhaustively_q_hierarchical psi)
-      then
+      let sel = Tier.select psi in
+      tier := Some sel;
+      if Ucq.length psi <= Tier.max_disjuncts && sel.Tier.tier <> Tier.A then
         add
           (Diagnostic.make "UCQ207"
              "not exhaustively q-hierarchical: constant-time dynamic \
-              counting under updates (Section 1.2) does not apply"));
+              counting under updates (Section 1.2) does not apply; live \
+              updates fall back to maintenance tier %s (%s)"
+             (Tier.to_string sel.Tier.tier)
+             (Tier.describe sel.Tier.tier)));
   (* UCQ104 / UCQ106: subsumption between disjuncts via homomorphisms
      fixing the free variables pointwise. *)
   rule "subsumption" (fun () ->
@@ -379,6 +388,7 @@ let check ?(budget : Budget.t option) ?(pool : Pool.t option)
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let plan = ref None in
+  let tier = ref None in
   (try
      match Parse.ast_result text with
      | Error e -> add (of_error e)
@@ -392,7 +402,7 @@ let check ?(budget : Budget.t option) ?(pool : Pool.t option)
              ()
          | Error e -> add (of_error e)
          | Ok (psi, _env) ->
-             plan := semantic_rules ~add ~budget ?pool ~tw_threshold ast psi);
+             plan := semantic_rules ~add ~budget ?pool ~tw_threshold ~tier ast psi);
          (* UCQ203: union-size blowup - unbudgeted, from l alone, refined
             by the plan when one was computed. *)
          if ie_terms >= ie_threshold then
@@ -421,6 +431,7 @@ let check ?(budget : Budget.t option) ?(pool : Pool.t option)
     path;
     diagnostics = List.sort_uniq Diagnostic.compare !diags;
     plan = !plan;
+    update_tier = !tier;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -479,7 +490,19 @@ let report_to_json (r : report) : Trace_json.t =
        ( "diagnostics",
          Trace_json.Arr (List.map diagnostic_to_json r.diagnostics) );
      ]
-    @ match r.plan with Some p -> [ ("plan", Plan.to_json p) ] | None -> [])
+    @ (match r.plan with Some p -> [ ("plan", Plan.to_json p) ] | None -> [])
+    @
+    match r.update_tier with
+    | Some sel ->
+        [
+          ( "update_tier",
+            Trace_json.Obj
+              [
+                ("tier", Trace_json.Str (Tier.to_string sel.Tier.tier));
+                ("reason", Trace_json.Str sel.Tier.reason);
+              ] );
+        ]
+    | None -> [])
 
 let report_to_human (r : report) : string =
   match r.diagnostics with

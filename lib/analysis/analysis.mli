@@ -15,6 +15,9 @@ type report = {
   path : string option;
   diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
   plan : Plan.t option;  (** present when the plan rule completed *)
+  update_tier : Tier.selection option;
+      (** {!Tier} maintenance class under live updates; present when
+          interning succeeded and the tier rule completed *)
 }
 
 (** The default step allowance when {!check} is called without a budget

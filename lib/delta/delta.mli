@@ -1,0 +1,133 @@
+(** The tiered incremental-counting engine behind [ucqc watch] and the
+    server's mutation ops.
+
+    A {!db} is a mutable single-writer database session: the universe
+    and signature are fixed at load time (the dynamic setting of
+    Section 1.2), tuples change one at a time through {!apply}, and a
+    monotonically increasing {b epoch} stamps every accepted change.
+
+    Each registered query is a {!state} maintained on one of three
+    tiers (selected by {!Tier.select} from [lib/analysis]):
+
+    - {b A} — a {!Dynamic_ucq} instance: O(1) per update.
+    - {b B} — per-combined-query delta evaluation: the signed counts
+      of the [2^l - 1] combined queries [∧(Ψ|J)] are kept, and an
+      update [±R(t)] re-evaluates only the homomorphisms through the
+      changed tuple [t].  For each occurrence of [R] in a combined
+      query, the occurrence's variables are bound to [t] by
+      {e specializing} the query — atoms touching bound variables are
+      replaced by residual atoms over neighbourhood-sized relations, an
+      eager semi-join, so the stock variable-elimination engine of
+      [lib/db] never joins full relations — and the bound query's
+      answers are the candidate assignments; candidates not already
+      (insert) or no longer (delete) satisfied shift the maintained
+      count.
+    - {b C} — nothing is maintained; counts are recomputed lazily by
+      the caller and memoized per epoch via {!memoize}.
+
+    Tier-A/B states degrade to tier-C behaviour (permanently, with a
+    recorded reason) instead of ever reporting a wrong count: budget
+    exhaustion or any escape during delta application marks the state,
+    and {!maintained_count} stops answering. *)
+
+(** {1 Updates} *)
+
+type fact = { rel : string; tuple : int list }
+type update = { op : [ `Insert | `Delete ]; fact : fact }
+
+(** {1 The database session} *)
+
+type db
+
+(** [open_db ?env s] starts a session over the loaded database [s];
+    [env] carries the constant-interning environment of
+    {!Parse.database_result} so deltas may use the same identifier
+    constants as the [.facts] file.  The epoch starts at 0. *)
+val open_db : ?env:Parse.db_env -> Structure.t -> db
+
+val structure : db -> Structure.t
+val epoch : db -> int
+
+(** [resolve d spec] interns a parsed delta against the session:
+    identifier constants resolve through the load-time environment,
+    the relation must exist in the (fixed) signature with the right
+    arity, and every element must lie in the (fixed) universe. *)
+val resolve : db -> Delta_parse.spec -> (update, Ucqc_error.t) result
+
+(** [validate d u] runs the {!resolve}-level checks on an already
+    interned update (relation, arity, universe) without applying it —
+    the server validates a whole [apply] batch before touching the
+    database, making batches atomic. *)
+val validate : db -> update -> (unit, Ucqc_error.t) result
+
+(** The receipt of one accepted update: [changed] is false for no-op
+    updates (inserting a present tuple, deleting an absent one), which
+    do {e not} advance the epoch. *)
+type applied = {
+  upd : update;
+  changed : bool;
+  epoch : int;  (** session epoch after the update *)
+  before : Structure.t;
+  after : Structure.t;
+}
+
+(** [apply d u] validates and applies one update. *)
+val apply : db -> update -> (applied, Ucqc_error.t) result
+
+(** {1 Per-query maintained states} *)
+
+type state
+
+(** [prepare ?budget psi d] classifies [psi] and builds its maintained
+    state over the session's current database.  Total: tier-A/B
+    construction failures (uncovered signature, budget exhaustion)
+    fall back to an un-maintained state rather than erroring — a later
+    recompute will surface whatever the real problem is, identically
+    to the one-shot path. *)
+val prepare : ?budget:Budget.t -> Ucq.t -> db -> state
+
+val query : state -> Ucq.t
+
+(** The tier the classifier selected, with its reason. *)
+val selection : state -> Tier.selection
+
+(** [effective_tier st] is the tier the state currently operates at —
+    the selected tier, or [C] after degradation. *)
+val effective_tier : state -> Tier.t
+
+(** [degraded st] is the degradation reason, if the tier-A/B state has
+    been abandoned. *)
+val degraded : state -> string option
+
+(** [apply_state ?budget st d receipt] folds one accepted change into
+    the maintained state.  Must be called once, in order, for every
+    {!applied} with [changed = true]; a state that misses an epoch
+    degrades rather than answer stale counts.  Never raises. *)
+val apply_state : ?budget:Budget.t -> state -> db -> applied -> unit
+
+(** Where a served count came from. *)
+type source =
+  | Maintained  (** read off the live tier-A/B state *)
+  | Memoized  (** an exact recompute recorded at this epoch *)
+
+(** [maintained_count st d] is the current count if the state can
+    answer without recomputation: a live tier-A/B state synced to the
+    session epoch, or a valid epoch-tagged memo.  [None] means the
+    caller must recompute (and should then {!memoize}). *)
+val maintained_count : state -> db -> (int * source) option
+
+(** [memoize st d n] records an {e exact} recomputed count for the
+    current epoch (approximate/degraded results must not be
+    memoized). *)
+val memoize : state -> db -> int -> unit
+
+(** {1 Rendering} *)
+
+(** [render_facts s] renders a structure in the [.facts] syntax
+    ([universe { ... }] plus one fact per line) such that
+    [Parse.database_result] reads back an equal structure — the bridge
+    the consistency harness uses to compare a mutated session against
+    a one-shot count.  Caveat: the facts syntax cannot declare a
+    relation with no tuples, so symbols whose relation is empty are
+    absent from the re-parsed signature. *)
+val render_facts : Structure.t -> string

@@ -1,0 +1,289 @@
+(** Fact-delta line parsing (see the interface).  A hand-rolled scanner
+    with 1-based column tracking for the text form; {!Trace_json} for
+    the NDJSON form.  Total by construction: every failure path builds a
+    {!Ucqc_error.Parse_error} whose span stays inside the input line. *)
+
+type sign = Insert | Delete
+type arg = Int of int | Sym of string
+
+type spec = {
+  sign : sign;
+  rel : string;
+  args : arg list;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+}
+
+type parsed = Deltas of spec list | Blank
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* ------------------------------------------------------------------ *)
+(* Text form                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A scanner over one line: [pos] is a 0-based index; columns reported
+   to the user are [pos + 1].  Errors are returned, never raised. *)
+type scanner = { text : string; mutable pos : int; lineno : int }
+
+let error (sc : scanner) ~(from : int) (msg : string) : ('a, Ucqc_error.t) result
+    =
+  Error
+    (Ucqc_error.Parse_error
+       {
+         line = sc.lineno;
+         col = from + 1;
+         end_line = sc.lineno;
+         end_col = sc.pos + 1;
+         msg;
+       })
+
+let point_error (sc : scanner) (msg : string) : ('a, Ucqc_error.t) result =
+  error sc ~from:sc.pos msg
+
+let skip_ws (sc : scanner) : unit =
+  let n = String.length sc.text in
+  while
+    sc.pos < n
+    && (sc.text.[sc.pos] = ' ' || sc.text.[sc.pos] = '\t'
+       || sc.text.[sc.pos] = '\r')
+  do
+    sc.pos <- sc.pos + 1
+  done
+
+let at_end_or_comment (sc : scanner) : bool =
+  skip_ws sc;
+  sc.pos >= String.length sc.text || sc.text.[sc.pos] = '#'
+
+let ( let* ) = Result.bind
+
+(** One constant: a non-negative integer literal or an identifier (the
+    same alphabet as the [.facts] tokenizer; negative constants are
+    rejected there too). *)
+let scan_arg (sc : scanner) : (arg, Ucqc_error.t) result =
+  let n = String.length sc.text in
+  if sc.pos >= n then point_error sc "expected a constant"
+  else
+    let start = sc.pos in
+    let c = sc.text.[sc.pos] in
+    if is_digit c then begin
+      while sc.pos < n && is_digit sc.text.[sc.pos] do
+        sc.pos <- sc.pos + 1
+      done;
+      if sc.pos < n && is_ident_char sc.text.[sc.pos] then
+        error sc ~from:start "malformed constant: identifiers cannot start \
+                              with a digit"
+      else
+        let text = String.sub sc.text start (sc.pos - start) in
+        match int_of_string_opt text with
+        | Some k -> Ok (Int k)
+        | None -> error sc ~from:start ("integer literal " ^ text ^ " out of range")
+    end
+    else if c = '-' then begin
+      sc.pos <- sc.pos + 1;
+      while sc.pos < n && is_digit sc.text.[sc.pos] do
+        sc.pos <- sc.pos + 1
+      done;
+      error sc ~from:start "negative constants are not allowed"
+    end
+    else if is_ident_char c then begin
+      while sc.pos < n && is_ident_char sc.text.[sc.pos] do
+        sc.pos <- sc.pos + 1
+      done;
+      Ok (Sym (String.sub sc.text start (sc.pos - start)))
+    end
+    else point_error sc (Printf.sprintf "unexpected character %C" c)
+
+(** [R(a1,...,ak)] with [k >= 0], starting at the current position. *)
+let scan_fact (sc : scanner) ~(sign : sign) ~(from : int) :
+    (spec, Ucqc_error.t) result =
+  let n = String.length sc.text in
+  skip_ws sc;
+  let rel_start = sc.pos in
+  if sc.pos >= n || not (is_ident_char sc.text.[sc.pos]) then
+    point_error sc "expected a relation symbol"
+  else if is_digit sc.text.[sc.pos] then
+    point_error sc "relation symbols cannot start with a digit"
+  else begin
+    while sc.pos < n && is_ident_char sc.text.[sc.pos] do
+      sc.pos <- sc.pos + 1
+    done;
+    let rel = String.sub sc.text rel_start (sc.pos - rel_start) in
+    skip_ws sc;
+    if sc.pos >= n || sc.text.[sc.pos] <> '(' then
+      point_error sc "expected '(' after the relation symbol"
+    else begin
+      sc.pos <- sc.pos + 1;
+      skip_ws sc;
+      let* args =
+        if sc.pos < n && sc.text.[sc.pos] = ')' then begin
+          sc.pos <- sc.pos + 1;
+          Ok []
+        end
+        else
+          let rec loop acc =
+            let* a = scan_arg sc in
+            skip_ws sc;
+            if sc.pos < n && sc.text.[sc.pos] = ',' then begin
+              sc.pos <- sc.pos + 1;
+              skip_ws sc;
+              loop (a :: acc)
+            end
+            else if sc.pos < n && sc.text.[sc.pos] = ')' then begin
+              sc.pos <- sc.pos + 1;
+              Ok (List.rev (a :: acc))
+            end
+            else point_error sc "expected ',' or ')' in the argument list"
+          in
+          loop []
+      in
+      Ok
+        {
+          sign;
+          rel;
+          args;
+          line = sc.lineno;
+          col = from + 1;
+          end_line = sc.lineno;
+          end_col = sc.pos + 1;
+        }
+    end
+  end
+
+(** The rest of the line after a fact: optional ['.'], then blank or a
+    comment. *)
+let expect_line_end (sc : scanner) : (unit, Ucqc_error.t) result =
+  skip_ws sc;
+  if sc.pos < String.length sc.text && sc.text.[sc.pos] = '.' then
+    sc.pos <- sc.pos + 1;
+  if at_end_or_comment sc then Ok ()
+  else point_error sc "trailing garbage after the delta"
+
+let scan_signed (sc : scanner) : (spec, Ucqc_error.t) result =
+  skip_ws sc;
+  let from = sc.pos in
+  if sc.pos >= String.length sc.text then point_error sc "expected '+' or '-'"
+  else
+    let* sign =
+      match sc.text.[sc.pos] with
+      | '+' ->
+          sc.pos <- sc.pos + 1;
+          Ok Insert
+      | '-' ->
+          sc.pos <- sc.pos + 1;
+          Ok Delete
+      | c ->
+          point_error sc
+            (Printf.sprintf "expected '+' or '-' before the fact, found %C" c)
+    in
+    scan_fact sc ~sign ~from
+
+let delta_string ?(lineno : int = 1) (text : string) :
+    (spec, Ucqc_error.t) result =
+  let sc = { text; pos = 0; lineno } in
+  let* s = scan_signed sc in
+  let* () = expect_line_end sc in
+  Ok s
+
+let fact_string ~(sign : sign) ?(lineno : int = 1) (text : string) :
+    (spec, Ucqc_error.t) result =
+  let sc = { text; pos = 0; lineno } in
+  skip_ws sc;
+  let from = sc.pos in
+  let* s = scan_fact sc ~sign ~from in
+  let* () = expect_line_end sc in
+  Ok s
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON form                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Spans for errors inside a JSON frame cover the whole line: mapping a
+   position inside a JSON string literal back through its escapes is
+   not worth the machinery, and the whole-line span keeps the fuzzer's
+   spans-in-text invariant. *)
+let json_error (lineno : int) (text : string) (msg : string) :
+    ('a, Ucqc_error.t) result =
+  Error
+    (Ucqc_error.Parse_error
+       {
+         line = lineno;
+         col = 1;
+         end_line = lineno;
+         end_col = String.length text + 1;
+         msg;
+       })
+
+let json_line (lineno : int) (text : string) : (parsed, Ucqc_error.t) result =
+  match Trace_json.parse text with
+  | exception Failure msg -> json_error lineno text ("malformed JSON delta: " ^ msg)
+  | exception _ -> json_error lineno text "malformed JSON delta"
+  | Trace_json.Obj obj -> (
+      match List.assoc_opt "op" obj with
+      | Some (Trace_json.Str (("insert" | "delete") as op)) -> (
+          let sign = if op = "insert" then Insert else Delete in
+          match List.assoc_opt "fact" obj with
+          | Some (Trace_json.Str f) -> (
+              match fact_string ~sign ~lineno f with
+              | Ok s -> Ok (Deltas [ s ])
+              | Error e ->
+                  json_error lineno text
+                    (Printf.sprintf "invalid \"fact\" %S: %s" f
+                       (Ucqc_error.to_string e)))
+          | Some _ -> json_error lineno text "field \"fact\" must be a string"
+          | None -> json_error lineno text "missing required field \"fact\"")
+      | Some (Trace_json.Str "apply") -> (
+          match List.assoc_opt "deltas" obj with
+          | Some (Trace_json.Arr items) ->
+              let rec loop acc = function
+                | [] -> Ok (Deltas (List.rev acc))
+                | Trace_json.Str d :: rest -> (
+                    match delta_string ~lineno d with
+                    | Ok s -> loop (s :: acc) rest
+                    | Error e ->
+                        json_error lineno text
+                          (Printf.sprintf "invalid delta %S: %s" d
+                             (Ucqc_error.to_string e)))
+                | _ :: _ ->
+                    json_error lineno text
+                      "field \"deltas\" must be an array of strings"
+              in
+              loop [] items
+          | Some _ ->
+              json_error lineno text "field \"deltas\" must be an array"
+          | None -> json_error lineno text "missing required field \"deltas\"")
+      | Some (Trace_json.Str other) ->
+          json_error lineno text
+            (Printf.sprintf
+               "unknown op %S (expected 'insert', 'delete' or 'apply')" other)
+      | Some _ -> json_error lineno text "field \"op\" must be a string"
+      | None -> json_error lineno text "missing required field \"op\"")
+  | _ -> json_error lineno text "JSON delta frame must be an object"
+
+(* ------------------------------------------------------------------ *)
+(* Entry point and rendering                                          *)
+(* ------------------------------------------------------------------ *)
+
+let line ?(lineno : int = 1) (text : string) : (parsed, Ucqc_error.t) result =
+  let sc = { text; pos = 0; lineno } in
+  if at_end_or_comment sc then Ok Blank
+  else if sc.text.[sc.pos] = '{' then json_line lineno text
+  else
+    let* s = scan_signed sc in
+    let* () = expect_line_end sc in
+    Ok (Deltas [ s ])
+
+let render (s : spec) : string =
+  Printf.sprintf "%c%s(%s)"
+    (match s.sign with Insert -> '+' | Delete -> '-')
+    s.rel
+    (String.concat ","
+       (List.map (function Int k -> string_of_int k | Sym v -> v) s.args))

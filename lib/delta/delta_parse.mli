@@ -1,0 +1,62 @@
+(** Parsing of fact-delta lines: the input language of [ucqc watch] and
+    the payload syntax of the server's [insert]/[delete]/[apply] ops.
+
+    Two surface forms are accepted, distinguished by the first
+    non-blank character of the line:
+
+    - {b text}: a signed fact, [+E(1,2)] or [-Likes(alice,post1)], with
+      an optional trailing [.] and [#] line comments — the same atom
+      syntax as the [.facts] database files (non-negative integer
+      constants denote themselves, identifier constants are interned
+      against the loaded database's environment);
+    - {b NDJSON} (lines starting with [{]): the server mutation bodies
+      [{"op":"insert","fact":"E(1,2)"}],
+      [{"op":"delete","fact":"E(1,2)"}] and
+      [{"op":"apply","deltas":["+E(1,2)","-R(3)"]}].
+
+    Everything here is pure and total — the fuzzer drives {!line} with
+    a crash corpus and raw random bytes: no exceptions escape, parsing
+    is deterministic, and every reported span stays inside the input
+    (1-based, end-exclusive, the {!Ucqc_error.Parse_error}
+    convention). *)
+
+type sign = Insert | Delete
+
+(** One constant before interning: integer literals denote themselves,
+    identifiers are resolved against the database environment later. *)
+type arg = Int of int | Sym of string
+
+(** One parsed fact delta.  The span covers the delta's own characters
+    within its source line ([line] is taken from [?lineno]). *)
+type spec = {
+  sign : sign;
+  rel : string;
+  args : arg list;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+}
+
+(** A classified input line. *)
+type parsed =
+  | Deltas of spec list  (** one text delta, or the NDJSON batch *)
+  | Blank  (** empty or comment-only *)
+
+(** [line ?lineno text] parses one input line ([lineno], default 1, is
+    the line number reported in spans and errors).  Never raises. *)
+val line : ?lineno:int -> string -> (parsed, Ucqc_error.t) result
+
+(** [fact_string ~sign ?lineno text] parses an unsigned fact
+    ["E(1,2)"] — the server's ["fact"] field. *)
+val fact_string :
+  sign:sign -> ?lineno:int -> string -> (spec, Ucqc_error.t) result
+
+(** [delta_string ?lineno text] parses a signed fact ["+E(1,2)"] — one
+    element of the server's ["deltas"] array. *)
+val delta_string : ?lineno:int -> string -> (spec, Ucqc_error.t) result
+
+(** [render s] is the canonical text form, [+E(1,2)] — a {!line}
+    fixpoint: rendering and reparsing yields an equal spec (modulo
+    span). *)
+val render : spec -> string

@@ -252,11 +252,12 @@ let touch (st : t) (name : string) (tuple : int list) : unit =
 (* Public interface                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(** [create q d] preprocesses the q-hierarchical query [q] over the initial
-    database [d] (whose universe is fixed for the session).
+(** [create_exn q d] preprocesses the q-hierarchical query [q] over the
+    initial database [d] (whose universe is fixed for the session).
+    Exception shim over {!create} for pre-existing callers.
     @raise Not_q_hierarchical when [q] is not q-hierarchical.
     @raise Invalid_argument when [d]'s signature does not cover [q]'s. *)
-let create (q : Cq.t) (d : Structure.t) : t =
+let create_exn (q : Cq.t) (d : Structure.t) : t =
   if
     not
       (Signature.subset
@@ -274,6 +275,18 @@ let create (q : Cq.t) (d : Structure.t) : t =
           ts)
     (Structure.relations d);
   st
+
+(** [create q d] is {!create_exn} under the repo-standard result
+    convention: structured {!Ucqc_error.t} values instead of bare
+    exceptions. *)
+let create (q : Cq.t) (d : Structure.t) : (t, Ucqc_error.t) result =
+  match create_exn q d with
+  | st -> Ok st
+  | exception Not_q_hierarchical ->
+      Error
+        (Ucqc_error.Unsupported
+           "dynamic counting requires a q-hierarchical query (Section 1.2)")
+  | exception Invalid_argument msg -> Error (Ucqc_error.Unsupported msg)
 
 (** [insert st name tuple] adds a tuple (idempotent). *)
 let insert (st : t) (name : string) (tuple : int list) : unit =

@@ -9,10 +9,16 @@ type t
 exception Not_q_hierarchical
 
 (** [create q d] preprocesses [q] over the initial database [d]; the
-    universe of [d] is fixed for the session (updates change tuples only).
+    universe of [d] is fixed for the session (updates change tuples
+    only).  Queries outside the q-hierarchical fragment, and databases
+    whose signature does not cover the query's, yield
+    [Error (Unsupported _)]. *)
+val create : Cq.t -> Structure.t -> (t, Ucqc_error.t) result
+
+(** Exception shim over {!create} for pre-existing callers.
     @raise Not_q_hierarchical when [q] fails the criterion.
     @raise Invalid_argument when [d]'s signature does not cover [q]'s. *)
-val create : Cq.t -> Structure.t -> t
+val create_exn : Cq.t -> Structure.t -> t
 
 (** [insert st name tuple] adds a tuple (idempotent; tuples of relations
     the query does not use are ignored). *)

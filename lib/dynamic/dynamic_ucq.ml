@@ -17,16 +17,31 @@ type t = { signs : int list; instances : Dynamic.t list }
 
 exception Not_exhaustively_q_hierarchical
 
-(** [create psi d] preprocesses all combined queries.
+(** [create_exn psi d] preprocesses all combined queries.  Exception
+    shim over {!create} for pre-existing callers.
     @raise Not_exhaustively_q_hierarchical when some [∧(Ψ|J)] fails the
     criterion. *)
-let create (psi : Ucq.t) (d : Structure.t) : t =
+let create_exn (psi : Ucq.t) (d : Structure.t) : t =
   if not (Ucq.is_exhaustively_q_hierarchical psi) then
     raise Not_exhaustively_q_hierarchical;
   let subsets = Combinat.nonempty_subsets (Ucq.length psi) in
   let signs = List.map (fun j -> if List.length j mod 2 = 1 then 1 else -1) subsets in
-  let instances = List.map (fun j -> Dynamic.create (Ucq.combined psi j) d) subsets in
+  let instances =
+    List.map (fun j -> Dynamic.create_exn (Ucq.combined psi j) d) subsets
+  in
   { signs; instances }
+
+(** [create psi d] is {!create_exn} under the repo-standard result
+    convention. *)
+let create (psi : Ucq.t) (d : Structure.t) : (t, Ucqc_error.t) result =
+  match create_exn psi d with
+  | st -> Ok st
+  | exception Not_exhaustively_q_hierarchical ->
+      Error
+        (Ucqc_error.Unsupported
+           "dynamic counting requires an exhaustively q-hierarchical union \
+            (every combined query q-hierarchical, Section 1.2)")
+  | exception Invalid_argument msg -> Error (Ucqc_error.Unsupported msg)
 
 (** [insert st name tuple] propagates an insertion to every combined-query
     instance. *)

@@ -7,10 +7,15 @@ type t
 
 exception Not_exhaustively_q_hierarchical
 
-(** [create psi d] preprocesses all combined queries.
+(** [create psi d] preprocesses all combined queries.  Unions outside
+    the exhaustively q-hierarchical fragment yield
+    [Error (Unsupported _)]. *)
+val create : Ucq.t -> Structure.t -> (t, Ucqc_error.t) result
+
+(** Exception shim over {!create} for pre-existing callers.
     @raise Not_exhaustively_q_hierarchical when some [∧(Ψ|J)] fails the
     criterion. *)
-val create : Ucq.t -> Structure.t -> t
+val create_exn : Ucq.t -> Structure.t -> t
 
 val insert : t -> string -> int list -> unit
 val delete : t -> string -> int list -> unit

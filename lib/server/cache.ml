@@ -14,6 +14,7 @@ type entry = {
   mutable analysis : Analysis.report option;
   mutable classify : Classify.report option;
   mutable plan_cost : float option option;
+  mutable maint : Delta.state option;
   mutable hits : int;
 }
 
@@ -57,6 +58,9 @@ let create ~capacity () : t =
   }
 
 let entries (t : t) : int = Hashtbl.length t.nodes
+
+let iter (t : t) (f : entry -> unit) : unit =
+  Hashtbl.iter (fun _ node -> f node.e) t.nodes
 let invalids (t : t) : int = Hashtbl.length t.bads
 
 let tick (t : t) : int =
@@ -123,6 +127,7 @@ let admit (t : t) (text : string)
             analysis = None;
             classify = None;
             plan_cost = None;
+            maint = None;
             hits = 0;
           }
       else
@@ -146,6 +151,7 @@ let admit (t : t) (text : string)
                 analysis = None;
                 classify = None;
                 plan_cost = None;
+                maint = None;
                 hits = 0;
               }
             in

@@ -35,6 +35,11 @@ type entry = {
   mutable plan_cost : float option option;
       (** memoized {!Plan.try_cost} for drift tracking: [None] =
           not computed yet, [Some None] = prediction capped out *)
+  mutable maint : Delta.state option;
+      (** the tiered incremental-counting state, built lazily at the
+          first [count] of this entry.  The analysis artifacts above
+          are epoch-independent; count memos live inside the state,
+          keyed by the database epoch *)
   mutable hits : int;  (** lookups served from this entry *)
 }
 
@@ -73,6 +78,10 @@ val admit :
     [admit] on miss — the convenience the unit tests use.  Never
     raises. *)
 val lookup : t -> string -> outcome
+
+(** [iter t f] applies [f] to every prepared entry (evaluator thread
+    only) — how an accepted update reaches every maintained state. *)
+val iter : t -> (entry -> unit) -> unit
 
 (** Current number of prepared entries / cached invalid texts. *)
 val entries : t -> int

@@ -18,6 +18,9 @@ type op =
   | Classify of { query : string }
   | Check of { query : string }
   | Stats
+  | Insert of { fact : string }
+  | Delete of { fact : string }
+  | Apply of { deltas : string list }
 
 type request = { id : Trace_json.t option; op : op }
 
@@ -27,6 +30,9 @@ let op_label : op -> string = function
   | Count _ -> "count"
   | Classify _ -> "classify"
   | Check _ -> "check"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Apply _ -> "apply"
 
 type req_error =
   | Bad_json of string
@@ -143,6 +149,24 @@ let parse_op (obj : (string * Trace_json.t) list) : (op, string) result =
                  timeout_ms;
                  no_fallback = Option.value no_fallback ~default:false;
                })
+      | "insert" | "delete" -> (
+          match str_field obj "fact" with
+          | Error e -> Error e
+          | Ok None -> Error "missing required field \"fact\""
+          | Ok (Some fact) ->
+              Ok (if op = "insert" then Insert { fact } else Delete { fact }))
+      | "apply" -> (
+          match field obj "deltas" with
+          | None -> Error "missing required field \"deltas\""
+          | Some (Trace_json.Arr items) ->
+              let rec loop acc = function
+                | [] -> Ok (Apply { deltas = List.rev acc })
+                | Trace_json.Str d :: rest -> loop (d :: acc) rest
+                | _ :: _ ->
+                    Error "field \"deltas\" must be an array of strings"
+              in
+              loop [] items
+          | Some _ -> Error "field \"deltas\" must be an array")
       | other -> Error (Printf.sprintf "unknown op %S" other))
 
 let parse_request (line : string) : (request, req_error) result =

@@ -11,10 +11,19 @@
     {b Requests.}  [{"op": "count", "query": "(x) :- E(x, y)", "id": 1,
     "method": "expansion", "seed": 1, "max_steps": 100000,
     "timeout_ms": 2000, "no_fallback": false}].  [op] is one of [ping],
-    [count], [classify], [check], [stats]; [query] is the {!Parse}
-    surface syntax and is required for [count]/[classify]/[check]; [id]
-    is any scalar and is echoed verbatim in the response.  Budget fields
-    are per-request {e requests}, capped by the server's own limits.
+    [count], [classify], [check], [stats], [insert], [delete], [apply];
+    [query] is the {!Parse} surface syntax and is required for
+    [count]/[classify]/[check]; [id] is any scalar and is echoed
+    verbatim in the response.  Budget fields are per-request
+    {e requests}, capped by the server's own limits.
+
+    {b Mutations.}  [insert]/[delete] take a ["fact"] in the [.facts]
+    atom syntax; [apply] takes a ["deltas"] array of signed facts
+    (["+E(1,2)"]).  Mutations run on the evaluator thread in request
+    order against the fixed load-time universe and signature; each
+    accepted change advances the database {e epoch} reported in
+    responses.  An [apply] batch is validated in full before any of it
+    is applied.
 
     {b Responses.}  Every response carries [status] (the exit-code
     equivalent of the one-shot CLI) and [code]:
@@ -46,6 +55,11 @@ type op =
   | Classify of { query : string }
   | Check of { query : string }
   | Stats
+  | Insert of { fact : string }  (** [{"op":"insert","fact":"E(1,2)"}] *)
+  | Delete of { fact : string }  (** [{"op":"delete","fact":"E(1,2)"}] *)
+  | Apply of { deltas : string list }
+      (** [{"op":"apply","deltas":["+E(1,2)","-R(3)"]}] — validated as a
+          whole, applied atomically *)
 
 type request = {
   id : Trace_json.t option;  (** echoed verbatim; [None] when absent *)

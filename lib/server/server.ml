@@ -83,14 +83,20 @@ let c_cache_invalid = Telemetry.counter "serve.cache.invalid"
 let c_idle_closed = Telemetry.counter "serve.idle_closed"
 let c_discarded = Telemetry.counter "serve.discarded"
 let c_slow = Telemetry.counter "serve.slow_queries"
+let c_updates_applied = Telemetry.counter "serve.updates.applied"
+let c_updates_noop = Telemetry.counter "serve.updates.noop"
+
+(* the session epoch, exported so a scrape can tell "no updates yet"
+   from "updates applied" without a stats round-trip *)
+let g_db_epoch = Telemetry.gauge "serve.db.epoch"
 
 (* per-query-class request counters: the /metrics breakdown by op *)
 let op_counters =
   List.map
     (fun op -> (op, Telemetry.counter ("serve.requests." ^ op)))
-    [ "ping"; "stats"; "count"; "classify"; "check" ]
+    [ "ping"; "stats"; "count"; "classify"; "check"; "insert"; "delete"; "apply" ]
 
-let evaluated_ops = [ "count"; "classify"; "check" ]
+let evaluated_ops = [ "count"; "classify"; "check"; "insert"; "delete"; "apply" ]
 
 (* per-op latency histograms (lifetime; the rolling windows below keep
    the recent view) and the drift-ratio histogram: observed budget steps
@@ -137,6 +143,8 @@ type stats = {
   idle_closed : int Atomic.t;
   discarded : int Atomic.t;
   slow_queries : int Atomic.t;
+  updates_applied : int Atomic.t;
+  updates_noop : int Atomic.t;
 }
 
 let make_stats () =
@@ -158,6 +166,8 @@ let make_stats () =
     idle_closed = Atomic.make 0;
     discarded = Atomic.make 0;
     slow_queries = Atomic.make 0;
+    updates_applied = Atomic.make 0;
+    updates_noop = Atomic.make 0;
   }
 
 (* One coherent snapshot of the values only the evaluator may read
@@ -171,6 +181,12 @@ type eval_snapshot = {
   es_pool_idle : int;
   es_cache_entries : int;
   es_cache_invalids : int;
+  es_db_epoch : int;
+  es_db_tuples : int;
+  (* maintained states by effective tier, over the live cache entries *)
+  es_maint_a : int;
+  es_maint_b : int;
+  es_maint_c : int;
 }
 
 let bump (a : int Atomic.t) (c : Telemetry.counter) : unit =
@@ -196,9 +212,11 @@ type work = {
 
 type t = {
   cfg : config;
-  db : Structure.t;
+  (* the mutable database session; only the evaluator thread may apply
+     updates or read the structure after [start] returns *)
+  ddb : Delta.db;
   db_elems : int;
-  db_tuples : int;
+  db_tuples : int;  (* load-time figure, kept as the plan baseline *)
   pool : Pool.t;
   listen_fd : Unix.file_descr;
   queue : work Admission.t;
@@ -344,6 +362,21 @@ let stats_response (t : t) ?id () : Protocol.response =
                   ("misses", g s.cache_misses);
                   ("invalid", g s.cache_invalid);
                   ("entries", num snap.es_cache_entries);
+                ] );
+            ( "db",
+              Trace_json.Obj
+                [
+                  ("epoch", num snap.es_db_epoch);
+                  ("tuples", num snap.es_db_tuples);
+                  ("updates_applied", g s.updates_applied);
+                  ("updates_noop", g s.updates_noop);
+                  ( "maintained",
+                    Trace_json.Obj
+                      [
+                        ("tier_a", num snap.es_maint_a);
+                        ("tier_b", num snap.es_maint_b);
+                        ("tier_c", num snap.es_maint_c);
+                      ] );
                 ] );
             ("slow_queries", g s.slow_queries);
           ] );
@@ -497,7 +530,69 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
   | Cache.Invalid err ->
       let r = Protocol.of_ucqc_error ?id err in
       { r with Protocol.body = r.Protocol.body @ [ cache_field ] }
-  | Cache.Hit entry | Cache.Interned entry | Cache.Miss entry ->
+  | Cache.Hit entry | Cache.Interned entry | Cache.Miss entry -> (
+      (* Tiered incremental counting: build the maintained state at the
+         first count of a retained entry (capacity-0 entries are
+         throwaway, and tier-B preparation is not free), then prefer a
+         maintained or epoch-memoized count over any recomputation.  A
+         maintained count is exact whatever [method] asked for.  The
+         request that builds the state still evaluates normally, so its
+         response carries real step counts and feeds drift tracking. *)
+      let built_now = ref false in
+      let maint =
+        if t.cfg.cache_capacity > 0 then begin
+          (match entry.Cache.maint with
+          | Some _ -> ()
+          | None ->
+              built_now := true;
+              let budget =
+                Budget.make
+                  ?max_steps:(cap_steps t max_steps)
+                  ?timeout:(cap_timeout t timeout_ms)
+                  ()
+              in
+              entry.Cache.maint <-
+                Some
+                  (Telemetry.with_span "serve.maintain" (fun () ->
+                       Delta.prepare ~budget entry.Cache.ucq t.ddb)));
+          entry.Cache.maint
+        end
+        else None
+      in
+      let tier_fields =
+        match maint with
+        | None -> []
+        | Some st ->
+            [
+              ( "tier",
+                Trace_json.Str (Tier.to_string (Delta.effective_tier st)) );
+              ("epoch", num (Delta.epoch t.ddb));
+            ]
+      in
+      match
+        if !built_now then None
+        else Option.bind maint (fun st -> Delta.maintained_count st t.ddb)
+      with
+      | Some (n, src) ->
+          let source =
+            match src with
+            | Delta.Maintained -> "maintained"
+            | Delta.Memoized -> "memoized"
+          in
+          Protocol.make_response ?id Protocol.Ok_
+            [
+              ( "result",
+                Trace_json.Obj
+                  ([
+                     ("count", num n);
+                     ("exact", Trace_json.Bool true);
+                     ("source", Trace_json.Str source);
+                   ]
+                  @ tier_fields) );
+              cache_field;
+              ("steps", num 0);
+            ]
+      | None ->
       let budget =
         Budget.make
           ?max_steps:(cap_steps t max_steps)
@@ -515,7 +610,7 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
             Telemetry.with_span "serve.eval" ~budget (fun () ->
                 Runner.count ~via:(runner_method meth)
                   ~fallback:(not no_fallback) ~seed ~pool:t.pool ~budget
-                  entry.Cache.ucq t.db))
+                  entry.Cache.ucq (Delta.structure t.ddb)))
       in
       let observed = Budget.steps_done budget in
       let steps_field = ("steps", num observed) in
@@ -533,11 +628,21 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
       end;
       (match result with
       | Ok (Runner.Exact n) ->
+          (* exact recomputes are memoized at the current epoch; anything
+             approximate or failed must not be *)
+          (match maint with
+          | Some st -> Delta.memoize st t.ddb n
+          | None -> ());
           Protocol.make_response ?id Protocol.Ok_
             [
               ( "result",
                 Trace_json.Obj
-                  [ ("count", num n); ("exact", Trace_json.Bool true) ] );
+                  ([
+                     ("count", num n);
+                     ("exact", Trace_json.Bool true);
+                     ("source", Trace_json.Str "computed");
+                   ]
+                  @ tier_fields) );
               cache_field;
               steps_field;
             ]
@@ -565,7 +670,10 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
             ]
       | Error err ->
           let r = Protocol.of_ucqc_error ?id err in
-          { r with Protocol.body = r.Protocol.body @ [ cache_field; steps_field ] })
+          {
+            r with
+            Protocol.body = r.Protocol.body @ [ cache_field; steps_field ];
+          }))
 
 let classify_json (r : Classify.report) : Trace_json.t =
   Trace_json.Obj
@@ -618,8 +726,27 @@ let answer_classify (t : t) (cache : Cache.t) ?id ~query () :
               entry.Cache.classify <- Some r;
               r
         in
+        (* the maintenance tier rides along: the same selection the
+           watch/serve update engines use (gated like UCQ207) *)
+        let sel = Tier.select entry.Cache.ucq in
+        let result =
+          match classify_json report with
+          | Trace_json.Obj fs ->
+              Trace_json.Obj
+                (fs
+                @ [
+                    ( "maintenance_tier",
+                      Trace_json.Obj
+                        [
+                          ( "tier",
+                            Trace_json.Str (Tier.to_string sel.Tier.tier) );
+                          ("reason", Trace_json.Str sel.Tier.reason);
+                        ] );
+                  ])
+          | j -> j
+        in
         Protocol.make_response ?id Protocol.Ok_
-          [ ("result", classify_json report); cache_field ]
+          [ ("result", result); cache_field ]
 
 let answer_check (t : t) (cache : Cache.t) ?id ~query () : Protocol.response =
   let outcome = prepare t cache query in
@@ -666,6 +793,92 @@ let answer_check (t : t) (cache : Cache.t) ?id ~query () : Protocol.response =
       cache_field;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Mutations (evaluator thread: the single-writer ordering point)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold one accepted change into every maintained state.  One budget
+   per receipt, shared across states: a fold that exhausts it degrades
+   its state to tier C (recorded reason, never a wrong count) — the
+   same degradation-not-wrongness contract as [ucqc watch]. *)
+let fold_receipt (t : t) (cache : Cache.t) (r : Delta.applied) : unit =
+  if r.Delta.changed then begin
+    bump t.stats.updates_applied c_updates_applied;
+    let budget =
+      Budget.make ?max_steps:t.cfg.max_steps_cap
+        ?timeout:t.cfg.request_timeout_s ()
+    in
+    Cache.iter cache (fun e ->
+        match e.Cache.maint with
+        | Some st -> Delta.apply_state ~budget st t.ddb r
+        | None -> ())
+  end
+  else bump t.stats.updates_noop c_updates_noop;
+  Telemetry.set_gauge g_db_epoch (float_of_int (Delta.epoch t.ddb))
+
+let update_result (r : Delta.applied) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("applied", Trace_json.Bool r.Delta.changed);
+      ("noop", Trace_json.Bool (not r.Delta.changed));
+      ("epoch", num r.Delta.epoch);
+    ]
+
+let answer_mutation (t : t) (cache : Cache.t) ?id
+    ~(sign : Delta_parse.sign) ~(fact : string) () : Protocol.response =
+  let result =
+    match Delta_parse.fact_string ~sign fact with
+    | Error e -> Error e
+    | Ok spec -> (
+        match Delta.resolve t.ddb spec with
+        | Error e -> Error e
+        | Ok u -> Delta.apply t.ddb u)
+  in
+  match result with
+  | Error e -> Protocol.of_ucqc_error ?id e
+  | Ok r ->
+      fold_receipt t cache r;
+      Protocol.make_response ?id Protocol.Ok_ [ ("result", update_result r) ]
+
+let answer_apply_batch (t : t) (cache : Cache.t) ?id
+    ~(deltas : string list) () : Protocol.response =
+  (* resolve (and thereby validate) the whole batch before touching the
+     database, so a rejected batch leaves no partial effects.  The
+     universe and signature are fixed, so updates resolved against the
+     pre-batch session cannot become invalid mid-batch. *)
+  let rec resolve_all acc i = function
+    | [] -> Ok (List.rev acc)
+    | d :: rest -> (
+        match Delta_parse.delta_string ~lineno:(i + 1) d with
+        | Error e -> Error e
+        | Ok spec -> (
+            match Delta.resolve t.ddb spec with
+            | Error e -> Error e
+            | Ok u -> resolve_all (u :: acc) (i + 1) rest))
+  in
+  match resolve_all [] 0 deltas with
+  | Error e -> Protocol.of_ucqc_error ?id e
+  | Ok updates ->
+      let applied = ref 0 and noop = ref 0 in
+      List.iter
+        (fun u ->
+          match Delta.apply t.ddb u with
+          | Ok r ->
+              if r.Delta.changed then incr applied else incr noop;
+              fold_receipt t cache r
+          | Error _ -> () (* unreachable: resolved above, single writer *))
+        updates;
+      Protocol.make_response ?id Protocol.Ok_
+        [
+          ( "result",
+            Trace_json.Obj
+              [
+                ("applied", num !applied);
+                ("noop", num !noop);
+                ("epoch", num (Delta.epoch t.ddb));
+              ] );
+        ]
+
 let answer (t : t) (cache : Cache.t) (w : work) : Protocol.response =
   match w.wop with
   | Protocol.Ping -> pong t ?id:w.wid ()  (* unreachable: answered inline *)
@@ -676,6 +889,11 @@ let answer (t : t) (cache : Cache.t) (w : work) : Protocol.response =
   | Protocol.Classify { query } ->
       answer_classify t cache ?id:w.wid ~query ()
   | Protocol.Check { query } -> answer_check t cache ?id:w.wid ~query ()
+  | Protocol.Insert { fact } ->
+      answer_mutation t cache ?id:w.wid ~sign:Delta_parse.Insert ~fact ()
+  | Protocol.Delete { fact } ->
+      answer_mutation t cache ?id:w.wid ~sign:Delta_parse.Delete ~fact ()
+  | Protocol.Apply { deltas } -> answer_apply_batch t cache ?id:w.wid ~deltas ()
 
 (* One JSON line per evaluated request — written only by the evaluator
    thread, so lines never interleave. *)
@@ -747,12 +965,26 @@ let process (t : t) (cache : Cache.t) (w : work) : unit =
   release t w.wconn
 
 let publish_snapshot (t : t) (cache : Cache.t) : unit =
+  let a = ref 0 and b = ref 0 and c = ref 0 in
+  Cache.iter cache (fun e ->
+      match e.Cache.maint with
+      | None -> ()
+      | Some st -> (
+          match Delta.effective_tier st with
+          | Tier.A -> incr a
+          | Tier.B -> incr b
+          | Tier.C -> incr c));
   Atomic.set t.eval_snap
     {
       es_pool_spawned = Pool.spawn_count ();
       es_pool_idle = Pool.idle_count ();
       es_cache_entries = Cache.entries cache;
       es_cache_invalids = Cache.invalids cache;
+      es_db_epoch = Delta.epoch t.ddb;
+      es_db_tuples = Structure.num_tuples (Delta.structure t.ddb);
+      es_maint_a = !a;
+      es_maint_b = !b;
+      es_maint_c = !c;
     }
 
 let evaluator_loop (t : t) : unit =
@@ -791,7 +1023,8 @@ let handle_request (t : t) (c : conn) (line : string) : unit =
       | Protocol.Stats ->
           bump t.stats.responses_ok c_ok;
           send c (stats_response t ?id ())
-      | Protocol.Count _ | Protocol.Classify _ | Protocol.Check _ ->
+      | Protocol.Count _ | Protocol.Classify _ | Protocol.Check _
+      | Protocol.Insert _ | Protocol.Delete _ | Protocol.Apply _ ->
           if draining t then send c (shutting_down_response ?id ())
           else begin
             Mutex.protect c.wlock (fun () -> c.pending <- c.pending + 1);
@@ -980,6 +1213,15 @@ let render_metrics (t : t) : string =
   gauge "ucqc_pool_domains_idle" (float_of_int snap.es_pool_idle);
   gauge "ucqc_cache_entries" (float_of_int snap.es_cache_entries);
   gauge "ucqc_cache_invalid_entries" (float_of_int snap.es_cache_invalids);
+  gauge ~help:"Database epoch (accepted mutations)" "ucqc_db_epoch"
+    (float_of_int snap.es_db_epoch);
+  gauge "ucqc_db_tuples" (float_of_int snap.es_db_tuples);
+  List.iter
+    (fun (tier, v) ->
+      gauge ~labels:[ ("tier", tier) ]
+        ~help:"Cached maintained states by effective tier"
+        "ucqc_maintained_states" (float_of_int v))
+    [ ("A", snap.es_maint_a); ("B", snap.es_maint_b); ("C", snap.es_maint_c) ];
   (* every registered telemetry counter / gauge / histogram under its
      sanitized name: the serve.* family, pool.steals, ... — a counter
      added anywhere in the stack shows up here with no further code *)
@@ -1085,7 +1327,7 @@ let bind_listen (l : listen) : Unix.file_descr =
          raise e);
       fd
 
-let start (cfg : config) ~(db : Structure.t) : t =
+let start ?env (cfg : config) ~(db : Structure.t) : t =
   (* a client hanging up mid-write must be an EPIPE, not a process kill *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   (* a metrics endpoint with telemetry off would export zeros: flip the
@@ -1124,7 +1366,7 @@ let start (cfg : config) ~(db : Structure.t) : t =
   let t =
     {
       cfg;
-      db;
+      ddb = Delta.open_db ?env db;
       db_elems = Structure.universe_size db;
       db_tuples = Structure.num_tuples db;
       pool = Pool.create ~jobs:cfg.jobs ();
@@ -1138,6 +1380,11 @@ let start (cfg : config) ~(db : Structure.t) : t =
             es_pool_idle = Pool.idle_count ();
             es_cache_entries = 0;
             es_cache_invalids = 0;
+            es_db_epoch = 0;
+            es_db_tuples = Structure.num_tuples db;
+            es_maint_a = 0;
+            es_maint_b = 0;
+            es_maint_c = 0;
           };
       reqids = Reqid.create ();
       rolling_all = Rolling.create ();

@@ -1,7 +1,14 @@
 (** The [ucqc serve] daemon: a fault-tolerant long-running query service.
 
-    Loads one [.facts] database (immutable, shared) and answers
-    {!Protocol} requests over a Unix or TCP socket.  The architecture is
+    Loads one [.facts] database and answers {!Protocol} requests over a
+    Unix or TCP socket.  The database is a {!Delta.db} session: the
+    universe and signature are fixed at load time, but tuples change
+    through the [insert]/[delete]/[apply] mutation ops, each accepted
+    change advancing a monotonically increasing {e epoch}.  Mutations
+    are evaluated ops — they run on the single evaluator thread, which
+    makes it the one ordering point for the database, the epoch, and
+    every cached maintained state (tiered incremental counting: see
+    {!Delta}).  The architecture is
     a deliberately boring thread layout chosen for isolation:
 
     - the {b main thread} runs the accept loop (select with a short tick
@@ -68,10 +75,13 @@ val default_config : listen:listen -> jobs:int -> config
 
 type t
 
-(** [start config ~db] binds the socket and spawns the accept and
-    evaluator threads.  @raise Unix.Unix_error when binding fails (the
-    one fault that must be loud: the service cannot exist). *)
-val start : config -> db:Structure.t -> t
+(** [start ?env config ~db] binds the socket and spawns the accept and
+    evaluator threads.  [env] is the constant-interning environment of
+    the loaded [.facts] file, so mutation ops may use the same
+    identifier constants; without it only integer constants resolve.
+    @raise Unix.Unix_error when binding fails (the one fault that must
+    be loud: the service cannot exist). *)
+val start : ?env:Parse.db_env -> config -> db:Structure.t -> t
 
 (** [metrics_port t] is the actual bound port of the metrics gateway
     ([None] when [metrics_addr] was [None]).  Useful with port 0. *)

@@ -42,16 +42,48 @@ let test_rejects_non_qh () =
   let path = Paper_examples.q_hierarchical_example () in
   let db = Generators.path_db 3 in
   Alcotest.check_raises "path query rejected" Dynamic.Not_q_hierarchical
-    (fun () -> ignore (Dynamic.create path db))
+    (fun () -> ignore (Dynamic.create_exn path db))
+
+let test_result_convention () =
+  (* the result-returning constructors report Unsupported instead of
+     raising, and succeed exactly where the _exn forms do *)
+  let db = Generators.path_db 3 in
+  (match Dynamic.create (Paper_examples.q_hierarchical_example ()) db with
+  | Error (Ucqc_error.Unsupported _) -> ()
+  | Error e ->
+      Alcotest.fail ("expected Unsupported, got " ^ Ucqc_error.to_string e)
+  | Ok _ -> Alcotest.fail "non-q-hierarchical query accepted");
+  (match Dynamic.create star_q (Generators.random_digraph ~seed:71 8 20) with
+  | Ok st ->
+      Alcotest.(check int) "result create counts"
+        (recount star_q (Generators.random_digraph ~seed:71 8 20))
+        (Dynamic.count st)
+  | Error e -> Alcotest.fail (Ucqc_error.to_string e));
+  let e1 = mkq sg_e 3 [ ("E", [ [ 0; 1 ] ]) ] [ 0; 1; 2 ] in
+  let e2 = mkq sg_e 3 [ ("E", [ [ 1; 2 ] ]) ] [ 0; 1; 2 ] in
+  let e3 = mkq sg_e 3 [ ("E", [ [ 2; 0 ] ]) ] [ 0; 1; 2 ] in
+  let db3 = Structure.make sg_e [ 0; 1; 2 ] [] in
+  (match Dynamic_ucq.create (Ucq.make [ e1; e2; e3 ]) db3 with
+  | Error (Ucqc_error.Unsupported _) -> ()
+  | Error e ->
+      Alcotest.fail ("expected Unsupported, got " ^ Ucqc_error.to_string e)
+  | Ok _ -> Alcotest.fail "non-exhaustively-qh union accepted");
+  match
+    Dynamic_ucq.create
+      (Ucq.make [ mkq sg_rs 1 [ ("R", [ [ 0 ] ]) ] [ 0 ] ])
+      (Structure.make sg_rs [ 0; 1 ] [ ("R", [ [ 1 ] ]) ])
+  with
+  | Ok st -> Alcotest.(check int) "union result create counts" 1 (Dynamic_ucq.count st)
+  | Error e -> Alcotest.fail (Ucqc_error.to_string e)
 
 let test_initial_counts () =
   let db = Generators.random_digraph ~seed:71 8 20 in
-  let st = Dynamic.create star_q db in
+  let st = Dynamic.create_exn star_q db in
   Alcotest.(check int) "initial star count" (recount star_q db) (Dynamic.count st)
 
 let test_insert_delete_roundtrip () =
   let db = Structure.make sg_rs [ 0; 1; 2 ] [ ("R", [ [ 0 ] ]); ("S", [ [ 0; 1 ] ]) ] in
-  let st = Dynamic.create rs_q db in
+  let st = Dynamic.create_exn rs_q db in
   Alcotest.(check int) "initial" 1 (Dynamic.count st);
   Dynamic.insert st "S" [ 0; 2 ];
   Alcotest.(check int) "after S insert" 2 (Dynamic.count st);
@@ -68,7 +100,7 @@ let test_insert_delete_roundtrip () =
 
 let test_quantified_indicator () =
   let db = Structure.make sg_rs [ 0; 1; 2 ] [] in
-  let st = Dynamic.create exists_q db in
+  let st = Dynamic.create_exn exists_q db in
   Alcotest.(check int) "empty" 0 (Dynamic.count st);
   Dynamic.insert st "R" [ 0 ];
   Alcotest.(check int) "R alone" 0 (Dynamic.count st);
@@ -83,7 +115,7 @@ let test_quantified_indicator () =
 
 let test_boolean_query () =
   let db = Structure.make sg_rs [ 0; 1 ] [] in
-  let st = Dynamic.create boolean_q db in
+  let st = Dynamic.create_exn boolean_q db in
   Alcotest.(check int) "false" 0 (Dynamic.count st);
   Dynamic.insert st "S" [ 0; 1 ];
   Alcotest.(check int) "true" 1 (Dynamic.count st);
@@ -106,7 +138,7 @@ let test_random_update_sequences () =
       let n = 5 in
       let universe = List.init n (fun i -> i) in
       let empty = Structure.make sg universe [] in
-      let st = Dynamic.create q empty in
+      let st = Dynamic.create_exn q empty in
       let current = Hashtbl.create 16 in
       let rng = Random.State.make [| 1234 |] in
       for step = 1 to 120 do
@@ -145,7 +177,7 @@ let test_free_twins () =
   (* (x, y) :- E(x, y): two free variables with equal atom sets *)
   let q = mkq sg_e 2 [ ("E", [ [ 0; 1 ] ]) ] [ 0; 1 ] in
   let db = Generators.random_digraph ~seed:91 6 12 in
-  let st = Dynamic.create q db in
+  let st = Dynamic.create_exn q db in
   Alcotest.(check int) "edge count" (recount q db) (Dynamic.count st);
   Dynamic.insert st "E" [ 5; 0 ];
   let db' = Structure.add_tuples db "E" [ [ 5; 0 ] ] in
@@ -155,7 +187,7 @@ let test_isolated_free_variable () =
   (* (x, z) :- E(x, y) with z isolated free: count multiplies by n *)
   let q = mkq sg_e 3 [ ("E", [ [ 0; 1 ] ]) ] [ 0; 2 ] in
   let db = Generators.random_digraph ~seed:92 5 8 in
-  let st = Dynamic.create q db in
+  let st = Dynamic.create_exn q db in
   Alcotest.(check int) "isolated factor" (recount q db) (Dynamic.count st)
 
 let test_dynamic_ucq () =
@@ -168,7 +200,7 @@ let test_dynamic_ucq () =
   let n = 5 in
   let universe = List.init n (fun i -> i) in
   let empty = Structure.make sg_rs universe [] in
-  let st = Dynamic_ucq.create psi empty in
+  let st = Dynamic_ucq.create_exn psi empty in
   Alcotest.(check int) "empty union count" 0 (Dynamic_ucq.count st);
   let current = Hashtbl.create 16 in
   let rng = Random.State.make [| 77 |] in
@@ -209,7 +241,7 @@ let test_dynamic_ucq_rejects () =
   let psi = Ucq.make [ e1; e2; e3 ] in
   let db = Structure.make sg_e [ 0; 1; 2 ] [] in
   Alcotest.check_raises "rejected" Dynamic_ucq.Not_exhaustively_q_hierarchical
-    (fun () -> ignore (Dynamic_ucq.create psi db))
+    (fun () -> ignore (Dynamic_ucq.create_exn psi db))
 
 (* random q-hierarchical query generator: a random variable forest with
    free variables closed upwards, and one atom per node spanning its
@@ -254,7 +286,7 @@ let qcheck_dynamic =
         let n = 4 in
         let universe = List.init n (fun i -> i) in
         let empty = Structure.make sg universe [] in
-        let st = Dynamic.create q empty in
+        let st = Dynamic.create_exn q empty in
         let current = Hashtbl.create 16 in
         let rng = Random.State.make [| seed + 1 |] in
         let ok = ref true in
@@ -294,6 +326,8 @@ let suite =
     ( "dynamic",
       [
         Alcotest.test_case "rejects non-q-hierarchical" `Quick test_rejects_non_qh;
+        Alcotest.test_case "result-returning constructors" `Quick
+          test_result_convention;
         Alcotest.test_case "initial counts" `Quick test_initial_counts;
         Alcotest.test_case "insert/delete roundtrip" `Quick
           test_insert_delete_roundtrip;

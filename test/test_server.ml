@@ -65,6 +65,42 @@ let test_protocol_requests () =
     } -> ()
   | _ -> Alcotest.fail "count with explicit budget fields"
 
+let test_protocol_mutations () =
+  (match parse_ok {|{"op": "insert", "fact": "E(1, 2)", "id": 1}|} with
+  | { Protocol.op = Protocol.Insert { fact = "E(1, 2)" }; _ } -> ()
+  | _ -> Alcotest.fail "insert with fact");
+  (match parse_ok {|{"op": "delete", "fact": "E(1, 2)"}|} with
+  | { Protocol.op = Protocol.Delete { fact = "E(1, 2)" }; _ } -> ()
+  | _ -> Alcotest.fail "delete with fact");
+  (match parse_ok {|{"op": "apply", "deltas": ["+E(1, 2)", "-R(3)"]}|} with
+  | { Protocol.op = Protocol.Apply { deltas = [ "+E(1, 2)"; "-R(3)" ] }; _ }
+    -> ()
+  | _ -> Alcotest.fail "apply with a deltas array");
+  (match parse_ok {|{"op": "apply", "deltas": []}|} with
+  | { Protocol.op = Protocol.Apply { deltas = [] }; _ } -> ()
+  | _ -> Alcotest.fail "apply with an empty batch");
+  Alcotest.(check string)
+    "insert label" "insert"
+    (Protocol.op_label (Protocol.Insert { fact = "" }));
+  Alcotest.(check string)
+    "apply label" "apply"
+    (Protocol.op_label (Protocol.Apply { deltas = [] }));
+  (match parse_err {|{"op": "insert"}|} with
+  | Protocol.Bad_request _ -> ()
+  | _ -> Alcotest.fail "insert without fact is Bad_request");
+  (match parse_err {|{"op": "insert", "fact": 7}|} with
+  | Protocol.Bad_request _ -> ()
+  | _ -> Alcotest.fail "non-string fact is Bad_request");
+  (match parse_err {|{"op": "apply"}|} with
+  | Protocol.Bad_request _ -> ()
+  | _ -> Alcotest.fail "apply without deltas is Bad_request");
+  (match parse_err {|{"op": "apply", "deltas": "+E(1, 2)"}|} with
+  | Protocol.Bad_request _ -> ()
+  | _ -> Alcotest.fail "non-array deltas is Bad_request");
+  match parse_err {|{"op": "apply", "deltas": ["+E(1, 2)", 3]}|} with
+  | Protocol.Bad_request _ -> ()
+  | _ -> Alcotest.fail "mixed-type deltas is Bad_request"
+
 let test_protocol_rejections () =
   (match parse_err "not json at all" with
   | Protocol.Bad_json _ -> ()
@@ -463,6 +499,8 @@ let suite =
     ( "server",
       [
         Alcotest.test_case "protocol requests" `Quick test_protocol_requests;
+        Alcotest.test_case "protocol mutations" `Quick
+          test_protocol_mutations;
         Alcotest.test_case "protocol rejections" `Quick
           test_protocol_rejections;
         Alcotest.test_case "protocol responses" `Quick test_protocol_responses;

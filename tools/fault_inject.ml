@@ -3,15 +3,22 @@
     Spawns the real server binary, then attacks it: malformed and
     oversized frames, truncated writes, mid-request disconnects, a
     slowloris client, bursts past the admission bound, budget-blowing
-    queries — asserting after each scenario that the server is still
-    alive, every response frame is well-formed JSON, ids are echoed
-    exactly once, and the counters stay consistent.  Ends with a SIGTERM
-    drain: the process must exit 0 within the deadline and leave a
-    validating Chrome trace and parseable metrics behind.
+    queries, interleaved mutation streams — asserting after each
+    scenario that the server is still alive, every response frame is
+    well-formed JSON, ids are echoed exactly once, and the counters
+    stay consistent.  Ends with a SIGTERM drain: the process must exit
+    0 within the deadline and leave a validating Chrome trace and
+    parseable metrics behind.
 
     Also the server's correctness oracle: a [count] answered over the
     socket must be bit-identical to the one-shot CLI on the same query
-    and database.
+    and database — including after every accepted update, where the
+    oracle re-renders the mutated database to a [.facts] file and
+    one-shots it.  Tier-A/B queries must keep answering from their
+    maintained states ([result.source] never falls back to
+    ["computed"]) while the epoch advances, and a [ucqc watch] run
+    over an equivalent delta stream must agree with the one-shot CLI
+    on its [--final-db] output.
 
     Run from the repository root: [dune exec tools/fault_inject.exe].
     [--bin PATH] overrides the server binary (default
@@ -564,8 +571,7 @@ let scenario_burst () =
 
 let scenario_budget (s : server) =
   section "budget-blowing query" (fun () ->
-      let q = "(x) :- E(x, y)" in
-      let mk id fields =
+      let mk id q fields =
         req
           ([
              ("op", Trace_json.Str "count");
@@ -574,11 +580,15 @@ let scenario_budget (s : server) =
            ]
           @ fields)
       in
+      (* two distinct queries: a repeated spelling would be answered
+         exactly from its maintained state regardless of the budget, and
+         this scenario is about the degradation path *)
       let resps =
         roundtrip s
           [
-            mk 30. [ ("max_steps", num 3.); ("no_fallback", Trace_json.Bool true) ];
-            mk 31. [ ("max_steps", num 3.) ];
+            mk 30. "(x) :- E(x, y) ; E(y, x)"
+              [ ("max_steps", num 3.); ("no_fallback", Trace_json.Bool true) ];
+            mk 31. "(x) :- E(x, y)" [ ("max_steps", num 3.) ];
           ]
           ~expect:2
       in
@@ -675,6 +685,393 @@ let scenario_drain (s : server) ~(trace : string) ~(metrics : string) =
           report "drained metrics unreadable: %s" (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
+(* Live-update scenarios                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A dedicated database with an explicit universe (spare element 5) and
+   three relations, so one registered query lands on tier A and one on
+   tier B. *)
+let update_db_text =
+  "universe { 0, 1, 2, 3, 4, 5 }\n\
+   E(0, 1). E(1, 2). E(2, 0). E(2, 3). E(3, 4).\n\
+   R(0). R(1).\n\
+   S(0, 0).\n"
+
+let tier_a_query = "(x) :- R(x), S(x, y)"
+let tier_b_query = "(x, y) :- E(x, z), E(z, y)"
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path
+
+(* The harness's own mirror of the mutated database: the source of the
+   equivalent [.facts] file the one-shot oracle counts. *)
+type mirror = (string * int list) list ref
+
+let mirror_of_seed () : mirror =
+  ref
+    [
+      ("E", [ 0; 1 ]); ("E", [ 1; 2 ]); ("E", [ 2; 0 ]); ("E", [ 2; 3 ]);
+      ("E", [ 3; 4 ]); ("R", [ 0 ]); ("R", [ 1 ]); ("S", [ 0; 0 ]);
+    ]
+
+let mirror_apply (m : mirror) ~(insert : bool) (rel : string)
+    (args : int list) : unit =
+  if insert then begin
+    if not (List.mem (rel, args) !m) then m := !m @ [ (rel, args) ]
+  end
+  else m := List.filter (fun t -> t <> (rel, args)) !m
+
+let mirror_facts (m : mirror) : string =
+  let fact (rel, args) =
+    Printf.sprintf "%s(%s)." rel
+      (String.concat ", " (List.map string_of_int args))
+  in
+  "universe { 0, 1, 2, 3, 4, 5 }\n"
+  ^ String.concat "\n" (List.map fact !m)
+  ^ "\n"
+
+(* Served count for [query], plus the [source]/[tier]/[epoch] fields of
+   the response. *)
+let served_count (s : server) ~(id : float) (query : string) :
+    (int * string * string * float) option =
+  match
+    roundtrip s
+      [
+        req
+          [
+            ("op", Trace_json.Str "count");
+            ("query", Trace_json.Str query);
+            ("id", num id);
+          ];
+      ]
+      ~expect:1
+  with
+  | [ v ] -> (
+      check_response_shape v;
+      if status_of v <> "ok" then begin
+        report "count during updates: status %s: %s" (status_of v)
+          (Trace_json.to_string v);
+        None
+      end
+      else
+        let r = Option.value ~default:Trace_json.Null (mem "result" v) in
+        match num_of (mem "count" r) with
+        | None ->
+            report "count during updates lacks result.count";
+            None
+        | Some n ->
+            let sf k = Option.value ~default:"" (str_of (mem k r)) in
+            let ep = Option.value ~default:(-1.) (num_of (mem "epoch" r)) in
+            Some (int_of_float n, sf "source", sf "tier", ep))
+  | l ->
+      report "count during updates: %d responses, expected 1" (List.length l);
+      None
+
+let oneshot_count (query_text : string) (facts : string) ~(tag : string) :
+    int option =
+  let qf = write_file (Filename.concat !tmp (tag ^ ".ucq")) query_text in
+  let dbf = write_file (Filename.concat !tmp (tag ^ ".facts")) facts in
+  let code, out = run_oneshot [ "count"; qf; dbf ] in
+  if code <> 0 then begin
+    report "one-shot oracle (%s) exited %d" tag code;
+    None
+  end
+  else int_of_string_opt out
+
+(* One mutation request; returns the response, counting shape failures. *)
+let mutate (s : server) ~(id : float) (fields : (string * Trace_json.t) list)
+    : Trace_json.t option =
+  match roundtrip s [ req (("id", num id) :: fields) ] ~expect:1 with
+  | [ v ] ->
+      check_response_shape v;
+      Some v
+  | l ->
+      report "mutation: %d responses, expected 1" (List.length l);
+      None
+
+let scenario_updates (s : server) =
+  section "interleaved updates vs one-shot oracle" (fun () ->
+      let m = mirror_of_seed () in
+      (* prime both queries twice: the first count builds the maintained
+         state, the second must already be served from it *)
+      List.iteri
+        (fun i q -> ignore (served_count s ~id:(100. +. float_of_int i) q))
+        [ tier_a_query; tier_b_query; tier_a_query; tier_b_query ];
+      (* an interleaved stream: single mutations, an atomic batch, and a
+         no-op; the mirror replays every accepted change *)
+      let steps =
+        [
+          ("insert", [ ("fact", Trace_json.Str "S(1, 1)") ],
+           [ (true, "S", [ 1; 1 ]) ], true);
+          ("apply",
+           [ ("deltas",
+              Trace_json.Arr
+                [ Trace_json.Str "+E(4, 0)"; Trace_json.Str "-E(2, 3)" ]) ],
+           [ (true, "E", [ 4; 0 ]); (false, "E", [ 2; 3 ]) ], true);
+          ("delete", [ ("fact", Trace_json.Str "R(0)") ],
+           [ (false, "R", [ 0 ]) ], true);
+          ("insert", [ ("fact", Trace_json.Str "E(0, 1)") ], [], false);
+          ("insert", [ ("fact", Trace_json.Str "S(5, 5)") ],
+           [ (true, "S", [ 5; 5 ]) ], true);
+        ]
+      in
+      let last_epoch = ref 0. in
+      List.iteri
+        (fun i (op, fields, changes, should_change) ->
+          let id = 120. +. (10. *. float_of_int i) in
+          (match mutate s ~id (("op", Trace_json.Str op) :: fields) with
+          | Some v ->
+              if status_of v <> "ok" then
+                report "update %d (%s) status %s: %s" i op (status_of v)
+                  (Trace_json.to_string v)
+              else begin
+                let r =
+                  Option.value ~default:Trace_json.Null (mem "result" v)
+                in
+                let ep =
+                  Option.value ~default:(-1.) (num_of (mem "epoch" r))
+                in
+                if should_change && ep <= !last_epoch then
+                  report "update %d (%s) did not advance the epoch" i op;
+                if (not should_change) && ep <> !last_epoch then
+                  report "no-op update %d advanced the epoch" i;
+                last_epoch := ep
+              end
+          | None -> ());
+          List.iter
+            (fun (insert, rel, args) -> mirror_apply m ~insert rel args)
+            changes;
+          (* after every update both served counts must equal a fresh
+             one-shot count over the equivalent .facts file, and the
+             tier-A/B states must still answer without recompute *)
+          List.iteri
+            (fun j (q, tier, tag) ->
+              match served_count s ~id:(id +. 1. +. float_of_int j) q with
+              | None -> ()
+              | Some (n, source, served_tier, ep) -> (
+                  if served_tier <> tier then
+                    report "step %d: %s served from tier %S, expected %S" i
+                      tag served_tier tier;
+                  if source = "computed" then
+                    report
+                      "step %d: %s recomputed — maintained state was lost" i
+                      tag;
+                  if ep <> !last_epoch then
+                    report "step %d: %s answered at epoch %g, db is at %g" i
+                      tag ep !last_epoch;
+                  match
+                    oneshot_count q (mirror_facts m)
+                      ~tag:(Printf.sprintf "upd-%d-%s" i tag)
+                  with
+                  | Some expected when expected <> n ->
+                      report "step %d: %s served %d, one-shot says %d" i tag
+                        n expected
+                  | _ -> ()))
+            [
+              (tier_a_query, "A", "tier-a");
+              (tier_b_query, "B", "tier-b");
+            ])
+        steps;
+      if not (alive s) then report "server died during the update stream")
+
+let scenario_malformed_updates (s : server) =
+  section "malformed deltas" (fun () ->
+      let epoch_of () =
+        match
+          roundtrip s [ req [ ("op", Trace_json.Str "stats") ] ] ~expect:1
+        with
+        | [ v ] ->
+            Option.bind (mem "result" v) (fun r ->
+                Option.bind (mem "db" r) (fun d -> num_of (mem "epoch" d)))
+        | _ -> None
+      in
+      let before = epoch_of () in
+      let expect_error i fields want_code =
+        match mutate s ~id:(200. +. float_of_int i) fields with
+        | Some v ->
+            if status_of v <> "error" then
+              report "malformed delta %d accepted: %s" i
+                (Trace_json.to_string v)
+            else if
+              want_code <> 0. && num_of (mem "code" v) <> Some want_code
+            then
+              report "malformed delta %d: code %s, expected %g" i
+                (Trace_json.to_string
+                   (Option.value ~default:Trace_json.Null (mem "code" v)))
+                want_code
+        | None -> ()
+      in
+      let str k v = (k, Trace_json.Str v) in
+      expect_error 0 [ str "op" "insert"; str "fact" "Z(0)" ] 65.;
+      expect_error 1 [ str "op" "insert"; str "fact" "E(0)" ] 65.;
+      expect_error 2 [ str "op" "delete"; str "fact" "E(0, 9)" ] 65.;
+      expect_error 3 [ str "op" "insert"; str "fact" "not a fact (" ] 65.;
+      expect_error 4 [ str "op" "insert" ] 64.;
+      expect_error 5
+        [ ("op", Trace_json.Str "apply"); ("deltas", Trace_json.Str "+E(0, 1)") ]
+        64.;
+      (* a batch with one bad delta must be rejected atomically *)
+      expect_error 6
+        [
+          ("op", Trace_json.Str "apply");
+          ( "deltas",
+            Trace_json.Arr
+              [ Trace_json.Str "+E(0, 3)"; Trace_json.Str "+Z(9)" ] );
+        ]
+        65.;
+      (match (before, epoch_of ()) with
+      | Some b, Some a when a <> b ->
+          report "rejected deltas advanced the epoch (%g -> %g)" b a
+      | _, None -> report "stats lost its db.epoch field"
+      | _ -> ());
+      if not (alive s) then report "server died on malformed deltas")
+
+let scenario_update_stats (s : server) =
+  section "update stats + maintained-state gauges" (fun () ->
+      match
+        roundtrip s [ req [ ("op", Trace_json.Str "stats") ] ] ~expect:1
+      with
+      | [ v ] -> (
+          match Option.bind (mem "result" v) (mem "db") with
+          | None -> report "stats lacks a db block"
+          | Some d ->
+              let g k = num_of (mem k d) in
+              (match g "epoch" with
+              | Some e when e >= 5. -> ()
+              | e ->
+                  report "db.epoch %g after 5 accepted updates"
+                    (Option.value ~default:(-1.) e));
+              (match g "updates_applied" with
+              | Some n when n >= 5. -> ()
+              | _ -> report "db.updates_applied not counting");
+              (match g "updates_noop" with
+              | Some n when n >= 1. -> ()
+              | _ -> report "db.updates_noop not counting");
+              (* the acceptance check that tier-A queries answer updates
+                 without recompute: their states must still be resident
+                 at tier A after the whole stream *)
+              (match Option.bind (Some d) (mem "maintained") with
+              | Some mt ->
+                  let tier k = num_of (mem k mt) in
+                  if tier "tier_a" <> Some 1. then
+                    report "maintained tier_a gauge: %s"
+                      (Trace_json.to_string mt);
+                  if tier "tier_b" <> Some 1. then
+                    report "maintained tier_b gauge: %s"
+                      (Trace_json.to_string mt)
+              | None -> report "db block lacks maintained gauges"))
+      | l -> report "stats: %d responses, expected 1" (List.length l))
+
+let scenario_update_drain (s : server) =
+  section "updates during SIGTERM drain" (fun () ->
+      (* enqueue a mutation burst and signal while it is in flight: every
+         frame must still be answered with well-formed JSON (ok or
+         shutting_down), and the exit must be a clean drain *)
+      let fd = connect s in
+      for i = 0 to 19 do
+        let sign = if i mod 2 = 0 then "+" else "-" in
+        send_all fd
+          (req
+             [
+               ("op", Trace_json.Str "apply");
+               ( "deltas",
+                 Trace_json.Arr
+                   [ Trace_json.Str (Printf.sprintf "%sE(%d, %d)" sign
+                                       (i mod 5) ((i + 1) mod 5)) ] );
+               ("id", num (300. +. float_of_int i));
+             ])
+      done;
+      Unix.sleepf 0.02;
+      stop_server s ~expect:0;
+      let lines = recv_lines ~deadline_s:5. fd 20 in
+      (try Unix.close fd with _ -> ());
+      List.iter
+        (fun line ->
+          match parse_response line with
+          | None -> report "drain response is not JSON: %S" line
+          | Some v -> (
+              check_response_shape v;
+              match status_of v with
+              | "ok" | "shutting_down" -> ()
+              | st -> report "drain-time mutation answered %s" st))
+        lines)
+
+let scenario_watch_smoke () =
+  section "ucqc watch smoke" (fun () ->
+      let db = write_file (Filename.concat !tmp "watch.facts") update_db_text in
+      let qa = write_file (Filename.concat !tmp "watch_a.ucq") tier_a_query in
+      let qb = write_file (Filename.concat !tmp "watch_b.ucq") tier_b_query in
+      let stream =
+        write_file
+          (Filename.concat !tmp "watch.stream")
+          "+S(1, 1)\n\
+           # a comment line\n\
+           -E(2, 3)\n\
+           {\"op\":\"apply\",\"deltas\":[\"+E(4, 0)\"]}\n\
+           +E(0, 1)\n"
+      in
+      let final = Filename.concat !tmp "watch_final.facts" in
+      let code, out =
+        run_oneshot
+          [ "watch"; qa; qb; db; "--input"; stream; "--final-db"; final ]
+      in
+      if code <> 0 then report "watch exited %d" code
+      else begin
+        let lines = String.split_on_char '\n' out in
+        let last =
+          List.fold_left
+            (fun acc l -> if String.trim l = "" then acc else Some l)
+            None lines
+        in
+        match Option.map Trace_json.parse last with
+        | None | (exception _) -> report "watch produced no parseable output"
+        | Some v -> (
+            match mem "counts" v with
+            | Some (Trace_json.Arr counts) ->
+                List.iter
+                  (fun c ->
+                    let q =
+                      Option.value ~default:"" (str_of (mem "query" c))
+                    in
+                    match num_of (mem "count" c) with
+                    | None -> report "watch count for %s is null" q
+                    | Some n -> (
+                        let text = read_file q in
+                        match
+                          oneshot_count text (read_file final)
+                            ~tag:("watch-" ^ Filename.basename q)
+                        with
+                        | Some expected when expected <> int_of_float n ->
+                            report "watch %s: %g <> one-shot %d" q n expected
+                        | _ -> ()))
+                  counts
+            | _ -> report "watch final line lacks counts: %s" out)
+      end;
+      (* a stream with one malformed line still processes the rest and
+         exits 65 *)
+      let bad_stream =
+        write_file
+          (Filename.concat !tmp "watch_bad.stream")
+          "+S(2, 2)\nthis is not a delta\n-R(1)\n"
+      in
+      let code, out =
+        run_oneshot [ "watch"; qa; db; "--input"; bad_stream ]
+      in
+      if code <> 65 then report "watch with a bad line exited %d, want 65" code;
+      let rejected =
+        List.exists
+          (fun l ->
+            match Trace_json.parse l with
+            | v -> str_of (mem "status" v) = Some "rejected"
+            | exception _ -> false)
+          (String.split_on_char '\n' out)
+      in
+      if not rejected then report "watch did not report the rejected line")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec parse_args = function
@@ -725,6 +1122,19 @@ let () =
   scenario_idle_timeout ();
   scenario_burst ();
   scenario_drain s ~trace ~metrics;
+  (* the live-update scenarios mutate their database, so they get their
+     own server over a dedicated .facts file *)
+  let old_db = !db_file in
+  db_file := write_file (Filename.concat !tmp "update_db.facts") update_db_text;
+  let su = start_server ~name:"updates" () in
+  scenario_updates su;
+  scenario_malformed_updates su;
+  scenario_update_stats su;
+  stop_server su ~expect:0;
+  let sd = start_server ~name:"update-drain" () in
+  scenario_update_drain sd;
+  db_file := old_db;
+  scenario_watch_smoke ();
   if !failures = 0 then begin
     Printf.printf "fault_inject: all scenarios passed\n";
     exit 0
