@@ -3,7 +3,8 @@
     claim of the paper, followed by Bechamel micro-benchmarks (one
     [Test.make] per experiment).  [--json] instead runs the E14 parallel
     speedup table plus the E15 telemetry-overhead measurement and writes
-    [BENCH_parallel.json].
+    [BENCH_parallel.json], then the E19 optimizer-effect table and
+    writes [BENCH_optimize.json].
 
     Run with: [dune exec bench/main.exe] *)
 
@@ -855,9 +856,102 @@ let parallel_json () =
   print_string (Buffer.contents buf);
   prerr_endline "wrote BENCH_parallel.json"
 
+(* ================================================================== *)
+(* E19: --json — optimizer effect table (BENCH_optimize.json)         *)
+(* ================================================================== *)
+
+(** The redundant-union workload of E19: five single-free-variable path
+    disjuncts of which three are cover-redundant — one strictly subsumed
+    ([E(x,y),E(y,z)] under [E(x,y)]), one duplicate ([E(x,w)]), one
+    subsumed 2-cycle — so the optimizer shrinks ℓ = 5 → 2 and the
+    inclusion–exclusion subset count 31 → 3.  [tools/bench_check.exe]
+    gates on the written file: counts must agree bit-for-bit, the subset
+    and expansion-term counts must strictly shrink, and the optimized
+    end-to-end wall time (optimizer pass included) must not lose to the
+    unoptimized count. *)
+let optimize_json () =
+  let psi =
+    Ucq.make
+      [
+        mkcq 2 [ [ 0; 1 ] ] [ 0 ] (* (x) :- E(x,y) — kept *);
+        mkcq 3 [ [ 0; 1 ]; [ 1; 2 ] ] [ 0 ] (* subsumed by disjunct 1 *);
+        mkcq 2 [ [ 0; 1 ] ] [ 0 ] (* duplicate of disjunct 1 *);
+        mkcq 2 [ [ 0; 1 ]; [ 1; 0 ] ] [ 0 ] (* 2-cycle: subsumed too *);
+        mkcq 2 [ [ 1; 0 ] ] [ 0 ] (* (x) :- E(y,x) — kept *);
+      ]
+  in
+  let db = Generators.random_digraph ~seed:29 2000 8000 in
+  let r = Optimize.run psi in
+  let subsets_before, subsets_after = Optimize.expansion_subsets r in
+  let support_before = List.length (Ucq.support psi) in
+  let support_after = List.length (Ucq.support r.Optimize.optimized) in
+  let count_unoptimized = Ucq.count_via_expansion psi db in
+  let count_optimized =
+    Ucq.count_via_expansion r.Optimize.optimized db
+  in
+  let wall_unoptimized =
+    wall_time ~reps:5 (fun () -> Ucq.count_via_expansion psi db)
+  in
+  (* the honest comparison re-runs the optimizer every rep: the bar is
+     "optimize + count" vs "count", not a pre-paid rewrite *)
+  let wall_optimized =
+    wall_time ~reps:5 (fun () ->
+        let r = Optimize.run psi in
+        Ucq.count_via_expansion r.Optimize.optimized db)
+  in
+  let wall_optimizer_pass = wall_time ~reps:5 (fun () -> Optimize.run psi) in
+  let git_commit = Buildid.git_commit () in
+  let timestamp =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"kind\": \"optimize\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"git_commit\": %S,\n" git_commit);
+  Buffer.add_string buf (Printf.sprintf "  \"timestamp\": %S,\n" timestamp);
+  Buffer.add_string buf
+    "  \"workload\": \"E19_redundant_union_paths\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"changed\": %b,\n  \"complete\": %b,\n" r.Optimize.changed
+       r.Optimize.complete);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"disjuncts_before\": %d,\n  \"disjuncts_after\": %d,\n"
+       (Ucq.length psi)
+       (Ucq.length r.Optimize.optimized));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"subsets_before\": %d,\n  \"subsets_after\": %d,\n"
+       subsets_before subsets_after);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"support_before\": %d,\n  \"support_after\": %d,\n"
+       support_before support_after);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"count_unoptimized\": %d,\n  \"count_optimized\": %d,\n  \
+        \"counts_equal\": %b,\n"
+       count_unoptimized count_optimized
+       (count_unoptimized = count_optimized));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"wall_unoptimized_s\": %.6f,\n  \"wall_optimized_s\": %.6f,\n  \
+        \"wall_optimizer_pass_s\": %.6f,\n"
+       wall_unoptimized wall_optimized wall_optimizer_pass);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup\": %.3f\n"
+       (wall_unoptimized /. wall_optimized));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_optimize.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  prerr_endline "wrote BENCH_optimize.json"
+
 let () =
   if Array.exists (( = ) "--json") Sys.argv then begin
     parallel_json ();
+    optimize_json ();
     exit 0
   end;
   Printf.printf "ucqc benchmark harness — regenerating the paper's artefacts\n";

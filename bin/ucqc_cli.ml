@@ -4,6 +4,7 @@
     - [count]      count answers to a UCQ in a database
     - [approx]     Karp-Luby approximate counting (Section 1.2)
     - [check]      static analysis / lint of query files (SARIF, JSON)
+    - [optimize]   count-preserving cover rewrite of a query file
     - [meta]       decide linear-time countability (Theorem 5)
     - [classify]   structural measures for the Theorems 1/2/3 criteria
     - [wl-dim]     Weisfeiler–Leman dimension (Theorems 7/8/58)
@@ -89,6 +90,23 @@ let no_fallback_arg =
      and a structured error instead of an approximate result."
   in
   Arg.(value & flag & info [ "no-fallback" ] ~doc)
+
+(* --optimize is the default for count: the rewrite is count-preserving
+   by construction, so opting out is the exceptional path *)
+let optimize_arg =
+  let on =
+    Arg.info [ "optimize" ]
+      ~doc:
+        "Apply the count-preserving cover optimizer before executing: \
+         drop subsumed and duplicate disjuncts, minimize each survivor \
+         to its #core.  The count is unchanged by construction; the \
+         2^l engines see fewer disjuncts.  This is the default."
+  in
+  let off =
+    Arg.info [ "no-optimize" ]
+      ~doc:"Execute the query exactly as written, skipping the optimizer."
+  in
+  Arg.(value & vflag true [ (true, on); (false, off) ])
 
 (* strict jobs parsing: 0, negatives and garbage are usage errors (exit
    64 through cmdliner's [`Parse]), not silent fallbacks to 1.  The env
@@ -274,7 +292,8 @@ let count_cmd =
     let doc = "Random seed for the Karp-Luby fallback." in
     Arg.(value & opt int 1 & info [ "seed" ] ~doc)
   in
-  let run qfile dbfile via seed max_steps timeout no_fallback jobs obs lint =
+  let run qfile dbfile via seed optimize max_steps timeout no_fallback jobs
+      obs lint =
     guarded (fun () ->
         with_obs obs "count" @@ fun () ->
         let pool = pool_of jobs in
@@ -283,8 +302,10 @@ let count_cmd =
         let db, _ = parse_db_file dbfile in
         let budget = budget_of max_steps timeout in
         match
-          Runner.count ~via ~fallback:(not no_fallback) ~seed ~pool ~budget
-            psi db
+          (* the optimizer also unlocks predictor-driven selection: the
+             shrunken query is what the calibrated plan cost is fed *)
+          Runner.count ~via ~fallback:(not no_fallback) ~optimize
+            ~select:optimize ~seed ~pool ~budget psi db
         with
         | Ok (Runner.Exact n) ->
             Printf.printf "%d\n" n;
@@ -301,14 +322,77 @@ let count_cmd =
   let doc = "Count answers to a union of conjunctive queries." in
   Cmd.v (Cmd.info "count" ~doc)
     Term.(
-      const run $ query_arg $ db_arg $ method_arg $ seed_arg $ max_steps_arg
-      $ timeout_arg $ no_fallback_arg $ jobs_arg $ obs_term $ lint_arg)
+      const run $ query_arg $ db_arg $ method_arg $ seed_arg $ optimize_arg
+      $ max_steps_arg $ timeout_arg $ no_fallback_arg $ jobs_arg $ obs_term
+      $ lint_arg)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let format_arg =
+    let doc =
+      "Output format: 'human' (the optimized query on stdout, the \
+       rewrite report on stderr) or 'json' (the full structured report)."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let run qfile format max_steps timeout jobs obs =
+    guarded (fun () ->
+        with_obs obs "optimize" @@ fun () ->
+        ignore (pool_of jobs : Pool.t);
+        let psi, env = parse_ucq_file qfile in
+        let budget =
+          match (max_steps, timeout) with
+          | None, None -> None
+          | _ -> Some (budget_of max_steps timeout)
+        in
+        let report = Optimize.run ?budget psi in
+        (match format with
+        | `Human ->
+            (* stdout is the rewritten query alone, so the output parses
+               back as a query file; the report rides on stderr *)
+            print_endline (Pretty.ucq ~env report.Optimize.optimized);
+            Printf.eprintf "ucqc: %s\n"
+              (String.concat "\nucqc: "
+                 (String.split_on_char '\n' (Optimize.describe report)))
+        | `Json ->
+            print_endline
+              (Trace_json.to_string (Optimize.report_to_json ~env report)));
+        0)
+  in
+  let doc =
+    "Apply the count-preserving cover optimizer to a query file and \
+     print the rewritten query: subsumed and duplicate disjuncts are \
+     dropped (each drop justified by a verified homomorphism fixing the \
+     free variables), and every surviving disjunct is minimized to its \
+     #core.  The rewritten query has the same count as the original on \
+     every database."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ query_arg $ format_arg $ max_steps_arg $ timeout_arg
+      $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                              *)
 (* ------------------------------------------------------------------ *)
 
 type check_format = Human | Json | Sarif_format
+
+(* check-only --optimize: analysis stays as-written by default, the flag
+   opts into the post-rewrite view (satellite of the optimizer pass) *)
+let optimize_check_arg =
+  let doc =
+    "Also classify the query $(b,after) the count-preserving optimizer: \
+     when the rewrite changes the update-maintenance tier, a UCQ405 \
+     finding reports the post-rewrite tier alongside the as-written one."
+  in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
 
 let check_cmd =
   let files_arg =
@@ -360,8 +444,8 @@ let check_cmd =
     let doc = "Disjunct count at which UCQ203 (2^l blowup) fires." in
     Arg.(value & opt int 8 & info [ "ie-threshold" ] ~docv:"L" ~doc)
   in
-  let run files format denies tw_threshold ie_threshold max_steps timeout
-      jobs obs =
+  let run files format denies tw_threshold ie_threshold optimize max_steps
+      timeout jobs obs =
     guarded (fun () ->
         with_obs obs "check" @@ fun () ->
         let pool = pool_of jobs in
@@ -378,6 +462,41 @@ let check_cmd =
               Analysis.check ?budget ~pool ~tw_threshold ~ie_threshold ~path
                 (read_file path))
             files
+        in
+        (* under --optimize the maintenance tier the serve/watch engines
+           will actually use is the post-rewrite one; when it differs
+           from the as-written tier (UCQ207 / update_tier), say so *)
+        let reports =
+          if not optimize then reports
+          else
+            List.map2
+              (fun path (r : Analysis.report) ->
+                match
+                  (r.Analysis.update_tier, Parse.ucq_result (read_file path))
+                with
+                | Some sel, Ok (psi, _) ->
+                    let orep = Optimize.run psi in
+                    let sel' = Tier.select orep.Optimize.optimized in
+                    if orep.Optimize.changed && sel'.Tier.tier <> sel.Tier.tier
+                    then
+                      let d =
+                        Diagnostic.make "UCQ405"
+                          "maintenance tier changes under --optimize: tier \
+                           %s as written, tier %s after the \
+                           count-preserving rewrite (%s)"
+                          (Tier.to_string sel.Tier.tier)
+                          (Tier.to_string sel'.Tier.tier)
+                          sel'.Tier.reason
+                      in
+                      {
+                        r with
+                        Analysis.diagnostics =
+                          List.sort Diagnostic.compare
+                            (d :: r.Analysis.diagnostics);
+                      }
+                    else r
+                | _ -> r)
+              files reports
         in
         (match format with
         | Human ->
@@ -420,7 +539,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ files_arg $ format_arg $ deny_arg $ tw_threshold_arg
-      $ ie_threshold_arg $ max_steps_arg $ timeout_arg $ jobs_arg $ obs_term)
+      $ ie_threshold_arg $ optimize_check_arg $ max_steps_arg $ timeout_arg
+      $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                             *)
@@ -1126,10 +1246,19 @@ let serve_cmd =
     let doc = "Drift threshold for --slow-query-log (observed / predicted)." in
     Arg.(value & opt float 8. & info [ "slow-factor" ] ~docv:"K" ~doc)
   in
+  let no_optimize_arg =
+    let doc =
+      "Disable the count-preserving cover optimizer: prepared queries \
+       are evaluated and maintained exactly as written.  By default each \
+       query is optimized once, at prepare time, and the rewrite is \
+       cached with the entry."
+    in
+    Arg.(value & flag & info [ "no-optimize" ] ~doc)
+  in
   let run dbfile socket port host queue_depth max_frame_bytes idle_timeout_s
       request_timeout max_steps_cap cache_capacity drain_deadline_s
-      max_connections metrics_addr access_log slow_query_log slow_factor jobs
-      obs =
+      max_connections metrics_addr access_log slow_query_log slow_factor
+      no_optimize jobs obs =
     guarded (fun () ->
         let listen =
           match (socket, port) with
@@ -1165,6 +1294,7 @@ let serve_cmd =
             access_log;
             slow_query_log;
             slow_factor;
+            optimize = not no_optimize;
           }
         in
         (* serve manages its own telemetry lifecycle instead of [with_obs]:
@@ -1216,7 +1346,8 @@ let serve_cmd =
       $ max_frame_arg $ idle_timeout_arg $ request_timeout_arg
       $ max_steps_cap_arg $ cache_size_arg $ drain_deadline_arg
       $ max_connections_arg $ metrics_addr_arg $ access_log_arg
-      $ slow_query_log_arg $ slow_factor_arg $ jobs_arg $ obs_term)
+      $ slow_query_log_arg $ slow_factor_arg $ no_optimize_arg $ jobs_arg
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* top                                                                *)
@@ -1466,6 +1597,7 @@ let () =
             count_cmd;
             approx_cmd;
             check_cmd;
+            optimize_cmd;
             meta_cmd;
             classify_cmd;
             wl_dim_cmd;

@@ -41,6 +41,19 @@ let disjunct_span (ast : Parse.ast) (i : int) : Diagnostic.span option =
       Some (span_of first.Parse.apos last.Parse.aend)
   | _ -> None
 
+(** Span of the whole query text: head start to the last atom end — the
+    deleted region of whole-query replacement fixes. *)
+let full_span (ast : Parse.ast) : Diagnostic.span =
+  let e =
+    List.fold_left
+      (fun acc atoms ->
+        match List.rev atoms with
+        | (a : Parse.atom) :: _ -> a.Parse.aend
+        | [] -> acc)
+      ast.Parse.head_end ast.Parse.disjuncts
+  in
+  span_of ast.Parse.head_pos e
+
 (** [2^l - 1] as a display string, exact only when it fits a word. *)
 let subsets_string (l : int) : string =
   if l < 62 then string_of_int ((1 lsl l) - 1) else Printf.sprintf "2^%d - 1" l
@@ -97,17 +110,21 @@ let ast_rules ~(add : Diagnostic.t -> unit) (ast : Parse.ast) : unit =
     (fun i (conj : Parse.atom list) ->
       let dnum = i + 1 in
       (* UCQ103: syntactically duplicate atoms (interning drops them). *)
-      let seen : (string * string list, Parse.pos) Hashtbl.t =
+      let seen : (string * string list, int * Parse.pos) Hashtbl.t =
         Hashtbl.create 16
       in
-      List.iter
-        (fun (a : Parse.atom) ->
+      List.iteri
+        (fun ai (a : Parse.atom) ->
           let key = (a.Parse.rel, a.Parse.args) in
           match Hashtbl.find_opt seen key with
-          | None -> Hashtbl.add seen key a.Parse.apos
-          | Some p0 ->
+          | None -> Hashtbl.add seen key (ai, a.Parse.apos)
+          | Some (fi, p0) ->
               add
-                (Diagnostic.make ~span:(atom_span a) "UCQ103"
+                (Diagnostic.make ~span:(atom_span a)
+                   ~witness:
+                     (Diagnostic.Atom_witness
+                        { disjunct = i; atom = ai; first = fi })
+                   "UCQ103"
                    "duplicate atom %s(%s) in disjunct %d (first at line %d, \
                     column %d); duplicates are dropped at interning"
                    a.Parse.rel
@@ -227,8 +244,8 @@ let ast_rules ~(add : Diagnostic.t -> unit) (ast : Parse.ast) : unit =
 
 let semantic_rules ~(add : Diagnostic.t -> unit) ~(budget : Budget.t)
     ?(pool : Pool.t option) ~(tw_threshold : int)
-    ~(tier : Tier.selection option ref) (ast : Parse.ast) (psi : Ucq.t) :
-    Plan.t option =
+    ~(tier : Tier.selection option ref) ~(env : Parse.query_env)
+    (ast : Parse.ast) (psi : Ucq.t) : Plan.t option =
   let plan = ref None in
   let exhausted = ref false in
   (* Every rule is fenced: budget exhaustion reports UCQ003 once and
@@ -302,32 +319,63 @@ let semantic_rules ~(add : Diagnostic.t -> unit) ~(budget : Budget.t)
       let n = Array.length ds in
       if n >= 2 then (
         let fixed = List.map (fun v -> (v, v)) (Ucq.free psi) in
-        (* hom.(i).(j): A_i -> A_j fixing X, i.e. ans_j included in ans_i *)
-        let hom = Array.make_matrix n n false in
+        (* hom.(i).(j): a witness A_i -> A_j fixing X, i.e. ans_j
+           included in ans_i.  Witnesses ride on the diagnostics so the
+           optimizer can re-verify in O(tuples) instead of re-searching. *)
+        let hom = Array.make_matrix n n None in
         for i = 0 to n - 1 do
           for j = 0 to n - 1 do
             if i <> j then
-              hom.(i).(j) <- Hom.exists ~budget ~fixed ds.(i) ds.(j)
+              hom.(i).(j) <-
+                (let r = ref None in
+                 Hom.iter_homs ~budget ~fixed ds.(i) ds.(j) (fun h ->
+                     r := Some h;
+                     false);
+                 !r)
           done
         done;
+        (* The machine-applicable fix: the same query with the redundant
+           disjunct deleted, as a whole-query replacement that parses
+           back (SARIF [fixes]). *)
+        let drop_fix j =
+          let kept = List.filteri (fun k _ -> k <> j) (Ucq.disjuncts psi) in
+          {
+            Diagnostic.description =
+              Printf.sprintf "delete redundant disjunct %d" (j + 1);
+            replacements =
+              [
+                {
+                  Diagnostic.at = full_span ast;
+                  text = Pretty.ucq ~env (Ucq.make kept);
+                };
+              ];
+          }
+        in
         for j = 0 to n - 1 do
           let dup = ref None and sub = ref None in
           for i = 0 to n - 1 do
-            if i <> j && hom.(i).(j) then
-              if hom.(j).(i) then (if i < j && !dup = None then dup := Some i)
+            if i <> j && hom.(i).(j) <> None then
+              if hom.(j).(i) <> None then (
+                if i < j && !dup = None then dup := Some i)
               else if !sub = None then sub := Some i
           done;
+          let witness i =
+            Diagnostic.Hom_witness
+              { source = i; target = j; map = Option.get hom.(i).(j) }
+          in
           match (!dup, !sub) with
           | Some i, _ ->
               add
-                (Diagnostic.make ?span:(dspan j) "UCQ106"
+                (Diagnostic.make ?span:(dspan j) ~fix:(drop_fix j)
+                   ~witness:(witness i) "UCQ106"
                    "disjunct %d duplicates disjunct %d (homomorphically \
                     equivalent over the free variables); it contributes no \
                     answers"
                    (j + 1) (i + 1))
           | None, Some i ->
               add
-                (Diagnostic.make ?span:(dspan j) "UCQ104"
+                (Diagnostic.make ?span:(dspan j) ~fix:(drop_fix j)
+                   ~witness:(witness i) "UCQ104"
                    "disjunct %d is subsumed by disjunct %d: every answer of \
                     disjunct %d is already an answer of disjunct %d"
                    (j + 1) (i + 1) (j + 1) (i + 1))
@@ -401,8 +449,10 @@ let check ?(budget : Budget.t option) ?(pool : Pool.t option)
              (* the AST pass already reported it, with a span *)
              ()
          | Error e -> add (of_error e)
-         | Ok (psi, _env) ->
-             plan := semantic_rules ~add ~budget ?pool ~tw_threshold ~tier ast psi);
+         | Ok (psi, env) ->
+             plan :=
+               semantic_rules ~add ~budget ?pool ~tw_threshold ~tier ~env ast
+                 psi);
          (* UCQ203: union-size blowup - unbudgeted, from l alone, refined
             by the plan when one was computed. *)
          if ie_terms >= ie_threshold then
@@ -455,6 +505,15 @@ let denied_diagnostics (specs : Diagnostic.deny list) (r : report) :
     Diagnostic.t list =
   List.filter (Diagnostic.denied specs) r.diagnostics
 
+let span_to_json (s : Diagnostic.span) : Trace_json.t =
+  Trace_json.Obj
+    [
+      ("line", Trace_json.Num (float_of_int s.Diagnostic.line));
+      ("col", Trace_json.Num (float_of_int s.Diagnostic.col));
+      ("endLine", Trace_json.Num (float_of_int s.Diagnostic.end_line));
+      ("endCol", Trace_json.Num (float_of_int s.Diagnostic.end_col));
+    ]
+
 let diagnostic_to_json (d : Diagnostic.t) : Trace_json.t =
   let base =
     [
@@ -467,19 +526,66 @@ let diagnostic_to_json (d : Diagnostic.t) : Trace_json.t =
   let span =
     match d.Diagnostic.span with
     | None -> []
-    | Some s ->
+    | Some s -> [ ("span", span_to_json s) ]
+  in
+  let fix =
+    match d.Diagnostic.fix with
+    | None -> []
+    | Some f ->
         [
-          ( "span",
+          ( "fix",
             Trace_json.Obj
               [
-                ("line", Trace_json.Num (float_of_int s.Diagnostic.line));
-                ("col", Trace_json.Num (float_of_int s.Diagnostic.col));
-                ("endLine", Trace_json.Num (float_of_int s.Diagnostic.end_line));
-                ("endCol", Trace_json.Num (float_of_int s.Diagnostic.end_col));
+                ("description", Trace_json.Str f.Diagnostic.description);
+                ( "replacements",
+                  Trace_json.Arr
+                    (List.map
+                       (fun (r : Diagnostic.replacement) ->
+                         Trace_json.Obj
+                           [
+                             ("at", span_to_json r.Diagnostic.at);
+                             ("text", Trace_json.Str r.Diagnostic.text);
+                           ])
+                       f.Diagnostic.replacements) );
               ] );
         ]
   in
-  Trace_json.Obj (base @ span)
+  let witness =
+    match d.Diagnostic.witness with
+    | None -> []
+    | Some (Diagnostic.Hom_witness { source; target; map }) ->
+        [
+          ( "witness",
+            Trace_json.Obj
+              [
+                ("kind", Trace_json.Str "hom");
+                ("source", Trace_json.Num (float_of_int source));
+                ("target", Trace_json.Num (float_of_int target));
+                ( "map",
+                  Trace_json.Arr
+                    (List.map
+                       (fun (x, y) ->
+                         Trace_json.Arr
+                           [
+                             Trace_json.Num (float_of_int x);
+                             Trace_json.Num (float_of_int y);
+                           ])
+                       map) );
+              ] );
+        ]
+    | Some (Diagnostic.Atom_witness { disjunct; atom; first }) ->
+        [
+          ( "witness",
+            Trace_json.Obj
+              [
+                ("kind", Trace_json.Str "atom");
+                ("disjunct", Trace_json.Num (float_of_int disjunct));
+                ("atom", Trace_json.Num (float_of_int atom));
+                ("first", Trace_json.Num (float_of_int first));
+              ] );
+        ]
+  in
+  Trace_json.Obj (base @ span @ fix @ witness)
 
 let report_to_json (r : report) : Trace_json.t =
   Trace_json.Obj

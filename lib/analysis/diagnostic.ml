@@ -10,7 +10,16 @@
     - [UCQ1xx] — structural rules on the parsed surface syntax
     - [UCQ2xx] — semantic/complexity rules grounded in the paper's
       classification theorems
-    - [UCQ3xx] — reports (predicted execution plan) *)
+    - [UCQ3xx] — reports (predicted execution plan)
+    - [UCQ4xx] — rewrite reports from the count-preserving optimizer
+      (subsumed/duplicate disjunct dropped, disjunct minimized, query
+      rewritten, maintenance tier changed)
+
+    A diagnostic may additionally carry a machine-applicable {!fix}
+    (surfaced as a SARIF [fixes] object) and a {!witness} — the
+    containment homomorphism or atom-level match that *proves* the
+    finding, letting the optimizer re-verify and apply it without
+    re-searching. *)
 
 type severity = Error | Warning | Info | Hint
 
@@ -40,11 +49,33 @@ let sarif_level = function
 (** 1-based, end-exclusive (like {!Ucqc_error.Parse_error}). *)
 type span = { line : int; col : int; end_line : int; end_col : int }
 
+(** One textual edit: delete [at], insert [text]. *)
+type replacement = { at : span; text : string }
+
+(** A machine-applicable fix — SARIF's [fixes] shape: a description plus
+    replacements against the analyzed artifact.  Replacement [text] is
+    always a complete query rendered by {!Pretty.ucq}, so it parses back
+    as a UCQ (validated by [tools/sarif_check.exe]). *)
+type fix = { description : string; replacements : replacement list }
+
+(** The proof object behind a finding.  [Hom_witness] is a homomorphism
+    from disjunct [source] to disjunct [target] fixing the free
+    variables pointwise (so every answer of [target] is an answer of
+    [source] — UCQ104/UCQ106); the [map] lists (element of source,
+    element of target) pairs over the source disjunct's universe.
+    [Atom_witness] records a duplicate atom: atom index [atom] of
+    disjunct [disjunct] repeats atom index [first] (UCQ103). *)
+type witness =
+  | Hom_witness of { source : int; target : int; map : (int * int) list }
+  | Atom_witness of { disjunct : int; atom : int; first : int }
+
 type t = {
   code : string;
   severity : severity;
   span : span option;
   message : string;
+  fix : fix option;
+  witness : witness option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -113,16 +144,37 @@ let rules : rule list =
     { id = "UCQ206"; default_severity = Info; title = "cyclic disjunct" };
     { id = "UCQ207"; default_severity = Hint; title = "not q-hierarchical" };
     { id = "UCQ301"; default_severity = Info; title = "predicted plan" };
+    {
+      id = "UCQ401";
+      default_severity = Info;
+      title = "subsumed disjunct dropped";
+    };
+    {
+      id = "UCQ402";
+      default_severity = Info;
+      title = "duplicate disjunct dropped";
+    };
+    {
+      id = "UCQ403";
+      default_severity = Info;
+      title = "disjunct minimized to its #core";
+    };
+    { id = "UCQ404"; default_severity = Info; title = "query rewritten" };
+    {
+      id = "UCQ405";
+      default_severity = Info;
+      title = "maintenance tier changed by optimization";
+    };
   ]
 
 let find_rule (id : string) : rule option =
   List.find_opt (fun r -> r.id = id) rules
 
-(** [make ?span ?severity code fmt] builds a diagnostic, defaulting the
-    severity from the registry.
+(** [make ?span ?severity ?fix ?witness code fmt] builds a diagnostic,
+    defaulting the severity from the registry.
     @raise Invalid_argument on an unregistered code. *)
-let make ?(span : span option) ?(severity : severity option) (code : string)
-    fmt =
+let make ?(span : span option) ?(severity : severity option)
+    ?(fix : fix option) ?(witness : witness option) (code : string) fmt =
   Printf.ksprintf
     (fun message ->
       match find_rule code with
@@ -133,6 +185,8 @@ let make ?(span : span option) ?(severity : severity option) (code : string)
             severity = Option.value severity ~default:r.default_severity;
             span;
             message;
+            fix;
+            witness;
           })
     fmt
 

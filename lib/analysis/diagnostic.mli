@@ -15,7 +15,14 @@
       [UCQ202] free-connexity, [UCQ203] inclusion–exclusion blowup,
       [UCQ204] WL-dimension / Theorem 7, [UCQ205] quantified union,
       [UCQ206] cyclic disjunct, [UCQ207] not q-hierarchical)
-    - [UCQ3xx] — reports ([UCQ301] predicted execution plan) *)
+    - [UCQ3xx] — reports ([UCQ301] predicted execution plan)
+    - [UCQ4xx] — rewrite reports from the count-preserving optimizer
+      ([UCQ401] subsumed disjunct dropped, [UCQ402] duplicate disjunct
+      dropped, [UCQ403] disjunct minimized to its #core, [UCQ404] query
+      rewritten, [UCQ405] maintenance tier changed by optimization)
+
+    A diagnostic may carry a machine-applicable {!fix} (surfaced as a
+    SARIF [fixes] object) and a {!witness} proving the finding. *)
 
 type severity = Error | Warning | Info | Hint
 
@@ -35,11 +42,31 @@ val sarif_level : severity -> string
     {!Ucqc_error.Parse_error}. *)
 type span = { line : int; col : int; end_line : int; end_col : int }
 
+(** One textual edit: delete [at], insert [text]. *)
+type replacement = { at : span; text : string }
+
+(** A machine-applicable fix, mirroring SARIF's [fixes] object.
+    Replacement [text] is always a complete query (rendered with
+    {!Pretty.ucq}), so it parses back as a UCQ. *)
+type fix = { description : string; replacements : replacement list }
+
+(** The proof behind a finding: [Hom_witness] is a homomorphism from
+    disjunct [source] to disjunct [target] fixing free variables
+    pointwise (UCQ104/UCQ106), as (source element, target element)
+    pairs; [Atom_witness] records that atom [atom] of [disjunct]
+    duplicates atom [first] (UCQ103).  The optimizer re-verifies
+    witnesses in O(tuples) before applying a rewrite. *)
+type witness =
+  | Hom_witness of { source : int; target : int; map : (int * int) list }
+  | Atom_witness of { disjunct : int; atom : int; first : int }
+
 type t = {
   code : string;
   severity : severity;
   span : span option;
   message : string;
+  fix : fix option;
+  witness : witness option;
 }
 
 (** {2 Rule registry} *)
@@ -52,12 +79,14 @@ val rules : rule list
 
 val find_rule : string -> rule option
 
-(** [make ?span ?severity code fmt] builds a diagnostic with the
-    registry's default severity unless overridden.
+(** [make ?span ?severity ?fix ?witness code fmt] builds a diagnostic
+    with the registry's default severity unless overridden.
     @raise Invalid_argument on an unregistered code. *)
 val make :
   ?span:span ->
   ?severity:severity ->
+  ?fix:fix ->
+  ?witness:witness ->
   string ->
   ('a, unit, string, t) format4 ->
   'a

@@ -69,14 +69,68 @@ let result_to_json ~(uri : string) (d : Diagnostic.t) : Trace_json.t =
                 ] );
           ]
   in
+  let fixes =
+    match d.Diagnostic.fix with
+    | None -> []
+    | Some f ->
+        let replacement (r : Diagnostic.replacement) =
+          let s = r.Diagnostic.at in
+          Trace_json.Obj
+            [
+              ( "deletedRegion",
+                Trace_json.Obj
+                  [
+                    ( "startLine",
+                      Trace_json.Num (float_of_int s.Diagnostic.line) );
+                    ( "startColumn",
+                      Trace_json.Num (float_of_int s.Diagnostic.col) );
+                    ( "endLine",
+                      Trace_json.Num (float_of_int s.Diagnostic.end_line) );
+                    ( "endColumn",
+                      Trace_json.Num (float_of_int s.Diagnostic.end_col) );
+                  ] );
+              ( "insertedContent",
+                Trace_json.Obj [ ("text", Trace_json.Str r.Diagnostic.text) ]
+              );
+            ]
+        in
+        [
+          ( "fixes",
+            Trace_json.Arr
+              [
+                Trace_json.Obj
+                  [
+                    ( "description",
+                      Trace_json.Obj
+                        [ ("text", Trace_json.Str f.Diagnostic.description) ]
+                    );
+                    ( "artifactChanges",
+                      Trace_json.Arr
+                        [
+                          Trace_json.Obj
+                            [
+                              ( "artifactLocation",
+                                Trace_json.Obj
+                                  [ ("uri", Trace_json.Str uri) ] );
+                              ( "replacements",
+                                Trace_json.Arr
+                                  (List.map replacement
+                                     f.Diagnostic.replacements) );
+                            ];
+                        ] );
+                  ];
+              ] );
+        ]
+  in
   Trace_json.Obj
-    [
-      ("ruleId", Trace_json.Str d.Diagnostic.code);
-      ("level", Trace_json.Str (Diagnostic.sarif_level d.Diagnostic.severity));
-      ( "message",
-        Trace_json.Obj [ ("text", Trace_json.Str d.Diagnostic.message) ] );
-      ("locations", Trace_json.Arr [ location ]);
-    ]
+    ([
+       ("ruleId", Trace_json.Str d.Diagnostic.code);
+       ("level", Trace_json.Str (Diagnostic.sarif_level d.Diagnostic.severity));
+       ( "message",
+         Trace_json.Obj [ ("text", Trace_json.Str d.Diagnostic.message) ] );
+       ("locations", Trace_json.Arr [ location ]);
+     ]
+    @ fixes)
 
 (** [of_reports ?tool_version reports] builds one SARIF log with a single
     run covering every report (one result per diagnostic, in report
@@ -180,6 +234,61 @@ let validate (log : Trace_json.t) : (int, string) result =
     then Error (Printf.sprintf "%s: end precedes start" ctx)
     else Ok ()
   in
+  (* SARIF [fix] objects — the machine-applicable rewrites: a
+     description, and artifactChanges whose replacements carry a
+     well-formed deletedRegion and (when present) string
+     insertedContent.text.  [tools/sarif_check.exe] additionally parses
+     each insertedContent.text back as a UCQ. *)
+  let validate_fix fctx fix =
+    let* desc =
+      obj (fctx ^ ".description") (Trace_json.member "description" fix)
+    in
+    let* _ =
+      str (fctx ^ ".description.text") (Trace_json.member "text" desc)
+    in
+    let* changes =
+      arr (fctx ^ ".artifactChanges") (Trace_json.member "artifactChanges" fix)
+    in
+    let* () =
+      if changes = [] then Error (fctx ^ ".artifactChanges: empty") else Ok ()
+    in
+    List.fold_left
+      (fun acc change ->
+        let* () = acc in
+        let cctx = fctx ^ ".artifactChanges[]" in
+        let* artifact =
+          obj
+            (cctx ^ ".artifactLocation")
+            (Trace_json.member "artifactLocation" change)
+        in
+        let* _uri = str (cctx ^ ".uri") (Trace_json.member "uri" artifact) in
+        let* reps =
+          arr (cctx ^ ".replacements") (Trace_json.member "replacements" change)
+        in
+        let* () =
+          if reps = [] then Error (cctx ^ ".replacements: empty") else Ok ()
+        in
+        List.fold_left
+          (fun acc rep ->
+            let* () = acc in
+            let rctx = cctx ^ ".replacements[]" in
+            let* region =
+              obj (rctx ^ ".deletedRegion")
+                (Trace_json.member "deletedRegion" rep)
+            in
+            let* () = validate_region (rctx ^ ".deletedRegion") region in
+            match Trace_json.member "insertedContent" rep with
+            | None -> Ok ()
+            | Some ic ->
+                let* _ =
+                  str
+                    (rctx ^ ".insertedContent.text")
+                    (Trace_json.member "text" ic)
+                in
+                Ok ())
+          (Ok ()) reps)
+      (Ok ()) changes
+  in
   let validate_result ~rule_ids ri result =
     let ctx = Printf.sprintf "results[%d]" ri in
     let* rule_id = str (ctx ^ ".ruleId") (Trace_json.member "ruleId" result) in
@@ -194,28 +303,41 @@ let validate (log : Trace_json.t) : (int, string) result =
     in
     let* message = obj (ctx ^ ".message") (Trace_json.member "message" result) in
     let* _text = str (ctx ^ ".message.text") (Trace_json.member "text" message) in
-    match Trace_json.member "locations" result with
+    let* () =
+      match Trace_json.member "locations" result with
+      | None -> Ok ()
+      | Some (Trace_json.Arr locs) ->
+          List.fold_left
+            (fun acc loc ->
+              let* () = acc in
+              let lctx = ctx ^ ".locations[]" in
+              let* phys =
+                obj (lctx ^ ".physicalLocation")
+                  (Trace_json.member "physicalLocation" loc)
+              in
+              let* artifact =
+                obj
+                  (lctx ^ ".artifactLocation")
+                  (Trace_json.member "artifactLocation" phys)
+              in
+              let* _uri =
+                str (lctx ^ ".uri") (Trace_json.member "uri" artifact)
+              in
+              match Trace_json.member "region" phys with
+              | None -> Ok ()
+              | Some region -> validate_region (lctx ^ ".region") region)
+            (Ok ()) locs
+      | Some _ -> Error (ctx ^ ".locations: expected an array")
+    in
+    match Trace_json.member "fixes" result with
     | None -> Ok ()
-    | Some (Trace_json.Arr locs) ->
+    | Some (Trace_json.Arr fixes) ->
         List.fold_left
-          (fun acc loc ->
+          (fun acc fix ->
             let* () = acc in
-            let lctx = ctx ^ ".locations[]" in
-            let* phys =
-              obj (lctx ^ ".physicalLocation")
-                (Trace_json.member "physicalLocation" loc)
-            in
-            let* artifact =
-              obj
-                (lctx ^ ".artifactLocation")
-                (Trace_json.member "artifactLocation" phys)
-            in
-            let* _uri = str (lctx ^ ".uri") (Trace_json.member "uri" artifact) in
-            match Trace_json.member "region" phys with
-            | None -> Ok ()
-            | Some region -> validate_region (lctx ^ ".region") region)
-          (Ok ()) locs
-    | Some _ -> Error (ctx ^ ".locations: expected an array")
+            validate_fix (ctx ^ ".fixes[]") fix)
+          (Ok ()) fixes
+    | Some _ -> Error (ctx ^ ".fixes: expected an array")
   in
   let validate_run ri run =
     let ctx = Printf.sprintf "runs[%d]" ri in

@@ -23,7 +23,10 @@ val to_string : Trace_json.t -> string
 (** [validate log] structurally checks a SARIF value: version 2.1.0,
     non-empty [runs], a [tool.driver] with string [name] and declared
     [rules], and per result a declared [ruleId], a valid [level], a
-    [message.text], and well-formed locations (string [uri]; 1-based
-    region with end >= start).  Returns the number of results checked, or
-    a description of the first violation. *)
+    [message.text], well-formed locations (string [uri]; 1-based region
+    with end >= start), and — when present — well-formed [fixes]
+    (description text, non-empty [artifactChanges] with [uri]s and
+    non-empty [replacements], each with a valid [deletedRegion] and
+    string [insertedContent.text]).  Returns the number of results
+    checked, or a description of the first violation. *)
 val validate : Trace_json.t -> (int, string) result

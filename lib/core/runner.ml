@@ -67,17 +67,52 @@ type count_method = Expansion | Inclusion_exclusion | Naive
 let default_epsilon = 0.1
 let default_delta = 0.05
 
-(** [count ?strategy ?via ?fallback ?epsilon ?delta ?seed ~budget psi d]
-    counts [ans(Ψ → D)] exactly (via the CQ expansion by default) under
-    [budget].  On exhaustion, when [fallback] (default [true]), it
-    degrades to the un-budgeted Karp–Luby [(ε, δ)]-estimate — polynomial
-    per sample — tagged with the exhaustion record; with
-    [fallback = false] the exhaustion becomes
-    [Error (Budget_exhausted _)]. *)
+(* Cap on the private profiling budget of predictor-driven selection —
+   prediction must stay cheap relative to the run it steers (the same
+   cap the server's drift tracker uses). *)
+let plan_predict_cap = 200_000
+
+(** [count ?strategy ?via ?fallback ?optimize ?select ?epsilon ?delta
+    ?seed ~budget psi d] counts [ans(Ψ → D)] exactly (via the CQ
+    expansion by default) under [budget].  On exhaustion, when
+    [fallback] (default [true]), it degrades to the un-budgeted
+    Karp–Luby [(ε, δ)]-estimate — polynomial per sample — tagged with
+    the exhaustion record; with [fallback = false] the exhaustion
+    becomes [Error (Budget_exhausted _)].
+
+    [optimize] (default [false]) first applies the count-preserving
+    cover optimizer ({!Optimize.run}): the answer count is unchanged by
+    construction, but dropped disjuncts shrink the [2^ℓ] expansion the
+    exact path must pay for.  [select] (default [false]) replaces the
+    fixed try-then-degrade order with predictor-driven selection: the
+    calibrated {!Plan} estimate (computed on a private capped budget)
+    decides up front whether the exact expansion can finish under the
+    remaining budget, and on a [Fallback] verdict goes straight to
+    Karp–Luby without sinking the budget into a doomed exact attempt.
+    Selection only ever skips work — a wrong [Exact] verdict still
+    degrades normally on exhaustion. *)
 let count ?strategy ?(via = Expansion) ?(fallback = true)
-    ?(epsilon = default_epsilon) ?(delta = default_delta) ?seed
-    ?(pool : Pool.t option) ~(budget : Budget.t) (psi : Ucq.t)
-    (d : Structure.t) : (count_outcome, Ucqc_error.t) result =
+    ?(optimize = false) ?(select = false) ?(epsilon = default_epsilon)
+    ?(delta = default_delta) ?seed ?(pool : Pool.t option)
+    ~(budget : Budget.t) (psi : Ucq.t) (d : Structure.t) :
+    (count_outcome, Ucqc_error.t) result =
+  let psi =
+    if not optimize then psi
+    else begin
+      let r = Optimize.run psi in
+      if r.Optimize.changed then
+        Telemetry.event
+          ~attrs:(fun () ->
+            [
+              ("task", Telemetry.S "count");
+              ( "disjuncts_removed",
+                Telemetry.I (Optimize.disjuncts_removed r) );
+              ("atoms_removed", Telemetry.I (Optimize.atoms_removed r));
+            ])
+          "runner.optimized";
+      r.Optimize.optimized
+    end
+  in
   let exact () =
     match via with
     | Expansion ->
@@ -98,24 +133,40 @@ let count ?strategy ?(via = Expansion) ?(fallback = true)
         Ucq.count_inclusion_exclusion ?strategy ~budget ?pool psi d
     | Naive -> Ucq.count_naive ~budget ?pool psi d
   in
-  match guard (fun () -> metered ~budget ~phase:"count" exact) with
-  | Error e -> Error e
-  | Ok (Ok n, _) -> Ok (Exact n)
-  | Ok (Error exhausted, abandoned) ->
-      if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
-      else begin
-        degraded_event ~task:"count" ~fallback:"karp-luby" abandoned;
-        guard (fun () ->
-            let est = Karp_luby.fpras ?seed ?pool ~epsilon ~delta psi d in
-            Approximate
-              {
-                value = est.Karp_luby.value;
-                epsilon;
-                delta;
-                exhausted;
-                abandoned;
-              })
-      end
+  let estimate ~exhausted ~abandoned =
+    degraded_event ~task:"count" ~fallback:"karp-luby" abandoned;
+    guard (fun () ->
+        let est = Karp_luby.fpras ?seed ?pool ~epsilon ~delta psi d in
+        Approximate
+          { value = est.Karp_luby.value; epsilon; delta; exhausted; abandoned })
+  in
+  (* Predictor-driven selection: only meaningful for the expansion
+     method (the predictor meters exactly that code path), only when a
+     fallback exists to select, and only advisory — prediction failures
+     of any kind fall back to the try-then-degrade order. *)
+  let predicted_fallback =
+    select && fallback && via = Expansion
+    &&
+    match Plan.predict ~budget:(Budget.of_steps plan_predict_cap) ?pool psi with
+    | plan ->
+        Plan.predicted_outcome
+          ?max_steps:(Budget.remaining_steps budget)
+          ~db_elems:(Structure.universe_size d)
+          ~db_tuples:(Structure.num_tuples d) plan
+        = Plan.Fallback
+    | exception _ -> false
+  in
+  if predicted_fallback then
+    estimate
+      ~exhausted:{ Budget.phase = "count.predicted"; steps_done = 0 }
+      ~abandoned:{ phase = "count.predicted"; steps = 0; elapsed_s = 0. }
+  else
+    match guard (fun () -> metered ~budget ~phase:"count" exact) with
+    | Error e -> Error e
+    | Ok (Ok n, _) -> Ok (Exact n)
+    | Ok (Error exhausted, abandoned) ->
+        if not fallback then Error (Ucqc_error.of_exhaustion exhausted)
+        else estimate ~exhausted ~abandoned
 
 (** [approx ?seed ~epsilon ~delta ~budget psi d] runs the Karp–Luby
     estimator under [budget] directly (no further fallback exists below

@@ -56,13 +56,24 @@ val default_epsilon : float
 val default_delta : float
 (** [0.05] — failure probability of the degraded estimate. *)
 
-(** [count ?strategy ?via ?fallback ?epsilon ?delta ?seed ~budget psi d]
-    counts [ans(Ψ → D)] exactly under [budget], degrading to a Karp–Luby
-    estimate on exhaustion (unless [fallback = false]). *)
+(** [count ?strategy ?via ?fallback ?optimize ?select ?epsilon ?delta
+    ?seed ~budget psi d] counts [ans(Ψ → D)] exactly under [budget],
+    degrading to a Karp–Luby estimate on exhaustion (unless
+    [fallback = false]).
+
+    [optimize] (default [false]) first applies the count-preserving
+    cover optimizer ({!Optimize.run}) — same count, fewer disjuncts.
+    [select] (default [false]) lets the calibrated {!Plan} predictor
+    skip a doomed exact attempt and go straight to the estimator
+    (expansion method only; advisory — a wrong [Exact] verdict still
+    degrades normally).  A selection-skipped run reports exhaustion
+    phase ["count.predicted"] with zero consumed steps. *)
 val count :
   ?strategy:Counting.strategy ->
   ?via:count_method ->
   ?fallback:bool ->
+  ?optimize:bool ->
+  ?select:bool ->
   ?epsilon:float ->
   ?delta:float ->
   ?seed:int ->

@@ -203,3 +203,44 @@ let find_non_surjective_endo (a : Structure.t) ~(fixed_pointwise : int list) :
       end
       else true);
   !res
+
+(** [verify ?fixed a b map] checks — in time linear in [A]'s encoding —
+    that [map] is a homomorphism [A → B] extending [fixed]: single-valued,
+    total on [U(A)], landing in [U(B)], consistent with [fixed], and
+    mapping every tuple of every relation of [A] into the same relation
+    of [B].  This is the fast path for witnesses captured by the
+    analyzer: re-verification costs O(tuples), never a fresh search. *)
+let verify ?(fixed : (int * int) list = []) (a : Structure.t)
+    (b : Structure.t) (map : (int * int) list) : bool =
+  let img = Hashtbl.create 16 in
+  try
+    List.iter
+      (fun (x, y) ->
+        match Hashtbl.find_opt img x with
+        | Some y' -> if y' <> y then raise Exit
+        | None -> Hashtbl.add img x y)
+      map;
+    List.iter
+      (fun (x, y) -> if Hashtbl.find_opt img x <> Some y then raise Exit)
+      fixed;
+    let b_univ = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace b_univ v ()) (Structure.universe b);
+    let apply x =
+      match Hashtbl.find_opt img x with Some y -> y | None -> raise Exit
+    in
+    List.iter
+      (fun x -> if not (Hashtbl.mem b_univ (apply x)) then raise Exit)
+      (Structure.universe a);
+    List.iter
+      (fun (name, tuples) ->
+        let btab = Hashtbl.create 64 in
+        List.iter
+          (fun t -> Hashtbl.replace btab t ())
+          (Structure.relation b name);
+        List.iter
+          (fun t ->
+            if not (Hashtbl.mem btab (List.map apply t)) then raise Exit)
+          tuples)
+      (Structure.relations a);
+    true
+  with Exit | Not_found | Invalid_argument _ -> false

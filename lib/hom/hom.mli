@@ -37,3 +37,14 @@ val find :
     exists. *)
 val find_non_surjective_endo :
   Structure.t -> fixed_pointwise:int list -> (int * int) list option
+
+(** [verify ?fixed a b map] checks in O(|A| encoding) time that [map] is
+    a homomorphism [A → B] extending [fixed] — the cheap re-validation
+    path for witnesses captured during analysis.  Total: returns [false]
+    on any malformed input (partial map, unknown relation, …). *)
+val verify :
+  ?fixed:(int * int) list ->
+  Structure.t ->
+  Structure.t ->
+  (int * int) list ->
+  bool

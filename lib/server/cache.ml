@@ -14,6 +14,7 @@ type entry = {
   mutable analysis : Analysis.report option;
   mutable classify : Classify.report option;
   mutable plan_cost : float option option;
+  mutable optimized : Optimize.report option;
   mutable maint : Delta.state option;
   mutable hits : int;
 }
@@ -127,6 +128,7 @@ let admit (t : t) (text : string)
             analysis = None;
             classify = None;
             plan_cost = None;
+            optimized = None;
             maint = None;
             hits = 0;
           }
@@ -151,6 +153,7 @@ let admit (t : t) (text : string)
                 analysis = None;
                 classify = None;
                 plan_cost = None;
+                optimized = None;
                 maint = None;
                 hits = 0;
               }

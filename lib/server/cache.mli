@@ -34,7 +34,12 @@ type entry = {
   mutable classify : Classify.report option;  (** memoized on demand *)
   mutable plan_cost : float option option;
       (** memoized {!Plan.try_cost} for drift tracking: [None] =
-          not computed yet, [Some None] = prediction capped out *)
+          not computed yet, [Some None] = prediction capped out.
+          Predicted against the {e optimized} query when the optimizer
+          is on — the query the evaluator actually runs *)
+  mutable optimized : Optimize.report option;
+      (** the count-preserving rewrite, computed once at prepare time;
+          [identity] when optimization is disabled *)
   mutable maint : Delta.state option;
       (** the tiered incremental-counting state, built lazily at the
           first [count] of this entry.  The analysis artifacts above

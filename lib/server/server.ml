@@ -29,6 +29,7 @@ type config = {
   access_log : string option;
   slow_query_log : string option;
   slow_factor : float;
+  optimize : bool;
 }
 
 let default_config ~listen ~jobs =
@@ -47,6 +48,7 @@ let default_config ~listen ~jobs =
     access_log = None;
     slow_query_log = None;
     slow_factor = 8.;
+    optimize = true;
   }
 
 (* Poll tick for every blocking wait (accept select, read timeout): the
@@ -85,6 +87,13 @@ let c_discarded = Telemetry.counter "serve.discarded"
 let c_slow = Telemetry.counter "serve.slow_queries"
 let c_updates_applied = Telemetry.counter "serve.updates.applied"
 let c_updates_noop = Telemetry.counter "serve.updates.noop"
+let c_opt_queries = Telemetry.counter "serve.optimize.queries_rewritten"
+let c_opt_disjuncts = Telemetry.counter "serve.optimize.disjuncts_removed"
+let c_opt_atoms = Telemetry.counter "serve.optimize.atoms_removed"
+
+(* predicted-cost delta of the most recent rewritten prepare: plan cost
+   of the original minus the optimized query (positive = cheaper) *)
+let g_opt_cost_delta = Telemetry.gauge "serve.optimize.predicted_cost_delta"
 
 (* the session epoch, exported so a scrape can tell "no updates yet"
    from "updates applied" without a stats round-trip *)
@@ -415,6 +424,47 @@ let cap_timeout (t : t) (req_ms : float option) : float option =
   | (Some _ as c), None -> c
   | Some c, Some r -> Some (Float.min c r)
 
+(* The count-preserving rewrite, computed once per entry (at prepare
+   time for a miss, lazily for entries that predate the optimizer).
+   Analyzer witnesses are passed as hints only when the analysis is
+   already memoized — the optimizer's own budgeted search is cheaper
+   than forcing a full analysis.  The predicted-cost delta of a
+   rewritten query is profiled here, and the optimized-query cost seeds
+   the drift tracker's memo so it is not re-profiled per request. *)
+let entry_optimized (t : t) (entry : Cache.entry) : Optimize.report =
+  match entry.Cache.optimized with
+  | Some r -> r
+  | None ->
+      let r =
+        if not t.cfg.optimize then Optimize.identity entry.Cache.ucq
+        else
+          Telemetry.with_span "serve.optimize" (fun () ->
+              let hints =
+                match entry.Cache.analysis with
+                | Some a -> a.Analysis.diagnostics
+                | None -> []
+              in
+              Optimize.run ~hints entry.Cache.ucq)
+      in
+      if r.Optimize.changed then begin
+        Telemetry.incr c_opt_queries;
+        Telemetry.add c_opt_disjuncts (Optimize.disjuncts_removed r);
+        Telemetry.add c_opt_atoms (Optimize.atoms_removed r);
+        let cost q =
+          Telemetry.with_span "serve.plan" (fun () ->
+              Plan.try_cost ~max_steps:plan_predict_cap ~pool:t.pool
+                ~db_elems:t.db_elems ~db_tuples:t.db_tuples q)
+        in
+        let after = cost r.Optimize.optimized in
+        entry.Cache.plan_cost <- Some after;
+        match (cost r.Optimize.original, after) with
+        | Some before, Some after ->
+            Telemetry.set_gauge g_opt_cost_delta (before -. after)
+        | _ -> ()
+      end;
+      entry.Cache.optimized <- Some r;
+      r
+
 (* Cache lookup with the parse metered under its own span — a repeated
    query's trace visibly has no [serve.parse] (the acceptance criterion
    for the prepared-query cache). *)
@@ -435,7 +485,10 @@ let prepare (t : t) (cache : Cache.t) (text : string) : Cache.outcome =
   (match outcome with
   | Cache.Hit _ -> bump t.stats.cache_hits c_cache_hit
   | Cache.Interned _ -> bump t.stats.cache_interned c_cache_interned
-  | Cache.Miss _ -> bump t.stats.cache_misses c_cache_miss
+  | Cache.Miss entry ->
+      bump t.stats.cache_misses c_cache_miss;
+      (* optimization happens once, at prepare time *)
+      ignore (entry_optimized t entry : Optimize.report)
   | Cache.Invalid _ -> bump t.stats.cache_invalid c_cache_invalid);
   Atomic.set t.stats.cache_entries (Cache.entries cache);
   outcome
@@ -459,10 +512,12 @@ let predicted_cost (t : t) (entry : Cache.entry) : float option =
   match entry.Cache.plan_cost with
   | Some memo -> memo
   | None ->
+      (* predict the query the evaluator actually runs *)
+      let ucq = (entry_optimized t entry).Optimize.optimized in
       let memo =
         Telemetry.with_span "serve.plan" (fun () ->
             Plan.try_cost ~max_steps:plan_predict_cap ~pool:t.pool
-              ~db_elems:t.db_elems ~db_tuples:t.db_tuples entry.Cache.ucq)
+              ~db_elems:t.db_elems ~db_tuples:t.db_tuples ucq)
       in
       entry.Cache.plan_cost <- Some memo;
       memo
@@ -531,6 +586,10 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
       let r = Protocol.of_ucqc_error ?id err in
       { r with Protocol.body = r.Protocol.body @ [ cache_field ] }
   | Cache.Hit entry | Cache.Interned entry | Cache.Miss entry -> (
+      (* Evaluate the count-preserving rewrite of the query: same count
+         by construction, fewer disjuncts for the 2^l engines and the
+         maintained state. *)
+      let eval_ucq = (entry_optimized t entry).Optimize.optimized in
       (* Tiered incremental counting: build the maintained state at the
          first count of a retained entry (capacity-0 entries are
          throwaway, and tier-B preparation is not free), then prefer a
@@ -554,7 +613,7 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
               entry.Cache.maint <-
                 Some
                   (Telemetry.with_span "serve.maintain" (fun () ->
-                       Delta.prepare ~budget entry.Cache.ucq t.ddb)));
+                       Delta.prepare ~budget eval_ucq t.ddb)));
           entry.Cache.maint
         end
         else None
@@ -610,7 +669,7 @@ let answer_count (t : t) (cache : Cache.t) ?id ~rid ~query ~meth ~seed
             Telemetry.with_span "serve.eval" ~budget (fun () ->
                 Runner.count ~via:(runner_method meth)
                   ~fallback:(not no_fallback) ~seed ~pool:t.pool ~budget
-                  entry.Cache.ucq (Delta.structure t.ddb)))
+                  eval_ucq (Delta.structure t.ddb)))
       in
       let observed = Budget.steps_done budget in
       let steps_field = ("steps", num observed) in
@@ -727,8 +786,9 @@ let answer_classify (t : t) (cache : Cache.t) ?id ~query () :
               r
         in
         (* the maintenance tier rides along: the same selection the
-           watch/serve update engines use (gated like UCQ207) *)
-        let sel = Tier.select entry.Cache.ucq in
+           watch/serve update engines use (gated like UCQ207), computed
+           on the optimized query — the one actually maintained *)
+        let sel = Tier.select (entry_optimized t entry).Optimize.optimized in
         let result =
           match classify_json report with
           | Trace_json.Obj fs ->

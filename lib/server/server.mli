@@ -66,11 +66,17 @@ type config = {
   slow_factor : float;
       (** a query is "slow" when its observed step count exceeds
           [slow_factor] times the {!Plan} cost prediction *)
+  optimize : bool;
+      (** apply the count-preserving cover optimizer ({!Optimize.run})
+          to each prepared query, once, at prepare time.  The rewrite is
+          cached on the entry; evaluation, maintained state, and cost
+          prediction all use the optimized query.  Default [true]. *)
 }
 
 (** Defaults: 64-deep queue, 1 MiB frames, 300 s idle timeout, 30 s
     request timeout, 256 cache entries, 5 s drain deadline, 128
-    connections, no metrics gateway, no request logs, slow factor 8. *)
+    connections, no metrics gateway, no request logs, slow factor 8,
+    optimizer on. *)
 val default_config : listen:listen -> jobs:int -> config
 
 type t

@@ -19,6 +19,11 @@ let length (psi : t) : int = Array.length psi.cqs
 let free (psi : t) : int list = psi.free
 let disjunct_structures (psi : t) : Structure.t list = Array.to_list psi.cqs
 
+(** [num_atoms psi] is the total atom count Σ_i |atoms(Ψ_i)| — the
+    optimizer's shrink metric alongside {!length}. *)
+let num_atoms (psi : t) : int =
+  Array.fold_left (fun acc a -> acc + Structure.num_tuples a) 0 psi.cqs
+
 (** [disjunct psi i] is the [i]-th CQ of the union ([Ψ_i]). *)
 let disjunct (psi : t) (i : int) : Cq.t = Cq.make psi.cqs.(i) psi.free
 

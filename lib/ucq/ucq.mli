@@ -19,6 +19,9 @@ val length : t -> int
 val free : t -> int list
 val disjunct_structures : t -> Structure.t list
 
+(** [num_atoms psi] is the total atom count over all disjuncts. *)
+val num_atoms : t -> int
+
 (** [disjunct psi i] is [Ψ_i]. *)
 val disjunct : t -> int -> Cq.t
 

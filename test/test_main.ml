@@ -8,4 +8,5 @@ let () =
    @ Test_reduction.suite @ Test_wl.suite @ Test_meta.suite
    @ Test_frontend.suite @ Test_approx.suite @ Test_dynamic.suite
    @ Test_runtime.suite @ Test_pool.suite @ Test_telemetry.suite
-   @ Test_delta.suite @ Test_analysis.suite @ Test_server.suite @ Test_obs.suite)
+   @ Test_delta.suite @ Test_analysis.suite @ Test_optimize.suite
+   @ Test_server.suite @ Test_obs.suite)

@@ -1,6 +1,11 @@
-(** CI gate over BENCH_parallel.json: the parallel hot path must pay for
-    itself.  Reads the file the bench harness wrote (path as argv 1,
-    default [BENCH_parallel.json]) and enforces:
+(** CI gate over the bench harness's JSON artefacts.  Reads each file
+    named on the command line (default [BENCH_parallel.json]) and
+    dispatches on its shape: a file with a [workloads] array gets the
+    parallel bars, a file with [kind = "optimize"] gets the optimizer
+    bars.
+
+    Parallel bars (BENCH_parallel.json — the parallel hot path must pay
+    for itself):
 
     - every run of every workload is [reproducible] and [consistent]
       (these hold on any machine — they are determinism bars, not
@@ -14,7 +19,18 @@
     On a single-core producer the speedup section prints a NOTICE and is
     skipped — a 1-core "comparison" measures contention and failing on
     it would be noise, which is exactly the misleading-output bug this
-    gate exists to prevent.  Exits 1 on any violation, 0 otherwise. *)
+    gate exists to prevent.
+
+    Optimizer bars (BENCH_optimize.json — the count-preserving rewrite
+    must pay for itself on the redundant-union workload): the optimized
+    and unoptimized counts must be equal bit-for-bit, the rewrite must
+    strictly shrink the disjunct and IE-subset counts without growing
+    the Lemma 26 expansion support,
+    and end-to-end optimize+count wall time must not lose to the
+    unoptimized count (10% tolerance; skipped with a NOTICE when the
+    unoptimized run is under 1 ms — below the wall-clock noise floor).
+
+    Exits 1 on any violation, 0 otherwise. *)
 
 let fail_count = ref 0
 
@@ -66,17 +82,54 @@ let worker_total_ms (run : Trace_json.t) : float option =
         None phases
   | _ -> None
 
-let () =
-  let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json"
+let check_optimize (path : string) (j : Trace_json.t) : unit =
+  let int k = int_of_float (num_exn k j) in
+  if not (bool_exn "counts_equal" j) then
+    fail "%s: optimized count %d differs from unoptimized %d" path
+      (int "count_optimized") (int "count_unoptimized")
+  else
+    Printf.printf "bench_check: %s counts agree (%d)\n" path
+      (int "count_optimized");
+  if not (bool_exn "changed" j) then
+    fail "%s: the optimizer did not rewrite the redundant union" path;
+  let shrink what before after =
+    if after >= before then
+      fail "%s: %s did not shrink (%d -> %d)" path what before after
+    else
+      Printf.printf "bench_check: %s %s shrank %d -> %d\n" path what before
+        after
   in
-  let j =
-    try Trace_json.parse_file path
-    with e ->
-      Printf.eprintf "bench_check: cannot read %s: %s\n" path
-        (Printexc.to_string e);
-      exit 1
-  in
+  shrink "disjuncts" (int "disjuncts_before") (int "disjuncts_after");
+  shrink "IE subsets" (int "subsets_before") (int "subsets_after");
+  (* the Lemma 26 support of equivalent queries is the same set of
+     classes — the optimizer's win is reaching it without enumerating
+     2^l subsets — so the bar here is non-increase, not strict shrink *)
+  let sb = int "support_before" and sa = int "support_after" in
+  if sa > sb then
+    fail "%s: expansion support grew (%d -> %d)" path sb sa
+  else
+    Printf.printf "bench_check: %s expansion support %d -> %d\n" path sb sa;
+  let wall_un = num_exn "wall_unoptimized_s" j in
+  let wall_opt = num_exn "wall_optimized_s" j in
+  if wall_un < 0.001 then
+    Printf.printf
+      "bench_check: NOTICE %s unoptimized run is %.6f s — below the 1 ms \
+       wall-clock noise floor; the not-slower bar is skipped, the count \
+       and shrink bars still hold.\n"
+      path wall_un
+  else if wall_opt > 1.1 *. wall_un then
+    fail
+      "%s: optimize+count %.6f s is slower than the unoptimized count \
+       %.6f s (beyond 10%% tolerance)"
+      path wall_opt wall_un
+  else
+    Printf.printf
+      "bench_check: %s optimize+count %.6f s vs unoptimized %.6f s \
+       (speedup %.2fx)\n"
+      path wall_opt wall_un
+      (wall_un /. wall_opt)
+
+let check_parallel (path : string) (j : Trace_json.t) : unit =
   let workloads = arr_exn "workloads" j in
   (* determinism bars: hold regardless of core count *)
   List.iter
@@ -137,7 +190,27 @@ let () =
                     total wall_ms
             | None -> fail "E3 jobs=2 run has no pool.worker phase")
         | _ -> fail "E3 runs for jobs=1 and jobs=2 missing")
-  end;
+  end
+
+let () =
+  let paths =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "BENCH_parallel.json" ]
+    | l -> l
+  in
+  List.iter
+    (fun path ->
+      let j =
+        try Trace_json.parse_file path
+        with e ->
+          Printf.eprintf "bench_check: cannot read %s: %s\n" path
+            (Printexc.to_string e);
+          exit 1
+      in
+      match Trace_json.member "kind" j with
+      | Some (Trace_json.Str "optimize") -> check_optimize path j
+      | _ -> check_parallel path j)
+    paths;
   if !fail_count > 0 then begin
     Printf.eprintf "bench_check: %d violation(s)\n" !fail_count;
     exit 1

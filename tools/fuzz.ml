@@ -218,6 +218,60 @@ let () =
           | Ok c when c = Ucq.count_naive psi db -> ()
           | _ -> report "BUDGET CHANGES RESULT seed %d" seed
         done);
+    (* cover optimizer: total, deterministic, never raises, and the
+       rewrite is count-preserving on every database and every engine —
+       the qcheck suite holds the same equivalence, the fuzzer drives
+       far more seeds plus the crash corpus through parse → optimize *)
+    section "fuzz.optimize" (fun () ->
+        let check_total name psi =
+          match try Ok (Optimize.run psi) with e -> Error e with
+          | Error e ->
+              report "OPTIMIZE RAISED %s: %s" name (Printexc.to_string e)
+          | Ok r ->
+              if Optimize.run psi <> r then report "OPTIMIZE NONDET %s" name;
+              if Ucq.length r.Optimize.optimized < 1 then
+                report "OPTIMIZE EMPTY UNION %s" name;
+              if
+                List.length r.Optimize.kept
+                <> Ucq.length r.Optimize.optimized
+              then report "OPTIMIZE KEPT/LENGTH MISMATCH %s" name
+        in
+        let check_text name text =
+          match Parse.ucq_result text with
+          | Error _ | (exception _) -> () (* parser totality is fuzzed above *)
+          | Ok (psi, _) -> check_total name psi
+        in
+        let dir = Filename.concat "test" "crash_corpus" in
+        if Sys.file_exists dir && Sys.is_directory dir then
+          Array.iter
+            (fun f ->
+              let path = Filename.concat dir f in
+              let ic = open_in_bin path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              check_text f text)
+            (Sys.readdir dir)
+        else Printf.printf "fuzz: optimize corpus %s not found, skipping\n" dir;
+        for seed = 0 to iters 400 do
+          let psi =
+            Qgen.random_ucq ~seed ~max_disjuncts:4 ~max_vars:4 ~max_atoms:3 sg
+          in
+          check_total (Printf.sprintf "seed-%d" seed) psi;
+          let r = Optimize.run psi in
+          let db = Generators.random_digraph ~seed:(seed * 19 + 11) 4 9 in
+          let naive = Ucq.count_naive psi db in
+          if Ucq.count_naive r.Optimize.optimized db <> naive then
+            report "OPTIMIZE CHANGES NAIVE COUNT seed %d" seed;
+          if Ucq.count_inclusion_exclusion r.Optimize.optimized db <> naive
+          then report "OPTIMIZE CHANGES IE COUNT seed %d" seed;
+          if Ucq.count_via_expansion r.Optimize.optimized db <> naive then
+            report "OPTIMIZE CHANGES EXP COUNT seed %d" seed;
+          match pool with
+          | None -> ()
+          | Some _ ->
+              if Ucq.count_via_expansion ?pool r.Optimize.optimized db <> naive
+              then report "OPTIMIZE CHANGES PAR-EXP COUNT seed %d" seed
+        done);
     (* serve-mode wire protocol: the crash corpus and random bytes
        through Protocol.parse_request — it must never raise, must be
        deterministic, and every response it leads to must render as one

@@ -3,9 +3,48 @@
 
     Usage: [sarif_check.exe FILE...] — parses each file with the in-tree
     JSON reader and checks it with {!Sarif.validate} (version 2.1.0,
-    declared rule ids, valid levels, well-formed regions).  Prints one
-    line per file and exits 1 on the first malformed one, so the CI leg
-    needs no external schema validator. *)
+    declared rule ids, valid levels, well-formed regions, well-formed
+    [fixes] payloads).  On top of the structural pass, every machine-
+    applicable fix is checked {e semantically}: each
+    [replacements[].insertedContent.text] must parse back as a UCQ with
+    the in-tree parser — a fix a machine cannot re-apply is a bug, not a
+    hint.  Prints one line per file and exits 1 on the first malformed
+    one, so the CI leg needs no external schema validator. *)
+
+(* Walk results[].fixes[].artifactChanges[].replacements[] and parse
+   every insertedContent.text.  Returns the number of replacement texts
+   checked, or the first offending context. *)
+let validate_fix_texts (json : Trace_json.t) : (int, string) result =
+  let open Trace_json in
+  let checked = ref 0 in
+  let err = ref None in
+  let fail ctx msg = if !err = None then err := Some (ctx ^ ": " ^ msg) in
+  let arr = function Some (Arr l) -> l | _ -> [] in
+  let each k v f = List.iteri (fun i x -> f (Printf.sprintf "%s[%d]" k i) x) (arr v) in
+  each "runs" (member "runs" json) (fun rctx run ->
+      each (rctx ^ ".results") (member "results" run) (fun resctx res ->
+          each (resctx ^ ".fixes") (member "fixes" res) (fun fctx fix ->
+              each (fctx ^ ".artifactChanges") (member "artifactChanges" fix)
+                (fun cctx change ->
+                  each (cctx ^ ".replacements") (member "replacements" change)
+                    (fun pctx repl ->
+                      match member "insertedContent" repl with
+                      | None -> ()
+                      | Some inserted -> (
+                          match member "text" inserted with
+                          | Some (Str text) -> (
+                              incr checked;
+                              match Parse.ucq_result text with
+                              | Ok _ -> ()
+                              | Error e ->
+                                  fail
+                                    (pctx ^ ".insertedContent.text")
+                                    (Printf.sprintf
+                                       "does not parse back as a UCQ: %s"
+                                       (Ucqc_error.to_string e)))
+                          | _ ->
+                              fail pctx "insertedContent without string text"))))));
+  match !err with Some msg -> Error msg | None -> Ok !checked
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
@@ -26,7 +65,16 @@ let () =
           Printf.printf "%s: unreadable or malformed JSON: %s\n" path msg
       | Ok json -> (
           match Sarif.validate json with
-          | Ok n -> Printf.printf "%s: valid SARIF %s, %d results\n" path Sarif.version n
+          | Ok n -> (
+              match validate_fix_texts json with
+              | Ok fixes ->
+                  Printf.printf
+                    "%s: valid SARIF %s, %d results, %d fix replacements \
+                     parse back\n"
+                    path Sarif.version n fixes
+              | Error msg ->
+                  incr failures;
+                  Printf.printf "%s: INVALID fix: %s\n" path msg)
           | Error msg ->
               incr failures;
               Printf.printf "%s: INVALID: %s\n" path msg))
